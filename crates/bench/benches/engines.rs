@@ -1,0 +1,63 @@
+//! Criterion bench: row vs. column engine join throughput on the same
+//! 3-way join — the per-tuple overhead gap that Tables 1/2 exhibit
+//! between Postgres(sim) and MonetDB(sim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skinner_query::{Query, QueryBuilder};
+use skinner_simdb::exec::ExecOptions;
+use skinner_simdb::{ColEngine, Engine, RowEngine};
+use skinner_storage::{Catalog, Column, ColumnDef, Schema, Table, ValueType};
+
+fn setup(n: usize) -> (Catalog, Query) {
+    let mut cat = Catalog::new();
+    let mk = |name: &str, rows: usize, modulo: i64| {
+        Table::new(
+            name,
+            Schema::new([ColumnDef::new("k", ValueType::Int)]),
+            vec![Column::from_ints(
+                (0..rows as i64).map(|i| i % modulo).collect(),
+            )],
+        )
+        .unwrap()
+    };
+    cat.register(mk("a", n, 128));
+    cat.register(mk("b", n / 2, 128));
+    cat.register(mk("c", n / 4, 128));
+    let mut qb = QueryBuilder::new(&cat);
+    qb.table("a").unwrap();
+    qb.table("b").unwrap();
+    qb.table("c").unwrap();
+    let j1 = qb.col("a.k").unwrap().eq(qb.col("b.k").unwrap());
+    let j2 = qb.col("b.k").unwrap().eq(qb.col("c.k").unwrap());
+    qb.filter(j1);
+    qb.filter(j2);
+    qb.select_col("a.k").unwrap();
+    let q = qb.build().unwrap();
+    (cat, q)
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engines");
+    group.sample_size(10);
+    let (_cat, q) = setup(2048);
+    let opts = ExecOptions {
+        count_only: true,
+        ..Default::default()
+    };
+    group.bench_function(BenchmarkId::new("join_3way", "row"), |b| {
+        let engine = RowEngine::new();
+        b.iter(|| criterion::black_box(engine.execute(&q, &opts).result_count))
+    });
+    group.bench_function(BenchmarkId::new("join_3way", "col"), |b| {
+        let engine = ColEngine::new();
+        b.iter(|| criterion::black_box(engine.execute(&q, &opts).result_count))
+    });
+    group.bench_function(BenchmarkId::new("join_3way", "col_4threads"), |b| {
+        let engine = ColEngine::with_threads(4);
+        b.iter(|| criterion::black_box(engine.execute(&q, &opts).result_count))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion bench: the Algorithm 2 inner loop (multi-way join steps),
+//! with and without hash-index jumps — the per-step cost that makes
+//! Skinner-C's "tens of thousands of join order switches per second"
+//! possible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skinner_engine::{MultiwayJoin, PreparedQuery};
+use skinner_engine::multiway::ResultSet;
+use skinner_query::{Query, QueryBuilder};
+use skinner_storage::{Catalog, Column, ColumnDef, Schema, Table, ValueType};
+
+fn chain_query(n_rows: usize) -> (Catalog, Query) {
+    let mut cat = Catalog::new();
+    for t in 0..3 {
+        cat.register(
+            Table::new(
+                format!("t{t}"),
+                Schema::new([ColumnDef::new("k", ValueType::Int)]),
+                vec![Column::from_ints(
+                    (0..n_rows as i64).map(|i| i % 64).collect(),
+                )],
+            )
+            .unwrap(),
+        );
+    }
+    let mut qb = QueryBuilder::new(&cat);
+    for t in 0..3 {
+        qb.table(&format!("t{t}")).unwrap();
+    }
+    for t in 0..2 {
+        let j = qb
+            .col(&format!("t{t}.k"))
+            .unwrap()
+            .eq(qb.col(&format!("t{}.k", t + 1)).unwrap());
+        qb.filter(j);
+    }
+    qb.select_col("t0.k").unwrap();
+    let q = qb.build().unwrap();
+    (cat, q)
+}
+
+fn bench_multiway(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multiway_join");
+    for &indexes in &[true, false] {
+        let (_cat, q) = chain_query(512);
+        let pq = PreparedQuery::new(&q, indexes, 1);
+        let order = vec![0usize, 1, 2];
+        let plan = pq.plan_order(&order);
+        group.bench_with_input(
+            BenchmarkId::new("steps_10k", if indexes { "indexed" } else { "scan" }),
+            &indexes,
+            |b, _| {
+                b.iter(|| {
+                    let join = MultiwayJoin::new(&pq);
+                    let offsets = vec![0u32; 3];
+                    let mut state = offsets.clone();
+                    let mut rs = ResultSet::new();
+                    let (_r, steps) = join.continue_join(
+                        &order,
+                        &plan,
+                        &offsets,
+                        &mut state,
+                        10_000,
+                        &mut rs,
+                    );
+                    criterion::black_box(steps)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_multiway);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion bench: Skinner-C pre-processing (unary filtering + hash
+//! indexing), serial vs. parallel — the Table 2 / Table 6
+//! "parallelization" feature.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skinner_engine::PreparedQuery;
+use skinner_query::{Expr, Query, QueryBuilder};
+use skinner_storage::{Catalog, Column, ColumnDef, Schema, Table, ValueType};
+
+fn setup(rows: usize) -> (Catalog, Query) {
+    let mut cat = Catalog::new();
+    for t in 0..4 {
+        cat.register(
+            Table::new(
+                format!("t{t}"),
+                Schema::new([
+                    ColumnDef::new("k", ValueType::Int),
+                    ColumnDef::new("v", ValueType::Int),
+                ]),
+                vec![
+                    Column::from_ints((0..rows as i64).map(|i| i % 1000).collect()),
+                    Column::from_ints((0..rows as i64).collect()),
+                ],
+            )
+            .unwrap(),
+        );
+    }
+    let mut qb = QueryBuilder::new(&cat);
+    for t in 0..4 {
+        qb.table(&format!("t{t}")).unwrap();
+    }
+    for t in 0..3 {
+        let j = qb
+            .col(&format!("t{t}.k"))
+            .unwrap()
+            .eq(qb.col(&format!("t{}.k", t + 1)).unwrap());
+        qb.filter(j);
+        let f = qb
+            .col(&format!("t{t}.v"))
+            .unwrap()
+            .gt(Expr::lit((rows / 4) as i64));
+        qb.filter(f);
+    }
+    qb.select_col("t0.v").unwrap();
+    let q = qb.build().unwrap();
+    (cat, q)
+}
+
+fn bench_preprocess(c: &mut Criterion) {
+    let mut group = c.benchmark_group("preprocess");
+    group.sample_size(20);
+    let (_cat, q) = setup(50_000);
+    for &threads in &[1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("filter_and_hash", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let pq = PreparedQuery::new(&q, true, threads);
+                    criterion::black_box(pq.cards.clone())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_preprocess);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion bench: UCT choose+update cost per slice — the scheduling
+//! overhead Skinner-C pays on every time slice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skinner_uct::{JoinOrderSpace, SearchSpace, UctConfig, UctTree};
+use skinner_query::{Expr, Query, QueryBuilder};
+use skinner_storage::{Catalog, Column, ColumnDef, Schema, Table, ValueType};
+
+fn chain_query(m: usize) -> (Catalog, Query) {
+    let mut cat = Catalog::new();
+    for t in 0..m {
+        cat.register(
+            Table::new(
+                format!("t{t}"),
+                Schema::new([ColumnDef::new("k", ValueType::Int)]),
+                vec![Column::from_ints(vec![1, 2, 3])],
+            )
+            .unwrap(),
+        );
+    }
+    let mut qb = QueryBuilder::new(&cat);
+    for t in 0..m {
+        qb.table(&format!("t{t}")).unwrap();
+    }
+    for t in 0..m - 1 {
+        let j = qb
+            .col(&format!("t{t}.k"))
+            .unwrap()
+            .eq(qb.col(&format!("t{}.k", t + 1)).unwrap());
+        qb.filter(j);
+    }
+    qb.select_expr(Expr::col(0, 0), "k");
+    let q = qb.build().unwrap();
+    (cat, q)
+}
+
+fn bench_uct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uct_overhead");
+    for &m in &[4usize, 8, 12] {
+        let (_cat, q) = chain_query(m);
+        group.bench_with_input(BenchmarkId::new("choose_update", m), &m, |b, _| {
+            let space = JoinOrderSpace::new(&q);
+            assert_eq!(space.depth(), m);
+            let mut tree = UctTree::new(space, UctConfig::default());
+            // warm the tree to a realistic size
+            for _ in 0..500 {
+                let p = tree.choose();
+                tree.update(&p, 0.5);
+            }
+            b.iter(|| {
+                let p = tree.choose();
+                tree.update(&p, 0.7);
+                criterion::black_box(tree.num_nodes())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_uct);
+criterion_main!(benches);

@@ -1,0 +1,341 @@
+//! Unified runner over every approach the experiments compare.
+
+use skinner_baselines::{Eddy, EddyConfig, Reoptimizer};
+use skinner_core::{SkinnerGConfig, SkinnerGSession, SkinnerH, SkinnerHConfig};
+use skinner_engine::{OrderPolicy, SkinnerC, SkinnerCConfig};
+use skinner_query::{Query, TableId};
+use skinner_simdb::exec::ExecOptions;
+use skinner_simdb::{AdaptiveEngine, ColEngine, Engine, RowEngine};
+use std::time::{Duration, Instant};
+
+/// Every approach the paper's experiments compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Approach {
+    /// Skinner-C with UCT (optionally parallel pre-processing).
+    SkinnerC {
+        /// Slice budget b.
+        budget: u64,
+        /// Pre-processing threads.
+        threads: usize,
+        /// Hash indexes on equi columns.
+        indexes: bool,
+    },
+    /// Skinner-C with random order selection (Table 5).
+    SkinnerCRandom {
+        /// Slice budget b.
+        budget: u64,
+    },
+    /// Simulated Postgres with its own optimizer.
+    PgSim,
+    /// Simulated MonetDB with its own optimizer.
+    MonetSim {
+        /// Worker threads.
+        threads: usize,
+    },
+    /// Simulated commercial adaptive engine.
+    ComSim,
+    /// Skinner-G over the given engine kind.
+    SkinnerG {
+        /// Underlying engine.
+        engine: EngineKind,
+        /// Random instead of UCT orders (Table 5).
+        random: bool,
+    },
+    /// Skinner-H over the given engine kind.
+    SkinnerH {
+        /// Underlying engine.
+        engine: EngineKind,
+        /// Random instead of UCT orders (Table 5).
+        random: bool,
+    },
+    /// Eddies baseline.
+    Eddy,
+    /// Sampling-based re-optimizer baseline.
+    Reopt,
+}
+
+/// Which simulated engine Skinner-G/H wraps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Row store ("Postgres").
+    Pg,
+    /// Vectorized column store ("MonetDB").
+    Monet,
+    /// Adaptive commercial engine ("ComDB").
+    Com,
+}
+
+impl EngineKind {
+    fn build(self, threads: usize) -> Box<dyn Engine> {
+        match self {
+            EngineKind::Pg => Box::new(RowEngine::new()),
+            EngineKind::Monet => Box::new(ColEngine::with_threads(threads)),
+            EngineKind::Com => Box::new(AdaptiveEngine::new()),
+        }
+    }
+}
+
+impl Approach {
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> String {
+        match self {
+            Approach::SkinnerC { threads, .. } if *threads > 1 => "Skinner-C(par)".into(),
+            Approach::SkinnerC { .. } => "Skinner-C".into(),
+            Approach::SkinnerCRandom { .. } => "Skinner-C(rand)".into(),
+            Approach::PgSim => "Postgres(sim)".into(),
+            Approach::MonetSim { threads } if *threads > 1 => "MonetDB(sim,par)".into(),
+            Approach::MonetSim { .. } => "MonetDB(sim)".into(),
+            Approach::ComSim => "ComDB(sim)".into(),
+            Approach::SkinnerG { engine, random } => format!(
+                "S-G({}){}",
+                engine_tag(*engine),
+                if *random { "-rand" } else { "" }
+            ),
+            Approach::SkinnerH { engine, random } => format!(
+                "S-H({}){}",
+                engine_tag(*engine),
+                if *random { "-rand" } else { "" }
+            ),
+            Approach::Eddy => "Eddy".into(),
+            Approach::Reopt => "Reoptimizer".into(),
+        }
+    }
+}
+
+fn engine_tag(e: EngineKind) -> &'static str {
+    match e {
+        EngineKind::Pg => "PG",
+        EngineKind::Monet => "MDB",
+        EngineKind::Com => "Com",
+    }
+}
+
+/// Outcome of running one approach on one query.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Wall time (capped at the timeout when `timed_out`).
+    pub time: Duration,
+    /// Result tuple count (0 when timed out).
+    pub result_count: u64,
+    /// Measured intermediate cardinality, when the approach reports one.
+    pub cout: Option<u64>,
+    /// Final join order, when the approach reports one.
+    pub final_order: Option<Vec<TableId>>,
+    /// The approach hit the cap before finishing.
+    pub timed_out: bool,
+    /// Engine-independent effort proxy: predicate evaluations (Eddy),
+    /// multi-way join steps (Skinner-C), or C_out (engines).
+    pub effort: u64,
+}
+
+/// Run `approach` on `query` with a wall-clock cap.
+///
+/// Approaches that support in-band deadlines (the engines) receive the
+/// cap directly; the iterative approaches (Skinner variants, Eddy) are
+/// run on the calling thread and reported as timed-out if they exceed the
+/// cap (their loop granularity keeps overshoot small at benchmark
+/// scales).
+pub fn run_approach(approach: Approach, query: &Query, cap: Duration) -> RunOutcome {
+    let start = Instant::now();
+    match approach {
+        Approach::SkinnerC {
+            budget,
+            threads,
+            indexes,
+        } => {
+            let out = SkinnerC::new(SkinnerCConfig {
+                budget,
+                threads,
+                use_indexes: indexes,
+                ..Default::default()
+            })
+            .run(query);
+            RunOutcome {
+                time: start.elapsed(),
+                result_count: out.result_count,
+                cout: None,
+                effort: out.metrics.steps,
+                final_order: Some(out.final_order),
+                timed_out: false,
+            }
+        }
+        Approach::SkinnerCRandom { budget } => {
+            let out = SkinnerC::new(SkinnerCConfig {
+                budget,
+                policy: OrderPolicy::Random,
+                ..Default::default()
+            })
+            .run(query);
+            RunOutcome {
+                time: start.elapsed(),
+                result_count: out.result_count,
+                cout: None,
+                effort: out.metrics.steps,
+                final_order: Some(out.final_order),
+                timed_out: false,
+            }
+        }
+        Approach::PgSim | Approach::MonetSim { .. } | Approach::ComSim => {
+            let engine: Box<dyn Engine> = match approach {
+                Approach::PgSim => Box::new(RowEngine::new()),
+                Approach::MonetSim { threads } => Box::new(ColEngine::with_threads(threads)),
+                _ => Box::new(AdaptiveEngine::new()),
+            };
+            let opts = ExecOptions {
+                deadline: Some(start + cap),
+                ..Default::default()
+            };
+            let out = engine.execute(query, &opts);
+            let timed_out = !out.completed();
+            RunOutcome {
+                time: if timed_out { cap } else { start.elapsed() },
+                result_count: out.result_count,
+                cout: Some(out.intermediate_cardinality),
+                effort: out.intermediate_cardinality,
+                final_order: Some(out.join_order),
+                timed_out,
+            }
+        }
+        Approach::SkinnerG { engine, random } => {
+            let eng = engine.build(1);
+            let cfg = SkinnerGConfig {
+                random_orders: random,
+                ..Default::default()
+            };
+            // Capped run: stop between iterations once the cap passes.
+            let mut session = SkinnerGSession::new(eng.as_ref(), query, cfg);
+            let mut capped = false;
+            while !session.finished() {
+                session.step();
+                if start.elapsed() > cap {
+                    capped = true;
+                    break;
+                }
+            }
+            let out = session.outcome();
+            RunOutcome {
+                time: if capped { cap } else { start.elapsed() },
+                result_count: if capped { 0 } else { out.result_count },
+                cout: None,
+                effort: out.iterations,
+                final_order: None,
+                timed_out: capped,
+            }
+        }
+        Approach::SkinnerH { engine, random } => {
+            let eng = engine.build(1);
+            let cfg = SkinnerHConfig {
+                g: SkinnerGConfig {
+                    random_orders: random,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            let out = SkinnerH::new(eng.as_ref(), cfg).run(query);
+            let timed_out = start.elapsed() > cap;
+            RunOutcome {
+                time: start.elapsed().min(cap * 2),
+                result_count: out.result_count,
+                cout: None,
+                effort: out.learning_iterations + out.traditional_attempts as u64,
+                final_order: None,
+                timed_out,
+            }
+        }
+        Approach::Eddy => {
+            let out = Eddy::new(EddyConfig::default()).run(query);
+            let timed_out = start.elapsed() > cap;
+            RunOutcome {
+                time: start.elapsed(),
+                result_count: out.result_count,
+                cout: None,
+                effort: out.predicate_evals,
+                final_order: None,
+                timed_out,
+            }
+        }
+        Approach::Reopt => {
+            let opts = ExecOptions {
+                deadline: Some(start + cap),
+                ..Default::default()
+            };
+            let out = Reoptimizer::default().run(query, &opts);
+            let timed_out = !out.completed();
+            RunOutcome {
+                time: if timed_out { cap } else { start.elapsed() },
+                result_count: out.result_count,
+                cout: Some(out.intermediate_cardinality),
+                effort: out.intermediate_cardinality,
+                final_order: Some(out.join_order),
+                timed_out,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skinner_query::QueryBuilder;
+    use skinner_storage::{Catalog, Column, ColumnDef, Schema, Table, ValueType};
+
+    fn setup() -> (Catalog, Query) {
+        let mut cat = Catalog::new();
+        let mk = |name: &str, keys: Vec<i64>| {
+            Table::new(
+                name,
+                Schema::new([ColumnDef::new("k", ValueType::Int)]),
+                vec![Column::from_ints(keys)],
+            )
+            .unwrap()
+        };
+        cat.register(mk("a", (0..40).map(|i| i % 4).collect()));
+        cat.register(mk("b", (0..20).map(|i| i % 4).collect()));
+        let mut qb = QueryBuilder::new(&cat);
+        qb.table("a").unwrap();
+        qb.table("b").unwrap();
+        let j = qb.col("a.k").unwrap().eq(qb.col("b.k").unwrap());
+        qb.filter(j);
+        qb.select_col("a.k").unwrap();
+        let q = qb.build().unwrap();
+        (cat, q)
+    }
+
+    #[test]
+    fn all_approaches_agree() {
+        let (_cat, q) = setup();
+        let cap = Duration::from_secs(10);
+        let expected = run_approach(Approach::PgSim, &q, cap).result_count;
+        assert!(expected > 0);
+        for approach in [
+            Approach::SkinnerC {
+                budget: 100,
+                threads: 1,
+                indexes: true,
+            },
+            Approach::SkinnerCRandom { budget: 100 },
+            Approach::MonetSim { threads: 1 },
+            Approach::MonetSim { threads: 2 },
+            Approach::ComSim,
+            Approach::SkinnerG {
+                engine: EngineKind::Monet,
+                random: false,
+            },
+            Approach::SkinnerH {
+                engine: EngineKind::Pg,
+                random: false,
+            },
+            Approach::Eddy,
+            Approach::Reopt,
+        ] {
+            let out = run_approach(approach, &q, cap);
+            assert!(!out.timed_out, "{} timed out", approach.name());
+            assert_eq!(
+                out.result_count,
+                expected,
+                "{} wrong count",
+                approach.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Tables 5/6: ablations.
+//!
+//! Table 5 — replacing reinforcement learning by randomization, for
+//! Skinner-C and Skinner-H on both simulated engines.
+//! Table 6 — Skinner-C feature knockout: indexes, parallel
+//! pre-processing, learning.
+
+use skinner_bench::approaches::EngineKind;
+use skinner_bench::{env_scale, env_seed, env_timeout, fmt_duration, print_table, run_approach, Approach};
+use skinner_workloads::job;
+use std::time::Duration;
+
+fn main() {
+    let scale = env_scale(0.03);
+    let cap = env_timeout(3_000);
+    let wl = job::generate(scale, env_seed());
+    println!(
+        "Ablations over {} JOB-like queries (scale={scale})",
+        wl.queries.len()
+    );
+
+    // Table 5: learning vs randomization.
+    let pairs: Vec<(&str, Approach, Approach)> = vec![
+        (
+            "Skinner-C",
+            Approach::SkinnerC {
+                budget: 500,
+                threads: 1,
+                indexes: true,
+            },
+            Approach::SkinnerCRandom { budget: 500 },
+        ),
+        (
+            "Skinner-H(PG)",
+            Approach::SkinnerH {
+                engine: EngineKind::Pg,
+                random: false,
+            },
+            Approach::SkinnerH {
+                engine: EngineKind::Pg,
+                random: true,
+            },
+        ),
+        (
+            "Skinner-H(MDB)",
+            Approach::SkinnerH {
+                engine: EngineKind::Monet,
+                random: false,
+            },
+            Approach::SkinnerH {
+                engine: EngineKind::Monet,
+                random: true,
+            },
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (label, learned, random) in pairs {
+        for (tag, approach) in [("Original", learned), ("Random", random)] {
+            let mut total = Duration::ZERO;
+            let mut max = Duration::ZERO;
+            let mut timeouts = 0;
+            for nq in &wl.queries {
+                let out = run_approach(approach, &nq.query, cap);
+                total += out.time;
+                max = max.max(out.time);
+                timeouts += out.timed_out as usize;
+            }
+            rows.push(vec![
+                label.to_string(),
+                tag.to_string(),
+                format!(
+                    "{}{}",
+                    if timeouts > 0 { "≥" } else { "" },
+                    fmt_duration(total)
+                ),
+                fmt_duration(max),
+            ]);
+        }
+    }
+    print_table(
+        "Table 5: reinforcement learning vs. randomization",
+        &["Engine", "Optimizer", "Time", "Max Time"],
+        &rows,
+    );
+
+    // Table 6: feature knockout.
+    let features: Vec<(&str, Approach)> = vec![
+        (
+            "indexes, parallelization, learning",
+            Approach::SkinnerC {
+                budget: 500,
+                threads: 4,
+                indexes: true,
+            },
+        ),
+        (
+            "parallelization, learning",
+            Approach::SkinnerC {
+                budget: 500,
+                threads: 4,
+                indexes: false,
+            },
+        ),
+        (
+            "learning",
+            Approach::SkinnerC {
+                budget: 500,
+                threads: 1,
+                indexes: false,
+            },
+        ),
+        ("none", Approach::SkinnerCRandom { budget: 500 }),
+    ];
+    let mut rows = Vec::new();
+    for (label, approach) in features {
+        let mut total = Duration::ZERO;
+        let mut max = Duration::ZERO;
+        for nq in &wl.queries {
+            let out = run_approach(approach, &nq.query, cap);
+            total += out.time;
+            max = max.max(out.time);
+        }
+        rows.push(vec![
+            label.to_string(),
+            fmt_duration(total),
+            fmt_duration(max),
+        ]);
+    }
+    print_table(
+        "Table 6: impact of SkinnerDB features",
+        &["Enabled Features", "Total Time", "Max Time"],
+        &rows,
+    );
+}

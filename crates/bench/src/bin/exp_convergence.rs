@@ -1,0 +1,83 @@
+//! Figure 7: convergence of Skinner-C.
+//!
+//! (a) UCT search tree growth over (normalized) execution time — growth
+//!     slows as the learner converges.
+//! (b) Share of time slices spent in the top-k join orders, for slice
+//!     budgets b = 10 and b = 500 — most time goes to one or two orders.
+
+use skinner_bench::{env_scale, env_seed, print_table};
+use skinner_engine::{SkinnerC, SkinnerCConfig};
+use skinner_workloads::job;
+
+fn main() {
+    let scale = env_scale(0.04);
+    let wl = job::generate(scale, env_seed());
+    // Use the largest query (most joins) — convergence is hardest there.
+    let nq = wl
+        .queries
+        .iter()
+        .max_by_key(|nq| nq.query.num_tables())
+        .expect("non-empty workload");
+    println!(
+        "Convergence on {} ({} tables, scale={scale})",
+        nq.id,
+        nq.query.num_tables()
+    );
+
+    // (a) tree growth over time, b = 500.
+    let out = SkinnerC::new(SkinnerCConfig {
+        budget: 500,
+        tree_sample_every: 1,
+        ..Default::default()
+    })
+    .run(&nq.query);
+    let growth = &out.metrics.tree_growth;
+    if let (Some(&(last_slice, last_nodes)), true) = (growth.last(), !growth.is_empty()) {
+        let mut rows = Vec::new();
+        for frac in [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0] {
+            let target = ((last_slice as f64) * frac) as u64;
+            let entry = growth
+                .iter()
+                .filter(|(s, _)| *s <= target.max(1))
+                .last()
+                .copied()
+                .unwrap_or((0, 0));
+            rows.push(vec![
+                format!("{:.1}", frac),
+                format!("{:.3}", entry.1 as f64 / last_nodes.max(1) as f64),
+            ]);
+        }
+        print_table(
+            "Figure 7a: UCT tree growth (normalized time vs normalized #nodes)",
+            &["time (scaled)", "#nodes (scaled)"],
+            &rows,
+        );
+    }
+
+    // (b) top-k selection shares for b = 500 and b = 10.
+    let mut rows = Vec::new();
+    for budget in [500u64, 10] {
+        let out = SkinnerC::new(SkinnerCConfig {
+            budget,
+            ..Default::default()
+        })
+        .run(&nq.query);
+        for k in 1..=5usize {
+            rows.push(vec![
+                format!("b={budget}"),
+                format!("{k}"),
+                format!("{:.1}%", 100.0 * out.metrics.top_k_share(k)),
+            ]);
+        }
+        rows.push(vec![
+            format!("b={budget}"),
+            "slices".into(),
+            format!("{}", out.metrics.slices),
+        ]);
+    }
+    print_table(
+        "Figure 7b: share of slices spent in the top-k join orders",
+        &["budget", "k", "selection share"],
+        &rows,
+    );
+}

@@ -1,0 +1,71 @@
+//! Figure 10: the Correlation Torture benchmark (after Wu et al.).
+//!
+//! Chain queries over skewed, correlated data: every join edge carries
+//! identical statistics, but the edge at position `m` is empty while the
+//! others fan out. `m = 1` (beginning) and `m = nrTables/2` (middle) are
+//! the two paper configurations.
+
+use skinner_bench::approaches::EngineKind;
+use skinner_bench::{env_timeout, fmt_duration, print_table, run_approach, Approach};
+use skinner_workloads::torture::correlation_torture;
+
+fn main() {
+    let cap = env_timeout(2_000);
+    let rows = std::env::var("SKINNER_ROWS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5_000usize);
+    let fanout = 8;
+
+    let approaches = vec![
+        Approach::SkinnerC {
+            budget: 500,
+            threads: 1,
+            indexes: true,
+        },
+        Approach::Eddy,
+        Approach::MonetSim { threads: 1 },
+        Approach::Reopt,
+        Approach::PgSim,
+        Approach::SkinnerG {
+            engine: EngineKind::Pg,
+            random: false,
+        },
+        Approach::SkinnerH {
+            engine: EngineKind::Pg,
+            random: false,
+        },
+        Approach::ComSim,
+    ];
+
+    for (label, pos_of) in [
+        ("m = 1", Box::new(|_m: usize| 0usize) as Box<dyn Fn(usize) -> usize>),
+        ("m = nrTables/2", Box::new(|m: usize| (m / 2).saturating_sub(1))),
+    ] {
+        let mut table = Vec::new();
+        for m in [4usize, 6, 8, 10] {
+            let case = correlation_torture(m, rows, pos_of(m).min(m - 2), fanout);
+            let mut row = vec![format!("{m}")];
+            for approach in &approaches {
+                let out = run_approach(*approach, &case.query.query, cap);
+                row.push(if out.timed_out {
+                    format!("≥{}", fmt_duration(cap))
+                } else {
+                    fmt_duration(out.time)
+                });
+            }
+            table.push(row);
+        }
+        let mut headers: Vec<&str> = vec!["#tables"];
+        let names: Vec<String> = approaches.iter().map(|a| a.name()).collect();
+        headers.extend(names.iter().map(String::as_str));
+        print_table(
+            &format!(
+                "Figure 10: correlation torture — {label}, {rows} tuples/table (cap {})",
+                fmt_duration(cap)
+            ),
+            &headers,
+            &table,
+        );
+    }
+}

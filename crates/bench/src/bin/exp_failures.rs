@@ -1,0 +1,117 @@
+//! Figure 11: optimizer failures and disasters.
+//!
+//! Over a sweep of correlation-torture cases, a test case counts as an
+//! *optimizer failure* for an approach if its evaluation exceeds the best
+//! approach on that case by more than 10× — and as a *disaster* beyond
+//! 100×. Counted both by wall time and by an engine-independent effort
+//! metric (predicate evaluations / join steps / C_out).
+
+use skinner_bench::{env_timeout, print_table, run_approach, Approach};
+use skinner_workloads::torture::correlation_torture;
+
+fn main() {
+    let cap = env_timeout(1_500);
+    let rows_base = std::env::var("SKINNER_ROWS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000usize);
+
+    // The robustness study compares approaches sharing the same
+    // execution substrate (paper: the Java engine).
+    let approaches = vec![
+        Approach::SkinnerC {
+            budget: 500,
+            threads: 1,
+            indexes: true,
+        },
+        Approach::Eddy,
+        Approach::MonetSim { threads: 1 }, // "Optimizer"
+        Approach::Reopt,
+    ];
+
+    // Sweep: tables × good-edge position × size.
+    let mut cases = Vec::new();
+    for m in [4usize, 6, 8, 10] {
+        for pos in [0usize, (m / 2).saturating_sub(1)] {
+            for rows in [rows_base, rows_base * 2] {
+                cases.push(correlation_torture(m, rows, pos.min(m - 2), 8));
+            }
+        }
+    }
+    println!("{} test cases, cap {:?}", cases.len(), cap);
+
+    let n = approaches.len();
+    let mut fail_time = vec![0usize; n];
+    let mut disaster_time = vec![0usize; n];
+    let mut fail_effort = vec![0usize; n];
+    let mut disaster_effort = vec![0usize; n];
+
+    // Noise floors: a case only counts toward failures when the best
+    // approach itself does non-trivial work (the paper's cases run at
+    // 1M tuples/table, far above measurement noise; at our scales,
+    // sub-millisecond cases would trip 10x thresholds on jitter).
+    const TIME_FLOOR_S: f64 = 0.002;
+    const EFFORT_FLOOR: f64 = 20_000.0;
+
+    for case in &cases {
+        let outs: Vec<_> = approaches
+            .iter()
+            .map(|a| run_approach(*a, &case.query.query, cap))
+            .collect();
+        let best_t = outs
+            .iter()
+            .map(|o| o.time.as_secs_f64())
+            .fold(f64::INFINITY, f64::min)
+            .max(1e-9);
+        let best_e = outs
+            .iter()
+            .map(|o| o.effort.max(1))
+            .min()
+            .unwrap_or(1) as f64;
+        for (i, o) in outs.iter().enumerate() {
+            if best_t >= TIME_FLOOR_S {
+                let rt = o.time.as_secs_f64() / best_t;
+                if rt > 10.0 {
+                    fail_time[i] += 1;
+                }
+                if rt > 100.0 {
+                    disaster_time[i] += 1;
+                }
+            }
+            if best_e >= EFFORT_FLOOR {
+                let re = o.effort.max(1) as f64 / best_e;
+                if re > 10.0 {
+                    fail_effort[i] += 1;
+                }
+                if re > 100.0 {
+                    disaster_effort[i] += 1;
+                }
+            }
+        }
+    }
+
+    let rows: Vec<Vec<String>> = approaches
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            vec![
+                a.name(),
+                format!("{}", fail_time[i]),
+                format!("{}", disaster_time[i]),
+                format!("{}", fail_effort[i]),
+                format!("{}", disaster_effort[i]),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 11: optimizer failures (>10x best) and disasters (>100x best)",
+        &[
+            "Approach",
+            "Failures (time)",
+            "Disasters (time)",
+            "Failures (effort)",
+            "Disasters (effort)",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,199 @@
+//! Tables 1/2 + Figure 6: the Join Order Benchmark (JOB-like).
+//!
+//! Usage:
+//!   exp_job [--threads N] [--figures]
+//!
+//! Prints, per approach, total/max wall time and total/max measured
+//! intermediate-result cardinality over the 33 JOB-like queries — the
+//! shape of the paper's Tables 1 (single-threaded) and 2 (multi-
+//! threaded). With `--figures`, additionally prints the Figure 6 series:
+//! cumulative execution-time share of the top-k most expensive queries
+//! for MonetDB(sim) and per-query Skinner-C speedups vs. MonetDB(sim).
+
+use skinner_bench::{env_scale, env_seed, env_timeout, fmt_duration, print_table};
+use skinner_bench::{run_approach, Approach, RunOutcome};
+use skinner_bench::approaches::EngineKind;
+use skinner_workloads::job;
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1usize);
+    let figures = args.iter().any(|a| a == "--figures");
+
+    let scale = env_scale(0.04);
+    let cap = env_timeout(3_000);
+    let wl = job::generate(scale, env_seed());
+    println!(
+        "JOB-like workload: scale={scale}, {} queries, cap={} per query, threads={threads}",
+        wl.queries.len(),
+        fmt_duration(cap)
+    );
+
+    let approaches: Vec<Approach> = if threads <= 1 {
+        vec![
+            Approach::SkinnerC {
+                budget: 500,
+                threads: 1,
+                indexes: true,
+            },
+            Approach::PgSim,
+            Approach::SkinnerG {
+                engine: EngineKind::Pg,
+                random: false,
+            },
+            Approach::SkinnerH {
+                engine: EngineKind::Pg,
+                random: false,
+            },
+            Approach::MonetSim { threads: 1 },
+            Approach::SkinnerG {
+                engine: EngineKind::Monet,
+                random: false,
+            },
+            Approach::SkinnerH {
+                engine: EngineKind::Monet,
+                random: false,
+            },
+        ]
+    } else {
+        vec![
+            Approach::SkinnerC {
+                budget: 500,
+                threads,
+                indexes: true,
+            },
+            Approach::MonetSim { threads },
+            Approach::SkinnerG {
+                engine: EngineKind::Monet,
+                random: false,
+            },
+            Approach::SkinnerH {
+                engine: EngineKind::Monet,
+                random: false,
+            },
+        ]
+    };
+
+    let mut rows = Vec::new();
+    let mut per_query: Vec<Vec<RunOutcome>> = vec![Vec::new(); approaches.len()];
+    for (ai, approach) in approaches.iter().enumerate() {
+        let mut total = Duration::ZERO;
+        let mut max_t = Duration::ZERO;
+        let mut total_card = 0u64;
+        let mut max_card = 0u64;
+        let mut has_card = true;
+        let mut timeouts = 0usize;
+        let verbose = std::env::var("SKINNER_VERBOSE").is_ok();
+        for nq in &wl.queries {
+            if verbose {
+                eprintln!("[{}] {} ...", approach.name(), nq.id);
+            }
+            let out = run_approach(*approach, &nq.query, cap);
+            if verbose {
+                eprintln!("[{}] {} done in {}", approach.name(), nq.id, fmt_duration(out.time));
+            }
+            total += out.time;
+            max_t = max_t.max(out.time);
+            match out.cout {
+                Some(c) => {
+                    total_card += c;
+                    max_card = max_card.max(c);
+                }
+                None => has_card = false,
+            }
+            if out.timed_out {
+                timeouts += 1;
+            }
+            per_query[ai].push(out);
+        }
+        rows.push(vec![
+            approach.name(),
+            format!(
+                "{}{}",
+                if timeouts > 0 { "≥" } else { "" },
+                fmt_duration(total)
+            ),
+            if has_card {
+                format!("{:.1}M", total_card as f64 / 1e6)
+            } else {
+                "N/A".into()
+            },
+            fmt_duration(max_t),
+            if has_card {
+                format!("{:.2}M", max_card as f64 / 1e6)
+            } else {
+                "N/A".into()
+            },
+            format!("{timeouts}"),
+        ]);
+    }
+    let title = if threads <= 1 {
+        "Table 1: JOB — single-threaded"
+    } else {
+        "Table 2: JOB — multi-threaded"
+    };
+    print_table(
+        title,
+        &["Approach", "Total Time", "Total Card.", "Max Time", "Max Card.", "Timeouts"],
+        &rows,
+    );
+
+    if figures {
+        // Figure 6a: cumulative share of total MonetDB(sim) time in its
+        // top-k most expensive queries.
+        let monet_idx = approaches
+            .iter()
+            .position(|a| matches!(a, Approach::MonetSim { .. }))
+            .expect("MonetSim present");
+        let skinner_idx = approaches
+            .iter()
+            .position(|a| matches!(a, Approach::SkinnerC { .. }))
+            .expect("SkinnerC present");
+        let mut monet_times: Vec<(usize, Duration)> = per_query[monet_idx]
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (i, o.time))
+            .collect();
+        monet_times.sort_by(|a, b| b.1.cmp(&a.1));
+        let total: f64 = monet_times.iter().map(|(_, t)| t.as_secs_f64()).sum();
+        let mut cum = 0.0;
+        let mut rows = Vec::new();
+        for (rank, (qi, t)) in monet_times.iter().enumerate().take(10) {
+            cum += t.as_secs_f64();
+            rows.push(vec![
+                format!("{}", rank + 1),
+                wl.queries[*qi].id.clone(),
+                fmt_duration(*t),
+                format!("{:.1}%", 100.0 * cum / total.max(1e-12)),
+            ]);
+        }
+        print_table(
+            "Figure 6a: MonetDB(sim) time share of top-k queries",
+            &["k", "query", "time", "cumulative share"],
+            &rows,
+        );
+
+        // Figure 6b: per-query Skinner-C speedup vs MonetDB(sim) time.
+        let mut rows = Vec::new();
+        for (qi, nq) in wl.queries.iter().enumerate() {
+            let mt = per_query[monet_idx][qi].time.as_secs_f64();
+            let st = per_query[skinner_idx][qi].time.as_secs_f64().max(1e-9);
+            rows.push(vec![
+                nq.id.clone(),
+                fmt_duration(per_query[monet_idx][qi].time),
+                format!("{:.2}x", mt / st),
+            ]);
+        }
+        print_table(
+            "Figure 6b: Skinner-C speedup vs. MonetDB(sim) per query",
+            &["query", "MonetDB time", "speedup"],
+            &rows,
+        );
+    }
+}

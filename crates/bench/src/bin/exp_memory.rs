@@ -1,0 +1,60 @@
+//! Figure 8: memory consumption of Skinner-C's auxiliary structures.
+//!
+//! Reports, grouped by query size (#joined tables): UCT tree nodes (8a),
+//! progress-trie nodes (8b), result tuple-index count (8c), and the
+//! combined byte footprint (8d).
+
+use skinner_bench::{env_scale, env_seed, print_table};
+use skinner_engine::{SkinnerC, SkinnerCConfig};
+use skinner_storage::FxHashMap;
+use skinner_workloads::job;
+
+fn main() {
+    let scale = env_scale(0.04);
+    let wl = job::generate(scale, env_seed());
+    println!(
+        "Memory profile over {} JOB-like queries (scale={scale})",
+        wl.queries.len()
+    );
+
+    // group by #tables → (count, uct nodes, trie nodes, result tuples, bytes)
+    let mut groups: FxHashMap<usize, (usize, u64, u64, u64, u64)> = FxHashMap::default();
+    for nq in &wl.queries {
+        let out = SkinnerC::new(SkinnerCConfig::default()).run(&nq.query);
+        let m = &out.metrics;
+        let e = groups.entry(nq.query.num_tables()).or_default();
+        e.0 += 1;
+        e.1 += m.uct_nodes as u64;
+        e.2 += m.tracker_nodes as u64;
+        e.3 += m.result_tuples as u64;
+        e.4 += m.total_aux_bytes() as u64;
+    }
+    let mut sizes: Vec<usize> = groups.keys().copied().collect();
+    sizes.sort_unstable();
+    let rows: Vec<Vec<String>> = sizes
+        .iter()
+        .map(|m| {
+            let (n, uct, trie, res, bytes) = groups[m];
+            vec![
+                format!("{m}"),
+                format!("{n}"),
+                format!("{}", uct / n as u64),
+                format!("{}", trie / n as u64),
+                format!("{}", res / n as u64),
+                format!("{:.3}", bytes as f64 / n as f64 / 1e6),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 8: Skinner-C memory by query size (averages per group)",
+        &[
+            "#tables",
+            "queries",
+            "UCT nodes (8a)",
+            "trie nodes (8b)",
+            "result indices (8c)",
+            "aux MB (8d)",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,164 @@
+//! Tables 3/4: replay final join orders across engines.
+//!
+//! For each JOB-like query, obtains (a) Skinner-C's learned final order,
+//! (b) the traditional optimizer's order, and (c) the certified
+//! C_out-optimal order, then executes each order in each engine
+//! (Skinner's multi-way engine without learning, the row engine, the
+//! column engine). The paper's claim: Skinner's orders improve every
+//! engine and sit close to the optimum.
+
+use skinner_bench::{env_scale, env_seed, env_timeout, fmt_duration, print_table};
+use skinner_engine::multiway::ResultSet;
+use skinner_engine::{MultiwayJoin, PreparedQuery, SkinnerC, SkinnerCConfig};
+use skinner_query::{Query, TableId};
+use skinner_simdb::exec::ExecOptions;
+use skinner_simdb::{optimal_order, ColEngine, Engine, RowEngine};
+use skinner_workloads::job;
+use std::time::{Duration, Instant};
+
+/// Execute one fixed order in the Skinner multi-way engine (no learning:
+/// a single unbounded slice).
+fn replay_multiway(query: &Query, order: &[TableId]) -> Duration {
+    let start = Instant::now();
+    let pq = PreparedQuery::new(query, true, 1);
+    if pq.any_empty() {
+        return start.elapsed();
+    }
+    let plan = pq.plan_order(order);
+    let join = MultiwayJoin::new(&pq);
+    let offsets = vec![0u32; query.num_tables()];
+    let mut state: Vec<u32> = offsets.clone();
+    let mut rs = ResultSet::new();
+    join.continue_join(order, &plan, &offsets, &mut state, u64::MAX, &mut rs);
+    start.elapsed()
+}
+
+fn replay_engine(engine: &dyn Engine, query: &Query, order: Option<Vec<TableId>>, cap: Duration) -> Duration {
+    let start = Instant::now();
+    let out = engine.execute(
+        query,
+        &ExecOptions {
+            join_order: order,
+            deadline: Some(start + cap),
+            count_only: true,
+            ..Default::default()
+        },
+    );
+    if out.completed() {
+        start.elapsed()
+    } else {
+        cap
+    }
+}
+
+fn main() {
+    let scale = env_scale(0.03);
+    let cap = env_timeout(3_000);
+    let wl = job::generate(scale, env_seed());
+    println!(
+        "Replaying join orders on {} JOB-like queries (scale={scale})",
+        wl.queries.len()
+    );
+
+    let row = RowEngine::new();
+    let col = ColEngine::new();
+
+    // Accumulators: (engine, order-source) → (total, max)
+    let mut acc: Vec<(String, String, Duration, Duration)> = Vec::new();
+    let mut add = |engine: &str, source: &str, times: &[Duration]| {
+        let total: Duration = times.iter().sum();
+        let max = times.iter().max().copied().unwrap_or_default();
+        acc.push((engine.into(), source.into(), total, max));
+    };
+
+    let mut skinner_orders = Vec::new();
+    let mut optimizer_orders = Vec::new();
+    let mut optimal_orders = Vec::new();
+    for nq in &wl.queries {
+        let sk = SkinnerC::new(SkinnerCConfig::default()).run(&nq.query);
+        let opt_order = col.plan(&nq.query);
+        let best = optimal_order(&nq.query, Some(&sk.final_order), 200_000_000);
+        skinner_orders.push(sk.final_order);
+        optimizer_orders.push(opt_order);
+        optimal_orders.push(best.order);
+    }
+
+    // Skinner engine
+    let t_sk: Vec<Duration> = wl
+        .queries
+        .iter()
+        .zip(&skinner_orders)
+        .map(|(nq, o)| replay_multiway(&nq.query, o))
+        .collect();
+    let t_opt: Vec<Duration> = wl
+        .queries
+        .iter()
+        .zip(&optimal_orders)
+        .map(|(nq, o)| replay_multiway(&nq.query, o))
+        .collect();
+    add("Skinner", "Skinner", &t_sk);
+    add("Skinner", "Optimal", &t_opt);
+
+    // Row engine
+    for (source, orders) in [
+        ("Original", None),
+        ("Skinner", Some(&skinner_orders)),
+        ("Optimal", Some(&optimal_orders)),
+    ] {
+        let times: Vec<Duration> = wl
+            .queries
+            .iter()
+            .enumerate()
+            .map(|(i, nq)| {
+                replay_engine(&row, &nq.query, orders.map(|os| os[i].clone()), cap)
+            })
+            .collect();
+        add("Postgres(sim)", source, &times);
+    }
+
+    // Column engine
+    for (source, orders) in [
+        ("Original", None),
+        ("Skinner", Some(&skinner_orders)),
+        ("Optimal", Some(&optimal_orders)),
+    ] {
+        let times: Vec<Duration> = wl
+            .queries
+            .iter()
+            .enumerate()
+            .map(|(i, nq)| {
+                replay_engine(&col, &nq.query, orders.map(|os| os[i].clone()), cap)
+            })
+            .collect();
+        add("MonetDB(sim)", source, &times);
+    }
+
+    let rows: Vec<Vec<String>> = acc
+        .iter()
+        .map(|(e, s, total, max)| {
+            vec![
+                e.clone(),
+                s.clone(),
+                fmt_duration(*total),
+                fmt_duration(*max),
+            ]
+        })
+        .collect();
+    print_table(
+        "Tables 3/4: join order quality across engines",
+        &["Engine", "Order", "Total Time", "Max Time"],
+        &rows,
+    );
+
+    // Sanity: how often Skinner's learned order equals the optimum.
+    let same = skinner_orders
+        .iter()
+        .zip(&optimal_orders)
+        .filter(|(a, b)| a == b)
+        .count();
+    println!(
+        "\nSkinner's final order == C_out-optimal order on {same}/{} queries",
+        wl.queries.len()
+    );
+    let _ = optimizer_orders;
+}

@@ -1,0 +1,65 @@
+//! §5 sanity: empirical regret against the theoretical bounds.
+//!
+//! Theorem 5.10 bounds the ratio of Skinner-C's expected execution time
+//! to the optimal join order's time by (asymptotically) `m`, the number
+//! of joined tables. This experiment measures the actual ratio on the
+//! JOB-like workload: Skinner-C's full run (learning included) vs. a
+//! replay of the certified C_out-optimal order on the same engine. The
+//! paper's observation — "actual performance is significantly better
+//! than our theoretical worst-case guarantees" — should hold here too.
+
+use skinner_bench::{env_scale, env_seed, fmt_duration, print_table};
+use skinner_engine::multiway::ResultSet;
+use skinner_engine::{MultiwayJoin, PreparedQuery, SkinnerC, SkinnerCConfig};
+use skinner_query::{Query, TableId};
+use skinner_simdb::optimal_order;
+use skinner_workloads::job;
+use std::time::{Duration, Instant};
+
+fn replay(query: &Query, order: &[TableId]) -> Duration {
+    let start = Instant::now();
+    let pq = PreparedQuery::new(query, true, 1);
+    if pq.any_empty() {
+        return start.elapsed();
+    }
+    let plan = pq.plan_order(order);
+    let join = MultiwayJoin::new(&pq);
+    let offsets = vec![0u32; query.num_tables()];
+    let mut state = offsets.clone();
+    let mut rs = ResultSet::new();
+    join.continue_join(order, &plan, &offsets, &mut state, u64::MAX, &mut rs);
+    start.elapsed()
+}
+
+fn main() {
+    let scale = env_scale(0.03);
+    let wl = job::generate(scale, env_seed());
+    println!("Regret check over {} queries (scale={scale})", wl.queries.len());
+
+    let mut rows = Vec::new();
+    let mut worst: f64 = 0.0;
+    for nq in &wl.queries {
+        let m = nq.query.num_tables();
+        let sk_start = Instant::now();
+        let sk = SkinnerC::new(SkinnerCConfig::default()).run(&nq.query);
+        let sk_time = sk_start.elapsed();
+        let opt = optimal_order(&nq.query, Some(&sk.final_order), 100_000_000);
+        let opt_time = replay(&nq.query, &opt.order);
+        let ratio = sk_time.as_secs_f64() / opt_time.as_secs_f64().max(1e-9);
+        worst = worst.max(ratio);
+        rows.push(vec![
+            nq.id.clone(),
+            format!("{m}"),
+            fmt_duration(sk_time),
+            fmt_duration(opt_time),
+            format!("{ratio:.2}"),
+            format!("{m}"),
+        ]);
+    }
+    print_table(
+        "Theorem 5.10: measured time ratio vs. the asymptotic bound m",
+        &["query", "m", "Skinner-C", "optimal order", "ratio", "bound"],
+        &rows,
+    );
+    println!("\nworst measured ratio: {worst:.2} (bounds are per-query m)");
+}

@@ -1,0 +1,98 @@
+//! Figure 13 + Table 7: TPC-H and TPC-H with UDFs.
+//!
+//! Per-query times for both variants plus the summary (total time and
+//! maximal per-query overhead relative to the best approach on each
+//! query). The paper's finding: MonetDB wins the standard variant;
+//! Skinner-C wins once predicates become opaque UDFs.
+
+use skinner_bench::approaches::EngineKind;
+use skinner_bench::{env_scale, env_seed, env_timeout, fmt_duration, print_table, run_approach, Approach};
+use skinner_workloads::tpch;
+use std::time::Duration;
+
+fn main() {
+    let sf = env_scale(0.004);
+    let cap = env_timeout(4_000);
+    let catalog = tpch::generate(sf, env_seed());
+    println!(
+        "TPC-H dbgen-lite sf={sf}: lineitem has {} rows",
+        catalog.get("lineitem").unwrap().num_rows()
+    );
+
+    let approaches = vec![
+        Approach::SkinnerC {
+            budget: 500,
+            threads: 1,
+            indexes: true,
+        },
+        Approach::PgSim,
+        Approach::SkinnerG {
+            engine: EngineKind::Pg,
+            random: false,
+        },
+        Approach::SkinnerH {
+            engine: EngineKind::Pg,
+            random: false,
+        },
+        Approach::MonetSim { threads: 1 },
+    ];
+
+    for (scenario, udf) in [("TPC-H", false), ("TPC-UDF", true)] {
+        let queries = tpch::queries(&catalog, udf, 200);
+        let mut per_query: Vec<Vec<Duration>> = vec![Vec::new(); approaches.len()];
+        let mut timed_out = vec![0usize; approaches.len()];
+
+        let mut table = Vec::new();
+        for nq in &queries {
+            let mut row = vec![nq.id.clone()];
+            for (ai, approach) in approaches.iter().enumerate() {
+                let out = run_approach(*approach, &nq.query, cap);
+                per_query[ai].push(out.time);
+                timed_out[ai] += out.timed_out as usize;
+                row.push(if out.timed_out {
+                    format!("≥{}", fmt_duration(cap))
+                } else {
+                    fmt_duration(out.time)
+                });
+            }
+            table.push(row);
+        }
+        let mut headers: Vec<&str> = vec!["Query"];
+        let names: Vec<String> = approaches.iter().map(|a| a.name()).collect();
+        headers.extend(names.iter().map(String::as_str));
+        print_table(
+            &format!("Figure 13: per-query times — {scenario}"),
+            &headers,
+            &table,
+        );
+
+        // Table 7 summary: total time + max relative overhead.
+        let mut rows = Vec::new();
+        for (ai, approach) in approaches.iter().enumerate() {
+            let total: Duration = per_query[ai].iter().sum();
+            let mut max_rel = 0.0f64;
+            for q in 0..queries.len() {
+                let best = (0..approaches.len())
+                    .map(|a| per_query[a][q].as_secs_f64())
+                    .fold(f64::INFINITY, f64::min)
+                    .max(1e-9);
+                max_rel = max_rel.max(per_query[ai][q].as_secs_f64() / best);
+            }
+            rows.push(vec![
+                scenario.to_string(),
+                approach.name(),
+                format!(
+                    "{}{}",
+                    if timed_out[ai] > 0 { "≥" } else { "" },
+                    fmt_duration(total)
+                ),
+                format!("{max_rel:.0}"),
+            ]);
+        }
+        print_table(
+            &format!("Table 7: summary — {scenario}"),
+            &["Scenario", "Approach", "Time", "Max. Rel."],
+            &rows,
+        );
+    }
+}

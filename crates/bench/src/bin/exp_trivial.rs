@@ -1,0 +1,69 @@
+//! Figure 12: the Trivial Optimization benchmark.
+//!
+//! All plans avoiding Cartesian products are equivalent (UDF equality
+//! predicates, fanout 1 everywhere). Approaches that explore pay pure
+//! overhead here; the paper's point is that the overhead stays bounded.
+
+use skinner_bench::approaches::EngineKind;
+use skinner_bench::{env_timeout, fmt_duration, print_table, run_approach, Approach};
+use skinner_workloads::torture::trivial_optimization;
+
+fn main() {
+    let cap = env_timeout(2_000);
+    let rows = std::env::var("SKINNER_ROWS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(250usize);
+
+    let approaches = vec![
+        Approach::SkinnerC {
+            budget: 500,
+            threads: 1,
+            indexes: true,
+        },
+        Approach::Eddy,
+        Approach::Reopt,
+        Approach::MonetSim { threads: 1 },
+        Approach::PgSim,
+        Approach::SkinnerG {
+            engine: EngineKind::Pg,
+            random: false,
+        },
+        Approach::SkinnerH {
+            engine: EngineKind::Pg,
+            random: false,
+        },
+        Approach::ComSim,
+        Approach::SkinnerG {
+            engine: EngineKind::Com,
+            random: false,
+        },
+        Approach::SkinnerH {
+            engine: EngineKind::Com,
+            random: false,
+        },
+    ];
+
+    let mut table = Vec::new();
+    for m in [4usize, 6, 8, 10] {
+        let case = trivial_optimization(m, rows, 20);
+        let mut row = vec![format!("{m}")];
+        for approach in &approaches {
+            let out = run_approach(*approach, &case.query.query, cap);
+            row.push(if out.timed_out {
+                format!("≥{}", fmt_duration(cap))
+            } else {
+                fmt_duration(out.time)
+            });
+        }
+        table.push(row);
+    }
+    let mut headers: Vec<&str> = vec!["#tables"];
+    let names: Vec<String> = approaches.iter().map(|a| a.name()).collect();
+    headers.extend(names.iter().map(String::as_str));
+    print_table(
+        &format!("Figure 12: trivial optimization — UDF equality predicates, {rows} tuples/table"),
+        &headers,
+        &table,
+    );
+}

@@ -1,0 +1,79 @@
+//! Figure 9: the UDF Torture benchmark.
+//!
+//! Chain and star queries whose join predicates are all black-box UDFs;
+//! one "good" predicate yields an empty join, the rest always succeed.
+//! No statistics can tell them apart — only adaptive execution finds the
+//! good edge. Reports per-approach time as the query size grows.
+
+use skinner_bench::approaches::EngineKind;
+use skinner_bench::{env_timeout, fmt_duration, print_table, run_approach, Approach};
+use skinner_workloads::torture::{udf_torture, Shape};
+
+fn main() {
+    let cap = env_timeout(2_000);
+    let rows_per_table = std::env::var("SKINNER_ROWS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40usize);
+    let udf_cost = 50;
+
+    let approaches = vec![
+        Approach::SkinnerC {
+            budget: 500,
+            threads: 1,
+            indexes: true,
+        },
+        Approach::Eddy,
+        Approach::MonetSim { threads: 1 }, // "Optimizer" on the shared engine
+        Approach::Reopt,
+        Approach::PgSim,
+        Approach::SkinnerG {
+            engine: EngineKind::Pg,
+            random: false,
+        },
+        Approach::SkinnerH {
+            engine: EngineKind::Pg,
+            random: false,
+        },
+        Approach::ComSim,
+        Approach::SkinnerG {
+            engine: EngineKind::Com,
+            random: false,
+        },
+        Approach::SkinnerH {
+            engine: EngineKind::Com,
+            random: false,
+        },
+    ];
+
+    for shape in [Shape::Chain, Shape::Star] {
+        let shape_name = if shape == Shape::Chain { "Chain" } else { "Star" };
+        let mut table = Vec::new();
+        for m in [4usize, 6, 8, 10] {
+            // Good predicate in the middle of the edge list, as in the
+            // benchmark's default configuration.
+            let case = udf_torture(shape, m, rows_per_table, (m - 1) / 2, udf_cost);
+            let mut row = vec![format!("{m}")];
+            for approach in &approaches {
+                let out = run_approach(*approach, &case.query.query, cap);
+                row.push(if out.timed_out {
+                    format!("≥{}", fmt_duration(cap))
+                } else {
+                    fmt_duration(out.time)
+                });
+            }
+            table.push(row);
+        }
+        let mut headers: Vec<&str> = vec!["#tables"];
+        let names: Vec<String> = approaches.iter().map(|a| a.name()).collect();
+        headers.extend(names.iter().map(String::as_str));
+        print_table(
+            &format!(
+                "Figure 9: UDF torture — {shape_name} queries, {rows_per_table} tuples/table (cap {})",
+                fmt_duration(cap)
+            ),
+            &headers,
+            &table,
+        );
+    }
+}

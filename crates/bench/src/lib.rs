@@ -1,0 +1,50 @@
+//! # skinner-bench
+//!
+//! Harness regenerating every table and figure of the SkinnerDB paper's
+//! evaluation. Each `exp_*` binary in `src/bin/` prints the rows/series
+//! of one experiment; this library holds the shared plumbing: a unified
+//! runner over all approaches (Skinner variants, simulated engines,
+//! baselines), wall-clock capping, and plain-text table output.
+//!
+//! Environment knobs (all optional):
+//!
+//! * `SKINNER_SCALE` — multiplies workload sizes (default per binary),
+//! * `SKINNER_TIMEOUT_MS` — per-query cap for baseline engines,
+//! * `SKINNER_SEED` — workload seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod approaches;
+pub mod report;
+
+pub use approaches::{run_approach, Approach, RunOutcome};
+pub use report::{fmt_duration, print_table};
+
+use std::time::Duration;
+
+/// Read `SKINNER_SCALE` (default `default`).
+pub fn env_scale(default: f64) -> f64 {
+    std::env::var("SKINNER_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Read `SKINNER_TIMEOUT_MS` (default `default_ms`).
+pub fn env_timeout(default_ms: u64) -> Duration {
+    Duration::from_millis(
+        std::env::var("SKINNER_TIMEOUT_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default_ms),
+    )
+}
+
+/// Read `SKINNER_SEED` (default 42).
+pub fn env_seed() -> u64 {
+    std::env::var("SKINNER_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}

@@ -1,0 +1,122 @@
+//! The pyramid timeout scheme of Skinner-G (§4.3, Algorithm 1).
+//!
+//! The optimal per-batch timeout is unknown a priori: too low and no batch
+//! ever completes, too high and bad join orders waste time. Skinner-G
+//! therefore iterates over timeout *levels* (timeout = 2^L abstract
+//! units), always choosing "the highest timeout for the next iteration
+//! such that the accumulated execution time for that timeout does not
+//! exceed time allocated to any lower timeout":
+//!
+//! `L ← max{L | ∀l < L : n_l ≥ n_L + 2^L}`, then `n_L += 2^L`.
+//!
+//! Lemma 5.4: the number of levels used is ≤ log2(total time).
+//! Lemma 5.5: per-level totals never differ by more than factor two.
+//! Both are verified by the tests below (including a property test).
+
+/// Timeout-level allocator implementing the pyramid scheme.
+#[derive(Debug, Clone, Default)]
+pub struct PyramidTimeouts {
+    /// `n[l]` = total units given to level `l` so far.
+    n: Vec<u64>,
+}
+
+impl PyramidTimeouts {
+    /// Fresh allocator.
+    pub fn new() -> PyramidTimeouts {
+        PyramidTimeouts::default()
+    }
+
+    /// Pick the level for the next iteration and charge its 2^L units.
+    /// Returns `(level, timeout_units)`.
+    pub fn next_timeout(&mut self) -> (usize, u64) {
+        // Find the largest L satisfying ∀ l < L: n_l ≥ n_L + 2^L.
+        // L is bounded: a fresh level L needs every lower level to hold at
+        // least 2^L units, so L never exceeds len(n).
+        let mut chosen = 0usize;
+        for level in (1..=self.n.len()).rev() {
+            let n_level = self.n.get(level).copied().unwrap_or(0);
+            let needed = n_level + (1u64 << level);
+            if (0..level).all(|l| self.n.get(l).copied().unwrap_or(0) >= needed) {
+                chosen = level;
+                break;
+            }
+        }
+        if chosen >= self.n.len() {
+            self.n.resize(chosen + 1, 0);
+        }
+        let units = 1u64 << chosen;
+        self.n[chosen] += units;
+        (chosen, units)
+    }
+
+    /// Units charged to each level so far.
+    pub fn per_level(&self) -> &[u64] {
+        &self.n
+    }
+
+    /// Total units charged.
+    pub fn total(&self) -> u64 {
+        self.n.iter().sum()
+    }
+
+    /// Number of levels in use.
+    pub fn levels(&self) -> usize {
+        self.n.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_iterations_match_algorithm() {
+        // Hand-simulated from Algorithm 1:
+        // it1 L0(n0=1), it2 L0(n0=2), it3 L1(n1=2), it4 L0, it5 L0,
+        // it6 L1(n1=4), it7 L2(n2=4), ...
+        let mut p = PyramidTimeouts::new();
+        let levels: Vec<usize> = (0..7).map(|_| p.next_timeout().0).collect();
+        assert_eq!(levels, vec![0, 0, 1, 0, 0, 1, 2]);
+        assert_eq!(p.per_level(), &[4, 4, 4]);
+    }
+
+    #[test]
+    fn lemma_5_5_factor_two_balance() {
+        let mut p = PyramidTimeouts::new();
+        for _ in 0..10_000 {
+            p.next_timeout();
+            let used: Vec<u64> = p.per_level().iter().copied().filter(|&x| x > 0).collect();
+            let max = *used.iter().max().unwrap();
+            let min = *used.iter().min().unwrap();
+            assert!(
+                max <= 2 * min,
+                "levels unbalanced: {:?}",
+                p.per_level()
+            );
+        }
+    }
+
+    #[test]
+    fn lemma_5_4_level_count_logarithmic() {
+        let mut p = PyramidTimeouts::new();
+        for _ in 0..5_000 {
+            p.next_timeout();
+        }
+        let total = p.total();
+        let bound = (total as f64).log2().ceil() as usize + 1;
+        assert!(
+            p.levels() <= bound,
+            "{} levels for total {total}",
+            p.levels()
+        );
+    }
+
+    #[test]
+    fn timeouts_are_powers_of_two() {
+        let mut p = PyramidTimeouts::new();
+        for _ in 0..200 {
+            let (level, units) = p.next_timeout();
+            assert_eq!(units, 1u64 << level);
+        }
+    }
+}

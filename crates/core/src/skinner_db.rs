@@ -1,0 +1,246 @@
+//! The unified SkinnerDB facade.
+//!
+//! Bundles a variant (Skinner-C / Skinner-G / Skinner-H) with the shared
+//! post-processor behind one `execute` call, and provides [`run_engine`]
+//! to run a plain simulated engine end-to-end for baseline comparisons.
+
+use crate::postprocess::postprocess;
+use crate::result::ResultTable;
+use crate::skinner_g::{SkinnerG, SkinnerGConfig};
+use crate::skinner_h::{PlanSource, SkinnerH, SkinnerHConfig};
+use skinner_engine::{ExecMetrics, SkinnerC, SkinnerCConfig};
+use skinner_query::{Query, TableId};
+use skinner_simdb::exec::ExecOptions;
+use skinner_simdb::Engine;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Which SkinnerDB variant executes the join phase.
+pub enum Variant {
+    /// Skinner-C: the customized execution engine (§4.5).
+    C(SkinnerCConfig),
+    /// Skinner-G on top of a generic engine (§4.3).
+    G(Arc<dyn Engine>, SkinnerGConfig),
+    /// Skinner-H hybrid on top of a generic engine (§4.4).
+    H(Arc<dyn Engine>, SkinnerHConfig),
+}
+
+/// Statistics of one query execution.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// End-to-end wall time.
+    pub total: Duration,
+    /// Join-phase wall time (incl. pre-processing).
+    pub join_phase: Duration,
+    /// Post-processing wall time.
+    pub postprocess: Duration,
+    /// Distinct join result tuples (before post-processing).
+    pub result_count: u64,
+    /// Time slices (C) or engine invocations (G/H).
+    pub slices: u64,
+    /// Final/learned join order, when available.
+    pub final_order: Option<Vec<TableId>>,
+    /// Which path finished (H only).
+    pub plan_source: Option<PlanSource>,
+    /// Measured intermediate-result cardinality (engines only; Skinner-C
+    /// has no materialized intermediates by construction).
+    pub cout: Option<u64>,
+    /// Detailed Skinner-C metrics (C only).
+    pub metrics: Option<ExecMetrics>,
+}
+
+/// A materialized result plus execution statistics.
+pub struct QueryResult {
+    /// The result table.
+    pub table: ResultTable,
+    /// Execution statistics.
+    pub stats: RunStats,
+}
+
+/// SkinnerDB: regret-bounded query evaluation.
+pub struct SkinnerDB {
+    variant: Variant,
+}
+
+impl Default for SkinnerDB {
+    fn default() -> Self {
+        SkinnerDB::skinner_c(SkinnerCConfig::default())
+    }
+}
+
+impl SkinnerDB {
+    /// Skinner-C instance.
+    pub fn skinner_c(cfg: SkinnerCConfig) -> SkinnerDB {
+        SkinnerDB {
+            variant: Variant::C(cfg),
+        }
+    }
+
+    /// Skinner-G instance over `engine`.
+    pub fn skinner_g(engine: Arc<dyn Engine>, cfg: SkinnerGConfig) -> SkinnerDB {
+        SkinnerDB {
+            variant: Variant::G(engine, cfg),
+        }
+    }
+
+    /// Skinner-H instance over `engine`.
+    pub fn skinner_h(engine: Arc<dyn Engine>, cfg: SkinnerHConfig) -> SkinnerDB {
+        SkinnerDB {
+            variant: Variant::H(engine, cfg),
+        }
+    }
+
+    /// Execute `query` end to end (join phase + post-processing).
+    pub fn execute(&self, query: &Query) -> QueryResult {
+        let start = Instant::now();
+        let (tuples, stride, mut stats) = match &self.variant {
+            Variant::C(cfg) => {
+                let out = SkinnerC::new(*cfg).run(query);
+                let stats = RunStats {
+                    join_phase: out.metrics.preprocess_time + out.metrics.join_time,
+                    result_count: out.result_count,
+                    slices: out.metrics.slices,
+                    final_order: Some(out.final_order.clone()),
+                    metrics: Some(out.metrics),
+                    ..Default::default()
+                };
+                (out.tuples, out.num_tables, stats)
+            }
+            Variant::G(engine, cfg) => {
+                let out = SkinnerG::new(engine.as_ref(), *cfg).run(query);
+                let stats = RunStats {
+                    join_phase: out.wall,
+                    result_count: out.result_count,
+                    slices: out.iterations,
+                    ..Default::default()
+                };
+                (out.tuples, out.num_tables, stats)
+            }
+            Variant::H(engine, cfg) => {
+                let out = SkinnerH::new(engine.as_ref(), *cfg).run(query);
+                let stats = RunStats {
+                    join_phase: out.wall,
+                    result_count: out.result_count,
+                    slices: out.learning_iterations + out.traditional_attempts as u64,
+                    plan_source: Some(out.source),
+                    ..Default::default()
+                };
+                (out.tuples, out.num_tables, stats)
+            }
+        };
+
+        let post_start = Instant::now();
+        let table = postprocess(query, &tuples, (tuples.len() / stride.max(1)) as u64);
+        stats.postprocess = post_start.elapsed();
+        stats.total = start.elapsed();
+        QueryResult { table, stats }
+    }
+}
+
+/// Run a plain engine end to end (its own optimizer, full execution,
+/// shared post-processing). The baseline path for every experiment.
+pub fn run_engine(engine: &dyn Engine, query: &Query, opts: &ExecOptions) -> QueryResult {
+    let start = Instant::now();
+    let out = engine.execute(query, opts);
+    let join_phase = start.elapsed();
+    let post_start = Instant::now();
+    let table = postprocess(query, &out.tuples, out.result_count);
+    let postprocess_time = post_start.elapsed();
+    QueryResult {
+        table,
+        stats: RunStats {
+            total: start.elapsed(),
+            join_phase,
+            postprocess: postprocess_time,
+            result_count: out.result_count,
+            slices: 1,
+            final_order: Some(out.join_order),
+            cout: Some(out.intermediate_cardinality),
+            ..Default::default()
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skinner_query::{AggFunc, QueryBuilder};
+    use skinner_simdb::{ColEngine, RowEngine};
+    use skinner_storage::{Catalog, Column, ColumnDef, Schema, Table, Value, ValueType};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        let mk = |name: &str, keys: Vec<i64>, vals: Vec<i64>| {
+            Table::new(
+                name,
+                Schema::new([
+                    ColumnDef::new("k", ValueType::Int),
+                    ColumnDef::new("v", ValueType::Int),
+                ]),
+                vec![Column::from_ints(keys), Column::from_ints(vals)],
+            )
+            .unwrap()
+        };
+        cat.register(mk(
+            "a",
+            (0..40).map(|i| i % 4).collect(),
+            (0..40).collect(),
+        ));
+        cat.register(mk(
+            "b",
+            (0..20).map(|i| i % 4).collect(),
+            (100..120).collect(),
+        ));
+        cat
+    }
+
+    fn agg_query(cat: &Catalog) -> Query {
+        let mut qb = QueryBuilder::new(cat);
+        qb.table("a").unwrap();
+        qb.table("b").unwrap();
+        let j = qb.col("a.k").unwrap().eq(qb.col("b.k").unwrap());
+        qb.filter(j);
+        let k = qb.col("a.k").unwrap();
+        qb.select_expr(k.clone(), "k");
+        qb.select_agg(AggFunc::Count, None, "n");
+        qb.group_by(k);
+        qb.order_by("k", true);
+        qb.build().unwrap()
+    }
+
+    #[test]
+    fn all_variants_agree_with_engine_baseline() {
+        let cat = catalog();
+        let q = agg_query(&cat);
+        let col = Arc::new(ColEngine::new());
+        let baseline = run_engine(col.as_ref(), &q, &ExecOptions::default());
+        assert_eq!(baseline.table.num_rows(), 4);
+        // each key: 10 a-rows × 5 b-rows = 50
+        assert_eq!(baseline.table.rows[0][1], Value::Int(50));
+
+        let c = SkinnerDB::skinner_c(SkinnerCConfig {
+            budget: 50,
+            ..Default::default()
+        })
+        .execute(&q);
+        assert!(c.table.same_rows(&baseline.table), "Skinner-C mismatch");
+        assert!(c.stats.final_order.is_some());
+
+        let g = SkinnerDB::skinner_g(col.clone(), SkinnerGConfig::default()).execute(&q);
+        assert!(g.table.same_rows(&baseline.table), "Skinner-G mismatch");
+
+        let h = SkinnerDB::skinner_h(col, SkinnerHConfig::default()).execute(&q);
+        assert!(h.table.same_rows(&baseline.table), "Skinner-H mismatch");
+        assert!(h.stats.plan_source.is_some());
+    }
+
+    #[test]
+    fn row_engine_baseline_matches_col_engine() {
+        let cat = catalog();
+        let q = agg_query(&cat);
+        let a = run_engine(&RowEngine::new(), &q, &ExecOptions::default());
+        let b = run_engine(&ColEngine::new(), &q, &ExecOptions::default());
+        assert!(a.table.same_rows(&b.table));
+        assert!(a.stats.cout.is_some());
+    }
+}

@@ -1,0 +1,219 @@
+//! Skinner-H: the hybrid of traditional optimization and learning (§4.4).
+//!
+//! "We iteratively execute the query using the plan chosen by the
+//! traditional query optimizer, using a timeout of 2^i [...]. In between
+//! two traditional optimizer invocations, we execute the learning based
+//! algorithm [...] for the same amount of time. We save the state of the
+//! UCT search trees between different invocations."
+//!
+//! Theorem 5.8: compared to pure traditional execution, the hybrid's
+//! regret is bounded (≤ 4/5 · n); Theorem 5.7 keeps the learning regret
+//! bound within a constant factor. Skinner-H therefore trades a bounded
+//! constant overhead on easy queries for robustness on hard ones —
+//! exactly the Figure 12 / Figure 9 trade-off.
+
+use skinner_query::Query;
+use skinner_simdb::exec::ExecOptions;
+use skinner_simdb::Engine;
+use skinner_storage::RowId;
+use std::time::{Duration, Instant};
+
+use crate::skinner_g::{SkinnerGConfig, SkinnerGSession};
+
+/// Which execution path produced the final result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanSource {
+    /// The engine's own optimizer plan finished first.
+    Traditional,
+    /// The learned (Skinner-G) execution finished first.
+    Learned,
+}
+
+/// Configuration of Skinner-H.
+#[derive(Debug, Clone, Copy)]
+pub struct SkinnerHConfig {
+    /// Skinner-G settings for the learning half.
+    pub g: SkinnerGConfig,
+    /// Base timeout for the first traditional invocation (doubles each
+    /// round).
+    pub base_timeout: Duration,
+    /// Hard cap on doubling rounds (2^30 × base ≈ forever).
+    pub max_rounds: u32,
+}
+
+impl Default for SkinnerHConfig {
+    fn default() -> Self {
+        SkinnerHConfig {
+            g: SkinnerGConfig::default(),
+            base_timeout: Duration::from_millis(2),
+            max_rounds: 40,
+        }
+    }
+}
+
+/// Outcome of a Skinner-H run.
+#[derive(Debug)]
+pub struct HOutcome {
+    /// Result tuples, flat row-major (stride = num tables, FROM order).
+    pub tuples: Vec<RowId>,
+    /// Number of query tables.
+    pub num_tables: usize,
+    /// Result tuple count.
+    pub result_count: u64,
+    /// Which path finished.
+    pub source: PlanSource,
+    /// Traditional-plan attempts (timed out + the final one, if any).
+    pub traditional_attempts: u32,
+    /// Learning iterations executed.
+    pub learning_iterations: u64,
+    /// Total wall time.
+    pub wall: Duration,
+}
+
+/// Skinner-H driver.
+pub struct SkinnerH<'e> {
+    engine: &'e dyn Engine,
+    cfg: SkinnerHConfig,
+}
+
+impl<'e> SkinnerH<'e> {
+    /// Bind Skinner-H to an engine.
+    pub fn new(engine: &'e dyn Engine, cfg: SkinnerHConfig) -> SkinnerH<'e> {
+        SkinnerH { engine, cfg }
+    }
+
+    /// Run to completion.
+    pub fn run(&self, query: &Query) -> HOutcome {
+        let start = Instant::now();
+        let m = query.num_tables();
+        let mut session = SkinnerGSession::new(self.engine, query, self.cfg.g);
+        let mut traditional_attempts = 0u32;
+        let mut learning_iterations = 0u64;
+
+        for round in 0..self.cfg.max_rounds {
+            let timeout = self.cfg.base_timeout * 2u32.saturating_pow(round);
+
+            // Phase 1: the traditional optimizer plan under a timeout.
+            traditional_attempts += 1;
+            let opts = ExecOptions {
+                deadline: Some(Instant::now() + timeout),
+                ..Default::default()
+            };
+            let out = self.engine.execute(query, &opts);
+            if out.completed() {
+                return HOutcome {
+                    tuples: out.tuples,
+                    num_tables: m,
+                    result_count: out.result_count,
+                    source: PlanSource::Traditional,
+                    traditional_attempts,
+                    learning_iterations,
+                    wall: start.elapsed(),
+                };
+            }
+
+            // Phase 2: learning for (at least) the same amount of time.
+            // UCT trees, batch offsets and partial results persist inside
+            // the session across rounds.
+            let learn_deadline = Instant::now() + timeout;
+            while !session.finished() && Instant::now() < learn_deadline {
+                session.step();
+                learning_iterations += 1;
+            }
+            if session.finished() {
+                let out = session.outcome();
+                return HOutcome {
+                    tuples: out.tuples,
+                    num_tables: m,
+                    result_count: out.result_count,
+                    source: PlanSource::Learned,
+                    traditional_attempts,
+                    learning_iterations,
+                    wall: start.elapsed(),
+                };
+            }
+        }
+
+        // Safety valve: run the learning side to completion.
+        while !session.finished() {
+            session.step();
+            learning_iterations += 1;
+        }
+        let out = session.outcome();
+        HOutcome {
+            tuples: out.tuples,
+            num_tables: m,
+            result_count: out.result_count,
+            source: PlanSource::Learned,
+            traditional_attempts,
+            learning_iterations,
+            wall: start.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skinner_query::QueryBuilder;
+    use skinner_simdb::ColEngine;
+    use skinner_storage::{Catalog, Column, ColumnDef, Schema, Table, ValueType};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        let mk = |name: &str, keys: Vec<i64>| {
+            Table::new(
+                name,
+                Schema::new([ColumnDef::new("k", ValueType::Int)]),
+                vec![Column::from_ints(keys)],
+            )
+            .unwrap()
+        };
+        cat.register(mk("a", (0..50).map(|i| i % 5).collect()));
+        cat.register(mk("b", (0..30).map(|i| i % 5).collect()));
+        cat
+    }
+
+    fn query(cat: &Catalog) -> Query {
+        let mut qb = QueryBuilder::new(cat);
+        qb.table("a").unwrap();
+        qb.table("b").unwrap();
+        let j = qb.col("a.k").unwrap().eq(qb.col("b.k").unwrap());
+        qb.filter(j);
+        qb.select_col("a.k").unwrap();
+        qb.build().unwrap()
+    }
+
+    #[test]
+    fn easy_query_finishes_via_traditional() {
+        let cat = catalog();
+        let q = query(&cat);
+        let engine = ColEngine::new();
+        let expected = engine.execute(&q, &ExecOptions::default()).result_count;
+        let cfg = SkinnerHConfig {
+            base_timeout: Duration::from_millis(50),
+            ..Default::default()
+        };
+        let out = SkinnerH::new(&engine, cfg).run(&q);
+        assert_eq!(out.result_count, expected);
+        assert_eq!(out.source, PlanSource::Traditional);
+        assert_eq!(out.traditional_attempts, 1);
+    }
+
+    #[test]
+    fn tiny_timeouts_still_terminate_correctly() {
+        let cat = catalog();
+        let q = query(&cat);
+        let engine = ColEngine::new();
+        let expected = engine.execute(&q, &ExecOptions::default()).result_count;
+        // With a 0ns base timeout the traditional path always times out in
+        // round 0; doubling eventually lets one of the two paths finish.
+        let cfg = SkinnerHConfig {
+            base_timeout: Duration::from_nanos(1),
+            ..Default::default()
+        };
+        let out = SkinnerH::new(&engine, cfg).run(&q);
+        assert_eq!(out.result_count, expected);
+        assert!(out.traditional_attempts >= 1);
+    }
+}

@@ -1,0 +1,40 @@
+//! # skinner-engine
+//!
+//! Skinner-C: the customized execution engine of the SkinnerDB paper
+//! (§4.5, Algorithms 2 and 3).
+//!
+//! A traditional engine executes one optimizer-chosen join order as a
+//! pipeline of binary joins. Skinner-C instead runs the query in thousands
+//! of tiny time slices, each executing a possibly different left-deep join
+//! order chosen by UCT, and merges the result tuples. Making that cheap
+//! requires three properties the paper calls out:
+//!
+//! 1. **Minimal switch overhead** — execution state is one tuple index per
+//!    base table, so backup/restore copies a tiny vector.
+//! 2. **No lost progress** — a depth-first *multi-way* join
+//!    ([`multiway`]) keeps at most one in-flight intermediate tuple, so
+//!    interrupting at any point loses nothing.
+//! 3. **Progress sharing** — per-table offsets exclude fully-processed
+//!    tuples for *every* order, and a progress trie ([`progress`])
+//!    fast-forwards orders that share a prefix with a more advanced order.
+//!
+//! The main entry point is [`SkinnerC`], Algorithm 3: choose order via
+//! UCT → restore state → run the multi-way join for a fixed step budget →
+//! compute a progress-based reward → update UCT → back up state.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod multiway;
+pub mod prepare;
+pub mod progress;
+pub mod reward;
+pub mod skinner_c;
+
+pub use metrics::ExecMetrics;
+pub use multiway::{ContinueResult, MultiwayJoin};
+pub use prepare::PreparedQuery;
+pub use progress::ProgressTracker;
+pub use reward::RewardKind;
+pub use skinner_c::{OrderPolicy, SkinnerC, SkinnerCConfig, SkinnerOutcome};

@@ -1,0 +1,98 @@
+//! Execution metrics collected by Skinner-C.
+//!
+//! These feed the paper's analysis figures: search-tree growth over time
+//! (Fig. 7a), the share of slices spent in the top-k join orders
+//! (Fig. 7b), and the memory footprint of the auxiliary data structures
+//! (Fig. 8).
+
+use skinner_query::TableId;
+use skinner_storage::FxHashMap;
+use std::time::Duration;
+
+/// Metrics for one Skinner-C query execution.
+#[derive(Debug, Default, Clone)]
+pub struct ExecMetrics {
+    /// Number of time slices executed.
+    pub slices: u64,
+    /// Total multi-way-join steps across slices.
+    pub steps: u64,
+    /// Wall time in pre-processing.
+    pub preprocess_time: Duration,
+    /// Wall time in the join phase.
+    pub join_time: Duration,
+    /// Wall time in post-processing (set by the caller).
+    pub postprocess_time: Duration,
+    /// Selection count per join order (Fig. 7b).
+    pub order_selections: FxHashMap<Vec<TableId>, u64>,
+    /// (slice index, UCT node count) samples (Fig. 7a).
+    pub tree_growth: Vec<(u64, usize)>,
+    /// Final UCT tree node count (Fig. 8a).
+    pub uct_nodes: usize,
+    /// Final UCT tree bytes.
+    pub uct_bytes: usize,
+    /// Progress-trie node count (Fig. 8b).
+    pub tracker_nodes: usize,
+    /// Progress-trie bytes.
+    pub tracker_bytes: usize,
+    /// Distinct result tuples (Fig. 8c).
+    pub result_tuples: usize,
+    /// Result-set bytes.
+    pub result_bytes: usize,
+    /// Hash-index bytes.
+    pub index_bytes: usize,
+    /// Result-tuple insert attempts (duplicates included).
+    pub result_attempts: u64,
+}
+
+impl ExecMetrics {
+    /// Total bytes of auxiliary structures (Fig. 8d).
+    pub fn total_aux_bytes(&self) -> usize {
+        self.uct_bytes + self.tracker_bytes + self.result_bytes + self.index_bytes
+    }
+
+    /// The `k` most-selected join orders with their selection share.
+    pub fn top_orders(&self, k: usize) -> Vec<(Vec<TableId>, f64)> {
+        let total: u64 = self.order_selections.values().sum();
+        let mut entries: Vec<(Vec<TableId>, u64)> = self
+            .order_selections
+            .iter()
+            .map(|(o, &c)| (o.clone(), c))
+            .collect();
+        entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        entries
+            .into_iter()
+            .take(k)
+            .map(|(o, c)| (o, c as f64 / total.max(1) as f64))
+            .collect()
+    }
+
+    /// Cumulative selection share of the top-k orders (Fig. 7b's y-axis).
+    pub fn top_k_share(&self, k: usize) -> f64 {
+        self.top_orders(k).iter().map(|(_, s)| s).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_orders_ranking() {
+        let mut m = ExecMetrics::default();
+        m.order_selections.insert(vec![0, 1], 70);
+        m.order_selections.insert(vec![1, 0], 20);
+        m.order_selections.insert(vec![0, 2], 10);
+        let top = m.top_orders(2);
+        assert_eq!(top[0].0, vec![0, 1]);
+        assert!((top[0].1 - 0.7).abs() < 1e-9);
+        assert!((m.top_k_share(2) - 0.9).abs() < 1e-9);
+        assert!((m.top_k_share(10) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_metrics_are_safe() {
+        let m = ExecMetrics::default();
+        assert_eq!(m.top_k_share(3), 0.0);
+        assert_eq!(m.total_aux_bytes(), 0);
+    }
+}

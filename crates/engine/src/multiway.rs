@@ -1,0 +1,425 @@
+//! Depth-first multi-way join with O(1) intermediate state (Algorithm 2).
+//!
+//! The engine fixes one tuple per predecessor table before considering
+//! tuples of the successor table — a depth-first search over tuple
+//! combinations (Figure 5 of the paper). The *only* execution state is the
+//! cursor: one filtered-table position per table. Each slice resumes by
+//! walking down from position 0, re-verifying the restored coordinates'
+//! predicates (O(m) work), then continues the lexicographic scan.
+//!
+//! With hash indexes available, tuple advances *jump* to the next position
+//! whose key matches the applicable equality predicate (via
+//! [`HashIndex::next_ge`](skinner_storage::HashIndex::next_ge)) instead of
+//! incrementing by one — the §4.5 extension for equality predicates.
+
+use crate::prepare::{OrderPlan, PreparedQuery};
+use skinner_query::TableId;
+use skinner_storage::{FxHashSet, RowId};
+
+/// Why a slice ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContinueResult {
+    /// The left-most table's tuples are exhausted: the join (under this
+    /// order, with current offsets) is complete.
+    Exhausted,
+    /// The step budget ran out mid-search; state holds the cursor.
+    BudgetSpent,
+}
+
+/// Deduplicating result set over tuple-index vectors (paper: "we add
+/// tuple index vectors into a result set, avoiding duplicate entries").
+#[derive(Debug, Default)]
+pub struct ResultSet {
+    set: FxHashSet<Box<[RowId]>>,
+    /// Total insert attempts (including duplicates from order switches).
+    pub attempts: u64,
+}
+
+impl ResultSet {
+    /// Empty set.
+    pub fn new() -> ResultSet {
+        ResultSet::default()
+    }
+
+    /// Insert a tuple (base row ids in FROM order); false if duplicate.
+    pub fn insert(&mut self, tuple: &[RowId]) -> bool {
+        self.attempts += 1;
+        self.set.insert(tuple.into())
+    }
+
+    /// Number of distinct result tuples.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// True if no results.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Iterate distinct tuples (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = &[RowId]> {
+        self.set.iter().map(|b| b.as_ref())
+    }
+
+    /// Drain into a flat row-major vector with the given stride.
+    pub fn into_flat(self, stride: usize) -> Vec<RowId> {
+        let mut out = Vec::with_capacity(self.set.len() * stride);
+        for t in &self.set {
+            out.extend_from_slice(t);
+        }
+        out
+    }
+
+    /// Approximate heap footprint in bytes (Figure 8c).
+    pub fn approx_bytes(&self, stride: usize) -> usize {
+        self.set.len() * (stride * 4 + std::mem::size_of::<Box<[RowId]>>() + 8)
+    }
+}
+
+/// One multi-way join executor bound to a prepared query.
+pub struct MultiwayJoin<'a> {
+    pq: &'a PreparedQuery,
+}
+
+impl<'a> MultiwayJoin<'a> {
+    /// Bind to a prepared query.
+    pub fn new(pq: &'a PreparedQuery) -> MultiwayJoin<'a> {
+        MultiwayJoin { pq }
+    }
+
+    /// Execute `order` from cursor `state` (indexed by table id, filtered
+    /// positions) for at most `budget` outer-loop steps. `offsets` are the
+    /// global per-table floors. Result tuples are inserted into `results`.
+    ///
+    /// Returns the slice outcome and the number of steps consumed.
+    pub fn continue_join(
+        &self,
+        order: &[TableId],
+        plan: &OrderPlan,
+        offsets: &[u32],
+        state: &mut [u32],
+        budget: u64,
+        results: &mut ResultSet,
+    ) -> (ContinueResult, u64) {
+        let pq = self.pq;
+        let m = order.len();
+        let cards = &pq.cards;
+        let tables = &pq.tables;
+        let preds = &pq.join_preds;
+
+        // Current base rows per table (slots beyond depth are stale but
+        // never read: predicates at position i only touch order[0..=i]).
+        let mut rows: Vec<RowId> = vec![0; m];
+
+        let mut i = 0usize;
+        let mut steps: u64 = 0;
+
+        // Immediate exhaustion (restored past the end).
+        if state[order[0]] >= cards[order[0]] {
+            return (ContinueResult::Exhausted, 0);
+        }
+
+        loop {
+            steps += 1;
+            if steps > budget {
+                return (ContinueResult::BudgetSpent, steps - 1);
+            }
+            let t = order[i];
+            if state[t] >= cards[t] {
+                // Restored coordinate beyond the end: backtrack.
+                match self.next_tuple(order, plan, offsets, state, &mut i, &rows, true) {
+                    true => continue,
+                    false => return (ContinueResult::Exhausted, steps),
+                }
+            }
+            rows[t] = pq.base_row(t, state[t]);
+            let ok = plan.positions[i]
+                .applicable
+                .iter()
+                .all(|&pi| preds[pi].eval(&rows, tables));
+            if ok {
+                if i + 1 == m {
+                    results.insert(&rows);
+                    if !self.next_tuple(order, plan, offsets, state, &mut i, &rows, false)
+                    {
+                        return (ContinueResult::Exhausted, steps);
+                    }
+                } else {
+                    i += 1;
+                }
+            } else if !self.next_tuple(order, plan, offsets, state, &mut i, &rows, false) {
+                return (ContinueResult::Exhausted, steps);
+            }
+        }
+    }
+
+    /// Advance the cursor at position `i` (with index jumps where
+    /// available), backtracking on exhaustion. Returns false when the
+    /// left-most table is exhausted (join complete). `skip_advance` is
+    /// used when the current coordinate is already past the end.
+    #[allow(clippy::too_many_arguments)]
+    fn next_tuple(
+        &self,
+        order: &[TableId],
+        plan: &OrderPlan,
+        offsets: &[u32],
+        state: &mut [u32],
+        i: &mut usize,
+        rows: &[RowId],
+        mut skip_advance: bool,
+    ) -> bool {
+        let pq = self.pq;
+        loop {
+            let t = order[*i];
+            if !skip_advance || state[t] < pq.cards[t] {
+                state[t] = match &plan.positions[*i].jump {
+                    Some(jump) if !skip_advance => {
+                        // Jump to the next position matching the equality
+                        // key of the current predecessor tuple.
+                        let key = pq.tables[jump.src_table]
+                            .column(jump.src_col)
+                            .join_key(rows[jump.src_table] as usize);
+                        match key {
+                            Some(k) => pq.indexes[&(t, jump.index_col)]
+                                .next_ge(k, state[t] + 1)
+                                .unwrap_or(pq.cards[t]),
+                            None => pq.cards[t],
+                        }
+                    }
+                    _ => state[t].saturating_add(1),
+                };
+            }
+            skip_advance = false;
+            if state[t] < pq.cards[t] {
+                return true;
+            }
+            if *i == 0 {
+                return false;
+            }
+            state[t] = offsets[t];
+            *i -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prepare::PreparedQuery;
+    use skinner_query::{Expr, Query, QueryBuilder};
+    use skinner_storage::{Catalog, Column, ColumnDef, Schema, Table, ValueType};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.register(
+            Table::new(
+                "a",
+                Schema::new([
+                    ColumnDef::new("id", ValueType::Int),
+                    ColumnDef::new("v", ValueType::Int),
+                ]),
+                vec![
+                    Column::from_ints(vec![1, 2, 3, 4]),
+                    Column::from_ints(vec![10, 20, 30, 40]),
+                ],
+            )
+            .unwrap(),
+        );
+        cat.register(
+            Table::new(
+                "b",
+                Schema::new([
+                    ColumnDef::new("a_id", ValueType::Int),
+                    ColumnDef::new("w", ValueType::Int),
+                ]),
+                vec![
+                    Column::from_ints(vec![1, 1, 3, 5]),
+                    Column::from_ints(vec![7, 8, 9, 6]),
+                ],
+            )
+            .unwrap(),
+        );
+        cat.register(
+            Table::new(
+                "c",
+                Schema::new([ColumnDef::new("w", ValueType::Int)]),
+                vec![Column::from_ints(vec![7, 9, 9])],
+            )
+            .unwrap(),
+        );
+        cat
+    }
+
+    fn three_way(cat: &Catalog) -> Query {
+        let mut qb = QueryBuilder::new(cat);
+        qb.table("a").unwrap();
+        qb.table("b").unwrap();
+        qb.table("c").unwrap();
+        let j1 = qb.col("a.id").unwrap().eq(qb.col("b.a_id").unwrap());
+        let j2 = qb.col("b.w").unwrap().eq(qb.col("c.w").unwrap());
+        qb.filter(j1);
+        qb.filter(j2);
+        qb.select_col("a.v").unwrap();
+        qb.build().unwrap()
+    }
+
+    /// Run one order to completion in a single giant slice.
+    fn run_order(q: &Query, order: &[usize], indexes: bool) -> Vec<Vec<u32>> {
+        let pq = PreparedQuery::new(q, indexes, 1);
+        let plan = pq.plan_order(order);
+        let join = MultiwayJoin::new(&pq);
+        let offsets = vec![0u32; pq.num_tables()];
+        let mut state = offsets.clone();
+        let mut rs = ResultSet::new();
+        let (res, _) =
+            join.continue_join(order, &plan, &offsets, &mut state, u64::MAX, &mut rs);
+        assert_eq!(res, ContinueResult::Exhausted);
+        let mut out: Vec<Vec<u32>> = rs.iter().map(|t| t.to_vec()).collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn all_orders_same_result() {
+        let cat = catalog();
+        let q = three_way(&cat);
+        let expected = run_order(&q, &[0, 1, 2], true);
+        assert_eq!(expected.len(), 3);
+        for order in [
+            vec![0usize, 1, 2],
+            vec![1, 0, 2],
+            vec![1, 2, 0],
+            vec![2, 1, 0],
+        ] {
+            assert_eq!(run_order(&q, &order, true), expected, "order {order:?}");
+            assert_eq!(run_order(&q, &order, false), expected, "no-index {order:?}");
+        }
+    }
+
+    #[test]
+    fn matches_expected_tuples() {
+        let cat = catalog();
+        let q = three_way(&cat);
+        let got = run_order(&q, &[0, 1, 2], true);
+        // (a.id=1, b row0 w=7, c row0), (a.id=3, b row2 w=9, c rows 1,2)
+        let expected = vec![vec![0u32, 0, 0], vec![2, 2, 1], vec![2, 2, 2]];
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn slicing_preserves_results() {
+        let cat = catalog();
+        let q = three_way(&cat);
+        let expected = run_order(&q, &[0, 1, 2], true);
+        // run the same order in 1-step slices with state persistence
+        let pq = PreparedQuery::new(&q, true, 1);
+        let plan = pq.plan_order(&[0, 1, 2]);
+        let join = MultiwayJoin::new(&pq);
+        let offsets = vec![0u32; 3];
+        let mut state = vec![0u32; 3];
+        let mut rs = ResultSet::new();
+        let mut slices = 0;
+        loop {
+            slices += 1;
+            assert!(slices < 10_000, "no termination");
+            let (res, steps) =
+                join.continue_join(&[0, 1, 2], &plan, &offsets, &mut state, 3, &mut rs);
+            assert!(steps <= 3);
+            if res == ContinueResult::Exhausted {
+                break;
+            }
+        }
+        let mut got: Vec<Vec<u32>> = rs.iter().map(|t| t.to_vec()).collect();
+        got.sort();
+        assert_eq!(got, expected);
+        assert!(slices > 1, "test should actually slice");
+    }
+
+    #[test]
+    fn switching_orders_with_offsets_preserves_results() {
+        let cat = catalog();
+        let q = three_way(&cat);
+        let expected = run_order(&q, &[0, 1, 2], true);
+        let pq = PreparedQuery::new(&q, true, 1);
+        let join = MultiwayJoin::new(&pq);
+        let orders: Vec<Vec<usize>> = vec![vec![0, 1, 2], vec![1, 2, 0], vec![2, 1, 0]];
+        let plans: Vec<_> = orders.iter().map(|o| pq.plan_order(o)).collect();
+        let tracker = &mut crate::progress::ProgressTracker::new(3);
+        let mut offsets = vec![0u32; 3];
+        let mut rs = ResultSet::new();
+        let mut done = false;
+        let mut round = 0usize;
+        while !done {
+            round += 1;
+            assert!(round < 100_000, "no termination");
+            let which = round % orders.len();
+            let order = &orders[which];
+            let mut state = tracker.restore(order, &offsets);
+            let (res, _) =
+                join.continue_join(order, &plans[which], &offsets, &mut state, 5, &mut rs);
+            // offset advance for the left-most table
+            let t0 = order[0];
+            if res == ContinueResult::Exhausted {
+                offsets[t0] = pq.cards[t0];
+                done = true;
+            } else {
+                offsets[t0] = offsets[t0].max(state[t0]);
+                tracker.backup(order, &state);
+            }
+        }
+        let mut got: Vec<Vec<u32>> = rs.iter().map(|t| t.to_vec()).collect();
+        got.sort();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn unary_only_single_table() {
+        let mut cat = Catalog::new();
+        cat.register(
+            Table::new(
+                "t",
+                Schema::new([ColumnDef::new("x", ValueType::Int)]),
+                vec![Column::from_ints(vec![1, 5, 9, 5])],
+            )
+            .unwrap(),
+        );
+        let mut qb = QueryBuilder::new(&cat);
+        qb.table("t").unwrap();
+        let f = qb.col("t.x").unwrap().eq(Expr::lit(5));
+        qb.filter(f);
+        qb.select_col("t.x").unwrap();
+        let q = qb.build().unwrap();
+        let got = run_order(&q, &[0], true);
+        assert_eq!(got, vec![vec![1u32], vec![3u32]]);
+    }
+
+    #[test]
+    fn offsets_exclude_tuples() {
+        let cat = catalog();
+        let q = three_way(&cat);
+        let pq = PreparedQuery::new(&q, true, 1);
+        let plan = pq.plan_order(&[0, 1, 2]);
+        let join = MultiwayJoin::new(&pq);
+        // offset past a.id=1 (filtered position 0) excludes its result
+        let offsets = vec![1u32, 0, 0];
+        let mut state = vec![1u32, 0, 0];
+        let mut rs = ResultSet::new();
+        let (res, _) =
+            join.continue_join(&[0, 1, 2], &plan, &offsets, &mut state, u64::MAX, &mut rs);
+        assert_eq!(res, ContinueResult::Exhausted);
+        assert_eq!(rs.len(), 2); // only the a.id=3 tuples
+    }
+
+    #[test]
+    fn result_set_dedups_across_orders() {
+        let mut rs = ResultSet::new();
+        assert!(rs.insert(&[1, 2, 3]));
+        assert!(!rs.insert(&[1, 2, 3]));
+        assert!(rs.insert(&[1, 2, 4]));
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.attempts, 3);
+        let flat = rs.into_flat(3);
+        assert_eq!(flat.len(), 6);
+    }
+}

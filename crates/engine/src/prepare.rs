@@ -1,0 +1,332 @@
+//! Pre-processing (paper §3, §4.5): unary filtering and hash indexing.
+//!
+//! "Here, we filter base tables via unary predicates [...] we create hash
+//! tables on all columns subject to equality predicates during
+//! pre-processing. [...] those overheads are typically small as only
+//! tuples satisfying all unary predicates are hashed."
+//!
+//! The prepared query holds, per table, the *filtered positions* (base
+//! row ids surviving unary predicates); all Skinner-C state lives in this
+//! filtered position space. Filtering can run one crossbeam worker per
+//! table (the only parallelism the paper's implementation has — Table 2).
+
+use skinner_query::{compile_predicates, CompiledPred, Query, TableId, TableSet};
+use skinner_storage::table::TableRef;
+use skinner_storage::{FxHashMap, HashIndex, RowId};
+
+/// A query after pre-processing, ready for multi-way join execution.
+pub struct PreparedQuery {
+    /// The query's tables in FROM order.
+    pub tables: Vec<TableRef>,
+    /// Filtered positions: `filtered[t][pos]` = base row id.
+    pub filtered: Vec<Vec<RowId>>,
+    /// Filtered cardinalities (`filtered[t].len()` cached as u32).
+    pub cards: Vec<u32>,
+    /// Compiled join conjuncts (tables ≥ 2); unary conjuncts are consumed
+    /// by the filter step.
+    pub join_preds: Vec<CompiledPred>,
+    /// Hash indexes on equi-join columns, keyed by `(table, column)`;
+    /// postings are filtered positions.
+    pub indexes: FxHashMap<(TableId, usize), HashIndex>,
+    /// Wall time spent pre-processing.
+    pub preprocess_time: std::time::Duration,
+}
+
+impl PreparedQuery {
+    /// Run pre-processing for `query`.
+    ///
+    /// `build_indexes` corresponds to the "indexes" feature of Table 6;
+    /// `threads > 1` parallelizes the per-table filter scans.
+    pub fn new(query: &Query, build_indexes: bool, threads: usize) -> PreparedQuery {
+        let start = std::time::Instant::now();
+        let tables: Vec<TableRef> = query.tables.iter().map(|b| b.table.clone()).collect();
+        let m = tables.len();
+        let all_preds = compile_predicates(query);
+
+        // Partition conjuncts into unary (per table) and join predicates.
+        let mut unary: Vec<Vec<&CompiledPred>> = vec![Vec::new(); m];
+        let mut join_preds = Vec::new();
+        for p in &all_preds {
+            let ts = p.tables();
+            if ts.len() == 1 {
+                unary[ts.iter().next().expect("singleton set")].push(p);
+            } else if ts.len() >= 2 {
+                join_preds.push(p.clone());
+            }
+            // 0-table predicates (constant folding) are rare; treat a
+            // constant-false conjunct as filtering everything.
+        }
+        let const_false = all_preds.iter().any(|p| {
+            p.tables().is_empty() && !p.eval(&vec![0u32; m], &tables)
+        });
+
+        // Filter each table (optionally in parallel).
+        let filter_one = |t: usize| -> Vec<RowId> {
+            if const_false {
+                return Vec::new();
+            }
+            let table = &tables[t];
+            let preds = &unary[t];
+            let mut rows = vec![0u32; m];
+            let mut keep = Vec::new();
+            for r in 0..table.num_rows() as u32 {
+                rows[t] = r;
+                if preds.iter().all(|p| p.eval(&rows, &tables)) {
+                    keep.push(r);
+                }
+            }
+            keep
+        };
+
+        let filtered: Vec<Vec<RowId>> = if threads > 1 && m > 1 {
+            let mut out: Vec<Option<Vec<RowId>>> = Vec::new();
+            out.resize_with(m, || None);
+            crossbeam::thread::scope(|scope| {
+                for (t, slot) in out.iter_mut().enumerate() {
+                    let filter_one = &filter_one;
+                    scope.spawn(move |_| {
+                        *slot = Some(filter_one(t));
+                    });
+                }
+            })
+            .expect("filter worker panic");
+            out.into_iter().map(|o| o.expect("filter slot")).collect()
+        } else {
+            (0..m).map(filter_one).collect()
+        };
+
+        let cards: Vec<u32> = filtered.iter().map(|f| f.len() as u32).collect();
+
+        // Hash indexes over every column used by an equi-join predicate.
+        let mut indexes = FxHashMap::default();
+        if build_indexes {
+            for (a, b) in query.equi_join_pairs() {
+                for c in [a, b] {
+                    indexes
+                        .entry((c.table, c.column))
+                        .or_insert_with(|| {
+                            HashIndex::build(
+                                tables[c.table].column(c.column),
+                                Some(&filtered[c.table]),
+                            )
+                        });
+                }
+            }
+        }
+
+        PreparedQuery {
+            tables,
+            filtered,
+            cards,
+            join_preds,
+            indexes,
+            preprocess_time: start.elapsed(),
+        }
+    }
+
+    /// Number of joined tables.
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True if some table filtered down to zero tuples (empty result).
+    pub fn any_empty(&self) -> bool {
+        self.cards.iter().any(|&c| c == 0)
+    }
+
+    /// Map a filtered position of table `t` to its base row id.
+    #[inline]
+    pub fn base_row(&self, t: TableId, pos: u32) -> RowId {
+        self.filtered[t][pos as usize]
+    }
+
+    /// Approximate bytes held by the hash indexes.
+    pub fn index_bytes(&self) -> usize {
+        self.indexes.values().map(HashIndex::approx_bytes).sum()
+    }
+
+    /// The per-position applicable predicates and jump index for one join
+    /// order (see [`OrderPlan`]).
+    pub fn plan_order(&self, order: &[TableId]) -> OrderPlan {
+        let m = order.len();
+        let mut joined = TableSet::EMPTY;
+        let mut positions = Vec::with_capacity(m);
+        for (i, &t) in order.iter().enumerate() {
+            let mut with_t = joined;
+            with_t.insert(t);
+            let mut applicable = Vec::new();
+            let mut jump = None;
+            for (pi, p) in self.join_preds.iter().enumerate() {
+                let ts = p.tables();
+                if ts.contains(t) && ts.is_subset_of(with_t) {
+                    applicable.push(pi);
+                    if i > 0 && jump.is_none() {
+                        if let Some((a, b)) = p.expr().as_equi_join() {
+                            let (tc, oc) = if a.table == t { (a, b) } else { (b, a) };
+                            if tc.table == t
+                                && joined.contains(oc.table)
+                                && self.indexes.contains_key(&(t, tc.column))
+                            {
+                                jump = Some(JumpSpec {
+                                    index_col: tc.column,
+                                    src_table: oc.table,
+                                    src_col: oc.column,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            positions.push(PositionPlan { applicable, jump });
+            joined = with_t;
+        }
+        OrderPlan { positions }
+    }
+}
+
+/// Equality-predicate jump at one join-order position (§4.5: "jump
+/// directly to the next highest tuple index that satisfies at least all
+/// applicable equality predicates").
+#[derive(Debug, Clone, Copy)]
+pub struct JumpSpec {
+    /// Indexed column of the position's table.
+    pub index_col: usize,
+    /// Earlier table providing the key.
+    pub src_table: TableId,
+    /// Key column in the earlier table.
+    pub src_col: usize,
+}
+
+/// Per-position execution plan for one join order.
+#[derive(Debug, Clone)]
+pub struct PositionPlan {
+    /// Indices into `join_preds` newly applicable at this position.
+    pub applicable: Vec<usize>,
+    /// Hash-index jump, if an equi predicate connects to earlier tables.
+    pub jump: Option<JumpSpec>,
+}
+
+/// Cached per-order plan.
+#[derive(Debug, Clone)]
+pub struct OrderPlan {
+    /// One entry per join-order position.
+    pub positions: Vec<PositionPlan>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skinner_query::{Expr, QueryBuilder};
+    use skinner_storage::{Catalog, Column, ColumnDef, Schema, Table, ValueType};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.register(
+            Table::new(
+                "a",
+                Schema::new([
+                    ColumnDef::new("id", ValueType::Int),
+                    ColumnDef::new("v", ValueType::Int),
+                ]),
+                vec![
+                    Column::from_ints(vec![1, 2, 3, 4]),
+                    Column::from_ints(vec![10, 20, 30, 40]),
+                ],
+            )
+            .unwrap(),
+        );
+        cat.register(
+            Table::new(
+                "b",
+                Schema::new([ColumnDef::new("a_id", ValueType::Int)]),
+                vec![Column::from_ints(vec![1, 3, 3, 7])],
+            )
+            .unwrap(),
+        );
+        cat
+    }
+
+    fn query(cat: &Catalog) -> Query {
+        let mut qb = QueryBuilder::new(cat);
+        qb.table("a").unwrap();
+        qb.table("b").unwrap();
+        let j = qb.col("a.id").unwrap().eq(qb.col("b.a_id").unwrap());
+        let f = qb.col("a.v").unwrap().ge(Expr::lit(20));
+        qb.filter(j);
+        qb.filter(f);
+        qb.select_col("a.v").unwrap();
+        qb.build().unwrap()
+    }
+
+    #[test]
+    fn filtering_and_cards() {
+        let cat = catalog();
+        let q = query(&cat);
+        let p = PreparedQuery::new(&q, true, 1);
+        assert_eq!(p.cards, vec![3, 4]); // a.v>=20 keeps rows 1,2,3
+        assert_eq!(p.filtered[0], vec![1, 2, 3]);
+        assert!(!p.any_empty());
+        assert_eq!(p.base_row(0, 0), 1);
+    }
+
+    #[test]
+    fn parallel_filter_matches_serial() {
+        let cat = catalog();
+        let q = query(&cat);
+        let serial = PreparedQuery::new(&q, true, 1);
+        let parallel = PreparedQuery::new(&q, true, 4);
+        assert_eq!(serial.filtered, parallel.filtered);
+    }
+
+    #[test]
+    fn indexes_on_equi_columns() {
+        let cat = catalog();
+        let q = query(&cat);
+        let p = PreparedQuery::new(&q, true, 1);
+        assert!(p.indexes.contains_key(&(0, 0)));
+        assert!(p.indexes.contains_key(&(1, 0)));
+        assert_eq!(p.indexes.len(), 2);
+        assert!(p.index_bytes() > 0);
+        // postings are filtered positions: a.id=3 is base row 2, which is
+        // filtered position 1 (filter keeps base rows [1,2,3])
+        let idx = &p.indexes[&(0, 0)];
+        assert_eq!(idx.probe(3), &[1]);
+        // disabled indexes
+        let p2 = PreparedQuery::new(&q, false, 1);
+        assert!(p2.indexes.is_empty());
+    }
+
+    #[test]
+    fn order_plan_applicable_and_jump() {
+        let cat = catalog();
+        let q = query(&cat);
+        let p = PreparedQuery::new(&q, true, 1);
+        let plan = p.plan_order(&[0, 1]);
+        assert!(plan.positions[0].applicable.is_empty());
+        assert_eq!(plan.positions[1].applicable, vec![0]);
+        let jump = plan.positions[1].jump.expect("jump expected");
+        assert_eq!(jump.index_col, 0);
+        assert_eq!(jump.src_table, 0);
+        assert_eq!(jump.src_col, 0);
+        // reversed order jumps through a's index
+        let plan = p.plan_order(&[1, 0]);
+        let jump = plan.positions[1].jump.expect("jump expected");
+        assert_eq!(jump.src_table, 1);
+    }
+
+    #[test]
+    fn empty_filter_flags_empty() {
+        let cat = catalog();
+        let mut qb = QueryBuilder::new(&cat);
+        qb.table("a").unwrap();
+        qb.table("b").unwrap();
+        let j = qb.col("a.id").unwrap().eq(qb.col("b.a_id").unwrap());
+        let f = qb.col("a.v").unwrap().gt(Expr::lit(999));
+        qb.filter(j);
+        qb.filter(f);
+        qb.select_col("a.v").unwrap();
+        let q = qb.build().unwrap();
+        let p = PreparedQuery::new(&q, true, 1);
+        assert!(p.any_empty());
+    }
+}

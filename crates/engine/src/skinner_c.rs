@@ -1,0 +1,411 @@
+//! Skinner-C main loop (Algorithm 3).
+//!
+//! ```text
+//! while not finished:
+//!     j ← UctChoice(T)
+//!     s ← RestoreState(j, o, S); s_prior ← s
+//!     finished ← ContinueJoin(q, j, o, b, s, R)
+//!     RewardUpdate(T, j, Reward(s − s_prior, j))
+//!     ⟨o, S⟩ ← BackupState(j, s, o, S)
+//! ```
+//!
+//! Join orders are chosen by UCT with a very small exploration weight
+//! (`w = 1e-6`; the fine-grained reward makes exploitation safe), or —
+//! for the Table 5 ablation — uniformly at random.
+
+use crate::metrics::ExecMetrics;
+use crate::multiway::{ContinueResult, MultiwayJoin, ResultSet};
+use crate::prepare::{OrderPlan, PreparedQuery};
+use crate::progress::ProgressTracker;
+use crate::reward::{reward, RewardKind};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use skinner_query::{Query, TableId};
+use skinner_storage::{FxHashMap, RowId};
+use skinner_uct::{JoinOrderSpace, SearchSpace, UctConfig, UctTree};
+use std::time::Instant;
+
+/// Join-order selection policy (Table 5 compares Original=UCT against
+/// Random).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OrderPolicy {
+    /// UCT learning (the SkinnerDB default).
+    #[default]
+    Uct,
+    /// Uniform random valid order each slice (ablation baseline).
+    Random,
+}
+
+/// Configuration of the Skinner-C engine.
+#[derive(Debug, Clone, Copy)]
+pub struct SkinnerCConfig {
+    /// Step budget `b` per time slice (paper default: 500 outer-loop
+    /// iterations, i.e. thousands of join-order switches per second).
+    pub budget: u64,
+    /// UCT exploration weight `w` (paper: 1e-6 for Skinner-C).
+    pub exploration: f64,
+    /// Reward function.
+    pub reward: RewardKind,
+    /// Build hash indexes during pre-processing (Table 6 ablation).
+    pub use_indexes: bool,
+    /// Worker threads for the pre-processing filter scans (Table 6 /
+    /// Table 2; the join phase itself is single-threaded, as in the
+    /// paper's implementation).
+    pub threads: usize,
+    /// Order selection policy.
+    pub policy: OrderPolicy,
+    /// RNG seed (UCT tie-breaking / random policy).
+    pub seed: u64,
+    /// Sample the UCT tree size every this many slices (Fig. 7a);
+    /// 0 disables sampling.
+    pub tree_sample_every: u64,
+}
+
+impl Default for SkinnerCConfig {
+    fn default() -> Self {
+        SkinnerCConfig {
+            budget: 500,
+            exploration: 1e-6,
+            reward: RewardKind::ScaledDeltas,
+            use_indexes: true,
+            threads: 1,
+            policy: OrderPolicy::Uct,
+            seed: 0x5EED,
+            tree_sample_every: 64,
+        }
+    }
+}
+
+/// Result of a Skinner-C join phase.
+#[derive(Debug)]
+pub struct SkinnerOutcome {
+    /// Distinct result tuples, flat row-major (stride = num tables, slots
+    /// in FROM order; values are base row ids).
+    pub tuples: Vec<RowId>,
+    /// Number of query tables (stride).
+    pub num_tables: usize,
+    /// Distinct result count.
+    pub result_count: u64,
+    /// The most-visited join order at termination (replayed in other
+    /// engines for Tables 3/4).
+    pub final_order: Vec<TableId>,
+    /// Execution metrics.
+    pub metrics: ExecMetrics,
+}
+
+/// The Skinner-C engine: regret-bounded evaluation of one SPJ query.
+pub struct SkinnerC {
+    config: SkinnerCConfig,
+}
+
+impl Default for SkinnerC {
+    fn default() -> Self {
+        SkinnerC::new(SkinnerCConfig::default())
+    }
+}
+
+impl SkinnerC {
+    /// Engine with the given configuration.
+    pub fn new(config: SkinnerCConfig) -> SkinnerC {
+        SkinnerC { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SkinnerCConfig {
+        &self.config
+    }
+
+    /// Execute the join phase of `query` (pre-processing included;
+    /// post-processing is the caller's job — see `skinner-core`).
+    pub fn run(&self, query: &Query) -> SkinnerOutcome {
+        let cfg = &self.config;
+        let m = query.num_tables();
+        let pq = PreparedQuery::new(query, cfg.use_indexes, cfg.threads);
+        let mut metrics = ExecMetrics {
+            preprocess_time: pq.preprocess_time,
+            index_bytes: pq.index_bytes(),
+            ..Default::default()
+        };
+
+        if pq.any_empty() || m == 0 {
+            return SkinnerOutcome {
+                tuples: Vec::new(),
+                num_tables: m,
+                result_count: 0,
+                final_order: (0..m).collect(),
+                metrics,
+            };
+        }
+
+        let join_start = Instant::now();
+        let space = JoinOrderSpace::new(query);
+        let mut tree = UctTree::new(
+            space.clone(),
+            UctConfig {
+                exploration: cfg.exploration,
+                seed: cfg.seed,
+            },
+        );
+        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x9e3779b97f4a7c15);
+        let mut tracker = ProgressTracker::new(m);
+        let mut offsets = vec![0u32; m];
+        let mut results = ResultSet::new();
+        let join = MultiwayJoin::new(&pq);
+        let mut plan_cache: FxHashMap<Vec<TableId>, OrderPlan> = FxHashMap::default();
+
+        // A budget below the walk-down depth could live-lock (the re-walk
+        // repeats without advancing); clamp well above it.
+        let budget = cfg.budget.max(4 * m as u64);
+
+        let mut finished = false;
+        while !finished {
+            metrics.slices += 1;
+            let order = match cfg.policy {
+                OrderPolicy::Uct => tree.choose(),
+                OrderPolicy::Random => random_order(&space, &mut rng),
+            };
+            let plan = plan_cache
+                .entry(order.clone())
+                .or_insert_with(|| pq.plan_order(&order));
+
+            let mut state = tracker.restore(&order, &offsets);
+            let before = state.clone();
+
+            let (res, steps) =
+                join.continue_join(&order, plan, &offsets, &mut state, budget, &mut results);
+            metrics.steps += steps;
+
+            if res == ContinueResult::Exhausted {
+                // Left-most table completely processed ⇒ result complete.
+                let t0 = order[0];
+                offsets[t0] = pq.cards[t0];
+                state[t0] = pq.cards[t0];
+                finished = true;
+            } else {
+                // Tuples before the left-most cursor are fully expanded.
+                let t0 = order[0];
+                offsets[t0] = offsets[t0].max(state[t0]);
+            }
+
+            if cfg.policy == OrderPolicy::Uct {
+                let r = reward(cfg.reward, &order, &before, &state, &pq.cards);
+                tree.update(&order, r);
+            }
+            tracker.backup(&order, &state);
+            *metrics.order_selections.entry(order).or_insert(0) += 1;
+
+            if cfg.tree_sample_every > 0 && metrics.slices % cfg.tree_sample_every == 0 {
+                metrics.tree_growth.push((metrics.slices, tree.num_nodes()));
+            }
+        }
+
+        metrics.join_time = join_start.elapsed();
+        metrics.uct_nodes = tree.num_nodes();
+        metrics.uct_bytes = tree.approx_bytes();
+        metrics.tracker_nodes = tracker.num_nodes();
+        metrics.tracker_bytes = tracker.approx_bytes();
+        metrics.result_tuples = results.len();
+        metrics.result_bytes = results.approx_bytes(m);
+        metrics.result_attempts = results.attempts;
+
+        let final_order = match cfg.policy {
+            OrderPolicy::Uct => tree.best_path(),
+            OrderPolicy::Random => {
+                // Most-selected order under random policy.
+                metrics
+                    .top_orders(1)
+                    .first()
+                    .map(|(o, _)| o.clone())
+                    .unwrap_or_else(|| (0..m).collect())
+            }
+        };
+
+        let result_count = results.len() as u64;
+        SkinnerOutcome {
+            tuples: results.into_flat(m),
+            num_tables: m,
+            result_count,
+            final_order,
+            metrics,
+        }
+    }
+}
+
+fn random_order(space: &JoinOrderSpace, rng: &mut SmallRng) -> Vec<TableId> {
+    let mut path = Vec::with_capacity(space.depth());
+    while path.len() < space.depth() {
+        let actions = space.actions(&path);
+        path.push(actions[rng.gen_range(0..actions.len())]);
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skinner_query::{Expr, QueryBuilder};
+    use skinner_storage::{Catalog, Column, ColumnDef, Schema, Table, ValueType};
+
+    fn fk_catalog(n: usize) -> Catalog {
+        // chain of tables t0 ← t1 ← t2 ... joined on k, each with n rows
+        let mut cat = Catalog::new();
+        for t in 0..4 {
+            cat.register(
+                Table::new(
+                    format!("t{t}"),
+                    Schema::new([
+                        ColumnDef::new("k", ValueType::Int),
+                        ColumnDef::new("v", ValueType::Int),
+                    ]),
+                    vec![
+                        Column::from_ints((0..n as i64).map(|i| i % 16).collect()),
+                        Column::from_ints((0..n as i64).collect()),
+                    ],
+                )
+                .unwrap(),
+            );
+        }
+        cat
+    }
+
+    fn chain_query(cat: &Catalog, tables: usize) -> Query {
+        let mut qb = QueryBuilder::new(cat);
+        for t in 0..tables {
+            qb.table(&format!("t{t}")).unwrap();
+        }
+        for t in 0..tables - 1 {
+            let j = qb
+                .col(&format!("t{t}.k"))
+                .unwrap()
+                .eq(qb.col(&format!("t{}.k", t + 1)).unwrap());
+            qb.filter(j);
+        }
+        qb.select_col("t0.v").unwrap();
+        qb.build().unwrap()
+    }
+
+    /// Ground truth via the simple nested-loop semantics of the multiway
+    /// join run to completion under one order.
+    fn ground_truth(q: &Query) -> u64 {
+        let pq = PreparedQuery::new(q, true, 1);
+        let order: Vec<usize> = (0..q.num_tables()).collect();
+        let plan = pq.plan_order(&order);
+        let join = MultiwayJoin::new(&pq);
+        let offsets = vec![0u32; q.num_tables()];
+        let mut state = offsets.clone();
+        let mut rs = ResultSet::new();
+        join.continue_join(&order, &plan, &offsets, &mut state, u64::MAX, &mut rs);
+        rs.len() as u64
+    }
+
+    #[test]
+    fn skinner_c_produces_complete_result() {
+        let cat = fk_catalog(64);
+        let q = chain_query(&cat, 3);
+        let expected = ground_truth(&q);
+        assert!(expected > 0);
+        let out = SkinnerC::new(SkinnerCConfig {
+            budget: 50,
+            ..Default::default()
+        })
+        .run(&q);
+        assert_eq!(out.result_count, expected);
+        assert!(out.metrics.slices > 1, "should need multiple slices");
+        assert_eq!(out.tuples.len() as u64, expected * 3);
+    }
+
+    #[test]
+    fn random_policy_also_correct() {
+        let cat = fk_catalog(48);
+        let q = chain_query(&cat, 3);
+        let expected = ground_truth(&q);
+        let out = SkinnerC::new(SkinnerCConfig {
+            budget: 50,
+            policy: OrderPolicy::Random,
+            ..Default::default()
+        })
+        .run(&q);
+        assert_eq!(out.result_count, expected);
+    }
+
+    #[test]
+    fn no_indexes_still_correct() {
+        let cat = fk_catalog(32);
+        let q = chain_query(&cat, 3);
+        let expected = ground_truth(&q);
+        let out = SkinnerC::new(SkinnerCConfig {
+            budget: 100,
+            use_indexes: false,
+            ..Default::default()
+        })
+        .run(&q);
+        assert_eq!(out.result_count, expected);
+    }
+
+    #[test]
+    fn empty_result_handled() {
+        let cat = fk_catalog(16);
+        let mut qb = QueryBuilder::new(&cat);
+        qb.table("t0").unwrap();
+        qb.table("t1").unwrap();
+        let j = qb.col("t0.k").unwrap().eq(qb.col("t1.k").unwrap());
+        let f = qb.col("t0.v").unwrap().gt(Expr::lit(10_000));
+        qb.filter(j);
+        qb.filter(f);
+        qb.select_col("t0.v").unwrap();
+        let q = qb.build().unwrap();
+        let out = SkinnerC::default().run(&q);
+        assert_eq!(out.result_count, 0);
+    }
+
+    #[test]
+    fn four_table_join_correct() {
+        let cat = fk_catalog(24);
+        let q = chain_query(&cat, 4);
+        let expected = ground_truth(&q);
+        let out = SkinnerC::new(SkinnerCConfig {
+            budget: 200,
+            ..Default::default()
+        })
+        .run(&q);
+        assert_eq!(out.result_count, expected);
+        // final order is a valid permutation
+        let mut o = out.final_order.clone();
+        o.sort_unstable();
+        assert_eq!(o, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn metrics_populated() {
+        let cat = fk_catalog(64);
+        let q = chain_query(&cat, 3);
+        let out = SkinnerC::new(SkinnerCConfig {
+            budget: 25,
+            tree_sample_every: 1,
+            ..Default::default()
+        })
+        .run(&q);
+        let m = &out.metrics;
+        assert!(m.slices > 0);
+        assert!(m.steps > 0);
+        assert!(m.uct_nodes > 0);
+        assert!(m.tracker_nodes > 0);
+        assert!(!m.tree_growth.is_empty());
+        assert!(m.total_aux_bytes() > 0);
+        assert!(m.top_k_share(100) > 0.99);
+        assert_eq!(m.result_tuples as u64, out.result_count);
+    }
+
+    #[test]
+    fn single_table_query() {
+        let cat = fk_catalog(16);
+        let mut qb = QueryBuilder::new(&cat);
+        qb.table("t0").unwrap();
+        let f = qb.col("t0.v").unwrap().lt(Expr::lit(5));
+        qb.filter(f);
+        qb.select_col("t0.v").unwrap();
+        let q = qb.build().unwrap();
+        let out = SkinnerC::default().run(&q);
+        assert_eq!(out.result_count, 5);
+    }
+}

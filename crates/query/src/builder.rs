@@ -1,0 +1,308 @@
+//! Fluent, typed construction of resolved queries.
+
+use crate::error::QueryError;
+use crate::expr::Expr;
+use crate::query::{Agg, AggFunc, OrderKey, Query, SelectItem, TableBinding};
+use skinner_storage::{Catalog, FxHashMap};
+
+/// Builds a [`Query`] against a [`Catalog`], resolving alias/column names
+/// to indices as it goes.
+///
+/// ```
+/// use skinner_storage::{Catalog, Column, ColumnDef, Schema, Table, ValueType};
+/// use skinner_query::{QueryBuilder, Expr};
+///
+/// let mut catalog = Catalog::new();
+/// catalog.register(Table::new(
+///     "t",
+///     Schema::new([ColumnDef::new("id", ValueType::Int)]),
+///     vec![Column::from_ints(vec![1, 2, 3])],
+/// ).unwrap());
+///
+/// let mut b = QueryBuilder::new(&catalog);
+/// b.table("t").unwrap();
+/// let id = b.col("t.id").unwrap();
+/// b.filter(id.clone().gt(Expr::lit(1)));
+/// b.select_expr(id, "id");
+/// let query = b.build().unwrap();
+/// assert_eq!(query.num_tables(), 1);
+/// ```
+#[derive(Debug)]
+pub struct QueryBuilder<'a> {
+    catalog: &'a Catalog,
+    tables: Vec<TableBinding>,
+    aliases: FxHashMap<String, usize>,
+    predicates: Vec<Expr>,
+    select: Vec<SelectItem>,
+    group_by: Vec<Expr>,
+    order_by: Vec<(String, bool)>,
+    distinct: bool,
+    limit: Option<usize>,
+}
+
+impl<'a> QueryBuilder<'a> {
+    /// Start building against `catalog`.
+    pub fn new(catalog: &'a Catalog) -> QueryBuilder<'a> {
+        QueryBuilder {
+            catalog,
+            tables: Vec::new(),
+            aliases: FxHashMap::default(),
+            predicates: Vec::new(),
+            select: Vec::new(),
+            group_by: Vec::new(),
+            order_by: Vec::new(),
+            distinct: false,
+            limit: None,
+        }
+    }
+
+    /// Add a FROM entry aliased by its own name.
+    pub fn table(&mut self, name: &str) -> Result<&mut Self, QueryError> {
+        self.table_as(name, name)
+    }
+
+    /// Add a FROM entry under an explicit alias.
+    pub fn table_as(&mut self, name: &str, alias: &str) -> Result<&mut Self, QueryError> {
+        if self.aliases.contains_key(alias) {
+            return Err(QueryError::Invalid(format!("duplicate alias: {alias}")));
+        }
+        let table = self.catalog.get(name)?;
+        self.aliases.insert(alias.to_string(), self.tables.len());
+        self.tables.push(TableBinding {
+            alias: alias.to_string(),
+            table,
+        });
+        Ok(self)
+    }
+
+    /// Resolve `"alias.column"` (or an unqualified `"column"` that is
+    /// unique across the FROM list) to a column expression.
+    pub fn col(&self, qualified: &str) -> Result<Expr, QueryError> {
+        match qualified.split_once('.') {
+            Some((alias, column)) => {
+                let &t = self
+                    .aliases
+                    .get(alias)
+                    .ok_or_else(|| QueryError::UnknownAlias(alias.to_string()))?;
+                let c = self.tables[t]
+                    .table
+                    .schema()
+                    .index_of(column)
+                    .ok_or_else(|| QueryError::UnknownColumn(qualified.to_string()))?;
+                Ok(Expr::col(t, c))
+            }
+            None => {
+                let mut found = None;
+                for (t, binding) in self.tables.iter().enumerate() {
+                    if let Some(c) = binding.table.schema().index_of(qualified) {
+                        if found.is_some() {
+                            return Err(QueryError::AmbiguousColumn(qualified.to_string()));
+                        }
+                        found = Some(Expr::col(t, c));
+                    }
+                }
+                found.ok_or_else(|| QueryError::UnknownColumn(qualified.to_string()))
+            }
+        }
+    }
+
+    /// Add a WHERE conjunct.
+    pub fn filter(&mut self, pred: Expr) -> &mut Self {
+        self.predicates.push(pred);
+        self
+    }
+
+    /// Add a plain SELECT output.
+    pub fn select_expr(&mut self, expr: Expr, name: impl Into<String>) -> &mut Self {
+        self.select.push(SelectItem::Expr {
+            expr,
+            name: name.into(),
+        });
+        self
+    }
+
+    /// Add a column to SELECT, named after the column.
+    pub fn select_col(&mut self, qualified: &str) -> Result<&mut Self, QueryError> {
+        let e = self.col(qualified)?;
+        let name = qualified.rsplit('.').next().unwrap_or(qualified).to_string();
+        Ok(self.select_expr(e, name))
+    }
+
+    /// Add an aggregate output.
+    pub fn select_agg(
+        &mut self,
+        func: AggFunc,
+        arg: Option<Expr>,
+        name: impl Into<String>,
+    ) -> &mut Self {
+        self.select.push(SelectItem::Agg {
+            agg: Agg { func, arg },
+            name: name.into(),
+        });
+        self
+    }
+
+    /// Add a GROUP BY expression.
+    pub fn group_by(&mut self, expr: Expr) -> &mut Self {
+        self.group_by.push(expr);
+        self
+    }
+
+    /// Add an ORDER BY key referencing a SELECT output name.
+    pub fn order_by(&mut self, output_name: &str, asc: bool) -> &mut Self {
+        self.order_by.push((output_name.to_string(), asc));
+        self
+    }
+
+    /// Request DISTINCT output.
+    pub fn distinct(&mut self) -> &mut Self {
+        self.distinct = true;
+        self
+    }
+
+    /// Limit output rows.
+    pub fn limit(&mut self, n: usize) -> &mut Self {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Finish: resolve ORDER BY names, default the SELECT list to all
+    /// columns if empty, and validate.
+    pub fn build(self) -> Result<Query, QueryError> {
+        let mut select = self.select;
+        if select.is_empty() {
+            // SELECT * default: every column of every table, qualified.
+            for (t, binding) in self.tables.iter().enumerate() {
+                for (c, def) in binding.table.schema().columns().iter().enumerate() {
+                    select.push(SelectItem::Expr {
+                        expr: Expr::col(t, c),
+                        name: format!("{}.{}", binding.alias, def.name),
+                    });
+                }
+            }
+        }
+        let mut order_by = Vec::with_capacity(self.order_by.len());
+        for (name, asc) in self.order_by {
+            let output = select
+                .iter()
+                .position(|s| s.name() == name)
+                .ok_or_else(|| QueryError::UnknownColumn(name.clone()))?;
+            order_by.push(OrderKey { output, asc });
+        }
+        let q = Query {
+            tables: self.tables,
+            predicates: self.predicates,
+            select,
+            group_by: self.group_by,
+            order_by,
+            distinct: self.distinct,
+            limit: self.limit,
+        };
+        q.validate()?;
+        Ok(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skinner_storage::{Column, ColumnDef, Schema, Table, ValueType};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(
+            Table::new(
+                "users",
+                Schema::new([
+                    ColumnDef::new("id", ValueType::Int),
+                    ColumnDef::new("age", ValueType::Int),
+                ]),
+                vec![
+                    Column::from_ints(vec![1, 2]),
+                    Column::from_ints(vec![30, 40]),
+                ],
+            )
+            .unwrap(),
+        );
+        c.register(
+            Table::new(
+                "orders",
+                Schema::new([
+                    ColumnDef::new("id", ValueType::Int),
+                    ColumnDef::new("user_id", ValueType::Int),
+                ]),
+                vec![
+                    Column::from_ints(vec![1]),
+                    Column::from_ints(vec![2]),
+                ],
+            )
+            .unwrap(),
+        );
+        c
+    }
+
+    #[test]
+    fn build_join_query() {
+        let cat = catalog();
+        let mut b = QueryBuilder::new(&cat);
+        b.table_as("users", "u").unwrap();
+        b.table_as("orders", "o").unwrap();
+        let join = b.col("u.id").unwrap().eq(b.col("o.user_id").unwrap());
+        b.filter(join);
+        b.select_col("u.age").unwrap();
+        let q = b.build().unwrap();
+        assert_eq!(q.num_tables(), 2);
+        assert_eq!(q.join_predicates().count(), 1);
+        assert_eq!(q.select[0].name(), "age");
+    }
+
+    #[test]
+    fn unqualified_resolution() {
+        let cat = catalog();
+        let mut b = QueryBuilder::new(&cat);
+        b.table("users").unwrap();
+        b.table("orders").unwrap();
+        // "age" unique → ok; "id" ambiguous
+        assert!(b.col("age").is_ok());
+        assert!(matches!(b.col("id"), Err(QueryError::AmbiguousColumn(_))));
+        assert!(matches!(b.col("nope"), Err(QueryError::UnknownColumn(_))));
+        assert!(matches!(b.col("x.id"), Err(QueryError::UnknownAlias(_))));
+    }
+
+    #[test]
+    fn duplicate_alias_rejected() {
+        let cat = catalog();
+        let mut b = QueryBuilder::new(&cat);
+        b.table_as("users", "u").unwrap();
+        assert!(b.table_as("orders", "u").is_err());
+    }
+
+    #[test]
+    fn select_star_default() {
+        let cat = catalog();
+        let mut b = QueryBuilder::new(&cat);
+        b.table("users").unwrap();
+        let q = b.build().unwrap();
+        assert_eq!(q.select.len(), 2);
+        assert_eq!(q.select[0].name(), "users.id");
+    }
+
+    #[test]
+    fn order_by_resolution() {
+        let cat = catalog();
+        let mut b = QueryBuilder::new(&cat);
+        b.table("users").unwrap();
+        let age = b.col("age").unwrap();
+        b.select_expr(age, "age");
+        b.order_by("age", false);
+        let q = b.build().unwrap();
+        assert_eq!(q.order_by[0].output, 0);
+        assert!(!q.order_by[0].asc);
+
+        let mut b = QueryBuilder::new(&cat);
+        b.table("users").unwrap();
+        b.select_col("users.age").unwrap();
+        b.order_by("missing", true);
+        assert!(b.build().is_err());
+    }
+}

@@ -1,0 +1,52 @@
+//! Query-layer errors.
+
+use skinner_storage::StorageError;
+use std::fmt;
+
+/// Errors raised while building, parsing, or validating queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// Underlying storage error (missing table/column).
+    Storage(StorageError),
+    /// Unknown table alias in an expression.
+    UnknownAlias(String),
+    /// Unknown column name.
+    UnknownColumn(String),
+    /// Ambiguous unqualified column name.
+    AmbiguousColumn(String),
+    /// Unknown UDF name.
+    UnknownUdf(String),
+    /// SQL syntax error with position information.
+    Syntax {
+        /// Human-readable message.
+        message: String,
+        /// Byte offset in the input.
+        offset: usize,
+    },
+    /// Structurally invalid query (e.g. zero tables, >64 tables).
+    Invalid(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Storage(e) => write!(f, "{e}"),
+            QueryError::UnknownAlias(a) => write!(f, "unknown table alias: {a}"),
+            QueryError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            QueryError::AmbiguousColumn(c) => write!(f, "ambiguous column: {c}"),
+            QueryError::UnknownUdf(u) => write!(f, "unknown UDF: {u}"),
+            QueryError::Syntax { message, offset } => {
+                write!(f, "syntax error at byte {offset}: {message}")
+            }
+            QueryError::Invalid(m) => write!(f, "invalid query: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<StorageError> for QueryError {
+    fn from(e: StorageError) -> Self {
+        QueryError::Storage(e)
+    }
+}

@@ -1,0 +1,1026 @@
+//! A small SQL dialect sufficient for every query shape in the paper's
+//! evaluation (SPJ + aggregates + GROUP BY / ORDER BY / LIMIT / DISTINCT,
+//! IN / LIKE / BETWEEN / IS NULL predicates, and registered UDF calls).
+//!
+//! ```text
+//! SELECT [DISTINCT] item [, item ...]
+//! FROM table [AS] alias [, ...]
+//! [WHERE predicate]
+//! [GROUP BY expr [, ...]]
+//! [ORDER BY output [ASC|DESC] [, ...]]
+//! [LIMIT n]
+//! ```
+
+use crate::error::QueryError;
+use crate::expr::{BinOp, Expr, UnOp};
+use crate::query::{Agg, AggFunc, OrderKey, Query, SelectItem, TableBinding};
+use crate::udf::UdfRegistry;
+use skinner_storage::{Catalog, FxHashMap, Value};
+
+/// Parse `sql` against `catalog`; `udfs` resolves UDF calls.
+pub fn parse(sql: &str, catalog: &Catalog, udfs: &UdfRegistry) -> Result<Query, QueryError> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        catalog,
+        udfs,
+        tables: Vec::new(),
+        aliases: FxHashMap::default(),
+    };
+    let q = p.parse_query()?;
+    q.validate()?;
+    Ok(q)
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Sym(&'static str),
+}
+
+#[derive(Debug, Clone)]
+struct Spanned {
+    tok: Tok,
+    offset: usize,
+}
+
+fn tokenize(sql: &str) -> Result<Vec<Spanned>, QueryError> {
+    let bytes = sql.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        match c {
+            '\'' => {
+                // string literal with '' escaping
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(QueryError::Syntax {
+                            message: "unterminated string literal".into(),
+                            offset: start,
+                        });
+                    }
+                    if bytes[i] == b'\'' {
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(bytes[i] as char);
+                        i += 1;
+                    }
+                }
+                out.push(Spanned {
+                    tok: Tok::Str(s),
+                    offset: start,
+                });
+            }
+            '0'..='9' => {
+                let mut j = i;
+                let mut is_float = false;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_digit() || bytes[j] == b'.' || bytes[j] == b'e')
+                {
+                    if bytes[j] == b'.' || bytes[j] == b'e' {
+                        is_float = true;
+                    }
+                    j += 1;
+                    if j < bytes.len() && bytes[j - 1] == b'e' && bytes[j] == b'-' {
+                        j += 1;
+                    }
+                }
+                let text = &sql[i..j];
+                let tok = if is_float {
+                    Tok::Float(text.parse().map_err(|_| QueryError::Syntax {
+                        message: format!("bad number: {text}"),
+                        offset: start,
+                    })?)
+                } else {
+                    Tok::Int(text.parse().map_err(|_| QueryError::Syntax {
+                        message: format!("bad number: {text}"),
+                        offset: start,
+                    })?)
+                };
+                out.push(Spanned { tok, offset: start });
+                i = j;
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                out.push(Spanned {
+                    tok: Tok::Ident(sql[i..j].to_string()),
+                    offset: start,
+                });
+                i = j;
+            }
+            '<' => {
+                let sym = if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    i += 2;
+                    "<="
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    i += 2;
+                    "<>"
+                } else {
+                    i += 1;
+                    "<"
+                };
+                out.push(Spanned {
+                    tok: Tok::Sym(sym),
+                    offset: start,
+                });
+            }
+            '>' => {
+                let sym = if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    i += 2;
+                    ">="
+                } else {
+                    i += 1;
+                    ">"
+                };
+                out.push(Spanned {
+                    tok: Tok::Sym(sym),
+                    offset: start,
+                });
+            }
+            '!' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
+                i += 2;
+                out.push(Spanned {
+                    tok: Tok::Sym("<>"),
+                    offset: start,
+                });
+            }
+            '=' | '(' | ')' | ',' | '.' | '*' | '+' | '-' | '/' | '%' | ';' => {
+                let sym: &'static str = match c {
+                    '=' => "=",
+                    '(' => "(",
+                    ')' => ")",
+                    ',' => ",",
+                    '.' => ".",
+                    '*' => "*",
+                    '+' => "+",
+                    '-' => "-",
+                    '/' => "/",
+                    '%' => "%",
+                    ';' => ";",
+                    _ => unreachable!(),
+                };
+                i += 1;
+                out.push(Spanned {
+                    tok: Tok::Sym(sym),
+                    offset: start,
+                });
+            }
+            other => {
+                return Err(QueryError::Syntax {
+                    message: format!("unexpected character {other:?}"),
+                    offset: start,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    catalog: &'a Catalog,
+    udfs: &'a UdfRegistry,
+    tables: Vec<TableBinding>,
+    aliases: FxHashMap<String, usize>,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map_or(0, |s| s.offset)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> QueryError {
+        QueryError::Syntax {
+            message: msg.into(),
+            offset: self.offset(),
+        }
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|s| s.tok.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn eat_sym(&mut self, sym: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Sym(s)) if *s == sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), QueryError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {kw}")))
+        }
+    }
+
+    fn expect_sym(&mut self, sym: &str) -> Result<(), QueryError> {
+        if self.eat_sym(sym) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {sym:?}")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, QueryError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            _ => {
+                self.pos -= 1;
+                Err(self.err("expected identifier"))
+            }
+        }
+    }
+
+    fn parse_query(&mut self) -> Result<Query, QueryError> {
+        self.expect_kw("SELECT")?;
+        let distinct = self.eat_kw("DISTINCT");
+
+        // The SELECT list references FROM aliases, so capture it raw and
+        // resolve after FROM. We record token positions and re-parse.
+        let select_start = self.pos;
+        self.skip_until_kw("FROM")?;
+        let select_end = self.pos;
+        self.expect_kw("FROM")?;
+
+        // FROM list
+        loop {
+            let name = self.ident()?;
+            let alias = if self.eat_kw("AS") {
+                self.ident()?
+            } else if let Some(Tok::Ident(next)) = self.peek() {
+                if is_clause_keyword(next) {
+                    name.clone()
+                } else {
+                    self.ident()?
+                }
+            } else {
+                name.clone()
+            };
+            if self.aliases.contains_key(&alias) {
+                return Err(QueryError::Invalid(format!("duplicate alias: {alias}")));
+            }
+            let table = self.catalog.get(&name)?;
+            self.aliases.insert(alias.clone(), self.tables.len());
+            self.tables.push(TableBinding { alias, table });
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+
+        // WHERE
+        let mut predicates = Vec::new();
+        if self.eat_kw("WHERE") {
+            let pred = self.parse_or()?;
+            split_conjuncts(pred, &mut predicates);
+        }
+
+        // GROUP BY
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            loop {
+                group_by.push(self.parse_add()?);
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+        }
+
+        // ORDER BY (names resolved against the SELECT list below)
+        let mut order_raw: Vec<(String, bool)> = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let name = match self.next() {
+                    Some(Tok::Ident(s)) => s,
+                    Some(Tok::Int(i)) => format!("#{i}"),
+                    _ => return Err(self.err("expected ORDER BY key")),
+                };
+                let asc = if self.eat_kw("DESC") {
+                    false
+                } else {
+                    self.eat_kw("ASC");
+                    true
+                };
+                order_raw.push((name, asc));
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+        }
+
+        // LIMIT
+        let limit = if self.eat_kw("LIMIT") {
+            match self.next() {
+                Some(Tok::Int(n)) if n >= 0 => Some(n as usize),
+                _ => return Err(self.err("expected LIMIT count")),
+            }
+        } else {
+            None
+        };
+
+        self.eat_sym(";");
+        if self.pos < self.tokens.len() {
+            return Err(self.err("trailing tokens after query"));
+        }
+
+        // Now resolve the deferred SELECT list.
+        let end_state = self.pos;
+        self.pos = select_start;
+        let select = self.parse_select_list(select_end)?;
+        self.pos = end_state;
+
+        // Resolve ORDER BY keys against output names / positions.
+        let mut order_by = Vec::new();
+        for (name, asc) in order_raw {
+            let output = if let Some(stripped) = name.strip_prefix('#') {
+                let idx: usize = stripped.parse().map_err(|_| {
+                    QueryError::Invalid(format!("bad ORDER BY position {name}"))
+                })?;
+                idx.checked_sub(1)
+                    .ok_or_else(|| QueryError::Invalid("ORDER BY position 0".into()))?
+            } else {
+                select
+                    .iter()
+                    .position(|s| s.name().eq_ignore_ascii_case(&name))
+                    .ok_or_else(|| QueryError::UnknownColumn(name.clone()))?
+            };
+            order_by.push(OrderKey { output, asc });
+        }
+
+        Ok(Query {
+            tables: std::mem::take(&mut self.tables),
+            predicates,
+            select,
+            group_by,
+            order_by,
+            distinct,
+            limit,
+        })
+    }
+
+    fn skip_until_kw(&mut self, kw: &str) -> Result<(), QueryError> {
+        let mut depth = 0usize;
+        while let Some(tok) = self.peek() {
+            match tok {
+                Tok::Sym("(") => depth += 1,
+                Tok::Sym(")") => depth = depth.saturating_sub(1),
+                Tok::Ident(s) if depth == 0 && s.eq_ignore_ascii_case(kw) => return Ok(()),
+                _ => {}
+            }
+            self.pos += 1;
+        }
+        Err(self.err(format!("expected {kw} clause")))
+    }
+
+    fn parse_select_list(&mut self, end: usize) -> Result<Vec<SelectItem>, QueryError> {
+        let mut items = Vec::new();
+        loop {
+            if self.pos >= end {
+                return Err(self.err("empty SELECT item"));
+            }
+            // `*` or `alias.*`
+            if self.eat_sym("*") {
+                for (t, binding) in self.tables.iter().enumerate() {
+                    for (c, def) in binding.table.schema().columns().iter().enumerate() {
+                        items.push(SelectItem::Expr {
+                            expr: Expr::col(t, c),
+                            name: format!("{}.{}", binding.alias, def.name),
+                        });
+                    }
+                }
+            } else if let Some(item) = self.try_parse_star_qualified()? {
+                items.extend(item);
+            } else if let Some(agg) = self.try_parse_aggregate()? {
+                let name = if self.eat_kw("AS") {
+                    self.ident()?
+                } else {
+                    default_agg_name(&agg)
+                };
+                items.push(SelectItem::Agg { agg, name });
+            } else {
+                let expr = self.parse_add()?;
+                let name = if self.eat_kw("AS") {
+                    self.ident()?
+                } else {
+                    self.infer_name(&expr, items.len())
+                };
+                items.push(SelectItem::Expr { expr, name });
+            }
+            if self.pos >= end || !self.eat_sym(",") {
+                break;
+            }
+        }
+        if self.pos != end {
+            return Err(self.err("unexpected token in SELECT list"));
+        }
+        Ok(items)
+    }
+
+    fn try_parse_star_qualified(&mut self) -> Result<Option<Vec<SelectItem>>, QueryError> {
+        // alias.* — look ahead for Ident "." "*"
+        let is_star = matches!(
+            (
+                self.peek(),
+                self.tokens.get(self.pos + 1).map(|s| &s.tok),
+                self.tokens.get(self.pos + 2).map(|s| &s.tok),
+            ),
+            (Some(Tok::Ident(_)), Some(Tok::Sym(".")), Some(Tok::Sym("*")))
+        );
+        if is_star {
+            let alias = match self.peek() {
+                Some(Tok::Ident(a)) => a.clone(),
+                _ => unreachable!(),
+            };
+            let &t = self
+                .aliases
+                .get(&alias)
+                .ok_or_else(|| QueryError::UnknownAlias(alias.clone()))?;
+            self.pos += 3;
+            let binding = &self.tables[t];
+            let items = binding
+                .table
+                .schema()
+                .columns()
+                .iter()
+                .enumerate()
+                .map(|(c, def)| SelectItem::Expr {
+                    expr: Expr::col(t, c),
+                    name: format!("{}.{}", binding.alias, def.name),
+                })
+                .collect();
+            return Ok(Some(items));
+        }
+        Ok(None)
+    }
+
+    fn try_parse_aggregate(&mut self) -> Result<Option<Agg>, QueryError> {
+        let func = match self.peek() {
+            Some(Tok::Ident(s)) => match s.to_ascii_uppercase().as_str() {
+                "COUNT" => AggFunc::Count,
+                "SUM" => AggFunc::Sum,
+                "MIN" => AggFunc::Min,
+                "MAX" => AggFunc::Max,
+                "AVG" => AggFunc::Avg,
+                _ => return Ok(None),
+            },
+            _ => return Ok(None),
+        };
+        // must be followed by "("
+        if !matches!(
+            self.tokens.get(self.pos + 1).map(|s| &s.tok),
+            Some(Tok::Sym("("))
+        ) {
+            return Ok(None);
+        }
+        self.pos += 2;
+        let arg = if self.eat_sym("*") {
+            if func != AggFunc::Count {
+                return Err(self.err("only COUNT accepts *"));
+            }
+            None
+        } else {
+            Some(self.parse_add()?)
+        };
+        self.expect_sym(")")?;
+        Ok(Some(Agg { func, arg }))
+    }
+
+    fn infer_name(&self, expr: &Expr, idx: usize) -> String {
+        if let Expr::Col(c) = expr {
+            let binding = &self.tables[c.table];
+            let def = &binding.table.schema().columns()[c.column];
+            return def.name.clone();
+        }
+        format!("col{idx}")
+    }
+
+    // --- expression grammar (precedence climbing) ---
+
+    fn parse_or(&mut self) -> Result<Expr, QueryError> {
+        let mut lhs = self.parse_and()?;
+        while self.eat_kw("OR") {
+            let rhs = self.parse_and()?;
+            lhs = lhs.or(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, QueryError> {
+        let mut lhs = self.parse_not()?;
+        while self.eat_kw("AND") {
+            let rhs = self.parse_not()?;
+            lhs = lhs.and(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr, QueryError> {
+        if self.eat_kw("NOT") {
+            Ok(self.parse_not()?.not())
+        } else {
+            self.parse_comparison()
+        }
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr, QueryError> {
+        let lhs = self.parse_add()?;
+
+        // IS [NOT] NULL
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(lhs),
+                negated,
+            });
+        }
+
+        // [NOT] IN / LIKE / BETWEEN
+        let negated = self.eat_kw("NOT");
+        if self.eat_kw("IN") {
+            self.expect_sym("(")?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.parse_literal()?);
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+            self.expect_sym(")")?;
+            let e = lhs.in_list(list);
+            return Ok(if negated { e.not() } else { e });
+        }
+        if self.eat_kw("LIKE") {
+            let pattern = match self.next() {
+                Some(Tok::Str(s)) => s,
+                _ => return Err(self.err("expected LIKE pattern string")),
+            };
+            return Ok(Expr::Like {
+                expr: Box::new(lhs),
+                pattern,
+                negated,
+            });
+        }
+        if self.eat_kw("BETWEEN") {
+            let low = self.parse_add()?;
+            self.expect_kw("AND")?;
+            let high = self.parse_add()?;
+            let e = lhs.clone().ge(low).and(lhs.le(high));
+            return Ok(if negated { e.not() } else { e });
+        }
+        if negated {
+            return Err(self.err("expected IN, LIKE or BETWEEN after NOT"));
+        }
+
+        let op = match self.peek() {
+            Some(Tok::Sym("=")) => Some(BinOp::Eq),
+            Some(Tok::Sym("<>")) => Some(BinOp::Ne),
+            Some(Tok::Sym("<")) => Some(BinOp::Lt),
+            Some(Tok::Sym("<=")) => Some(BinOp::Le),
+            Some(Tok::Sym(">")) => Some(BinOp::Gt),
+            Some(Tok::Sym(">=")) => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let rhs = self.parse_add()?;
+            return Ok(Expr::Binary {
+                op,
+                left: Box::new(lhs),
+                right: Box::new(rhs),
+            });
+        }
+        Ok(lhs)
+    }
+
+    fn parse_add(&mut self) -> Result<Expr, QueryError> {
+        let mut lhs = self.parse_mul()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Sym("+")) => BinOp::Add,
+                Some(Tok::Sym("-")) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.parse_mul()?;
+            lhs = Expr::Binary {
+                op,
+                left: Box::new(lhs),
+                right: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_mul(&mut self) -> Result<Expr, QueryError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Sym("*")) => BinOp::Mul,
+                Some(Tok::Sym("/")) => BinOp::Div,
+                Some(Tok::Sym("%")) => BinOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.parse_unary()?;
+            lhs = Expr::Binary {
+                op,
+                left: Box::new(lhs),
+                right: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, QueryError> {
+        if self.eat_sym("-") {
+            let e = self.parse_unary()?;
+            return Ok(Expr::Unary {
+                op: UnOp::Neg,
+                expr: Box::new(e),
+            });
+        }
+        self.parse_primary()
+    }
+
+    fn parse_literal(&mut self) -> Result<Value, QueryError> {
+        match self.next() {
+            Some(Tok::Int(i)) => Ok(Value::Int(i)),
+            Some(Tok::Float(f)) => Ok(Value::Float(f)),
+            Some(Tok::Str(s)) => Ok(Value::str(s)),
+            Some(Tok::Sym("-")) => match self.next() {
+                Some(Tok::Int(i)) => Ok(Value::Int(-i)),
+                Some(Tok::Float(f)) => Ok(Value::Float(-f)),
+                _ => Err(self.err("expected number after -")),
+            },
+            _ => {
+                self.pos -= 1;
+                Err(self.err("expected literal"))
+            }
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, QueryError> {
+        match self.next() {
+            Some(Tok::Int(i)) => Ok(Expr::Literal(Value::Int(i))),
+            Some(Tok::Float(f)) => Ok(Expr::Literal(Value::Float(f))),
+            Some(Tok::Str(s)) => Ok(Expr::Literal(Value::str(s))),
+            Some(Tok::Sym("(")) => {
+                let e = self.parse_or()?;
+                self.expect_sym(")")?;
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) => {
+                if name.eq_ignore_ascii_case("NULL") {
+                    return Ok(Expr::Literal(Value::Null));
+                }
+                if name.eq_ignore_ascii_case("TRUE") {
+                    return Ok(Expr::Literal(Value::Int(1)));
+                }
+                if name.eq_ignore_ascii_case("FALSE") {
+                    return Ok(Expr::Literal(Value::Int(0)));
+                }
+                // UDF call?
+                if matches!(self.peek(), Some(Tok::Sym("("))) {
+                    let udf = self
+                        .udfs
+                        .get(&name)
+                        .ok_or_else(|| QueryError::UnknownUdf(name.clone()))?;
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    if !self.eat_sym(")") {
+                        loop {
+                            args.push(self.parse_add()?);
+                            if !self.eat_sym(",") {
+                                break;
+                            }
+                        }
+                        self.expect_sym(")")?;
+                    }
+                    return Ok(Expr::Udf { udf, args });
+                }
+                // qualified column alias.column?
+                if self.eat_sym(".") {
+                    let column = self.ident()?;
+                    let &t = self
+                        .aliases
+                        .get(&name)
+                        .ok_or_else(|| QueryError::UnknownAlias(name.clone()))?;
+                    let c = self.tables[t]
+                        .table
+                        .schema()
+                        .index_of(&column)
+                        .ok_or_else(|| {
+                            QueryError::UnknownColumn(format!("{name}.{column}"))
+                        })?;
+                    return Ok(Expr::col(t, c));
+                }
+                // unqualified column
+                let mut found = None;
+                for (t, binding) in self.tables.iter().enumerate() {
+                    if let Some(c) = binding.table.schema().index_of(&name) {
+                        if found.is_some() {
+                            return Err(QueryError::AmbiguousColumn(name));
+                        }
+                        found = Some(Expr::col(t, c));
+                    }
+                }
+                found.ok_or(QueryError::UnknownColumn(name))
+            }
+            _ => {
+                self.pos -= 1;
+                Err(self.err("expected expression"))
+            }
+        }
+    }
+}
+
+fn is_clause_keyword(s: &str) -> bool {
+    ["WHERE", "GROUP", "ORDER", "LIMIT", "AS", "ON"]
+        .iter()
+        .any(|k| s.eq_ignore_ascii_case(k))
+}
+
+fn default_agg_name(agg: &Agg) -> String {
+    let f = match agg.func {
+        AggFunc::Count => "count",
+        AggFunc::Sum => "sum",
+        AggFunc::Min => "min",
+        AggFunc::Max => "max",
+        AggFunc::Avg => "avg",
+    };
+    f.to_string()
+}
+
+/// Split an expression tree on top-level ANDs into conjuncts (CNF-lite:
+/// ORs stay nested).
+fn split_conjuncts(e: Expr, out: &mut Vec<Expr>) {
+    match e {
+        Expr::Binary {
+            op: BinOp::And,
+            left,
+            right,
+        } => {
+            split_conjuncts(*left, out);
+            split_conjuncts(*right, out);
+        }
+        other => out.push(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::udf::Udf;
+    use skinner_storage::{Column, ColumnDef, Schema, Table, ValueType};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(
+            Table::new(
+                "movies",
+                Schema::new([
+                    ColumnDef::new("id", ValueType::Int),
+                    ColumnDef::new("year", ValueType::Int),
+                    ColumnDef::new("title", ValueType::Str),
+                ]),
+                vec![
+                    Column::from_ints(vec![1, 2]),
+                    Column::from_ints(vec![1999, 2005]),
+                    Column::from_strs(["a", "b"]),
+                ],
+            )
+            .unwrap(),
+        );
+        c.register(
+            Table::new(
+                "ratings",
+                Schema::new([
+                    ColumnDef::new("movie_id", ValueType::Int),
+                    ColumnDef::new("score", ValueType::Float),
+                ]),
+                vec![
+                    Column::from_ints(vec![1]),
+                    Column::from_floats(vec![8.5]),
+                ],
+            )
+            .unwrap(),
+        );
+        c
+    }
+
+    fn parse_ok(sql: &str) -> Query {
+        parse(sql, &catalog(), &UdfRegistry::new()).unwrap()
+    }
+
+    #[test]
+    fn simple_select() {
+        let q = parse_ok("SELECT m.title FROM movies m WHERE m.year > 2000");
+        assert_eq!(q.num_tables(), 1);
+        assert_eq!(q.predicates.len(), 1);
+        assert_eq!(q.select.len(), 1);
+        assert_eq!(q.select[0].name(), "title");
+    }
+
+    #[test]
+    fn join_with_conjunct_split() {
+        let q = parse_ok(
+            "SELECT m.title, r.score FROM movies m, ratings r \
+             WHERE m.id = r.movie_id AND m.year >= 1990 AND r.score > 7.0",
+        );
+        assert_eq!(q.num_tables(), 2);
+        assert_eq!(q.predicates.len(), 3);
+        assert_eq!(q.join_predicates().count(), 1);
+        assert_eq!(q.unary_predicates(0).count(), 1);
+        assert_eq!(q.unary_predicates(1).count(), 1);
+    }
+
+    #[test]
+    fn aggregates_and_grouping() {
+        let q = parse_ok(
+            "SELECT m.year, COUNT(*) AS n, AVG(r.score) AS avg_score \
+             FROM movies m, ratings r WHERE m.id = r.movie_id \
+             GROUP BY m.year ORDER BY n DESC LIMIT 5",
+        );
+        assert!(q.has_aggregates());
+        assert_eq!(q.group_by.len(), 1);
+        assert_eq!(q.order_by.len(), 1);
+        assert_eq!(q.order_by[0].output, 1);
+        assert!(!q.order_by[0].asc);
+        assert_eq!(q.limit, Some(5));
+    }
+
+    #[test]
+    fn distinct_and_star() {
+        let q = parse_ok("SELECT DISTINCT * FROM movies");
+        assert!(q.distinct);
+        assert_eq!(q.select.len(), 3);
+        assert_eq!(q.select[0].name(), "movies.id");
+    }
+
+    #[test]
+    fn qualified_star() {
+        let q = parse_ok("SELECT m.* FROM movies m, ratings r WHERE m.id = r.movie_id");
+        assert_eq!(q.select.len(), 3);
+    }
+
+    #[test]
+    fn in_like_between_null() {
+        let q = parse_ok(
+            "SELECT m.id FROM movies m WHERE m.year IN (1999, 2005) \
+             AND m.title LIKE 'a%' AND m.year BETWEEN 1990 AND 2010 \
+             AND m.title IS NOT NULL",
+        );
+        // IN, LIKE, BETWEEN (as one conjunct: ge AND le splits into 2), IS NOT NULL
+        assert_eq!(q.predicates.len(), 5);
+    }
+
+    #[test]
+    fn not_in() {
+        let q = parse_ok("SELECT m.id FROM movies m WHERE m.year NOT IN (1999)");
+        assert_eq!(q.predicates.len(), 1);
+    }
+
+    #[test]
+    fn udf_call() {
+        let mut udfs = UdfRegistry::new();
+        udfs.register(Udf::new("is_good", |args| {
+            Value::from(args[0].as_f64().map_or(false, |f| f > 8.0))
+        }));
+        let q = parse(
+            "SELECT r.movie_id FROM ratings r WHERE is_good(r.score)",
+            &catalog(),
+            &udfs,
+        )
+        .unwrap();
+        assert!(q.predicates[0].contains_udf());
+    }
+
+    #[test]
+    fn unknown_udf_rejected() {
+        let err = parse(
+            "SELECT r.movie_id FROM ratings r WHERE nope(r.score)",
+            &catalog(),
+            &UdfRegistry::new(),
+        );
+        assert!(matches!(err, Err(QueryError::UnknownUdf(_))));
+    }
+
+    #[test]
+    fn syntax_errors_have_position() {
+        let err = parse("SELECT FROM movies", &catalog(), &UdfRegistry::new());
+        assert!(err.is_err());
+        let err = parse("SELECT m.id movies m", &catalog(), &UdfRegistry::new());
+        assert!(err.is_err());
+        let err = parse(
+            "SELECT m.id FROM movies m WHERE",
+            &catalog(),
+            &UdfRegistry::new(),
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn string_literal_escaping() {
+        let q = parse_ok("SELECT m.id FROM movies m WHERE m.title = 'it''s'");
+        match &q.predicates[0] {
+            Expr::Binary { right, .. } => match right.as_ref() {
+                Expr::Literal(v) => assert_eq!(v.as_str(), Some("it's")),
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn order_by_position() {
+        let q = parse_ok("SELECT m.id, m.year FROM movies m ORDER BY 2 DESC");
+        assert_eq!(q.order_by[0].output, 1);
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let q = parse_ok("SELECT m.id + 2 * 3 AS x FROM movies m");
+        if let SelectItem::Expr { expr, .. } = &q.select[0] {
+            // must parse as id + (2*3)
+            if let Expr::Binary { op, right, .. } = expr {
+                assert_eq!(*op, BinOp::Add);
+                assert!(matches!(right.as_ref(), Expr::Binary { op: BinOp::Mul, .. }));
+                return;
+            }
+        }
+        panic!("bad parse");
+    }
+
+    #[test]
+    fn or_not_split() {
+        let q = parse_ok("SELECT m.id FROM movies m WHERE m.year = 1999 OR m.year = 2005");
+        assert_eq!(q.predicates.len(), 1);
+    }
+
+    #[test]
+    fn unary_minus() {
+        let q = parse_ok("SELECT m.id FROM movies m WHERE m.year > -5");
+        assert_eq!(q.predicates.len(), 1);
+    }
+
+    #[test]
+    fn missing_table() {
+        let err = parse("SELECT x.id FROM nope x", &catalog(), &UdfRegistry::new());
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,173 @@
+//! User-defined functions: black-box predicates and scalar functions.
+//!
+//! UDF predicates "may hide complex code, invocations of external
+//! services, or even calls to human crowd workers" (paper appendix) and
+//! must be treated as opaque by any optimizer. They are the scenario where
+//! SkinnerDB's learn-during-execution approach shines (Figure 9, the
+//! TPC-H/UDF variant in Figure 13/Table 7).
+//!
+//! A [`Udf`] carries an optional `cost_hint`: an abstract amount of extra
+//! work per invocation that [`Udf::call`] actually performs (a checked
+//! arithmetic spin loop), so that expensive predicates are expensive for
+//! *every* engine in the benchmark suite, uniformly.
+
+use skinner_storage::Value;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+type UdfFn = dyn Fn(&[Value]) -> Value + Send + Sync;
+
+/// A named, opaque scalar function.
+pub struct Udf {
+    /// Function name as referenced from SQL.
+    pub name: String,
+    /// Abstract per-invocation cost (work units burned by [`Udf::call`]).
+    pub cost_hint: u32,
+    func: Box<UdfFn>,
+    calls: AtomicU64,
+}
+
+impl fmt::Debug for Udf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Udf")
+            .field("name", &self.name)
+            .field("cost_hint", &self.cost_hint)
+            .field("calls", &self.calls.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Udf {
+    /// Define a UDF with zero extra cost.
+    pub fn new(
+        name: impl Into<String>,
+        f: impl Fn(&[Value]) -> Value + Send + Sync + 'static,
+    ) -> Arc<Udf> {
+        Udf::with_cost(name, 0, f)
+    }
+
+    /// Define a UDF that burns `cost_hint` abstract work units per call.
+    pub fn with_cost(
+        name: impl Into<String>,
+        cost_hint: u32,
+        f: impl Fn(&[Value]) -> Value + Send + Sync + 'static,
+    ) -> Arc<Udf> {
+        Arc::new(Udf {
+            name: name.into(),
+            cost_hint,
+            func: Box::new(f),
+            calls: AtomicU64::new(0),
+        })
+    }
+
+    /// Invoke the UDF (counts the call and burns `cost_hint` work units).
+    pub fn call(&self, args: &[Value]) -> Value {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        if self.cost_hint > 0 {
+            // Burn deterministic work so expensive UDFs cost wall-clock
+            // time in every engine; black_box prevents removal.
+            let mut acc = 0u64;
+            for i in 0..self.cost_hint {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i as u64);
+            }
+            std::hint::black_box(acc);
+        }
+        (self.func)(args)
+    }
+
+    /// Number of invocations so far (used by the Figure 11 experiment to
+    /// count predicate evaluations, an engine-independent effort metric).
+    pub fn call_count(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Reset the invocation counter.
+    pub fn reset_calls(&self) {
+        self.calls.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A registry resolving UDF names for the SQL parser.
+#[derive(Default, Clone)]
+pub struct UdfRegistry {
+    udfs: Vec<Arc<Udf>>,
+}
+
+impl fmt::Debug for UdfRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "UdfRegistry({} udfs)", self.udfs.len())
+    }
+}
+
+impl UdfRegistry {
+    /// Empty registry.
+    pub fn new() -> UdfRegistry {
+        UdfRegistry::default()
+    }
+
+    /// Register a UDF (later registrations shadow earlier ones by name).
+    pub fn register(&mut self, udf: Arc<Udf>) {
+        self.udfs.push(udf);
+    }
+
+    /// Resolve a UDF by (case-insensitive) name.
+    pub fn get(&self, name: &str) -> Option<Arc<Udf>> {
+        self.udfs
+            .iter()
+            .rev()
+            .find(|u| u.name.eq_ignore_ascii_case(name))
+            .cloned()
+    }
+
+    /// All registered UDFs.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<Udf>> {
+        self.udfs.iter()
+    }
+
+    /// Sum of call counts over all registered UDFs.
+    pub fn total_calls(&self) -> u64 {
+        self.udfs.iter().map(|u| u.call_count()).sum()
+    }
+
+    /// Reset call counts on all registered UDFs.
+    pub fn reset_calls(&self) {
+        for u in &self.udfs {
+            u.reset_calls();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn call_and_count() {
+        let u = Udf::new("is_even", |args| {
+            Value::from(args[0].as_int().map_or(false, |i| i % 2 == 0))
+        });
+        assert_eq!(u.call(&[Value::Int(4)]), Value::Int(1));
+        assert_eq!(u.call(&[Value::Int(5)]), Value::Int(0));
+        assert_eq!(u.call_count(), 2);
+        u.reset_calls();
+        assert_eq!(u.call_count(), 0);
+    }
+
+    #[test]
+    fn cost_hint_burns_work() {
+        let u = Udf::with_cost("slow", 1000, |_| Value::Int(1));
+        assert_eq!(u.call(&[]), Value::Int(1));
+        assert_eq!(u.cost_hint, 1000);
+    }
+
+    #[test]
+    fn registry_lookup_case_insensitive_and_shadowing() {
+        let mut r = UdfRegistry::new();
+        r.register(Udf::new("f", |_| Value::Int(1)));
+        r.register(Udf::new("F", |_| Value::Int(2)));
+        assert_eq!(r.get("f").unwrap().call(&[]), Value::Int(2));
+        assert!(r.get("g").is_none());
+        assert_eq!(r.total_calls(), 1);
+    }
+}

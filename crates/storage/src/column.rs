@@ -1,0 +1,441 @@
+//! Typed column vectors with optional validity bitmaps.
+//!
+//! Columns store data contiguously per type: `i64`, `f64`, or
+//! dictionary-encoded strings (`u32` codes into a per-column dictionary).
+//! Execution engines access columns through the typed fast paths
+//! ([`Column::int`], [`Column::float`], [`Column::str_code`]) and only
+//! materialize [`Value`]s at the edges of the system.
+//!
+//! # Join keys
+//!
+//! Equality joins and hash indexes operate on a 64-bit *join key*
+//! ([`Column::join_key`]): integers map to themselves, floats to their bit
+//! pattern, and strings to an FxHash of their bytes. String join keys may
+//! collide, so every consumer re-verifies the underlying equality predicate
+//! after a probe — hash collisions cost extra checks, never wrong results.
+
+use crate::bitmap::Bitmap;
+use crate::hash::FxHashMap;
+use crate::value::{Value, ValueType};
+use std::hash::Hasher;
+use std::sync::Arc;
+
+/// Per-column string dictionary: code → string, string → code.
+#[derive(Debug, Default, Clone)]
+pub struct StrDict {
+    values: Vec<Arc<str>>,
+    lookup: FxHashMap<Arc<str>, u32>,
+}
+
+impl StrDict {
+    /// Intern `s`, returning its (possibly fresh) code.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&code) = self.lookup.get(s) {
+            return code;
+        }
+        let code = self.values.len() as u32;
+        let arc: Arc<str> = Arc::from(s);
+        self.values.push(arc.clone());
+        self.lookup.insert(arc, code);
+        code
+    }
+
+    /// Look up the code for `s` without interning.
+    pub fn code_of(&self, s: &str) -> Option<u32> {
+        self.lookup.get(s).copied()
+    }
+
+    /// The string for `code`.
+    pub fn resolve(&self, code: u32) -> &Arc<str> {
+        &self.values[code as usize]
+    }
+
+    /// Number of distinct strings.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if no strings have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum ColumnData {
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    Str { codes: Vec<u32>, dict: StrDict },
+}
+
+/// A single table column: typed data plus an optional validity bitmap
+/// (absent ⇒ no NULLs).
+#[derive(Debug, Clone)]
+pub struct Column {
+    data: ColumnData,
+    validity: Option<Bitmap>,
+}
+
+fn str_key(s: &str) -> i64 {
+    let mut h = crate::hash::FxHasher::default();
+    h.write(s.as_bytes());
+    h.finish() as i64
+}
+
+impl Column {
+    /// Build an integer column from raw values (no NULLs).
+    pub fn from_ints(v: Vec<i64>) -> Column {
+        Column {
+            data: ColumnData::Int(v),
+            validity: None,
+        }
+    }
+
+    /// Build a float column from raw values (no NULLs).
+    pub fn from_floats(v: Vec<f64>) -> Column {
+        Column {
+            data: ColumnData::Float(v),
+            validity: None,
+        }
+    }
+
+    /// Build a dictionary-encoded string column (no NULLs).
+    pub fn from_strs<S: AsRef<str>>(vals: impl IntoIterator<Item = S>) -> Column {
+        let mut dict = StrDict::default();
+        let codes = vals.into_iter().map(|s| dict.intern(s.as_ref())).collect();
+        Column {
+            data: ColumnData::Str { codes, dict },
+            validity: None,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match &self.data {
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Str { codes, .. } => codes.len(),
+        }
+    }
+
+    /// True if the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The column's value type.
+    pub fn value_type(&self) -> ValueType {
+        match &self.data {
+            ColumnData::Int(_) => ValueType::Int,
+            ColumnData::Float(_) => ValueType::Float,
+            ColumnData::Str { .. } => ValueType::Str,
+        }
+    }
+
+    /// Is row `i` NULL?
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        match &self.validity {
+            Some(v) => !v.get(i),
+            None => false,
+        }
+    }
+
+    /// True if the column can contain NULLs.
+    pub fn nullable(&self) -> bool {
+        self.validity.is_some()
+    }
+
+    /// Typed access: integer at row `i`. Panics on type mismatch; NULL
+    /// rows return an unspecified placeholder (callers check
+    /// [`Column::is_null`] first where it matters).
+    #[inline]
+    pub fn int(&self, i: usize) -> i64 {
+        match &self.data {
+            ColumnData::Int(v) => v[i],
+            _ => panic!("column is not INT"),
+        }
+    }
+
+    /// Typed access: float at row `i`.
+    #[inline]
+    pub fn float(&self, i: usize) -> f64 {
+        match &self.data {
+            ColumnData::Float(v) => v[i],
+            _ => panic!("column is not FLOAT"),
+        }
+    }
+
+    /// Typed access: dictionary code at row `i`.
+    #[inline]
+    pub fn str_code(&self, i: usize) -> u32 {
+        match &self.data {
+            ColumnData::Str { codes, .. } => codes[i],
+            _ => panic!("column is not TEXT"),
+        }
+    }
+
+    /// The dictionary of a string column.
+    pub fn dict(&self) -> Option<&StrDict> {
+        match &self.data {
+            ColumnData::Str { dict, .. } => Some(dict),
+            _ => None,
+        }
+    }
+
+    /// Raw integer slice (fast path for vectorized operators).
+    pub fn ints(&self) -> Option<&[i64]> {
+        match &self.data {
+            ColumnData::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Raw float slice.
+    pub fn floats(&self) -> Option<&[f64]> {
+        match &self.data {
+            ColumnData::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Raw dictionary-code slice of a string column.
+    pub fn str_codes(&self) -> Option<&[u32]> {
+        match &self.data {
+            ColumnData::Str { codes, .. } => Some(codes),
+            _ => None,
+        }
+    }
+
+    /// Materialize the [`Value`] at row `i`.
+    pub fn get(&self, i: usize) -> Value {
+        if self.is_null(i) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Int(v) => Value::Int(v[i]),
+            ColumnData::Float(v) => Value::Float(v[i]),
+            ColumnData::Str { codes, dict } => Value::Str(dict.resolve(codes[i]).clone()),
+        }
+    }
+
+    /// 64-bit equality join key for row `i` (see module docs; string keys
+    /// are hashes and must be re-verified by the caller). NULL rows have
+    /// no join key.
+    #[inline]
+    pub fn join_key(&self, i: usize) -> Option<i64> {
+        if self.is_null(i) {
+            return None;
+        }
+        Some(match &self.data {
+            ColumnData::Int(v) => v[i],
+            ColumnData::Float(v) => v[i].to_bits() as i64,
+            ColumnData::Str { codes, dict } => str_key(dict.resolve(codes[i])),
+        })
+    }
+
+    /// The join key a literal [`Value`] would have in this column, used to
+    /// translate predicate constants once per query instead of per row.
+    pub fn join_key_of_value(&self, v: &Value) -> Option<i64> {
+        match (&self.data, v) {
+            (_, Value::Null) => None,
+            (ColumnData::Int(_), Value::Int(x)) => Some(*x),
+            (ColumnData::Float(_), Value::Float(x)) => Some(x.to_bits() as i64),
+            (ColumnData::Float(_), Value::Int(x)) => Some((*x as f64).to_bits() as i64),
+            (ColumnData::Str { .. }, Value::Str(s)) => Some(str_key(s)),
+            _ => None,
+        }
+    }
+
+    /// Attach a validity bitmap (`true` = valid). Length must match.
+    pub fn with_validity(mut self, validity: Bitmap) -> Column {
+        assert_eq!(validity.len(), self.len(), "validity length mismatch");
+        self.validity = Some(validity);
+        self
+    }
+
+    /// Gather the rows at `positions` into a new column (used by the
+    /// simulated engines when materializing intermediate results).
+    pub fn gather(&self, positions: &[u32]) -> Column {
+        let validity = self.validity.as_ref().map(|v| {
+            let mut out = Bitmap::zeros(positions.len());
+            for (new, &old) in positions.iter().enumerate() {
+                out.set(new, v.get(old as usize));
+            }
+            out
+        });
+        let data = match &self.data {
+            ColumnData::Int(v) => {
+                ColumnData::Int(positions.iter().map(|&p| v[p as usize]).collect())
+            }
+            ColumnData::Float(v) => {
+                ColumnData::Float(positions.iter().map(|&p| v[p as usize]).collect())
+            }
+            ColumnData::Str { codes, dict } => ColumnData::Str {
+                codes: positions.iter().map(|&p| codes[p as usize]).collect(),
+                dict: dict.clone(),
+            },
+        };
+        Column { data, validity }
+    }
+}
+
+/// Incremental column construction from dynamically typed values.
+#[derive(Debug)]
+pub struct ColumnBuilder {
+    ty: ValueType,
+    ints: Vec<i64>,
+    floats: Vec<f64>,
+    codes: Vec<u32>,
+    dict: StrDict,
+    nulls: Vec<usize>,
+    len: usize,
+}
+
+impl ColumnBuilder {
+    /// New builder for a column of type `ty`.
+    pub fn new(ty: ValueType) -> ColumnBuilder {
+        ColumnBuilder {
+            ty,
+            ints: Vec::new(),
+            floats: Vec::new(),
+            codes: Vec::new(),
+            dict: StrDict::default(),
+            nulls: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Append a value; NULL and type-mismatched values become NULL.
+    pub fn push(&mut self, v: &Value) {
+        match (self.ty, v) {
+            (ValueType::Int, Value::Int(x)) => self.ints.push(*x),
+            (ValueType::Float, Value::Float(x)) => self.floats.push(*x),
+            (ValueType::Float, Value::Int(x)) => self.floats.push(*x as f64),
+            (ValueType::Str, Value::Str(s)) => {
+                let c = self.dict.intern(s);
+                self.codes.push(c);
+            }
+            _ => {
+                self.nulls.push(self.len);
+                match self.ty {
+                    ValueType::Int => self.ints.push(0),
+                    ValueType::Float => self.floats.push(0.0),
+                    ValueType::Str => {
+                        let c = self.dict.intern("");
+                        self.codes.push(c);
+                    }
+                }
+            }
+        }
+        self.len += 1;
+    }
+
+    /// Finish construction.
+    pub fn finish(self) -> Column {
+        let data = match self.ty {
+            ValueType::Int => ColumnData::Int(self.ints),
+            ValueType::Float => ColumnData::Float(self.floats),
+            ValueType::Str => ColumnData::Str {
+                codes: self.codes,
+                dict: self.dict,
+            },
+        };
+        let validity = if self.nulls.is_empty() {
+            None
+        } else {
+            let mut v = Bitmap::ones(self.len);
+            for i in self.nulls {
+                v.set(i, false);
+            }
+            Some(v)
+        };
+        Column { data, validity }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_column_roundtrip() {
+        let c = Column::from_ints(vec![3, 1, 4]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.value_type(), ValueType::Int);
+        assert_eq!(c.int(1), 1);
+        assert_eq!(c.get(2), Value::Int(4));
+        assert_eq!(c.join_key(0), Some(3));
+    }
+
+    #[test]
+    fn str_column_dictionary() {
+        let c = Column::from_strs(["a", "b", "a", "c"]);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.str_code(0), c.str_code(2));
+        assert_ne!(c.str_code(0), c.str_code(1));
+        assert_eq!(c.get(3), Value::str("c"));
+        assert_eq!(c.dict().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn str_join_keys_cross_column_consistent() {
+        // Two columns with *different* dictionaries must produce equal join
+        // keys for equal strings (keys are content hashes, not codes).
+        let a = Column::from_strs(["x", "y"]);
+        let b = Column::from_strs(["y", "x"]);
+        assert_eq!(a.join_key(0), b.join_key(1));
+        assert_eq!(a.join_key(1), b.join_key(0));
+        assert_ne!(a.join_key(0), a.join_key(1));
+    }
+
+    #[test]
+    fn join_key_of_value_matches_row_keys() {
+        let c = Column::from_strs(["hello", "world"]);
+        assert_eq!(
+            c.join_key_of_value(&Value::str("world")),
+            c.join_key(1)
+        );
+        let f = Column::from_floats(vec![1.5]);
+        assert_eq!(f.join_key_of_value(&Value::Float(1.5)), f.join_key(0));
+        assert_eq!(f.join_key_of_value(&Value::Int(1)), Some(1.0f64.to_bits() as i64));
+    }
+
+    #[test]
+    fn builder_with_nulls() {
+        let mut b = ColumnBuilder::new(ValueType::Int);
+        b.push(&Value::Int(1));
+        b.push(&Value::Null);
+        b.push(&Value::Int(3));
+        let c = b.finish();
+        assert!(!c.is_null(0));
+        assert!(c.is_null(1));
+        assert_eq!(c.get(1), Value::Null);
+        assert_eq!(c.join_key(1), None);
+        assert_eq!(c.get(2), Value::Int(3));
+    }
+
+    #[test]
+    fn builder_widens_int_to_float() {
+        let mut b = ColumnBuilder::new(ValueType::Float);
+        b.push(&Value::Int(2));
+        b.push(&Value::Float(0.5));
+        let c = b.finish();
+        assert_eq!(c.float(0), 2.0);
+        assert_eq!(c.float(1), 0.5);
+    }
+
+    #[test]
+    fn gather_preserves_values_and_nulls() {
+        let mut b = ColumnBuilder::new(ValueType::Str);
+        b.push(&Value::str("a"));
+        b.push(&Value::Null);
+        b.push(&Value::str("c"));
+        let c = b.finish();
+        let g = c.gather(&[2, 1, 0, 2]);
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.get(0), Value::str("c"));
+        assert_eq!(g.get(1), Value::Null);
+        assert_eq!(g.get(3), Value::str("c"));
+    }
+}

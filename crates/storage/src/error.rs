@@ -1,0 +1,33 @@
+//! Storage-level errors.
+
+use std::fmt;
+
+/// Errors raised by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// Referenced table is not in the catalog.
+    NoSuchTable(String),
+    /// Referenced column does not exist in the table.
+    NoSuchColumn {
+        /// Table searched.
+        table: String,
+        /// Missing column name.
+        column: String,
+    },
+    /// Columns do not line up with the declared schema.
+    SchemaMismatch(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            StorageError::NoSuchColumn { table, column } => {
+                write!(f, "no such column: {table}.{column}")
+            }
+            StorageError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}

@@ -1,0 +1,157 @@
+//! Hash indexes on join-key columns.
+//!
+//! SkinnerDB's pre-processor creates hash tables "on all columns subject to
+//! equality predicates" (§4.5). The custom multi-way join then replaces the
+//! naive `index += 1` tuple advance with a *jump* "directly to the next
+//! highest tuple index that satisfies at least all applicable equality
+//! predicates" — here [`HashIndex::next_ge`], a binary search over a sorted
+//! posting list.
+//!
+//! Postings are positions within the *filtered* tuple space handed to
+//! [`HashIndex::build`] (only tuples surviving unary predicates are hashed,
+//! as in the paper), which keeps the index small and probe results directly
+//! usable as Skinner-C tuple indices.
+
+use crate::column::Column;
+use crate::hash::FxHashMap;
+
+/// A value → sorted-posting-list index over one column.
+#[derive(Debug, Clone, Default)]
+pub struct HashIndex {
+    postings: FxHashMap<i64, Vec<u32>>,
+    /// Number of indexed (non-NULL) entries.
+    entries: usize,
+}
+
+impl HashIndex {
+    /// Build an index over `col`.
+    ///
+    /// If `positions` is given, entry `i` of the index corresponds to base
+    /// row `positions[i]` and postings contain *filtered positions*
+    /// `0..positions.len()`; otherwise postings are base row ids. NULL rows
+    /// are not indexed (NULL never matches an equality predicate).
+    pub fn build(col: &Column, positions: Option<&[u32]>) -> HashIndex {
+        let mut postings: FxHashMap<i64, Vec<u32>> = FxHashMap::default();
+        let mut entries = 0;
+        let mut add = |key: Option<i64>, pos: u32| {
+            if let Some(k) = key {
+                postings.entry(k).or_default().push(pos);
+                entries += 1;
+            }
+        };
+        match positions {
+            Some(rows) => {
+                for (i, &r) in rows.iter().enumerate() {
+                    add(col.join_key(r as usize), i as u32);
+                }
+            }
+            None => {
+                for r in 0..col.len() {
+                    add(col.join_key(r), r as u32);
+                }
+            }
+        }
+        // Posting lists are sorted by construction (positions visited in
+        // ascending order); keep a debug check to catch regressions.
+        debug_assert!(postings
+            .values()
+            .all(|v| v.windows(2).all(|w| w[0] < w[1])));
+        HashIndex { postings, entries }
+    }
+
+    /// All positions whose join key equals `key` (ascending). String keys
+    /// are hashes, so callers must re-verify the underlying predicate.
+    pub fn probe(&self, key: i64) -> &[u32] {
+        self.postings.get(&key).map_or(&[], Vec::as_slice)
+    }
+
+    /// Smallest indexed position `>= min` with the given key — the §4.5
+    /// "jump". Returns `None` when the key's posting list is exhausted.
+    #[inline]
+    pub fn next_ge(&self, key: i64, min: u32) -> Option<u32> {
+        let list = self.postings.get(&key)?;
+        let i = list.partition_point(|&p| p < min);
+        list.get(i).copied()
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Number of indexed entries (non-NULL rows).
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// True if nothing was indexed.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Approximate heap footprint in bytes (reported by the Figure 8
+    /// memory experiment).
+    pub fn approx_bytes(&self) -> usize {
+        self.postings.len() * (std::mem::size_of::<i64>() + std::mem::size_of::<Vec<u32>>())
+            + self.entries * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::ColumnBuilder;
+    use crate::value::{Value, ValueType};
+
+    #[test]
+    fn build_over_all_rows() {
+        let col = Column::from_ints(vec![5, 7, 5, 5, 7]);
+        let idx = HashIndex::build(&col, None);
+        assert_eq!(idx.probe(5), &[0, 2, 3]);
+        assert_eq!(idx.probe(7), &[1, 4]);
+        assert_eq!(idx.probe(9), &[] as &[u32]);
+        assert_eq!(idx.distinct_keys(), 2);
+        assert_eq!(idx.len(), 5);
+    }
+
+    #[test]
+    fn build_over_filtered_positions() {
+        let col = Column::from_ints(vec![5, 7, 5, 5, 7]);
+        // filtered space keeps base rows 1,2,4 → positions 0,1,2
+        let idx = HashIndex::build(&col, Some(&[1, 2, 4]));
+        assert_eq!(idx.probe(7), &[0, 2]);
+        assert_eq!(idx.probe(5), &[1]);
+    }
+
+    #[test]
+    fn next_ge_jumps() {
+        let col = Column::from_ints(vec![5, 7, 5, 5, 7, 5]);
+        let idx = HashIndex::build(&col, None);
+        assert_eq!(idx.next_ge(5, 0), Some(0));
+        assert_eq!(idx.next_ge(5, 1), Some(2));
+        assert_eq!(idx.next_ge(5, 3), Some(3));
+        assert_eq!(idx.next_ge(5, 4), Some(5));
+        assert_eq!(idx.next_ge(5, 6), None);
+        assert_eq!(idx.next_ge(42, 0), None);
+    }
+
+    #[test]
+    fn nulls_not_indexed() {
+        let mut b = ColumnBuilder::new(ValueType::Int);
+        b.push(&Value::Int(1));
+        b.push(&Value::Null);
+        b.push(&Value::Int(1));
+        let col = b.finish();
+        let idx = HashIndex::build(&col, None);
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.probe(1), &[0, 2]);
+    }
+
+    #[test]
+    fn string_keys_probe() {
+        let col = Column::from_strs(["x", "y", "x"]);
+        let idx = HashIndex::build(&col, None);
+        let key = col.join_key(0).unwrap();
+        assert_eq!(idx.probe(key), &[0, 2]);
+    }
+}

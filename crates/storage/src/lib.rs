@@ -1,0 +1,49 @@
+//! # skinner-storage
+//!
+//! In-memory column-store substrate for SkinnerDB-rs.
+//!
+//! SkinnerDB's custom execution engine (the paper's Skinner-C, §4.5)
+//! assumes "a column store architecture (allowing quick access to selected
+//! columns) and a main-memory resident data set". This crate provides that
+//! substrate:
+//!
+//! * [`Value`] / [`ValueType`] — the scalar type system (64-bit integers,
+//!   64-bit floats, dictionary-encoded strings, NULL),
+//! * [`Column`] — typed, contiguous column vectors with optional validity
+//!   bitmaps,
+//! * [`Table`] / [`Schema`] — named collections of equal-length columns,
+//! * [`Catalog`] — a named registry of tables shared between engines,
+//! * [`index::HashIndex`] — value → sorted-posting-list hash indexes that
+//!   support the "jump to the next tuple index ≥ i that satisfies the
+//!   equality predicate" probe used by the multi-way join (§4.5),
+//! * [`hash`] — a vendored FxHash-style hasher used on all hot paths
+//!   (row-id sets, result dedup, index probes).
+//!
+//! The crate is deliberately free of query semantics: predicates and
+//! expressions live in `skinner-query`, execution in `skinner-engine` and
+//! `skinner-simdb`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitmap;
+pub mod catalog;
+pub mod column;
+pub mod error;
+pub mod hash;
+pub mod index;
+pub mod table;
+pub mod value;
+
+pub use bitmap::Bitmap;
+pub use catalog::Catalog;
+pub use column::Column;
+pub use error::StorageError;
+pub use hash::{FxHashMap, FxHashSet};
+pub use index::HashIndex;
+pub use table::{ColumnDef, Schema, Table};
+pub use value::{Value, ValueType};
+
+/// Row identifier within a single table (32 bits: tables in this system are
+/// main-memory resident and comfortably below 4 B rows).
+pub type RowId = u32;

@@ -1,0 +1,303 @@
+//! Tables: named collections of equal-length columns.
+
+use crate::column::{Column, ColumnBuilder};
+use crate::error::StorageError;
+use crate::value::{Value, ValueType};
+use std::sync::Arc;
+
+/// A column's name and type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name (unique within its table).
+    pub name: String,
+    /// Column type.
+    pub ty: ValueType,
+}
+
+impl ColumnDef {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, ty: ValueType) -> ColumnDef {
+        ColumnDef {
+            name: name.into(),
+            ty,
+        }
+    }
+}
+
+/// Ordered list of column definitions.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<ColumnDef>,
+}
+
+impl Schema {
+    /// Build a schema from `(name, type)` pairs.
+    pub fn new(defs: impl IntoIterator<Item = ColumnDef>) -> Schema {
+        Schema {
+            columns: defs.into_iter().collect(),
+        }
+    }
+
+    /// Columns in declaration order.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True if the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Index of the column named `name`.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+}
+
+/// An immutable, main-memory resident table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl Table {
+    /// Assemble a table; all columns must have equal length and match the
+    /// schema's types.
+    pub fn new(
+        name: impl Into<String>,
+        schema: Schema,
+        columns: Vec<Column>,
+    ) -> Result<Table, StorageError> {
+        let name = name.into();
+        if schema.len() != columns.len() {
+            return Err(StorageError::SchemaMismatch(format!(
+                "table {name}: schema has {} columns, got {}",
+                schema.len(),
+                columns.len()
+            )));
+        }
+        let rows = columns.first().map_or(0, Column::len);
+        for (def, col) in schema.columns().iter().zip(&columns) {
+            if col.len() != rows {
+                return Err(StorageError::SchemaMismatch(format!(
+                    "table {name}: column {} has {} rows, expected {rows}",
+                    def.name,
+                    col.len()
+                )));
+            }
+            if col.value_type() != def.ty {
+                return Err(StorageError::SchemaMismatch(format!(
+                    "table {name}: column {} is {}, declared {}",
+                    def.name,
+                    col.value_type(),
+                    def.ty
+                )));
+            }
+        }
+        Ok(Table {
+            name,
+            schema,
+            columns,
+            rows,
+        })
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Row count.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column by position.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Column by name.
+    pub fn column_by_name(&self, name: &str) -> Option<&Column> {
+        self.schema.index_of(name).map(|i| &self.columns[i])
+    }
+
+    /// All columns in schema order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Materialize a full row (edge-of-system path only).
+    pub fn row(&self, i: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.get(i)).collect()
+    }
+
+    /// Build a new table containing only the rows at `positions`.
+    pub fn gather(&self, positions: &[u32], name: impl Into<String>) -> Table {
+        Table {
+            name: name.into(),
+            schema: self.schema.clone(),
+            columns: self.columns.iter().map(|c| c.gather(positions)).collect(),
+            rows: positions.len(),
+        }
+    }
+}
+
+/// Row-oriented table construction (used by generators and tests).
+#[derive(Debug)]
+pub struct TableBuilder {
+    name: String,
+    schema: Schema,
+    builders: Vec<ColumnBuilder>,
+    rows: usize,
+}
+
+impl TableBuilder {
+    /// Start a table with the given schema.
+    pub fn new(name: impl Into<String>, schema: Schema) -> TableBuilder {
+        let builders = schema
+            .columns()
+            .iter()
+            .map(|d| ColumnBuilder::new(d.ty))
+            .collect();
+        TableBuilder {
+            name: name.into(),
+            schema,
+            builders,
+            rows: 0,
+        }
+    }
+
+    /// Append a row; the slice length must match the schema.
+    pub fn push_row(&mut self, row: &[Value]) {
+        assert_eq!(row.len(), self.builders.len(), "row arity mismatch");
+        for (b, v) in self.builders.iter_mut().zip(row) {
+            b.push(v);
+        }
+        self.rows += 1;
+    }
+
+    /// Number of rows appended so far.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Finish construction.
+    pub fn finish(self) -> Table {
+        Table {
+            name: self.name,
+            schema: self.schema,
+            columns: self.builders.into_iter().map(ColumnBuilder::finish).collect(),
+            rows: self.rows,
+        }
+    }
+}
+
+/// Shared table handle as stored in the catalog.
+pub type TableRef = Arc<Table>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        Table::new(
+            "t",
+            Schema::new([
+                ColumnDef::new("id", ValueType::Int),
+                ColumnDef::new("name", ValueType::Str),
+            ]),
+            vec![
+                Column::from_ints(vec![1, 2, 3]),
+                Column::from_strs(["a", "b", "c"]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let t = sample();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.schema().index_of("name"), Some(1));
+        assert_eq!(t.column_by_name("id").unwrap().int(2), 3);
+        assert_eq!(t.row(1), vec![Value::Int(2), Value::str("b")]);
+    }
+
+    #[test]
+    fn rejects_ragged_columns() {
+        let err = Table::new(
+            "bad",
+            Schema::new([
+                ColumnDef::new("a", ValueType::Int),
+                ColumnDef::new("b", ValueType::Int),
+            ]),
+            vec![Column::from_ints(vec![1]), Column::from_ints(vec![1, 2])],
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn rejects_type_mismatch() {
+        let err = Table::new(
+            "bad",
+            Schema::new([ColumnDef::new("a", ValueType::Str)]),
+            vec![Column::from_ints(vec![1])],
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        let err = Table::new(
+            "bad",
+            Schema::new([ColumnDef::new("a", ValueType::Int)]),
+            vec![],
+        );
+        assert!(matches!(err, Err(StorageError::SchemaMismatch(_))));
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let mut b = TableBuilder::new(
+            "b",
+            Schema::new([
+                ColumnDef::new("x", ValueType::Int),
+                ColumnDef::new("y", ValueType::Float),
+            ]),
+        );
+        b.push_row(&[Value::Int(1), Value::Float(0.5)]);
+        b.push_row(&[Value::Int(2), Value::Null]);
+        let t = b.finish();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.column(1).get(1), Value::Null);
+    }
+
+    #[test]
+    fn gather_rows() {
+        let t = sample();
+        let g = t.gather(&[2, 0], "g");
+        assert_eq!(g.num_rows(), 2);
+        assert_eq!(g.row(0), vec![Value::Int(3), Value::str("c")]);
+        assert_eq!(g.row(1), vec![Value::Int(1), Value::str("a")]);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new("e", Schema::default(), vec![]).unwrap();
+        assert_eq!(t.num_rows(), 0);
+    }
+}

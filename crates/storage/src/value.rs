@@ -1,0 +1,254 @@
+//! Scalar values and their types.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// The type of a column or scalar value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// Dictionary-encoded UTF-8 string.
+    Str,
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueType::Int => write!(f, "INT"),
+            ValueType::Float => write!(f, "FLOAT"),
+            ValueType::Str => write!(f, "TEXT"),
+        }
+    }
+}
+
+/// A dynamically typed scalar value.
+///
+/// Values only materialize at the *edges* of the system: predicate
+/// constants, UDF arguments, and final result rows. The execution engines
+/// work on raw column vectors and tuple indices (§4.5 of the paper:
+/// "we describe tuples simply by an array of tuple indices").
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit IEEE float.
+    Float(f64),
+    /// UTF-8 string (shared; rows referencing the same dictionary entry
+    /// share one allocation).
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// The value's type, or `None` for NULL.
+    pub fn value_type(&self) -> Option<ValueType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(ValueType::Int),
+            Value::Float(_) => Some(ValueType::Float),
+            Value::Str(_) => Some(ValueType::Str),
+        }
+    }
+
+    /// Is this SQL NULL?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Integer content, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Numeric content widened to `f64` (ints convert losslessly up to
+    /// 2^53; fine for the benchmark data volumes in this system).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// String content, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// SQL truthiness: NULL and zero are false.
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Int(i) => *i != 0,
+            Value::Float(f) => *f != 0.0,
+            Value::Str(s) => !s.is_empty(),
+        }
+    }
+
+    /// Three-valued-logic equality: NULL compared to anything is `None`.
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        self.sql_cmp(other).map(|o| o == Ordering::Equal)
+    }
+
+    /// Three-valued-logic comparison. Numeric types compare numerically
+    /// (Int vs Float widens); strings compare lexicographically; mixed
+    /// string/number comparisons yield `None` (treated as NULL).
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => Some(a.as_ref().cmp(b.as_ref())),
+            (a, b) => {
+                let (x, y) = (a.as_f64()?, b.as_f64()?);
+                x.partial_cmp(&y)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+/// Equality used by tests and result comparison: NULL == NULL here
+/// (unlike SQL three-valued logic, which is available via [`Value::sql_eq`]).
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a == b || (a.is_nan() && b.is_nan()),
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
+                *a as f64 == *b
+            }
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_of() {
+        assert_eq!(Value::Int(1).value_type(), Some(ValueType::Int));
+        assert_eq!(Value::Float(1.0).value_type(), Some(ValueType::Float));
+        assert_eq!(Value::str("x").value_type(), Some(ValueType::Str));
+        assert_eq!(Value::Null.value_type(), None);
+    }
+
+    #[test]
+    fn sql_cmp_null_propagates() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
+        assert_eq!(Value::Null.sql_eq(&Value::Null), None);
+    }
+
+    #[test]
+    fn sql_cmp_mixed_numeric() {
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(2.5)),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn sql_cmp_strings() {
+        assert_eq!(
+            Value::str("abc").sql_cmp(&Value::str("abd")),
+            Some(Ordering::Less)
+        );
+        // string vs number is NULL, not a panic
+        assert_eq!(Value::str("1").sql_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Int(1).is_truthy());
+        assert!(!Value::Int(0).is_truthy());
+        assert!(!Value::Null.is_truthy());
+        assert!(Value::str("x").is_truthy());
+        assert!(!Value::str("").is_truthy());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::str("hi").to_string(), "hi");
+    }
+
+    #[test]
+    fn eq_nan_and_cross_type() {
+        assert_eq!(Value::Float(f64::NAN), Value::Float(f64::NAN));
+        assert_eq!(Value::Int(3), Value::Float(3.0));
+        assert_ne!(Value::Int(3), Value::str("3"));
+    }
+}

@@ -1,0 +1,25 @@
+//! # skinner-uct
+//!
+//! The UCT algorithm (Kocsis & Szepesvári, ECML 2006) as used by
+//! SkinnerDB (§4.1–4.2 of the paper), plus the join-order search space.
+//!
+//! SkinnerDB repeatedly selects a join order at the start of each time
+//! slice. The space of join orders is a tree: each level picks the next
+//! table, edges are table choices, and leaves are complete left-deep join
+//! orders. UCT materializes this tree lazily — at most one node per round
+//! — and keeps per-node visit counts and average rewards. Selection at a
+//! materialized node maximizes `r_c + w * sqrt(ln(v_p) / v_c)`; below the
+//! materialized frontier, selection is uniformly random.
+//!
+//! The paper sets `w = sqrt(2)` for Skinner-G/H (sufficient for the regret
+//! bound) and `w = 1e-6` for Skinner-C, whose fine-grained reward signal
+//! needs little forced exploration.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod join;
+pub mod tree;
+
+pub use join::JoinOrderSpace;
+pub use tree::{SearchSpace, UctConfig, UctTree};

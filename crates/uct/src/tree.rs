@@ -1,0 +1,428 @@
+//! Generic UCT tree with one-node-per-round materialization.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A tree-structured decision space: paths of actions from the root to a
+/// leaf at `depth()`.
+pub trait SearchSpace {
+    /// Action type (for join ordering: a table id).
+    type Action: Copy + Eq + std::fmt::Debug;
+
+    /// Actions available after the prefix `path` (empty at the root).
+    /// Must be non-empty for every prefix shorter than [`depth`](Self::depth).
+    fn actions(&self, path: &[Self::Action]) -> Vec<Self::Action>;
+
+    /// Length of complete paths.
+    fn depth(&self) -> usize;
+}
+
+/// UCT tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct UctConfig {
+    /// Exploration weight `w` in `r_c + w * sqrt(ln(v_p)/v_c)`.
+    /// `sqrt(2)` gives the formal regret bound; Skinner-C uses `1e-6`.
+    pub exploration: f64,
+    /// RNG seed (selection below the materialized frontier is random).
+    pub seed: u64,
+}
+
+impl Default for UctConfig {
+    fn default() -> Self {
+        UctConfig {
+            exploration: std::f64::consts::SQRT_2,
+            seed: 0x5EED_5EED,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Node<A> {
+    visits: u64,
+    reward_sum: f64,
+    /// One slot per available action; `usize::MAX` = not materialized.
+    actions: Vec<A>,
+    children: Vec<usize>,
+}
+
+const UNEXPANDED: usize = usize::MAX;
+
+/// The UCT search tree (paper §4.1).
+///
+/// `choose` walks the materialized tree with the UCB1 rule, then extends
+/// the path randomly to a leaf. `update` registers the observed reward
+/// along the chosen path and materializes *at most one* new node — the
+/// first node of the path that lies outside the tree — exactly as the
+/// paper's UCT variant prescribes.
+#[derive(Debug)]
+pub struct UctTree<S: SearchSpace> {
+    space: S,
+    nodes: Vec<Node<S::Action>>,
+    config: UctConfig,
+    rng: SmallRng,
+    rounds: u64,
+}
+
+impl<S: SearchSpace> UctTree<S> {
+    /// Create a tree over `space`.
+    pub fn new(space: S, config: UctConfig) -> UctTree<S> {
+        let rng = SmallRng::seed_from_u64(config.seed);
+        let mut tree = UctTree {
+            space,
+            nodes: Vec::new(),
+            config,
+            rng,
+            rounds: 0,
+        };
+        let root_actions = tree.space.actions(&[]);
+        tree.nodes.push(Node {
+            visits: 0,
+            reward_sum: 0.0,
+            children: vec![UNEXPANDED; root_actions.len()],
+            actions: root_actions,
+        });
+        tree
+    }
+
+    /// The underlying search space.
+    pub fn space(&self) -> &S {
+        &self.space
+    }
+
+    /// Number of materialized nodes (reported in Figures 7a / 8a).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Completed choose/update rounds.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Select a complete path (join order) for the next time slice.
+    pub fn choose(&mut self) -> Vec<S::Action> {
+        let depth = self.space.depth();
+        let mut path = Vec::with_capacity(depth);
+        let mut node = 0usize;
+        let mut in_tree = true;
+        while path.len() < depth {
+            if in_tree {
+                let pick = self.pick_child(node);
+                let action = self.nodes[node].actions[pick];
+                let child = self.nodes[node].children[pick];
+                path.push(action);
+                if child == UNEXPANDED {
+                    in_tree = false;
+                } else {
+                    node = child;
+                }
+            } else {
+                // Below the materialized frontier: uniform random rollout.
+                let actions = self.space.actions(&path);
+                debug_assert!(!actions.is_empty(), "search space dead end at {path:?}");
+                let a = actions[self.rng.gen_range(0..actions.len())];
+                path.push(a);
+            }
+        }
+        path
+    }
+
+    /// UCB1 child selection among a node's actions. Unvisited children
+    /// have an infinite upper bound and are tried first (random among
+    /// them, per the paper's random tie-breaking).
+    fn pick_child(&mut self, node: usize) -> usize {
+        let unvisited: Vec<usize> = {
+            let n = &self.nodes[node];
+            n.children
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c == UNEXPANDED || self.nodes[c].visits == 0)
+                .map(|(i, _)| i)
+                .collect()
+        };
+        if !unvisited.is_empty() {
+            return unvisited[self.rng.gen_range(0..unvisited.len())];
+        }
+        let n = &self.nodes[node];
+        let ln_parent = (n.visits.max(1) as f64).ln();
+        let mut best = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
+        for (i, &c) in n.children.iter().enumerate() {
+            let child = &self.nodes[c];
+            let mean = child.reward_sum / child.visits as f64;
+            let bound = mean
+                + self.config.exploration * (ln_parent / child.visits as f64).sqrt();
+            if bound > best_score {
+                best_score = bound;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Register `reward` (clamped to `[0, 1]`) for the previously chosen
+    /// `path`; materializes at most one new node.
+    pub fn update(&mut self, path: &[S::Action], reward: f64) {
+        let reward = reward.clamp(0.0, 1.0);
+        self.rounds += 1;
+        let mut node = 0usize;
+        self.nodes[node].visits += 1;
+        self.nodes[node].reward_sum += reward;
+        let mut expanded = false;
+        for (depth, &action) in path.iter().enumerate() {
+            let slot = match self.nodes[node].actions.iter().position(|&a| a == action) {
+                Some(s) => s,
+                // Stale path (e.g. replayed from another tree): stop here.
+                None => return,
+            };
+            let child = self.nodes[node].children[slot];
+            if child == UNEXPANDED {
+                if expanded {
+                    // Only the first off-tree node materializes this round.
+                    return;
+                }
+                expanded = true;
+                let child_actions = self.space.actions(&path[..=depth]);
+                let new_id = self.nodes.len();
+                self.nodes.push(Node {
+                    visits: 0,
+                    reward_sum: 0.0,
+                    children: vec![UNEXPANDED; child_actions.len()],
+                    actions: child_actions,
+                });
+                self.nodes[node].children[slot] = new_id;
+                node = new_id;
+            } else {
+                node = child;
+            }
+            self.nodes[node].visits += 1;
+            self.nodes[node].reward_sum += reward;
+        }
+    }
+
+    /// Mean reward observed at the root (the tree-wide average).
+    pub fn mean_reward(&self) -> f64 {
+        let root = &self.nodes[0];
+        if root.visits == 0 {
+            0.0
+        } else {
+            root.reward_sum / root.visits as f64
+        }
+    }
+
+    /// The current greedy path: at every materialized node follow the
+    /// most-visited child (the standard UCT recommendation policy). The
+    /// path is completed randomly below the frontier. This is the "final
+    /// join order" replayed in other engines for Tables 3/4.
+    pub fn best_path(&mut self) -> Vec<S::Action> {
+        let depth = self.space.depth();
+        let mut path = Vec::with_capacity(depth);
+        let mut node = Some(0usize);
+        while path.len() < depth {
+            match node {
+                Some(id) => {
+                    let n = &self.nodes[id];
+                    let mut best: Option<(usize, u64)> = None;
+                    for (i, &c) in n.children.iter().enumerate() {
+                        let v = if c == UNEXPANDED {
+                            0
+                        } else {
+                            self.nodes[c].visits
+                        };
+                        if best.map_or(true, |(_, bv)| v > bv) {
+                            best = Some((i, v));
+                        }
+                    }
+                    let (slot, _) = best.expect("non-leaf node with no children");
+                    path.push(n.actions[slot]);
+                    let c = n.children[slot];
+                    node = if c == UNEXPANDED { None } else { Some(c) };
+                }
+                None => {
+                    let actions = self.space.actions(&path);
+                    let a = actions[self.rng.gen_range(0..actions.len())];
+                    path.push(a);
+                }
+            }
+        }
+        path
+    }
+
+    /// Approximate heap footprint in bytes (Figure 8a).
+    pub fn approx_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<Node<S::Action>>()
+            + self
+                .nodes
+                .iter()
+                .map(|n| {
+                    n.actions.len() * std::mem::size_of::<S::Action>()
+                        + n.children.len() * std::mem::size_of::<usize>()
+                })
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A flat bandit: depth 1, `n` arms.
+    struct Bandit {
+        arms: usize,
+    }
+
+    impl SearchSpace for Bandit {
+        type Action = usize;
+        fn actions(&self, path: &[usize]) -> Vec<usize> {
+            if path.is_empty() {
+                (0..self.arms).collect()
+            } else {
+                vec![]
+            }
+        }
+        fn depth(&self) -> usize {
+            1
+        }
+    }
+
+    /// Full k-ary tree of given depth; all permutations allowed.
+    struct Perms {
+        n: usize,
+    }
+
+    impl SearchSpace for Perms {
+        type Action = usize;
+        fn actions(&self, path: &[usize]) -> Vec<usize> {
+            (0..self.n).filter(|t| !path.contains(t)).collect()
+        }
+        fn depth(&self) -> usize {
+            self.n
+        }
+    }
+
+    #[test]
+    fn bandit_converges_to_best_arm() {
+        let mut tree = UctTree::new(
+            Bandit { arms: 5 },
+            UctConfig {
+                exploration: std::f64::consts::SQRT_2,
+                seed: 7,
+            },
+        );
+        // Arm 3 pays 0.9, others 0.1 (deterministic for test stability).
+        let mut wins = 0;
+        for _ in 0..2000 {
+            let path = tree.choose();
+            let r = if path[0] == 3 { 0.9 } else { 0.1 };
+            if path[0] == 3 {
+                wins += 1;
+            }
+            tree.update(&path, r);
+        }
+        // The best arm must dominate the later choices.
+        assert!(wins > 1200, "best arm chosen only {wins}/2000 times");
+        assert_eq!(tree.best_path(), vec![3]);
+    }
+
+    #[test]
+    fn one_node_per_round() {
+        let mut tree = UctTree::new(Perms { n: 5 }, UctConfig::default());
+        let mut prev = tree.num_nodes();
+        for _ in 0..200 {
+            let p = tree.choose();
+            tree.update(&p, 0.5);
+            let now = tree.num_nodes();
+            assert!(now <= prev + 1, "materialized more than one node");
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn paths_are_valid_permutations() {
+        let mut tree = UctTree::new(Perms { n: 6 }, UctConfig::default());
+        for _ in 0..100 {
+            let p = tree.choose();
+            let mut sorted = p.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3, 4, 5]);
+            tree.update(&p, 0.3);
+        }
+    }
+
+    #[test]
+    fn deep_convergence_prefers_good_prefix() {
+        // Reward 1 iff the order starts with table 2.
+        let mut tree = UctTree::new(Perms { n: 4 }, UctConfig::default());
+        for _ in 0..3000 {
+            let p = tree.choose();
+            let r = if p[0] == 2 { 1.0 } else { 0.0 };
+            tree.update(&p, r);
+        }
+        assert_eq!(tree.best_path()[0], 2);
+        assert!(tree.mean_reward() > 0.5);
+    }
+
+    #[test]
+    fn reward_clamped() {
+        let mut tree = UctTree::new(Bandit { arms: 2 }, UctConfig::default());
+        let p = tree.choose();
+        tree.update(&p, 17.0);
+        assert!(tree.mean_reward() <= 1.0);
+        let p = tree.choose();
+        tree.update(&p, -5.0);
+        assert!(tree.mean_reward() >= 0.0);
+    }
+
+    #[test]
+    fn low_exploration_exploits_hard() {
+        // Skinner-C setting: w = 1e-6. After warmup, virtually all
+        // selections should hit the best arm.
+        let mut tree = UctTree::new(
+            Bandit { arms: 4 },
+            UctConfig {
+                exploration: 1e-6,
+                seed: 3,
+            },
+        );
+        for _ in 0..50 {
+            let p = tree.choose();
+            let r = if p[0] == 1 { 0.8 } else { 0.2 };
+            tree.update(&p, r);
+        }
+        let mut hits = 0;
+        for _ in 0..100 {
+            let p = tree.choose();
+            if p[0] == 1 {
+                hits += 1;
+            }
+            let r = if p[0] == 1 { 0.8 } else { 0.2 };
+            tree.update(&p, r);
+        }
+        assert!(hits >= 95, "exploitation too weak: {hits}/100");
+    }
+
+    #[test]
+    fn cumulative_regret_sublinear() {
+        // Empirical check of the O(log n) regret guarantee: regret per
+        // round must shrink markedly between early and late phases.
+        let mut tree = UctTree::new(Bandit { arms: 8 }, UctConfig::default());
+        let payoff = |arm: usize| 0.1 + 0.8 * ((arm == 5) as u8 as f64);
+        let mut regret_first = 0.0;
+        let mut regret_last = 0.0;
+        for round in 0..4000 {
+            let p = tree.choose();
+            let r = payoff(p[0]);
+            tree.update(&p, r);
+            let regret = 0.9 - r;
+            if round < 500 {
+                regret_first += regret;
+            } else if round >= 3500 {
+                regret_last += regret;
+            }
+        }
+        assert!(
+            regret_last < regret_first / 4.0,
+            "regret not shrinking: first={regret_first:.1} last={regret_last:.1}"
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! # skinner-workloads
+//!
+//! Deterministic workload generators reproducing the paper's benchmark
+//! suite (with documented substitutions — see DESIGN.md §3):
+//!
+//! * [`job`] — a synthetic stand-in for the Join Order Benchmark over
+//!   IMDB: ten correlated, Zipf-skewed tables and 33 query templates of
+//!   3–8 joins. The real JOB's difficulty comes from correlated real
+//!   data breaking the independence assumption; the generator injects the
+//!   same pathologies synthetically.
+//! * [`tpch`] — dbgen-lite: the eight TPC-H tables at a configurable
+//!   scale factor, plus SPJA forms of Q2, Q3, Q5, Q7, Q8, Q9, Q10, Q11,
+//!   Q18, Q21 and their UDF variants (every unary predicate wrapped in an
+//!   opaque, semantically identical UDF — the paper's TPC-UDF).
+//! * [`torture`] — the appendix micro-benchmarks: UDF torture
+//!   (chain/star, one empty-result "good" predicate among always-true
+//!   ones), correlation torture (skewed, correlated chains with the
+//!   selective join at parameterized position `m`), and the trivial
+//!   optimization benchmark (all non-Cartesian plans equivalent).
+//!
+//! All generators are seeded and deterministic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod job;
+pub mod torture;
+pub mod tpch;
+pub mod util;
+
+use skinner_query::Query;
+
+/// A benchmark query with a stable identifier.
+pub struct NamedQuery {
+    /// Identifier (e.g. `"q07"`, `"chain-6"`).
+    pub id: String,
+    /// The resolved query.
+    pub query: Query,
+}
+
+impl NamedQuery {
+    /// Convenience constructor.
+    pub fn new(id: impl Into<String>, query: Query) -> NamedQuery {
+        NamedQuery {
+            id: id.into(),
+            query,
+        }
+    }
+}

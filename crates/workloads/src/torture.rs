@@ -1,0 +1,292 @@
+//! Optimizer-torture micro-benchmarks (paper appendix).
+//!
+//! * **UDF torture** — every join predicate is a black-box UDF. One
+//!   "good" predicate always fails (its join is empty: starting there
+//!   finishes instantly); the rest always succeed (their joins are full
+//!   Cartesian blow-ups). No statistics can distinguish them.
+//! * **Correlation torture** (extended from Wu et al. [50]) — chain
+//!   queries over skewed, correlated data: all equi-join edges have
+//!   identical statistics (same distinct counts, same sizes) but one
+//!   edge, at position `m`, is empty while the others fan out massively.
+//! * **Trivial optimization** — every join (a UDF-wrapped equality on
+//!   unique keys) has fanout ≤ 1 and all non-Cartesian plans are
+//!   equivalent: the benchmark where exploration is pure overhead.
+
+use crate::util::{udf_always_false, udf_always_true, udf_equality};
+use crate::NamedQuery;
+use skinner_query::{AggFunc, ColRef, QueryBuilder};
+use skinner_storage::{Catalog, Column, ColumnDef, Schema, Table, ValueType};
+
+/// Join-graph shape for the UDF torture benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shape {
+    /// t0–t1–t2–… (edge i connects i and i+1).
+    Chain,
+    /// t0 is the hub (edge i connects 0 and i+1).
+    Star,
+}
+
+/// One torture scenario: a catalog plus a single query.
+pub struct TortureCase {
+    /// Tables.
+    pub catalog: Catalog,
+    /// The query.
+    pub query: NamedQuery,
+}
+
+fn simple_tables(m: usize, rows: usize) -> Catalog {
+    let mut cat = Catalog::new();
+    for t in 0..m {
+        cat.register(
+            Table::new(
+                format!("t{t}"),
+                Schema::new([
+                    ColumnDef::new("id", ValueType::Int),
+                    ColumnDef::new("v", ValueType::Int),
+                ]),
+                vec![
+                    Column::from_ints((0..rows as i64).collect()),
+                    Column::from_ints((0..rows as i64).map(|i| i * 7 % 13).collect()),
+                ],
+            )
+            .expect("torture table"),
+        );
+    }
+    cat
+}
+
+fn edges(shape: Shape, m: usize) -> Vec<(usize, usize)> {
+    match shape {
+        Shape::Chain => (0..m - 1).map(|i| (i, i + 1)).collect(),
+        Shape::Star => (1..m).map(|i| (0, i)).collect(),
+    }
+}
+
+/// Build a UDF-torture case: `m` tables of `rows` tuples, joined along
+/// `shape`; the edge at `good_edge` carries the always-false predicate.
+/// `udf_cost` is burned per predicate call.
+pub fn udf_torture(
+    shape: Shape,
+    m: usize,
+    rows: usize,
+    good_edge: usize,
+    udf_cost: u32,
+) -> TortureCase {
+    assert!(m >= 2);
+    let catalog = simple_tables(m, rows);
+    let es = edges(shape, m);
+    assert!(good_edge < es.len());
+    let mut qb = QueryBuilder::new(&catalog);
+    for t in 0..m {
+        qb.table(&format!("t{t}")).unwrap();
+    }
+    for (i, &(a, b)) in es.iter().enumerate() {
+        let ca = ColRef {
+            table: a,
+            column: 0,
+        };
+        let cb = ColRef {
+            table: b,
+            column: 0,
+        };
+        let pred = if i == good_edge {
+            udf_always_false(&format!("good_{a}_{b}"), ca, cb, udf_cost)
+        } else {
+            udf_always_true(&format!("bad_{a}_{b}"), ca, cb, udf_cost)
+        };
+        qb.filter(pred);
+    }
+    qb.select_agg(AggFunc::Count, None, "n");
+    let query = qb.build().expect("udf torture query");
+    TortureCase {
+        catalog,
+        query: NamedQuery::new(
+            format!(
+                "udf-{}-{m}t",
+                if shape == Shape::Chain { "chain" } else { "star" }
+            ),
+            query,
+        ),
+    }
+}
+
+/// Build a correlation-torture case: a chain of `m` tables with `rows`
+/// tuples each. Every adjacent pair joins on a key column; the edge
+/// leaving table `good_pos` (0-based) is empty, all other edges fan out
+/// by `fanout`. All columns have identical distinct counts, so the
+/// estimator cannot tell the edges apart.
+pub fn correlation_torture(m: usize, rows: usize, good_pos: usize, fanout: usize) -> TortureCase {
+    assert!(m >= 2 && good_pos < m - 1);
+    let distinct = (rows / fanout).max(1);
+    let mut cat = Catalog::new();
+    for t in 0..m {
+        // `left` joins with table t-1, `right` with table t+1.
+        let left: Vec<i64> = (0..rows as i64).map(|i| i % distinct as i64).collect();
+        let right: Vec<i64> = (0..rows as i64)
+            .map(|i| {
+                let base = i % distinct as i64;
+                if t == good_pos {
+                    // the good edge: keys shifted out of range → empty join
+                    base + 1_000_000
+                } else {
+                    base
+                }
+            })
+            .collect();
+        cat.register(
+            Table::new(
+                format!("t{t}"),
+                Schema::new([
+                    ColumnDef::new("left_k", ValueType::Int),
+                    ColumnDef::new("right_k", ValueType::Int),
+                ]),
+                vec![Column::from_ints(left), Column::from_ints(right)],
+            )
+            .expect("correlation table"),
+        );
+    }
+    let mut qb = QueryBuilder::new(&cat);
+    for t in 0..m {
+        qb.table(&format!("t{t}")).unwrap();
+    }
+    for t in 0..m - 1 {
+        let j = qb
+            .col(&format!("t{t}.right_k"))
+            .unwrap()
+            .eq(qb.col(&format!("t{}.left_k", t + 1)).unwrap());
+        qb.filter(j);
+    }
+    qb.select_agg(AggFunc::Count, None, "n");
+    let query = qb.build().expect("correlation torture query");
+    TortureCase {
+        catalog: cat,
+        query: NamedQuery::new(format!("corr-{m}t-m{good_pos}"), query),
+    }
+}
+
+/// Build a trivial-optimization case: all non-Cartesian plans are
+/// equivalent — each table has `rows` unique keys `0..rows`, chained by
+/// UDF-wrapped equality (fanout exactly 1 everywhere).
+pub fn trivial_optimization(m: usize, rows: usize, udf_cost: u32) -> TortureCase {
+    assert!(m >= 2);
+    let catalog = simple_tables(m, rows);
+    let mut qb = QueryBuilder::new(&catalog);
+    for t in 0..m {
+        qb.table(&format!("t{t}")).unwrap();
+    }
+    for t in 0..m - 1 {
+        let a = ColRef {
+            table: t,
+            column: 0,
+        };
+        let b = ColRef {
+            table: t + 1,
+            column: 0,
+        };
+        qb.filter(udf_equality(&format!("eq_{t}"), a, b, udf_cost));
+    }
+    qb.select_agg(AggFunc::Count, None, "n");
+    let query = qb.build().expect("trivial query");
+    TortureCase {
+        catalog,
+        query: NamedQuery::new(format!("trivial-{m}t"), query),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skinner_engine::{SkinnerC, SkinnerCConfig};
+    use skinner_simdb::exec::ExecOptions;
+    use skinner_simdb::{ColEngine, Engine};
+
+    #[test]
+    fn udf_torture_result_is_empty() {
+        for shape in [Shape::Chain, Shape::Star] {
+            let case = udf_torture(shape, 4, 12, 1, 0);
+            let out = SkinnerC::new(SkinnerCConfig {
+                budget: 100,
+                ..Default::default()
+            })
+            .run(&case.query.query);
+            assert_eq!(out.result_count, 0, "{:?}", shape);
+        }
+    }
+
+    #[test]
+    fn udf_torture_good_edge_first_is_fast() {
+        let case = udf_torture(Shape::Chain, 4, 16, 0, 0);
+        // Force the engine through the good edge first vs last.
+        let engine = ColEngine::new();
+        let good = engine.execute(
+            &case.query.query,
+            &ExecOptions {
+                join_order: Some(vec![0, 1, 2, 3]),
+                ..Default::default()
+            },
+        );
+        let bad = engine.execute(
+            &case.query.query,
+            &ExecOptions {
+                join_order: Some(vec![3, 2, 1, 0]),
+                ..Default::default()
+            },
+        );
+        assert_eq!(good.result_count, 0);
+        assert_eq!(bad.result_count, 0);
+        assert!(
+            bad.intermediate_cardinality > 10 * good.intermediate_cardinality.max(1),
+            "bad {} vs good {}",
+            bad.intermediate_cardinality,
+            good.intermediate_cardinality
+        );
+    }
+
+    #[test]
+    fn correlation_torture_empty_and_asymmetric() {
+        let case = correlation_torture(4, 64, 1, 4);
+        let engine = ColEngine::new();
+        let out = engine.execute(&case.query.query, &ExecOptions::default());
+        assert_eq!(out.result_count, 0);
+        // stats are symmetric: distinct counts match across tables
+        let t0 = case.catalog.get("t0").unwrap();
+        let t2 = case.catalog.get("t2").unwrap();
+        let d0 = skinner_simdb::analyze(&t0).cols[1].distinct;
+        let d2 = skinner_simdb::analyze(&t2).cols[1].distinct;
+        assert_eq!(d0, d2);
+    }
+
+    #[test]
+    fn trivial_all_orders_equal_cost() {
+        let case = trivial_optimization(4, 32, 0);
+        let engine = ColEngine::new();
+        let fwd = engine.execute(
+            &case.query.query,
+            &ExecOptions {
+                join_order: Some(vec![0, 1, 2, 3]),
+                ..Default::default()
+            },
+        );
+        let rev = engine.execute(
+            &case.query.query,
+            &ExecOptions {
+                join_order: Some(vec![3, 2, 1, 0]),
+                ..Default::default()
+            },
+        );
+        assert_eq!(fwd.result_count, 32);
+        assert_eq!(fwd.result_count, rev.result_count);
+        assert_eq!(fwd.intermediate_cardinality, rev.intermediate_cardinality);
+    }
+
+    #[test]
+    fn skinner_c_solves_correlation_torture() {
+        let case = correlation_torture(5, 48, 2, 4);
+        let out = SkinnerC::new(SkinnerCConfig {
+            budget: 200,
+            ..Default::default()
+        })
+        .run(&case.query.query);
+        assert_eq!(out.result_count, 0);
+    }
+}

@@ -1,0 +1,642 @@
+//! TPC-H dbgen-lite and SPJA forms of ten benchmark queries.
+//!
+//! The generator produces the eight TPC-H tables at a configurable scale
+//! factor with the columns the query set needs (uniform keys, seeded
+//! RNG). Queries Q2, Q3, Q5, Q7, Q8, Q9, Q10, Q11, Q18 and Q21 are
+//! expressed in their SPJ + aggregation form (subqueries decomposed away,
+//! per the paper's §4 note on nested queries). `queries(…, udf = true)`
+//! produces the paper's **TPC-UDF** variant: every unary predicate is
+//! wrapped in a semantically identical but opaque UDF, which destroys the
+//! traditional optimizer's selectivity estimates while leaving results
+//! unchanged.
+
+use crate::util::wrap_predicate_as_udf;
+use crate::NamedQuery;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use skinner_query::{AggFunc, Expr, Query, QueryBuilder};
+use skinner_storage::{Catalog, Column, ColumnDef, Schema, Table, ValueType};
+
+const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+const BRANDS: [&str; 5] = ["Brand#11", "Brand#22", "Brand#33", "Brand#44", "Brand#55"];
+const TYPES: [&str; 6] = [
+    "ECONOMY BRASS",
+    "ECONOMY COPPER",
+    "STANDARD TIN",
+    "STANDARD NICKEL",
+    "PROMO STEEL",
+    "PROMO BRASS",
+];
+const FLAGS: [&str; 3] = ["A", "N", "R"];
+
+/// Generate the TPC-H catalog at scale factor `sf` (sf = 1.0 would be
+/// the official 6M-row lineitem; the default experiments use ~0.01).
+pub fn generate(sf: f64, seed: u64) -> Catalog {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut cat = Catalog::new();
+    let n_part = ((200_000.0 * sf) as usize).max(20);
+    let n_supp = ((10_000.0 * sf) as usize).max(5);
+    let n_cust = ((150_000.0 * sf) as usize).max(15);
+    let n_ord = ((1_500_000.0 * sf) as usize).max(50);
+    let n_line = ((6_000_000.0 * sf) as usize).max(100);
+    let n_psupp = n_part * 4;
+
+    // region / nation
+    cat.register(
+        Table::new(
+            "region",
+            Schema::new([
+                ColumnDef::new("regionkey", ValueType::Int),
+                ColumnDef::new("name", ValueType::Str),
+            ]),
+            vec![
+                Column::from_ints((0..5).collect()),
+                Column::from_strs(REGIONS),
+            ],
+        )
+        .expect("region"),
+    );
+    cat.register(
+        Table::new(
+            "nation",
+            Schema::new([
+                ColumnDef::new("nationkey", ValueType::Int),
+                ColumnDef::new("regionkey", ValueType::Int),
+                ColumnDef::new("name", ValueType::Str),
+            ]),
+            vec![
+                Column::from_ints((0..25).collect()),
+                Column::from_ints((0..25).map(|i| i % 5).collect()),
+                Column::from_strs((0..25).map(|i| format!("NATION{i:02}"))),
+            ],
+        )
+        .expect("nation"),
+    );
+
+    // supplier
+    cat.register(
+        Table::new(
+            "supplier",
+            Schema::new([
+                ColumnDef::new("suppkey", ValueType::Int),
+                ColumnDef::new("nationkey", ValueType::Int),
+                ColumnDef::new("acctbal", ValueType::Float),
+            ]),
+            vec![
+                Column::from_ints((0..n_supp as i64).collect()),
+                Column::from_ints((0..n_supp).map(|_| rng.gen_range(0..25i64)).collect()),
+                Column::from_floats(
+                    (0..n_supp)
+                        .map(|_| rng.gen_range(-999.0..9999.0f64))
+                        .collect(),
+                ),
+            ],
+        )
+        .expect("supplier"),
+    );
+
+    // customer
+    cat.register(
+        Table::new(
+            "customer",
+            Schema::new([
+                ColumnDef::new("custkey", ValueType::Int),
+                ColumnDef::new("nationkey", ValueType::Int),
+                ColumnDef::new("mktsegment", ValueType::Str),
+                ColumnDef::new("acctbal", ValueType::Float),
+            ]),
+            vec![
+                Column::from_ints((0..n_cust as i64).collect()),
+                Column::from_ints((0..n_cust).map(|_| rng.gen_range(0..25i64)).collect()),
+                Column::from_strs(
+                    (0..n_cust).map(|_| SEGMENTS[rng.gen_range(0..SEGMENTS.len())]),
+                ),
+                Column::from_floats(
+                    (0..n_cust)
+                        .map(|_| rng.gen_range(-999.0..9999.0f64))
+                        .collect(),
+                ),
+            ],
+        )
+        .expect("customer"),
+    );
+
+    // part
+    cat.register(
+        Table::new(
+            "part",
+            Schema::new([
+                ColumnDef::new("partkey", ValueType::Int),
+                ColumnDef::new("brand", ValueType::Str),
+                ColumnDef::new("ptype", ValueType::Str),
+                ColumnDef::new("size", ValueType::Int),
+                ColumnDef::new("retailprice", ValueType::Float),
+            ]),
+            vec![
+                Column::from_ints((0..n_part as i64).collect()),
+                Column::from_strs((0..n_part).map(|_| BRANDS[rng.gen_range(0..BRANDS.len())])),
+                Column::from_strs((0..n_part).map(|_| TYPES[rng.gen_range(0..TYPES.len())])),
+                Column::from_ints((0..n_part).map(|_| rng.gen_range(1..51i64)).collect()),
+                Column::from_floats(
+                    (0..n_part).map(|_| rng.gen_range(900.0..2100.0f64)).collect(),
+                ),
+            ],
+        )
+        .expect("part"),
+    );
+
+    // partsupp
+    cat.register(
+        Table::new(
+            "partsupp",
+            Schema::new([
+                ColumnDef::new("partkey", ValueType::Int),
+                ColumnDef::new("suppkey", ValueType::Int),
+                ColumnDef::new("supplycost", ValueType::Float),
+                ColumnDef::new("availqty", ValueType::Int),
+            ]),
+            vec![
+                Column::from_ints((0..n_psupp).map(|i| (i % n_part) as i64).collect()),
+                Column::from_ints(
+                    (0..n_psupp)
+                        .map(|_| rng.gen_range(0..n_supp as i64))
+                        .collect(),
+                ),
+                Column::from_floats(
+                    (0..n_psupp).map(|_| rng.gen_range(1.0..1000.0f64)).collect(),
+                ),
+                Column::from_ints((0..n_psupp).map(|_| rng.gen_range(1..10_000i64)).collect()),
+            ],
+        )
+        .expect("partsupp"),
+    );
+
+    // orders (orderdate as day number 0..2557 ≈ 1992-1998)
+    cat.register(
+        Table::new(
+            "orders",
+            Schema::new([
+                ColumnDef::new("orderkey", ValueType::Int),
+                ColumnDef::new("custkey", ValueType::Int),
+                ColumnDef::new("orderdate", ValueType::Int),
+                ColumnDef::new("orderpriority", ValueType::Str),
+            ]),
+            vec![
+                Column::from_ints((0..n_ord as i64).collect()),
+                Column::from_ints(
+                    (0..n_ord)
+                        .map(|_| rng.gen_range(0..n_cust as i64))
+                        .collect(),
+                ),
+                Column::from_ints((0..n_ord).map(|_| rng.gen_range(0..2557i64)).collect()),
+                Column::from_strs(
+                    (0..n_ord).map(|_| {
+                        ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+                            [rng.gen_range(0..5)]
+                    }),
+                ),
+            ],
+        )
+        .expect("orders"),
+    );
+
+    // lineitem
+    cat.register(
+        Table::new(
+            "lineitem",
+            Schema::new([
+                ColumnDef::new("orderkey", ValueType::Int),
+                ColumnDef::new("partkey", ValueType::Int),
+                ColumnDef::new("suppkey", ValueType::Int),
+                ColumnDef::new("quantity", ValueType::Int),
+                ColumnDef::new("extendedprice", ValueType::Float),
+                ColumnDef::new("discount", ValueType::Float),
+                ColumnDef::new("shipdate", ValueType::Int),
+                ColumnDef::new("returnflag", ValueType::Str),
+            ]),
+            vec![
+                Column::from_ints(
+                    (0..n_line)
+                        .map(|_| rng.gen_range(0..n_ord as i64))
+                        .collect(),
+                ),
+                Column::from_ints(
+                    (0..n_line)
+                        .map(|_| rng.gen_range(0..n_part as i64))
+                        .collect(),
+                ),
+                Column::from_ints(
+                    (0..n_line)
+                        .map(|_| rng.gen_range(0..n_supp as i64))
+                        .collect(),
+                ),
+                Column::from_ints((0..n_line).map(|_| rng.gen_range(1..51i64)).collect()),
+                Column::from_floats(
+                    (0..n_line)
+                        .map(|_| rng.gen_range(900.0..105_000.0f64))
+                        .collect(),
+                ),
+                Column::from_floats(
+                    (0..n_line).map(|_| rng.gen_range(0.0..0.11f64)).collect(),
+                ),
+                Column::from_ints((0..n_line).map(|_| rng.gen_range(0..2557i64)).collect()),
+                Column::from_strs((0..n_line).map(|_| FLAGS[rng.gen_range(0..FLAGS.len())])),
+            ],
+        )
+        .expect("lineitem"),
+    );
+
+    cat
+}
+
+/// Build the ten SPJA queries. With `udf = true`, every unary predicate
+/// is wrapped in an opaque UDF of `udf_cost` work units (TPC-UDF).
+pub fn queries(catalog: &Catalog, udf: bool, udf_cost: u32) -> Vec<NamedQuery> {
+    let mut out = Vec::new();
+    let mut push = |id: &str, q: Query| out.push(NamedQuery::new(id, q));
+
+    let maybe_wrap = |name: &str, e: Expr| -> Expr {
+        if udf {
+            wrap_predicate_as_udf(name, &e, udf_cost)
+        } else {
+            e
+        }
+    };
+
+    // Q2: min supply cost for brass parts of a size in Europe.
+    {
+        let mut qb = QueryBuilder::new(catalog);
+        qb.table_as("part", "p").unwrap();
+        qb.table_as("partsupp", "ps").unwrap();
+        qb.table_as("supplier", "s").unwrap();
+        qb.table_as("nation", "n").unwrap();
+        qb.table_as("region", "r").unwrap();
+        for (a, b) in [
+            ("p.partkey", "ps.partkey"),
+            ("ps.suppkey", "s.suppkey"),
+            ("s.nationkey", "n.nationkey"),
+            ("n.regionkey", "r.regionkey"),
+        ] {
+            let j = qb.col(a).unwrap().eq(qb.col(b).unwrap());
+            qb.filter(j);
+        }
+        let f1 = maybe_wrap("q2_size", qb.col("p.size").unwrap().eq(Expr::lit(15)));
+        let f2 = maybe_wrap(
+            "q2_type",
+            qb.col("p.ptype").unwrap().eq(Expr::lit("ECONOMY BRASS")),
+        );
+        let f3 = maybe_wrap(
+            "q2_region",
+            qb.col("r.name").unwrap().eq(Expr::lit("EUROPE")),
+        );
+        qb.filter(f1);
+        qb.filter(f2);
+        qb.filter(f3);
+        let sc = qb.col("ps.supplycost").unwrap();
+        qb.select_agg(AggFunc::Min, Some(sc), "min_cost");
+        push("q02", qb.build().expect("q2"));
+    }
+
+    // Q3: revenue of building-segment orders shipped after a date.
+    {
+        let mut qb = QueryBuilder::new(catalog);
+        qb.table_as("customer", "c").unwrap();
+        qb.table_as("orders", "o").unwrap();
+        qb.table_as("lineitem", "l").unwrap();
+        for (a, b) in [("c.custkey", "o.custkey"), ("o.orderkey", "l.orderkey")] {
+            let j = qb.col(a).unwrap().eq(qb.col(b).unwrap());
+            qb.filter(j);
+        }
+        let f1 = maybe_wrap(
+            "q3_seg",
+            qb.col("c.mktsegment").unwrap().eq(Expr::lit("BUILDING")),
+        );
+        let f2 = maybe_wrap("q3_odate", qb.col("o.orderdate").unwrap().lt(Expr::lit(1100)));
+        let f3 = maybe_wrap("q3_sdate", qb.col("l.shipdate").unwrap().gt(Expr::lit(1100)));
+        qb.filter(f1);
+        qb.filter(f2);
+        qb.filter(f3);
+        let rev = qb
+            .col("l.extendedprice")
+            .unwrap()
+            .mul(Expr::lit(1.0).sub(qb.col("l.discount").unwrap()));
+        qb.select_agg(AggFunc::Sum, Some(rev), "revenue");
+        push("q03", qb.build().expect("q3"));
+    }
+
+    // Q5: local supplier volume (6-way with same-nation predicate).
+    {
+        let mut qb = QueryBuilder::new(catalog);
+        qb.table_as("customer", "c").unwrap();
+        qb.table_as("orders", "o").unwrap();
+        qb.table_as("lineitem", "l").unwrap();
+        qb.table_as("supplier", "s").unwrap();
+        qb.table_as("nation", "n").unwrap();
+        qb.table_as("region", "r").unwrap();
+        for (a, b) in [
+            ("c.custkey", "o.custkey"),
+            ("o.orderkey", "l.orderkey"),
+            ("l.suppkey", "s.suppkey"),
+            ("c.nationkey", "s.nationkey"),
+            ("s.nationkey", "n.nationkey"),
+            ("n.regionkey", "r.regionkey"),
+        ] {
+            let j = qb.col(a).unwrap().eq(qb.col(b).unwrap());
+            qb.filter(j);
+        }
+        let f1 = maybe_wrap("q5_region", qb.col("r.name").unwrap().eq(Expr::lit("ASIA")));
+        let f2 = maybe_wrap("q5_lo", qb.col("o.orderdate").unwrap().ge(Expr::lit(365)));
+        let f3 = maybe_wrap("q5_hi", qb.col("o.orderdate").unwrap().lt(Expr::lit(730)));
+        qb.filter(f1);
+        qb.filter(f2);
+        qb.filter(f3);
+        let rev = qb
+            .col("l.extendedprice")
+            .unwrap()
+            .mul(Expr::lit(1.0).sub(qb.col("l.discount").unwrap()));
+        qb.select_agg(AggFunc::Sum, Some(rev), "revenue");
+        push("q05", qb.build().expect("q5"));
+    }
+
+    // Q7: volume shipping between two nations (nation joined twice).
+    {
+        let mut qb = QueryBuilder::new(catalog);
+        qb.table_as("supplier", "s").unwrap();
+        qb.table_as("lineitem", "l").unwrap();
+        qb.table_as("orders", "o").unwrap();
+        qb.table_as("customer", "c").unwrap();
+        qb.table_as("nation", "n1").unwrap();
+        qb.table_as("nation", "n2").unwrap();
+        for (a, b) in [
+            ("s.suppkey", "l.suppkey"),
+            ("o.orderkey", "l.orderkey"),
+            ("c.custkey", "o.custkey"),
+            ("s.nationkey", "n1.nationkey"),
+            ("c.nationkey", "n2.nationkey"),
+        ] {
+            let j = qb.col(a).unwrap().eq(qb.col(b).unwrap());
+            qb.filter(j);
+        }
+        let f1 = maybe_wrap(
+            "q7_n1",
+            qb.col("n1.name").unwrap().eq(Expr::lit("NATION03")),
+        );
+        let f2 = maybe_wrap(
+            "q7_n2",
+            qb.col("n2.name").unwrap().eq(Expr::lit("NATION07")),
+        );
+        let f3 = maybe_wrap("q7_date", qb.col("l.shipdate").unwrap().ge(Expr::lit(730)));
+        qb.filter(f1);
+        qb.filter(f2);
+        qb.filter(f3);
+        let rev = qb
+            .col("l.extendedprice")
+            .unwrap()
+            .mul(Expr::lit(1.0).sub(qb.col("l.discount").unwrap()));
+        qb.select_agg(AggFunc::Sum, Some(rev), "revenue");
+        push("q07", qb.build().expect("q7"));
+    }
+
+    // Q8: national market share (8-way).
+    {
+        let mut qb = QueryBuilder::new(catalog);
+        qb.table_as("part", "p").unwrap();
+        qb.table_as("lineitem", "l").unwrap();
+        qb.table_as("supplier", "s").unwrap();
+        qb.table_as("orders", "o").unwrap();
+        qb.table_as("customer", "c").unwrap();
+        qb.table_as("nation", "n1").unwrap();
+        qb.table_as("nation", "n2").unwrap();
+        qb.table_as("region", "r").unwrap();
+        for (a, b) in [
+            ("p.partkey", "l.partkey"),
+            ("s.suppkey", "l.suppkey"),
+            ("l.orderkey", "o.orderkey"),
+            ("o.custkey", "c.custkey"),
+            ("c.nationkey", "n1.nationkey"),
+            ("n1.regionkey", "r.regionkey"),
+            ("s.nationkey", "n2.nationkey"),
+        ] {
+            let j = qb.col(a).unwrap().eq(qb.col(b).unwrap());
+            qb.filter(j);
+        }
+        let f1 = maybe_wrap(
+            "q8_region",
+            qb.col("r.name").unwrap().eq(Expr::lit("AMERICA")),
+        );
+        let f2 = maybe_wrap(
+            "q8_type",
+            qb.col("p.ptype").unwrap().eq(Expr::lit("PROMO BRASS")),
+        );
+        qb.filter(f1);
+        qb.filter(f2);
+        let rev = qb
+            .col("l.extendedprice")
+            .unwrap()
+            .mul(Expr::lit(1.0).sub(qb.col("l.discount").unwrap()));
+        qb.select_agg(AggFunc::Sum, Some(rev), "volume");
+        push("q08", qb.build().expect("q8"));
+    }
+
+    // Q9: product type profit (6-way).
+    {
+        let mut qb = QueryBuilder::new(catalog);
+        qb.table_as("part", "p").unwrap();
+        qb.table_as("supplier", "s").unwrap();
+        qb.table_as("lineitem", "l").unwrap();
+        qb.table_as("partsupp", "ps").unwrap();
+        qb.table_as("orders", "o").unwrap();
+        qb.table_as("nation", "n").unwrap();
+        for (a, b) in [
+            ("s.suppkey", "l.suppkey"),
+            ("ps.suppkey", "l.suppkey"),
+            ("ps.partkey", "l.partkey"),
+            ("p.partkey", "l.partkey"),
+            ("o.orderkey", "l.orderkey"),
+            ("s.nationkey", "n.nationkey"),
+        ] {
+            let j = qb.col(a).unwrap().eq(qb.col(b).unwrap());
+            qb.filter(j);
+        }
+        let f = maybe_wrap(
+            "q9_brand",
+            qb.col("p.brand").unwrap().eq(Expr::lit("Brand#33")),
+        );
+        qb.filter(f);
+        let profit = qb
+            .col("l.extendedprice")
+            .unwrap()
+            .mul(Expr::lit(1.0).sub(qb.col("l.discount").unwrap()))
+            .sub(qb.col("ps.supplycost").unwrap().mul(qb.col("l.quantity").unwrap()));
+        qb.select_agg(AggFunc::Sum, Some(profit), "profit");
+        push("q09", qb.build().expect("q9"));
+    }
+
+    // Q10: returned item reporting.
+    {
+        let mut qb = QueryBuilder::new(catalog);
+        qb.table_as("customer", "c").unwrap();
+        qb.table_as("orders", "o").unwrap();
+        qb.table_as("lineitem", "l").unwrap();
+        qb.table_as("nation", "n").unwrap();
+        for (a, b) in [
+            ("c.custkey", "o.custkey"),
+            ("l.orderkey", "o.orderkey"),
+            ("c.nationkey", "n.nationkey"),
+        ] {
+            let j = qb.col(a).unwrap().eq(qb.col(b).unwrap());
+            qb.filter(j);
+        }
+        let f1 = maybe_wrap(
+            "q10_flag",
+            qb.col("l.returnflag").unwrap().eq(Expr::lit("R")),
+        );
+        let f2 = maybe_wrap("q10_lo", qb.col("o.orderdate").unwrap().ge(Expr::lit(900)));
+        let f3 = maybe_wrap("q10_hi", qb.col("o.orderdate").unwrap().lt(Expr::lit(990)));
+        qb.filter(f1);
+        qb.filter(f2);
+        qb.filter(f3);
+        let rev = qb
+            .col("l.extendedprice")
+            .unwrap()
+            .mul(Expr::lit(1.0).sub(qb.col("l.discount").unwrap()));
+        qb.select_agg(AggFunc::Sum, Some(rev), "revenue");
+        push("q10", qb.build().expect("q10"));
+    }
+
+    // Q11: important stock (3-way + grouping by part).
+    {
+        let mut qb = QueryBuilder::new(catalog);
+        qb.table_as("partsupp", "ps").unwrap();
+        qb.table_as("supplier", "s").unwrap();
+        qb.table_as("nation", "n").unwrap();
+        for (a, b) in [("ps.suppkey", "s.suppkey"), ("s.nationkey", "n.nationkey")] {
+            let j = qb.col(a).unwrap().eq(qb.col(b).unwrap());
+            qb.filter(j);
+        }
+        let f = maybe_wrap(
+            "q11_nation",
+            qb.col("n.name").unwrap().eq(Expr::lit("NATION11")),
+        );
+        qb.filter(f);
+        let value = qb
+            .col("ps.supplycost")
+            .unwrap()
+            .mul(qb.col("ps.availqty").unwrap());
+        qb.select_agg(AggFunc::Sum, Some(value), "value");
+        push("q11", qb.build().expect("q11"));
+    }
+
+    // Q18: large volume customers.
+    {
+        let mut qb = QueryBuilder::new(catalog);
+        qb.table_as("customer", "c").unwrap();
+        qb.table_as("orders", "o").unwrap();
+        qb.table_as("lineitem", "l").unwrap();
+        for (a, b) in [("c.custkey", "o.custkey"), ("o.orderkey", "l.orderkey")] {
+            let j = qb.col(a).unwrap().eq(qb.col(b).unwrap());
+            qb.filter(j);
+        }
+        let f = maybe_wrap("q18_qty", qb.col("l.quantity").unwrap().gt(Expr::lit(45)));
+        qb.filter(f);
+        let qty = qb.col("l.quantity").unwrap();
+        qb.select_agg(AggFunc::Sum, Some(qty), "total_qty");
+        qb.select_agg(AggFunc::Count, None, "n");
+        push("q18", qb.build().expect("q18"));
+    }
+
+    // Q21: suppliers who kept orders waiting (4-way).
+    {
+        let mut qb = QueryBuilder::new(catalog);
+        qb.table_as("supplier", "s").unwrap();
+        qb.table_as("lineitem", "l").unwrap();
+        qb.table_as("orders", "o").unwrap();
+        qb.table_as("nation", "n").unwrap();
+        for (a, b) in [
+            ("s.suppkey", "l.suppkey"),
+            ("o.orderkey", "l.orderkey"),
+            ("s.nationkey", "n.nationkey"),
+        ] {
+            let j = qb.col(a).unwrap().eq(qb.col(b).unwrap());
+            qb.filter(j);
+        }
+        let f1 = maybe_wrap(
+            "q21_nation",
+            qb.col("n.name").unwrap().eq(Expr::lit("NATION17")),
+        );
+        let f2 = maybe_wrap(
+            "q21_prio",
+            qb.col("o.orderpriority").unwrap().eq(Expr::lit("1-URGENT")),
+        );
+        qb.filter(f1);
+        qb.filter(f2);
+        qb.select_agg(AggFunc::Count, None, "numwait");
+        push("q21", qb.build().expect("q21"));
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skinner_core::run_engine;
+    use skinner_simdb::exec::ExecOptions;
+    use skinner_simdb::ColEngine;
+
+    #[test]
+    fn catalog_has_all_tables() {
+        let cat = generate(0.002, 1);
+        for t in [
+            "region", "nation", "supplier", "customer", "part", "partsupp", "orders",
+            "lineitem",
+        ] {
+            assert!(cat.contains(t), "missing {t}");
+        }
+        assert!(cat.get("lineitem").unwrap().num_rows() >= 100);
+    }
+
+    #[test]
+    fn all_queries_build_and_validate() {
+        let cat = generate(0.002, 1);
+        let qs = queries(&cat, false, 0);
+        assert_eq!(qs.len(), 10);
+        for nq in &qs {
+            assert!(nq.query.validate().is_ok(), "{}", nq.id);
+        }
+    }
+
+    #[test]
+    fn udf_variant_matches_plain_results() {
+        let cat = generate(0.002, 2);
+        let plain = queries(&cat, false, 0);
+        let udf = queries(&cat, true, 10);
+        let engine = ColEngine::new();
+        for (p, u) in plain.iter().zip(&udf) {
+            assert!(u.query.predicates.iter().any(|e| e.contains_udf()), "{}", u.id);
+            let rp = run_engine(&engine, &p.query, &ExecOptions::default());
+            let ru = run_engine(&engine, &u.query, &ExecOptions::default());
+            // SUM over floats accumulates in plan order, so compare with a
+            // relative tolerance rather than exactly.
+            assert_eq!(rp.table.num_rows(), ru.table.num_rows(), "{}", p.id);
+            for (ra, rb) in rp
+                .table
+                .canonical_rows()
+                .iter()
+                .zip(ru.table.canonical_rows().iter())
+            {
+                for (a, b) in ra.iter().zip(rb.iter()) {
+                    match (a.as_f64(), b.as_f64()) {
+                        (Some(x), Some(y)) => assert!(
+                            (x - y).abs() <= 1e-9 * x.abs().max(y.abs()).max(1.0),
+                            "{}: {x} vs {y}",
+                            p.id
+                        ),
+                        _ => assert_eq!(a, b, "{}", p.id),
+                    }
+                }
+            }
+        }
+    }
+}

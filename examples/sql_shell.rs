@@ -1,0 +1,65 @@
+//! A tiny interactive SQL shell over the JOB-like catalog, executed by
+//! Skinner-C. Reads one query per line from stdin; `\tables` lists
+//! tables, `\quit` exits. Piped input works too:
+//!
+//! ```sh
+//! echo "SELECT COUNT(*) AS n FROM title t WHERE t.production_year > 2000" \
+//!   | cargo run --release --example sql_shell
+//! ```
+
+use skinnerdb::prelude::*;
+use skinnerdb::workloads::job;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let wl = job::generate(0.1, 42);
+    let db = SkinnerDB::skinner_c(SkinnerCConfig::default());
+    let udfs = UdfRegistry::new();
+
+    println!("SkinnerDB SQL shell over a synthetic IMDB (type \\tables or \\quit)");
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    print!("skinner> ");
+    out.flush().ok();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let line = line.trim();
+        match line {
+            "" => {}
+            "\\quit" | "\\q" | "exit" => break,
+            "\\tables" => {
+                for name in wl.catalog.table_names() {
+                    let t = wl.catalog.get(name).expect("table");
+                    let cols: Vec<String> = t
+                        .schema()
+                        .columns()
+                        .iter()
+                        .map(|c| format!("{} {}", c.name, c.ty))
+                        .collect();
+                    println!("{name} ({}) — {} rows", cols.join(", "), t.num_rows());
+                }
+            }
+            sql => match parse(sql, &wl.catalog, &udfs) {
+                Ok(query) => {
+                    let started = std::time::Instant::now();
+                    let result = db.execute(&query);
+                    println!("{}", result.table);
+                    println!(
+                        "({} rows in {:?}; {} time slices, join order {:?})",
+                        result.table.num_rows(),
+                        started.elapsed(),
+                        result.stats.slices,
+                        result.stats.final_order.as_deref().unwrap_or(&[]),
+                    );
+                }
+                Err(e) => println!("error: {e}"),
+            },
+        }
+        print!("skinner> ");
+        out.flush().ok();
+    }
+    println!();
+}

@@ -1,0 +1,56 @@
+//! The paper's motivating scenario: user-defined predicates that no
+//! optimizer statistics can see through.
+//!
+//! Builds a 6-table UDF-torture query (one join predicate yields an empty
+//! result, the rest always succeed) and compares a traditional optimizer,
+//! which cannot tell the predicates apart, against Skinner-C, which
+//! discovers the good join order *during* execution.
+//!
+//! ```sh
+//! cargo run --release --example udf_torture
+//! ```
+
+use skinnerdb::prelude::*;
+use skinnerdb::workloads::torture::{udf_torture, Shape};
+use std::time::Instant;
+
+fn main() {
+    let tables = 6;
+    let rows = 40;
+    let case = udf_torture(Shape::Chain, tables, rows, 2, 100);
+    println!(
+        "UDF torture: {tables}-table chain, {rows} tuples/table, good predicate on edge 2"
+    );
+    println!("{}\n", case.query.query.sketch());
+
+    // Traditional engine: the optimizer assigns every UDF the same
+    // default selectivity, so its join order is a blind guess.
+    let engine = ColEngine::new();
+    let t = Instant::now();
+    let out = engine.execute(&case.query.query, &ExecOptions::default());
+    println!(
+        "traditional optimizer: {:?}, C_out = {} (order {:?})",
+        t.elapsed(),
+        out.intermediate_cardinality,
+        out.join_order
+    );
+
+    // Skinner-C: learns within the query.
+    let t = Instant::now();
+    let sk = SkinnerC::new(SkinnerCConfig::default()).run(&case.query.query);
+    println!(
+        "Skinner-C:             {:?}, {} slices (final order {:?})",
+        t.elapsed(),
+        sk.metrics.slices,
+        sk.final_order
+    );
+    assert_eq!(out.result_count, 0);
+    assert_eq!(sk.result_count, 0);
+
+    // The good edge is between tables 2 and 3: any learned order that
+    // crosses it early terminates almost immediately.
+    println!(
+        "\nBoth produce the correct (empty) result; Skinner-C finds the empty join edge\n\
+         without any statistics, by trying join orders in tiny time slices."
+    );
+}

@@ -1,0 +1,176 @@
+//! Property-based tests over the core invariants:
+//!
+//! * Skinner-C produces exactly the same result set as a direct engine
+//!   on arbitrary generated schemas/queries (Theorem 5.3),
+//! * every valid join order yields the same multi-way join result,
+//! * the progress tracker never loses results under arbitrary
+//!   slice/order interleavings,
+//! * the pyramid timeout scheme keeps its Lemma 5.4/5.5 guarantees for
+//!   arbitrary iteration counts.
+
+use proptest::prelude::*;
+use skinnerdb::core::PyramidTimeouts;
+use skinnerdb::engine::multiway::ResultSet;
+use skinnerdb::engine::{MultiwayJoin, PreparedQuery, SkinnerC, SkinnerCConfig};
+use skinnerdb::prelude::*;
+use skinnerdb::query::JoinGraph;
+use skinnerdb::query::TableSet;
+
+/// Generate a random chain query over `m` tables with random small data.
+fn arb_chain_case() -> impl Strategy<Value = (Catalog, Query)> {
+    (2usize..5, 1usize..24, 2i64..6, any::<u64>()).prop_map(
+        |(m, rows, key_space, seed)| {
+            use rand::rngs::SmallRng;
+            use rand::{Rng, SeedableRng};
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut cat = Catalog::new();
+            for t in 0..m {
+                let keys: Vec<i64> =
+                    (0..rows).map(|_| rng.gen_range(0..key_space)).collect();
+                let vals: Vec<i64> = (0..rows).map(|_| rng.gen_range(0..10)).collect();
+                cat.register(
+                    Table::new(
+                        format!("t{t}"),
+                        Schema::new([
+                            ColumnDef::new("k", ValueType::Int),
+                            ColumnDef::new("v", ValueType::Int),
+                        ]),
+                        vec![Column::from_ints(keys), Column::from_ints(vals)],
+                    )
+                    .expect("table"),
+                );
+            }
+            let mut qb = QueryBuilder::new(&cat);
+            for t in 0..m {
+                qb.table(&format!("t{t}")).expect("register table");
+            }
+            for t in 0..m - 1 {
+                let j = qb
+                    .col(&format!("t{t}.k"))
+                    .expect("col")
+                    .eq(qb.col(&format!("t{}.k", t + 1)).expect("col"));
+                qb.filter(j);
+            }
+            // a random unary filter on a random table
+            let ft = rng.gen_range(0..m);
+            let f = qb
+                .col(&format!("t{ft}.v"))
+                .expect("col")
+                .lt(Expr::lit(rng.gen_range(1..11i64)));
+            qb.filter(f);
+            qb.select_col("t0.v").expect("select");
+            let q = qb.build().expect("query");
+            (cat, q)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn skinner_c_matches_engine((_cat, q) in arb_chain_case()) {
+        let truth = ColEngine::new()
+            .execute(&q, &ExecOptions { count_only: true, ..Default::default() })
+            .result_count;
+        let out = SkinnerC::new(SkinnerCConfig {
+            budget: 16, // tiny slices: maximal order switching
+            ..Default::default()
+        })
+        .run(&q);
+        prop_assert_eq!(out.result_count, truth);
+    }
+
+    #[test]
+    fn all_valid_orders_same_result((_cat, q) in arb_chain_case()) {
+        let pq = PreparedQuery::new(&q, true, 1);
+        prop_assume!(!pq.any_empty());
+        let graph = JoinGraph::from_query(&q);
+        let m = q.num_tables();
+        // enumerate valid orders (chain ⇒ at most 2^(m-1) ≤ 16)
+        let mut orders = Vec::new();
+        fn rec(graph: &JoinGraph, m: usize, prefix: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+            if prefix.len() == m {
+                out.push(prefix.clone());
+                return;
+            }
+            let chosen: TableSet = prefix.iter().copied().collect();
+            for t in graph.eligible_next(chosen).iter() {
+                prefix.push(t);
+                rec(graph, m, prefix, out);
+                prefix.pop();
+            }
+        }
+        rec(&graph, m, &mut Vec::new(), &mut orders);
+        let mut counts = Vec::new();
+        for order in &orders {
+            let plan = pq.plan_order(order);
+            let join = MultiwayJoin::new(&pq);
+            let offsets = vec![0u32; m];
+            let mut state = offsets.clone();
+            let mut rs = ResultSet::new();
+            join.continue_join(order, &plan, &offsets, &mut state, u64::MAX, &mut rs);
+            counts.push(rs.len());
+        }
+        prop_assert!(counts.windows(2).all(|w| w[0] == w[1]), "counts {:?}", counts);
+    }
+
+    #[test]
+    fn random_policy_interleavings_lose_nothing(
+        (_cat, q) in arb_chain_case(),
+        budget in 4u64..64,
+        seed in any::<u64>(),
+    ) {
+        let truth = ColEngine::new()
+            .execute(&q, &ExecOptions { count_only: true, ..Default::default() })
+            .result_count;
+        // Random policy = adversarial order interleaving for the
+        // progress tracker and offset machinery.
+        let out = SkinnerC::new(SkinnerCConfig {
+            budget,
+            seed,
+            policy: skinnerdb::engine::OrderPolicy::Random,
+            ..Default::default()
+        })
+        .run(&q);
+        prop_assert_eq!(out.result_count, truth);
+    }
+
+    #[test]
+    fn pyramid_invariants(iters in 1usize..3000) {
+        let mut p = PyramidTimeouts::new();
+        for _ in 0..iters {
+            p.next_timeout();
+        }
+        // Lemma 5.5: used levels balanced within factor two.
+        let used: Vec<u64> = p.per_level().iter().copied().filter(|&x| x > 0).collect();
+        let max = *used.iter().max().expect("nonempty");
+        let min = *used.iter().min().expect("nonempty");
+        prop_assert!(max <= 2 * min);
+        // Lemma 5.4: level count logarithmic in total time.
+        let bound = (p.total() as f64).log2().ceil() as usize + 1;
+        prop_assert!(p.levels() <= bound);
+    }
+
+    #[test]
+    fn postprocess_limit_distinct(limit in 1usize..10) {
+        // LIMIT must clamp and DISTINCT must dedup on arbitrary inputs.
+        let mut cat = Catalog::new();
+        cat.register(
+            Table::new(
+                "t",
+                Schema::new([ColumnDef::new("x", ValueType::Int)]),
+                vec![Column::from_ints((0..40).map(|i| i % 4).collect())],
+            )
+            .expect("table"),
+        );
+        let mut qb = QueryBuilder::new(&cat);
+        qb.table("t").expect("table");
+        qb.select_col("t.x").expect("col");
+        qb.distinct();
+        qb.limit(limit);
+        let q = qb.build().expect("query");
+        let r = SkinnerDB::skinner_c(SkinnerCConfig::default()).execute(&q);
+        prop_assert_eq!(r.table.num_rows(), limit.min(4));
+    }
+}
