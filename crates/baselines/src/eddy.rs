@@ -14,11 +14,11 @@
 //! * there are no regret guarantees — early unlucky estimates can lock
 //!   the policy into bad routes for many tuples.
 
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use skinner_engine::PreparedQuery;
 use skinner_query::{JoinGraph, Query, TableId, TableSet};
 use skinner_storage::{FxHashMap, FxHashSet, RowId};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
 /// Eddy configuration.
@@ -125,8 +125,15 @@ impl Eddy {
             rows[driver] = pq.base_row(driver, pos);
             let set = TableSet::single(driver);
             self.route(
-                &pq, &graph, query, set, &mut rows, &mut routes, &mut rng,
-                &mut results, &mut predicate_evals,
+                &pq,
+                &graph,
+                query,
+                set,
+                &mut rows,
+                &mut routes,
+                &mut rng,
+                &mut results,
+                &mut predicate_evals,
             );
         }
 
@@ -225,8 +232,15 @@ impl Eddy {
                         if applicable.iter().all(|pr| pr.eval(rows, &pq.tables)) {
                             fanout += 1;
                             self.route(
-                                pq, graph, query, with_next, rows, routes, rng,
-                                results, predicate_evals,
+                                pq,
+                                graph,
+                                query,
+                                with_next,
+                                rows,
+                                routes,
+                                rng,
+                                results,
+                                predicate_evals,
                             );
                         }
                     }
@@ -239,8 +253,15 @@ impl Eddy {
                     if applicable.iter().all(|pr| pr.eval(rows, &pq.tables)) {
                         fanout += 1;
                         self.route(
-                            pq, graph, query, with_next, rows, routes, rng,
-                            results, predicate_evals,
+                            pq,
+                            graph,
+                            query,
+                            with_next,
+                            rows,
+                            routes,
+                            rng,
+                            results,
+                            predicate_evals,
                         );
                     }
                 }

@@ -72,8 +72,8 @@ impl Reoptimizer {
         for _round in 0..self.cfg.max_rounds {
             let first = order[0];
             let total = pre.card(first);
-            let sample = ((total as f64 * self.cfg.sample_fraction).ceil() as usize)
-                .clamp(1, total.max(1));
+            let sample =
+                ((total as f64 * self.cfg.sample_fraction).ceil() as usize).clamp(1, total.max(1));
             if total == 0 {
                 break;
             }
@@ -86,14 +86,7 @@ impl Reoptimizer {
                 deadline: opts.deadline,
                 ..Default::default()
             };
-            let probe = run_left_deep(
-                query,
-                &pre,
-                &order,
-                EvalMode::Compiled,
-                &sample_opts,
-                false,
-            );
+            let probe = run_left_deep(query, &pre, &order, EvalMode::Compiled, &sample_opts, false);
             if !probe.completed() {
                 break; // deadline hit during sampling: fall through
             }

@@ -4,8 +4,8 @@
 //! possible.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use skinner_engine::{MultiwayJoin, PreparedQuery};
 use skinner_engine::multiway::ResultSet;
+use skinner_engine::{MultiwayJoin, PreparedQuery};
 use skinner_query::{Query, QueryBuilder};
 use skinner_storage::{Catalog, Column, ColumnDef, Schema, Table, ValueType};
 
@@ -51,18 +51,12 @@ fn bench_multiway(c: &mut Criterion) {
             &indexes,
             |b, _| {
                 b.iter(|| {
-                    let join = MultiwayJoin::new(&pq);
+                    let mut join = MultiwayJoin::new(&pq);
                     let offsets = vec![0u32; 3];
                     let mut state = offsets.clone();
                     let mut rs = ResultSet::new();
-                    let (_r, steps) = join.continue_join(
-                        &order,
-                        &plan,
-                        &offsets,
-                        &mut state,
-                        10_000,
-                        &mut rs,
-                    );
+                    let (_r, steps) =
+                        join.continue_join(&order, &plan, &offsets, &mut state, 10_000, &mut rs);
                     criterion::black_box(steps)
                 })
             },

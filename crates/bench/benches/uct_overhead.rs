@@ -2,9 +2,9 @@
 //! overhead Skinner-C pays on every time slice.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use skinner_uct::{JoinOrderSpace, SearchSpace, UctConfig, UctTree};
 use skinner_query::{Expr, Query, QueryBuilder};
 use skinner_storage::{Catalog, Column, ColumnDef, Schema, Table, ValueType};
+use skinner_uct::{JoinOrderSpace, SearchSpace, UctConfig, UctTree};
 
 fn chain_query(m: usize) -> (Catalog, Query) {
     let mut cat = Catalog::new();

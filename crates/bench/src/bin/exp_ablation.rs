@@ -6,7 +6,9 @@
 //! pre-processing, learning.
 
 use skinner_bench::approaches::EngineKind;
-use skinner_bench::{env_scale, env_seed, env_timeout, fmt_duration, print_table, run_approach, Approach};
+use skinner_bench::{
+    env_scale, env_seed, env_timeout, fmt_duration, print_table, run_approach, Approach,
+};
 use skinner_workloads::job;
 use std::time::Duration;
 

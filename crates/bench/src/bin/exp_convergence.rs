@@ -38,8 +38,7 @@ fn main() {
             let target = ((last_slice as f64) * frac) as u64;
             let entry = growth
                 .iter()
-                .filter(|(s, _)| *s <= target.max(1))
-                .last()
+                .rfind(|(s, _)| *s <= target.max(1))
                 .copied()
                 .unwrap_or((0, 0));
             rows.push(vec![

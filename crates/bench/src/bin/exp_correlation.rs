@@ -39,8 +39,14 @@ fn main() {
     ];
 
     for (label, pos_of) in [
-        ("m = 1", Box::new(|_m: usize| 0usize) as Box<dyn Fn(usize) -> usize>),
-        ("m = nrTables/2", Box::new(|m: usize| (m / 2).saturating_sub(1))),
+        (
+            "m = 1",
+            Box::new(|_m: usize| 0usize) as Box<dyn Fn(usize) -> usize>,
+        ),
+        (
+            "m = nrTables/2",
+            Box::new(|m: usize| (m / 2).saturating_sub(1)),
+        ),
     ] {
         let mut table = Vec::new();
         for m in [4usize, 6, 8, 10] {

@@ -18,7 +18,7 @@ fn main() {
 
     // The robustness study compares approaches sharing the same
     // execution substrate (paper: the Java engine).
-    let approaches = vec![
+    let approaches = [
         Approach::SkinnerC {
             budget: 500,
             threads: 1,
@@ -63,11 +63,7 @@ fn main() {
             .map(|o| o.time.as_secs_f64())
             .fold(f64::INFINITY, f64::min)
             .max(1e-9);
-        let best_e = outs
-            .iter()
-            .map(|o| o.effort.max(1))
-            .min()
-            .unwrap_or(1) as f64;
+        let best_e = outs.iter().map(|o| o.effort.max(1)).min().unwrap_or(1) as f64;
         for (i, o) in outs.iter().enumerate() {
             if best_t >= TIME_FLOOR_S {
                 let rt = o.time.as_secs_f64() / best_t;

@@ -10,9 +10,9 @@
 //! cumulative execution-time share of the top-k most expensive queries
 //! for MonetDB(sim) and per-query Skinner-C speedups vs. MonetDB(sim).
 
+use skinner_bench::approaches::EngineKind;
 use skinner_bench::{env_scale, env_seed, env_timeout, fmt_duration, print_table};
 use skinner_bench::{run_approach, Approach, RunOutcome};
-use skinner_bench::approaches::EngineKind;
 use skinner_workloads::job;
 use std::time::Duration;
 
@@ -96,7 +96,12 @@ fn main() {
             }
             let out = run_approach(*approach, &nq.query, cap);
             if verbose {
-                eprintln!("[{}] {} done in {}", approach.name(), nq.id, fmt_duration(out.time));
+                eprintln!(
+                    "[{}] {} done in {}",
+                    approach.name(),
+                    nq.id,
+                    fmt_duration(out.time)
+                );
             }
             total += out.time;
             max_t = max_t.max(out.time);
@@ -140,7 +145,14 @@ fn main() {
     };
     print_table(
         title,
-        &["Approach", "Total Time", "Total Card.", "Max Time", "Max Card.", "Timeouts"],
+        &[
+            "Approach",
+            "Total Time",
+            "Total Card.",
+            "Max Time",
+            "Max Card.",
+            "Timeouts",
+        ],
         &rows,
     );
 
@@ -160,7 +172,7 @@ fn main() {
             .enumerate()
             .map(|(i, o)| (i, o.time))
             .collect();
-        monet_times.sort_by(|a, b| b.1.cmp(&a.1));
+        monet_times.sort_by_key(|&(_, t)| std::cmp::Reverse(t));
         let total: f64 = monet_times.iter().map(|(_, t)| t.as_secs_f64()).sum();
         let mut cum = 0.0;
         let mut rows = Vec::new();

@@ -25,7 +25,7 @@ fn replay_multiway(query: &Query, order: &[TableId]) -> Duration {
         return start.elapsed();
     }
     let plan = pq.plan_order(order);
-    let join = MultiwayJoin::new(&pq);
+    let mut join = MultiwayJoin::new(&pq);
     let offsets = vec![0u32; query.num_tables()];
     let mut state: Vec<u32> = offsets.clone();
     let mut rs = ResultSet::new();
@@ -33,7 +33,12 @@ fn replay_multiway(query: &Query, order: &[TableId]) -> Duration {
     start.elapsed()
 }
 
-fn replay_engine(engine: &dyn Engine, query: &Query, order: Option<Vec<TableId>>, cap: Duration) -> Duration {
+fn replay_engine(
+    engine: &dyn Engine,
+    query: &Query,
+    order: Option<Vec<TableId>>,
+    cap: Duration,
+) -> Duration {
     let start = Instant::now();
     let out = engine.execute(
         query,
@@ -109,9 +114,7 @@ fn main() {
             .queries
             .iter()
             .enumerate()
-            .map(|(i, nq)| {
-                replay_engine(&row, &nq.query, orders.map(|os| os[i].clone()), cap)
-            })
+            .map(|(i, nq)| replay_engine(&row, &nq.query, orders.map(|os| os[i].clone()), cap))
             .collect();
         add("Postgres(sim)", source, &times);
     }
@@ -126,9 +129,7 @@ fn main() {
             .queries
             .iter()
             .enumerate()
-            .map(|(i, nq)| {
-                replay_engine(&col, &nq.query, orders.map(|os| os[i].clone()), cap)
-            })
+            .map(|(i, nq)| replay_engine(&col, &nq.query, orders.map(|os| os[i].clone()), cap))
             .collect();
         add("MonetDB(sim)", source, &times);
     }

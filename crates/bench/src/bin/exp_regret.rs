@@ -23,7 +23,7 @@ fn replay(query: &Query, order: &[TableId]) -> Duration {
         return start.elapsed();
     }
     let plan = pq.plan_order(order);
-    let join = MultiwayJoin::new(&pq);
+    let mut join = MultiwayJoin::new(&pq);
     let offsets = vec![0u32; query.num_tables()];
     let mut state = offsets.clone();
     let mut rs = ResultSet::new();
@@ -34,7 +34,10 @@ fn replay(query: &Query, order: &[TableId]) -> Duration {
 fn main() {
     let scale = env_scale(0.03);
     let wl = job::generate(scale, env_seed());
-    println!("Regret check over {} queries (scale={scale})", wl.queries.len());
+    println!(
+        "Regret check over {} queries (scale={scale})",
+        wl.queries.len()
+    );
 
     let mut rows = Vec::new();
     let mut worst: f64 = 0.0;

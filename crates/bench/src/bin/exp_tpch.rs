@@ -6,7 +6,9 @@
 //! Skinner-C wins once predicates become opaque UDFs.
 
 use skinner_bench::approaches::EngineKind;
-use skinner_bench::{env_scale, env_seed, env_timeout, fmt_duration, print_table, run_approach, Approach};
+use skinner_bench::{
+    env_scale, env_seed, env_timeout, fmt_duration, print_table, run_approach, Approach,
+};
 use skinner_workloads::tpch;
 use std::time::Duration;
 
@@ -19,7 +21,7 @@ fn main() {
         catalog.get("lineitem").unwrap().num_rows()
     );
 
-    let approaches = vec![
+    let approaches = [
         Approach::SkinnerC {
             budget: 500,
             threads: 1,
@@ -71,12 +73,12 @@ fn main() {
         for (ai, approach) in approaches.iter().enumerate() {
             let total: Duration = per_query[ai].iter().sum();
             let mut max_rel = 0.0f64;
-            for q in 0..queries.len() {
+            for (q, mine) in per_query[ai].iter().enumerate() {
                 let best = (0..approaches.len())
                     .map(|a| per_query[a][q].as_secs_f64())
                     .fold(f64::INFINITY, f64::min)
                     .max(1e-9);
-                max_rel = max_rel.max(per_query[ai][q].as_secs_f64() / best);
+                max_rel = max_rel.max(mine.as_secs_f64() / best);
             }
             rows.push(vec![
                 scenario.to_string(),

@@ -47,7 +47,11 @@ fn main() {
     ];
 
     for shape in [Shape::Chain, Shape::Star] {
-        let shape_name = if shape == Shape::Chain { "Chain" } else { "Star" };
+        let shape_name = if shape == Shape::Chain {
+            "Chain"
+        } else {
+            "Star"
+        };
         let mut table = Vec::new();
         for m in [4usize, 6, 8, 10] {
             // Good predicate in the middle of the edge list, as in the

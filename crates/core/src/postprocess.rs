@@ -84,7 +84,7 @@ impl Acc {
                     if !x.is_null()
                         && cur
                             .as_ref()
-                            .map_or(true, |c| x.sql_cmp(c) == Some(Ordering::Less))
+                            .is_none_or(|c| x.sql_cmp(c) == Some(Ordering::Less))
                     {
                         *cur = Some(x.clone());
                     }
@@ -95,7 +95,7 @@ impl Acc {
                     if !x.is_null()
                         && cur
                             .as_ref()
-                            .map_or(true, |c| x.sql_cmp(c) == Some(Ordering::Greater))
+                            .is_none_or(|c| x.sql_cmp(c) == Some(Ordering::Greater))
                     {
                         *cur = Some(x.clone());
                     }
@@ -237,10 +237,7 @@ fn aggregate_rows(
     let mut group_order: Vec<Vec<Key>> = Vec::new();
 
     for tup in tuples.chunks_exact(m) {
-        let ctx = TupleContext {
-            rows: tup,
-            tables,
-        };
+        let ctx = TupleContext { rows: tup, tables };
         let gk: Vec<Key> = query
             .group_by
             .iter()

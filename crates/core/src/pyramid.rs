@@ -88,11 +88,7 @@ mod tests {
             let used: Vec<u64> = p.per_level().iter().copied().filter(|&x| x > 0).collect();
             let max = *used.iter().max().unwrap();
             let min = *used.iter().min().unwrap();
-            assert!(
-                max <= 2 * min,
-                "levels unbalanced: {:?}",
-                p.per_level()
-            );
+            assert!(max <= 2 * min, "levels unbalanced: {:?}", p.per_level());
         }
     }
 

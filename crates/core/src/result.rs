@@ -46,8 +46,7 @@ impl ResultTable {
 
     /// True if both results contain the same multiset of rows.
     pub fn same_rows(&self, other: &ResultTable) -> bool {
-        self.num_rows() == other.num_rows()
-            && self.canonical_rows() == other.canonical_rows()
+        self.num_rows() == other.num_rows() && self.canonical_rows() == other.canonical_rows()
     }
 }
 

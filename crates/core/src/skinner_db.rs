@@ -181,11 +181,7 @@ mod tests {
             )
             .unwrap()
         };
-        cat.register(mk(
-            "a",
-            (0..40).map(|i| i % 4).collect(),
-            (0..40).collect(),
-        ));
+        cat.register(mk("a", (0..40).map(|i| i % 4).collect(), (0..40).collect()));
         cat.register(mk(
             "b",
             (0..20).map(|i| i % 4).collect(),

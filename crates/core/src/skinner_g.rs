@@ -117,7 +117,7 @@ impl<'e> SkinnerGSession<'e> {
             .zip(&batch_size)
             .map(|(&c, &bs)| c.div_ceil(bs))
             .collect();
-        let finished = cards.iter().any(|&c| c == 0);
+        let finished = cards.contains(&0);
         SkinnerGSession {
             engine,
             query,
@@ -166,8 +166,8 @@ impl<'e> SkinnerGSession<'e> {
         // Per-level UCT tree (or uniform-random selection for the
         // Table 5 ablation).
         let order = if self.cfg.random_orders {
-            use skinner_uct::SearchSpace;
             use rand::Rng;
+            use skinner_uct::SearchSpace;
             let mut path = Vec::with_capacity(self.space.depth());
             while path.len() < self.space.depth() {
                 let actions = self.space.actions(&path);

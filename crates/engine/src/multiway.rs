@@ -1,4 +1,5 @@
-//! Depth-first multi-way join with O(1) intermediate state (Algorithm 2).
+//! Depth-first multi-way join with O(1) intermediate state (Algorithm 2),
+//! executed by an *order-specialized* kernel.
 //!
 //! The engine fixes one tuple per predecessor table before considering
 //! tuples of the successor table — a depth-first search over tuple
@@ -7,14 +8,46 @@
 //! walking down from position 0, re-verifying the restored coordinates'
 //! predicates (O(m) work), then continues the lexicographic scan.
 //!
-//! With hash indexes available, tuple advances *jump* to the next position
-//! whose key matches the applicable equality predicate (via
-//! [`HashIndex::next_ge`](skinner_storage::HashIndex::next_ge)) instead of
-//! incrementing by one — the §4.5 extension for equality predicates.
+//! # Bound-plan architecture
+//!
+//! SkinnerDB's regret bounds only pay off if per-tuple overhead is tiny;
+//! the paper's Skinner-C compiles each query into specialized code (§6).
+//! Our safe-Rust analogue is *plan-time binding*: a
+//! [`OrderPlan`](crate::prepare::OrderPlan) resolves every indirection
+//! once per (query, order) —
+//!
+//! * predicates are [`BoundPred`](skinner_query::BoundPred)s holding raw
+//!   typed column slices and an accepted-ordering bitmask, so a predicate
+//!   eval is slice reads plus one AND, with no table/column re-resolution
+//!   and no operator dispatch;
+//! * index jumps hold a direct [`HashIndex`](skinner_storage::HashIndex)
+//!   reference and a specialized key-column accessor, so a tuple advance
+//!   probes the index without the former `(table, column)` map lookup
+//!   (the §4.5 extension for equality predicates: jump to the next
+//!   position whose key matches, via `next_ge`);
+//! * per-position cardinalities and filtered-position slices are cached
+//!   in the plan, so the inner loop never touches the prepared query.
+//!
+//! The executor itself owns a reusable `rows` scratch buffer, and
+//! [`ResultSet`] stores tuples in one flat arena with an open-addressing
+//! dedup table — a result insert (including duplicate attempts from order
+//! switches) allocates nothing in the steady state.
+//!
+//! The pre-refactor interpreted kernel survives as
+//! [`MultiwayJoin::continue_join_generic`]: it re-resolves columns through
+//! [`CompiledPred::eval`](skinner_query::CompiledPred::eval) and probes
+//! the index map per advance. It is the differential-testing oracle and
+//! the baseline that `benches/join_inner_loop.rs` measures the
+//! specialized kernel against. Remaining distance to the paper's design:
+//! true per-query code generation (§6) would fuse the per-position
+//! predicate loops into straight-line code; a JIT or macro-generated
+//! kernel per join-order shape is future work.
 
-use crate::prepare::{OrderPlan, PreparedQuery};
+use crate::prepare::{OrderPlan, OrderSpec, PreparedQuery};
 use skinner_query::TableId;
-use skinner_storage::{FxHashSet, RowId};
+use skinner_storage::hash::FxHasher;
+use skinner_storage::RowId;
+use std::hash::Hasher;
 
 /// Why a slice ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,13 +59,77 @@ pub enum ContinueResult {
     BudgetSpent,
 }
 
+const EMPTY_SLOT: u32 = u32::MAX;
+
+/// Destination of result tuples for the join kernels. Monomorphized, so
+/// alternative sinks (counting, the boxed reference implementation in
+/// the benches) cost nothing on the hot path.
+pub trait ResultSink {
+    /// Insert a tuple (base row ids in FROM order); false if duplicate.
+    fn insert(&mut self, tuple: &[RowId]) -> bool;
+}
+
+impl ResultSink for ResultSet {
+    #[inline]
+    fn insert(&mut self, tuple: &[RowId]) -> bool {
+        ResultSet::insert(self, tuple)
+    }
+}
+
+/// A sink that only counts insert attempts — for kernel micro-benchmarks
+/// and completion probes that don't need the tuples.
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    /// Number of inserts observed (duplicates included).
+    pub attempts: u64,
+}
+
+impl ResultSink for CountingSink {
+    #[inline]
+    fn insert(&mut self, _tuple: &[RowId]) -> bool {
+        self.attempts += 1;
+        true
+    }
+}
+
 /// Deduplicating result set over tuple-index vectors (paper: "we add
 /// tuple index vectors into a result set, avoiding duplicate entries").
+///
+/// Tuples live contiguously in one flat arena (`stride` row ids per
+/// tuple); deduplication goes through an open-addressing table of tuple
+/// indices hashed with the vendored Fx hasher. Duplicate inserts —
+/// the common case around join-order switches — touch no allocator at
+/// all, and [`ResultSet::into_flat`] is a move of the arena, not a copy.
 #[derive(Debug, Default)]
 pub struct ResultSet {
-    set: FxHashSet<Box<[RowId]>>,
+    /// Row ids of distinct tuples, concatenated (`len * stride` entries).
+    data: Vec<RowId>,
+    /// Tuple width; 0 until the first insert fixes it.
+    stride: usize,
+    /// Open-addressing slots: tuple index into `data`, or `EMPTY_SLOT`.
+    slots: Vec<u32>,
+    /// Full hash per stored tuple: early-out on probe collisions and
+    /// rehash-free growth.
+    hashes: Vec<u64>,
+    /// Number of distinct tuples.
+    len: usize,
     /// Total insert attempts (including duplicates from order switches).
     pub attempts: u64,
+}
+
+#[inline(always)]
+fn hash_tuple(tuple: &[RowId]) -> u64 {
+    // Pack row-id pairs into 64-bit words: half the mix rounds of
+    // hashing each id separately.
+    let mut h = FxHasher::default();
+    let mut chunks = tuple.chunks_exact(2);
+    for pair in &mut chunks {
+        h.write_u64((pair[0] as u64) << 32 | pair[1] as u64);
+    }
+    if let [last] = chunks.remainder() {
+        h.write_u32(*last);
+    }
+    h.finish()
 }
 
 impl ResultSet {
@@ -42,80 +139,203 @@ impl ResultSet {
     }
 
     /// Insert a tuple (base row ids in FROM order); false if duplicate.
+    #[inline]
     pub fn insert(&mut self, tuple: &[RowId]) -> bool {
         self.attempts += 1;
-        self.set.insert(tuple.into())
+        if self.stride == 0 {
+            assert!(!tuple.is_empty(), "zero-width result tuple");
+            self.stride = tuple.len();
+            self.slots = vec![EMPTY_SLOT; 1024];
+        }
+        debug_assert_eq!(tuple.len(), self.stride);
+        // Grow at 1/2 load, before probing, so the probe loop always
+        // finds an empty slot quickly: plain linear probing clusters
+        // badly past ~60% occupancy (slots are 4 bytes, doubling is
+        // cheap relative to the tuple arena).
+        if (self.len + 1) * 2 > self.slots.len() {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let h = hash_tuple(tuple);
+        // Fold the high half in: the multiply-based Fx hash mixes mostly
+        // upward, and linear probing clusters badly on weak low bits.
+        let mut idx = (h ^ (h >> 32)) as usize & mask;
+        loop {
+            let slot = self.slots[idx];
+            if slot == EMPTY_SLOT {
+                self.slots[idx] = self.len as u32;
+                self.data.extend_from_slice(tuple);
+                self.hashes.push(h);
+                self.len += 1;
+                return true;
+            }
+            let start = slot as usize * self.stride;
+            if self.hashes[slot as usize] == h && &self.data[start..start + self.stride] == tuple {
+                return false;
+            }
+            idx = (idx + 1) & mask;
+        }
+    }
+
+    #[cold]
+    fn grow(&mut self) {
+        // 4x growth: slots are only 4 bytes each, and quartering the
+        // number of rehash rounds matters more than slot memory.
+        let new_cap = (self.slots.len() * 4).max(1024);
+        let mask = new_cap - 1;
+        let mut slots = vec![EMPTY_SLOT; new_cap];
+        for (t, &h) in self.hashes.iter().enumerate() {
+            let mut idx = (h ^ (h >> 32)) as usize & mask;
+            while slots[idx] != EMPTY_SLOT {
+                idx = (idx + 1) & mask;
+            }
+            slots[idx] = t as u32;
+        }
+        self.slots = slots;
     }
 
     /// Number of distinct result tuples.
     pub fn len(&self) -> usize {
-        self.set.len()
+        self.len
     }
 
     /// True if no results.
     pub fn is_empty(&self) -> bool {
-        self.set.is_empty()
+        self.len == 0
     }
 
-    /// Iterate distinct tuples (unspecified order).
+    /// Iterate distinct tuples (insertion order).
     pub fn iter(&self) -> impl Iterator<Item = &[RowId]> {
-        self.set.iter().map(|b| b.as_ref())
+        self.data.chunks_exact(self.stride.max(1))
     }
 
-    /// Drain into a flat row-major vector with the given stride.
+    /// Take the flat row-major tuple arena — a move, not a copy.
+    /// `stride` is validated against the width fixed by the first insert
+    /// (a mismatch is a caller bug that would silently misalign tuples).
     pub fn into_flat(self, stride: usize) -> Vec<RowId> {
-        let mut out = Vec::with_capacity(self.set.len() * stride);
-        for t in &self.set {
-            out.extend_from_slice(t);
-        }
-        out
+        assert!(
+            self.data.is_empty() || stride == self.stride,
+            "stride {stride} != result set stride {}",
+            self.stride
+        );
+        self.data
     }
 
     /// Approximate heap footprint in bytes (Figure 8c).
     pub fn approx_bytes(&self, stride: usize) -> usize {
-        self.set.len() * (stride * 4 + std::mem::size_of::<Box<[RowId]>>() + 8)
+        let _ = stride;
+        self.data.capacity() * std::mem::size_of::<RowId>()
+            + self.slots.len() * std::mem::size_of::<u32>()
+            + self.hashes.capacity() * std::mem::size_of::<u64>()
     }
 }
 
-/// One multi-way join executor bound to a prepared query.
+/// One multi-way join executor bound to a prepared query. Owns the
+/// per-tuple scratch buffer, reused across time slices.
 pub struct MultiwayJoin<'a> {
     pq: &'a PreparedQuery,
+    /// Current base row per table (slots beyond the active depth are
+    /// stale but never read: predicates at position i only touch tables
+    /// joined at positions 0..=i).
+    rows: Vec<RowId>,
 }
 
 impl<'a> MultiwayJoin<'a> {
     /// Bind to a prepared query.
     pub fn new(pq: &'a PreparedQuery) -> MultiwayJoin<'a> {
-        MultiwayJoin { pq }
+        MultiwayJoin {
+            pq,
+            rows: vec![0; pq.num_tables()],
+        }
     }
 
-    /// Execute `order` from cursor `state` (indexed by table id, filtered
-    /// positions) for at most `budget` outer-loop steps. `offsets` are the
-    /// global per-table floors. Result tuples are inserted into `results`.
+    /// Execute the bound `plan` from cursor `state` (indexed by table id,
+    /// filtered positions) for at most `budget` outer-loop steps.
+    /// `offsets` are the global per-table floors. Result tuples are
+    /// inserted into `results`.
     ///
     /// Returns the slice outcome and the number of steps consumed.
-    pub fn continue_join(
-        &self,
+    pub fn continue_join<R: ResultSink>(
+        &mut self,
         order: &[TableId],
-        plan: &OrderPlan,
+        plan: &OrderPlan<'_>,
         offsets: &[u32],
         state: &mut [u32],
         budget: u64,
-        results: &mut ResultSet,
+        results: &mut R,
+    ) -> (ContinueResult, u64) {
+        let positions = plan.positions.as_slice();
+        let m = positions.len();
+        debug_assert_eq!(order.len(), m);
+        debug_assert!(order.iter().zip(positions).all(|(&t, p)| p.table == t));
+        let rows = &mut self.rows;
+
+        let mut i = 0usize;
+        let mut steps: u64 = 0;
+
+        // Immediate exhaustion (restored past the end).
+        if state[positions[0].table] >= positions[0].card {
+            return (ContinueResult::Exhausted, 0);
+        }
+
+        loop {
+            steps += 1;
+            if steps > budget {
+                return (ContinueResult::BudgetSpent, steps - 1);
+            }
+            let pos = &positions[i];
+            let t = pos.table;
+            let s = state[t];
+            if s >= pos.card {
+                // Restored coordinate beyond the end: backtrack.
+                match next_tuple(positions, offsets, state, &mut i, rows, true) {
+                    true => continue,
+                    false => return (ContinueResult::Exhausted, steps),
+                }
+            }
+            rows[t] = pos.base[s as usize];
+            let ok = pos.preds.iter().all(|p| p.eval(rows));
+            if ok {
+                if i + 1 == m {
+                    results.insert(rows);
+                    if !next_tuple(positions, offsets, state, &mut i, rows, false) {
+                        return (ContinueResult::Exhausted, steps);
+                    }
+                } else {
+                    i += 1;
+                }
+            } else if !next_tuple(positions, offsets, state, &mut i, rows, false) {
+                return (ContinueResult::Exhausted, steps);
+            }
+        }
+    }
+
+    /// The pre-specialization reference kernel: identical join semantics,
+    /// but every predicate eval re-resolves its columns through
+    /// [`CompiledPred::eval`](skinner_query::CompiledPred::eval) and
+    /// every index jump probes the `(table, column)` index map. Kept as
+    /// the differential-testing oracle and the baseline for the
+    /// `join_inner_loop` benchmark.
+    #[allow(clippy::too_many_arguments)]
+    pub fn continue_join_generic<R: ResultSink>(
+        &mut self,
+        order: &[TableId],
+        spec: &OrderSpec,
+        offsets: &[u32],
+        state: &mut [u32],
+        budget: u64,
+        results: &mut R,
     ) -> (ContinueResult, u64) {
         let pq = self.pq;
         let m = order.len();
         let cards = &pq.cards;
         let tables = &pq.tables;
         let preds = &pq.join_preds;
-
-        // Current base rows per table (slots beyond depth are stale but
-        // never read: predicates at position i only touch order[0..=i]).
-        let mut rows: Vec<RowId> = vec![0; m];
+        let rows = &mut self.rows;
 
         let mut i = 0usize;
         let mut steps: u64 = 0;
 
-        // Immediate exhaustion (restored past the end).
         if state[order[0]] >= cards[order[0]] {
             return (ContinueResult::Exhausted, 0);
         }
@@ -127,79 +347,113 @@ impl<'a> MultiwayJoin<'a> {
             }
             let t = order[i];
             if state[t] >= cards[t] {
-                // Restored coordinate beyond the end: backtrack.
-                match self.next_tuple(order, plan, offsets, state, &mut i, &rows, true) {
+                match next_tuple_generic(pq, spec, offsets, state, &mut i, rows, true) {
                     true => continue,
                     false => return (ContinueResult::Exhausted, steps),
                 }
             }
             rows[t] = pq.base_row(t, state[t]);
-            let ok = plan.positions[i]
+            let ok = spec.positions[i]
                 .applicable
                 .iter()
-                .all(|&pi| preds[pi].eval(&rows, tables));
+                .all(|&pi| preds[pi].eval(rows, tables));
             if ok {
                 if i + 1 == m {
-                    results.insert(&rows);
-                    if !self.next_tuple(order, plan, offsets, state, &mut i, &rows, false)
-                    {
+                    results.insert(rows);
+                    if !next_tuple_generic(pq, spec, offsets, state, &mut i, rows, false) {
                         return (ContinueResult::Exhausted, steps);
                     }
                 } else {
                     i += 1;
                 }
-            } else if !self.next_tuple(order, plan, offsets, state, &mut i, &rows, false) {
+            } else if !next_tuple_generic(pq, spec, offsets, state, &mut i, rows, false) {
                 return (ContinueResult::Exhausted, steps);
             }
         }
     }
+}
 
-    /// Advance the cursor at position `i` (with index jumps where
-    /// available), backtracking on exhaustion. Returns false when the
-    /// left-most table is exhausted (join complete). `skip_advance` is
-    /// used when the current coordinate is already past the end.
-    #[allow(clippy::too_many_arguments)]
-    fn next_tuple(
-        &self,
-        order: &[TableId],
-        plan: &OrderPlan,
-        offsets: &[u32],
-        state: &mut [u32],
-        i: &mut usize,
-        rows: &[RowId],
-        mut skip_advance: bool,
-    ) -> bool {
-        let pq = self.pq;
-        loop {
-            let t = order[*i];
-            if !skip_advance || state[t] < pq.cards[t] {
-                state[t] = match &plan.positions[*i].jump {
-                    Some(jump) if !skip_advance => {
-                        // Jump to the next position matching the equality
-                        // key of the current predecessor tuple.
-                        let key = pq.tables[jump.src_table]
-                            .column(jump.src_col)
-                            .join_key(rows[jump.src_table] as usize);
-                        match key {
-                            Some(k) => pq.indexes[&(t, jump.index_col)]
-                                .next_ge(k, state[t] + 1)
-                                .unwrap_or(pq.cards[t]),
-                            None => pq.cards[t],
-                        }
+/// Advance the cursor at position `i` of the bound plan (with index
+/// jumps where available), backtracking on exhaustion. Returns false
+/// when the left-most table is exhausted (join complete). `skip_advance`
+/// is used when the current coordinate is already past the end.
+#[inline]
+fn next_tuple(
+    positions: &[crate::prepare::BoundPosition<'_>],
+    offsets: &[u32],
+    state: &mut [u32],
+    i: &mut usize,
+    rows: &[RowId],
+    mut skip_advance: bool,
+) -> bool {
+    loop {
+        let pos = &positions[*i];
+        let t = pos.table;
+        if !skip_advance || state[t] < pos.card {
+            state[t] = match &pos.jump {
+                Some(jump) if !skip_advance => {
+                    // Jump to the next position matching the equality
+                    // key of the current predecessor tuple.
+                    match jump.key.key(rows[jump.src_table]) {
+                        Some(k) => jump.index.next_ge(k, state[t] + 1).unwrap_or(pos.card),
+                        None => pos.card,
                     }
-                    _ => state[t].saturating_add(1),
-                };
-            }
-            skip_advance = false;
-            if state[t] < pq.cards[t] {
-                return true;
-            }
-            if *i == 0 {
-                return false;
-            }
-            state[t] = offsets[t];
-            *i -= 1;
+                }
+                _ => state[t].saturating_add(1),
+            };
         }
+        skip_advance = false;
+        if state[t] < pos.card {
+            return true;
+        }
+        if *i == 0 {
+            return false;
+        }
+        state[t] = offsets[t];
+        *i -= 1;
+    }
+}
+
+/// Generic-kernel advance: per-jump `(table, column)` map probe and
+/// column re-resolution, as before plan-time specialization.
+#[allow(clippy::too_many_arguments)]
+fn next_tuple_generic(
+    pq: &PreparedQuery,
+    spec: &OrderSpec,
+    offsets: &[u32],
+    state: &mut [u32],
+    i: &mut usize,
+    rows: &[RowId],
+    mut skip_advance: bool,
+) -> bool {
+    loop {
+        let pos = &spec.positions[*i];
+        let t = pos.table;
+        if !skip_advance || state[t] < pq.cards[t] {
+            state[t] = match &pos.jump {
+                Some(jump) if !skip_advance => {
+                    let key = pq.tables[jump.src_table]
+                        .column(jump.src_col)
+                        .join_key(rows[jump.src_table] as usize);
+                    match key {
+                        Some(k) => pq.indexes[&(t, jump.index_col)]
+                            .next_ge(k, state[t] + 1)
+                            .unwrap_or(pq.cards[t]),
+                        None => pq.cards[t],
+                    }
+                }
+                _ => state[t].saturating_add(1),
+            };
+        }
+        skip_advance = false;
+        if state[t] < pq.cards[t] {
+            return true;
+        }
+        if *i == 0 {
+            return false;
+        }
+        state[t] = offsets[t];
+        *i -= 1;
     }
 }
 
@@ -268,12 +522,27 @@ mod tests {
     fn run_order(q: &Query, order: &[usize], indexes: bool) -> Vec<Vec<u32>> {
         let pq = PreparedQuery::new(q, indexes, 1);
         let plan = pq.plan_order(order);
-        let join = MultiwayJoin::new(&pq);
+        let mut join = MultiwayJoin::new(&pq);
+        let offsets = vec![0u32; pq.num_tables()];
+        let mut state = offsets.clone();
+        let mut rs = ResultSet::new();
+        let (res, _) = join.continue_join(order, &plan, &offsets, &mut state, u64::MAX, &mut rs);
+        assert_eq!(res, ContinueResult::Exhausted);
+        let mut out: Vec<Vec<u32>> = rs.iter().map(|t| t.to_vec()).collect();
+        out.sort();
+        out
+    }
+
+    /// Same, through the generic reference kernel.
+    fn run_order_generic(q: &Query, order: &[usize], indexes: bool) -> Vec<Vec<u32>> {
+        let pq = PreparedQuery::new(q, indexes, 1);
+        let spec = pq.plan_spec(order);
+        let mut join = MultiwayJoin::new(&pq);
         let offsets = vec![0u32; pq.num_tables()];
         let mut state = offsets.clone();
         let mut rs = ResultSet::new();
         let (res, _) =
-            join.continue_join(order, &plan, &offsets, &mut state, u64::MAX, &mut rs);
+            join.continue_join_generic(order, &spec, &offsets, &mut state, u64::MAX, &mut rs);
         assert_eq!(res, ContinueResult::Exhausted);
         let mut out: Vec<Vec<u32>> = rs.iter().map(|t| t.to_vec()).collect();
         out.sort();
@@ -298,6 +567,21 @@ mod tests {
     }
 
     #[test]
+    fn generic_kernel_matches_specialized() {
+        let cat = catalog();
+        let q = three_way(&cat);
+        for order in [vec![0usize, 1, 2], vec![1, 0, 2], vec![2, 1, 0]] {
+            for indexes in [true, false] {
+                assert_eq!(
+                    run_order(&q, &order, indexes),
+                    run_order_generic(&q, &order, indexes),
+                    "kernels disagree on order {order:?} indexes {indexes}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn matches_expected_tuples() {
         let cat = catalog();
         let q = three_way(&cat);
@@ -315,7 +599,7 @@ mod tests {
         // run the same order in 1-step slices with state persistence
         let pq = PreparedQuery::new(&q, true, 1);
         let plan = pq.plan_order(&[0, 1, 2]);
-        let join = MultiwayJoin::new(&pq);
+        let mut join = MultiwayJoin::new(&pq);
         let offsets = vec![0u32; 3];
         let mut state = vec![0u32; 3];
         let mut rs = ResultSet::new();
@@ -342,7 +626,7 @@ mod tests {
         let q = three_way(&cat);
         let expected = run_order(&q, &[0, 1, 2], true);
         let pq = PreparedQuery::new(&q, true, 1);
-        let join = MultiwayJoin::new(&pq);
+        let mut join = MultiwayJoin::new(&pq);
         let orders: Vec<Vec<usize>> = vec![vec![0, 1, 2], vec![1, 2, 0], vec![2, 1, 0]];
         let plans: Vec<_> = orders.iter().map(|o| pq.plan_order(o)).collect();
         let tracker = &mut crate::progress::ProgressTracker::new(3);
@@ -400,7 +684,7 @@ mod tests {
         let q = three_way(&cat);
         let pq = PreparedQuery::new(&q, true, 1);
         let plan = pq.plan_order(&[0, 1, 2]);
-        let join = MultiwayJoin::new(&pq);
+        let mut join = MultiwayJoin::new(&pq);
         // offset past a.id=1 (filtered position 0) excludes its result
         let offsets = vec![1u32, 0, 0];
         let mut state = vec![1u32, 0, 0];
@@ -421,5 +705,24 @@ mod tests {
         assert_eq!(rs.attempts, 3);
         let flat = rs.into_flat(3);
         assert_eq!(flat.len(), 6);
+    }
+
+    #[test]
+    fn result_set_grows_past_initial_capacity() {
+        let mut rs = ResultSet::new();
+        for i in 0..10_000u32 {
+            assert!(rs.insert(&[i, i ^ 0xABCD]));
+            assert!(!rs.insert(&[i, i ^ 0xABCD]));
+        }
+        assert_eq!(rs.len(), 10_000);
+        assert_eq!(rs.attempts, 20_000);
+        // every tuple retrievable and distinct
+        let mut seen = std::collections::HashSet::new();
+        for t in rs.iter() {
+            assert_eq!(t.len(), 2);
+            assert!(seen.insert(t.to_vec()));
+        }
+        let flat = rs.into_flat(2);
+        assert_eq!(flat.len(), 20_000);
     }
 }

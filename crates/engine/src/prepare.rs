@@ -1,4 +1,5 @@
-//! Pre-processing (paper §3, §4.5): unary filtering and hash indexing.
+//! Pre-processing (paper §3, §4.5): unary filtering, hash indexing, and
+//! plan-time binding of join orders.
 //!
 //! "Here, we filter base tables via unary predicates [...] we create hash
 //! tables on all columns subject to equality predicates during
@@ -7,12 +8,36 @@
 //!
 //! The prepared query holds, per table, the *filtered positions* (base
 //! row ids surviving unary predicates); all Skinner-C state lives in this
-//! filtered position space. Filtering can run one crossbeam worker per
-//! table (the only parallelism the paper's implementation has — Table 2).
+//! filtered position space. Filtering can run one scoped worker thread
+//! per table (the only parallelism the paper's implementation has —
+//! Table 2).
+//!
+//! # Two plan layers
+//!
+//! Planning one join order happens in two steps:
+//!
+//! 1. [`PreparedQuery::plan_spec`] derives the *logical* [`OrderSpec`]:
+//!    per position, which join conjuncts become applicable (indices into
+//!    `join_preds`) and which equality predicate can drive a hash-index
+//!    jump ([`JumpSpec`], as `(table, column)` ids).
+//! 2. [`PreparedQuery::plan_order`] *binds* that spec into an
+//!    [`OrderPlan`]: each position caches its filtered cardinality and
+//!    base-row slice, each predicate is specialized into a
+//!    [`BoundPred`](skinner_query::BoundPred) over raw typed column
+//!    slices, and each jump holds a direct [`HashIndex`] reference plus a
+//!    [`KeyCol`] accessor specialized to the key column's representation.
+//!
+//! The bound plan is what the multi-way join kernel executes: the
+//! closest safe-Rust stand-in for the paper's §6 per-query code
+//! generation. Orders are bound once and cached across time slices, so
+//! the thousands of join-order switches per second never re-resolve a
+//! table, column, or index. Remaining §6 distance — fusing each
+//! position's predicate vector into straight-line generated code — is
+//! tracked in ROADMAP.md.
 
-use skinner_query::{compile_predicates, CompiledPred, Query, TableId, TableSet};
+use skinner_query::{compile_predicates, BoundPred, CompiledPred, Query, TableId, TableSet};
 use skinner_storage::table::TableRef;
-use skinner_storage::{FxHashMap, HashIndex, RowId};
+use skinner_storage::{Column, FxHashMap, HashIndex, RowId};
 
 /// A query after pre-processing, ready for multi-way join execution.
 pub struct PreparedQuery {
@@ -56,9 +81,9 @@ impl PreparedQuery {
             // 0-table predicates (constant folding) are rare; treat a
             // constant-false conjunct as filtering everything.
         }
-        let const_false = all_preds.iter().any(|p| {
-            p.tables().is_empty() && !p.eval(&vec![0u32; m], &tables)
-        });
+        let const_false = all_preds
+            .iter()
+            .any(|p| p.tables().is_empty() && !p.eval(&vec![0u32; m], &tables));
 
         // Filter each table (optionally in parallel).
         let filter_one = |t: usize| -> Vec<RowId> {
@@ -81,15 +106,14 @@ impl PreparedQuery {
         let filtered: Vec<Vec<RowId>> = if threads > 1 && m > 1 {
             let mut out: Vec<Option<Vec<RowId>>> = Vec::new();
             out.resize_with(m, || None);
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 for (t, slot) in out.iter_mut().enumerate() {
                     let filter_one = &filter_one;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         *slot = Some(filter_one(t));
                     });
                 }
-            })
-            .expect("filter worker panic");
+            });
             out.into_iter().map(|o| o.expect("filter slot")).collect()
         } else {
             (0..m).map(filter_one).collect()
@@ -102,14 +126,9 @@ impl PreparedQuery {
         if build_indexes {
             for (a, b) in query.equi_join_pairs() {
                 for c in [a, b] {
-                    indexes
-                        .entry((c.table, c.column))
-                        .or_insert_with(|| {
-                            HashIndex::build(
-                                tables[c.table].column(c.column),
-                                Some(&filtered[c.table]),
-                            )
-                        });
+                    indexes.entry((c.table, c.column)).or_insert_with(|| {
+                        HashIndex::build(tables[c.table].column(c.column), Some(&filtered[c.table]))
+                    });
                 }
             }
         }
@@ -131,7 +150,7 @@ impl PreparedQuery {
 
     /// True if some table filtered down to zero tuples (empty result).
     pub fn any_empty(&self) -> bool {
-        self.cards.iter().any(|&c| c == 0)
+        self.cards.contains(&0)
     }
 
     /// Map a filtered position of table `t` to its base row id.
@@ -146,8 +165,13 @@ impl PreparedQuery {
     }
 
     /// The per-position applicable predicates and jump index for one join
-    /// order (see [`OrderPlan`]).
-    pub fn plan_order(&self, order: &[TableId]) -> OrderPlan {
+    /// order, as *indices* into the prepared query (see [`OrderSpec`]).
+    /// The execution engines use the fully bound [`plan_order`] instead;
+    /// this logical layer drives the generic reference kernel and plan
+    /// introspection.
+    ///
+    /// [`plan_order`]: PreparedQuery::plan_order
+    pub fn plan_spec(&self, order: &[TableId]) -> OrderSpec {
         let m = order.len();
         let mut joined = TableSet::EMPTY;
         let mut positions = Vec::with_capacity(m);
@@ -177,16 +201,134 @@ impl PreparedQuery {
                     }
                 }
             }
-            positions.push(PositionPlan { applicable, jump });
+            positions.push(PositionPlan {
+                table: t,
+                applicable,
+                jump,
+            });
             joined = with_t;
         }
+        OrderSpec { positions }
+    }
+
+    /// Compile one join order into a fully *bound* execution plan: every
+    /// table/column/index indirection is resolved now, at plan time, so
+    /// the multi-way join's inner loop touches only raw slices and direct
+    /// index references. This is the plan-time specialization that stands
+    /// in for the paper's per-query code generation (§6).
+    pub fn plan_order(&self, order: &[TableId]) -> OrderPlan<'_> {
+        let spec = self.plan_spec(order);
+        let positions = spec
+            .positions
+            .iter()
+            .map(|p| {
+                let t = p.table;
+                let preds = p
+                    .applicable
+                    .iter()
+                    .map(|&pi| self.join_preds[pi].bind(&self.tables))
+                    .collect();
+                let jump = p.jump.map(|j| {
+                    let src = self.tables[j.src_table].column(j.src_col);
+                    BoundJump {
+                        index: &self.indexes[&(t, j.index_col)],
+                        src_table: j.src_table,
+                        key: KeyCol::bind(src),
+                    }
+                });
+                BoundPosition {
+                    table: t,
+                    card: self.cards[t],
+                    base: &self.filtered[t],
+                    preds,
+                    jump,
+                }
+            })
+            .collect();
         OrderPlan { positions }
     }
 }
 
+/// Join-key source for an index jump, specialized at plan time to the
+/// key column's physical representation.
+#[derive(Debug, Clone, Copy)]
+pub enum KeyCol<'a> {
+    /// Non-nullable integer column: the key is the value itself.
+    Int(&'a [i64]),
+    /// Non-nullable float column: the key is the value's bit pattern.
+    Float(&'a [f64]),
+    /// Strings and nullable columns: fall back to [`Column::join_key`].
+    Other(&'a Column),
+}
+
+impl<'a> KeyCol<'a> {
+    /// Choose the fastest representation for `col`.
+    pub fn bind(col: &'a Column) -> KeyCol<'a> {
+        if col.nullable() {
+            return KeyCol::Other(col);
+        }
+        if let Some(ints) = col.ints() {
+            KeyCol::Int(ints)
+        } else if let Some(floats) = col.floats() {
+            KeyCol::Float(floats)
+        } else {
+            KeyCol::Other(col)
+        }
+    }
+
+    /// The 64-bit join key of `row` (`None` for NULL).
+    #[inline(always)]
+    pub fn key(&self, row: RowId) -> Option<i64> {
+        match self {
+            KeyCol::Int(v) => Some(v[row as usize]),
+            KeyCol::Float(v) => Some(v[row as usize].to_bits() as i64),
+            KeyCol::Other(col) => col.join_key(row as usize),
+        }
+    }
+}
+
+/// Bound equality-predicate jump at one join-order position: a direct
+/// reference to the hash index plus the specialized key-column source —
+/// no `(table, column)` map probe per tuple advance.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundJump<'a> {
+    /// The position table's hash index on the jump column.
+    pub index: &'a HashIndex,
+    /// Earlier table providing the key tuple.
+    pub src_table: TableId,
+    /// Key-column accessor, specialized to the column's representation.
+    pub key: KeyCol<'a>,
+}
+
+/// One fully bound position of an [`OrderPlan`]: the table's filtered
+/// cardinality and base-row slice, the newly applicable predicates bound
+/// to raw column slices, and the optional index jump.
+#[derive(Debug, Clone)]
+pub struct BoundPosition<'a> {
+    /// The table joined at this position.
+    pub table: TableId,
+    /// Filtered cardinality of the table (cached from `cards`).
+    pub card: u32,
+    /// Filtered positions → base row ids (cached from `filtered`).
+    pub base: &'a [RowId],
+    /// Predicates newly applicable at this position, bound to slices.
+    pub preds: Vec<BoundPred<'a>>,
+    /// Hash-index jump, if an equi predicate connects to earlier tables.
+    pub jump: Option<BoundJump<'a>>,
+}
+
+/// Fully bound per-order execution plan, borrowing the prepared query.
+/// Produced once per (query, order) by [`PreparedQuery::plan_order`] and
+/// cached across time slices.
+#[derive(Debug, Clone)]
+pub struct OrderPlan<'a> {
+    /// One entry per join-order position.
+    pub positions: Vec<BoundPosition<'a>>,
+}
+
 /// Equality-predicate jump at one join-order position (§4.5: "jump
 /// directly to the next highest tuple index that satisfies at least all
-/// applicable equality predicates").
+/// applicable equality predicates"), as logical indices.
 #[derive(Debug, Clone, Copy)]
 pub struct JumpSpec {
     /// Indexed column of the position's table.
@@ -197,18 +339,22 @@ pub struct JumpSpec {
     pub src_col: usize,
 }
 
-/// Per-position execution plan for one join order.
+/// Per-position logical plan for one join order (indices into the
+/// prepared query, not yet bound to storage).
 #[derive(Debug, Clone)]
 pub struct PositionPlan {
+    /// The table joined at this position.
+    pub table: TableId,
     /// Indices into `join_preds` newly applicable at this position.
     pub applicable: Vec<usize>,
     /// Hash-index jump, if an equi predicate connects to earlier tables.
     pub jump: Option<JumpSpec>,
 }
 
-/// Cached per-order plan.
+/// Logical per-order plan: what [`PreparedQuery::plan_order`] binds into
+/// an [`OrderPlan`]. Used directly by the generic reference kernel.
 #[derive(Debug, Clone)]
-pub struct OrderPlan {
+pub struct OrderSpec {
     /// One entry per join-order position.
     pub positions: Vec<PositionPlan>,
 }
@@ -301,17 +447,46 @@ mod tests {
         let cat = catalog();
         let q = query(&cat);
         let p = PreparedQuery::new(&q, true, 1);
-        let plan = p.plan_order(&[0, 1]);
-        assert!(plan.positions[0].applicable.is_empty());
-        assert_eq!(plan.positions[1].applicable, vec![0]);
-        let jump = plan.positions[1].jump.expect("jump expected");
+        let spec = p.plan_spec(&[0, 1]);
+        assert!(spec.positions[0].applicable.is_empty());
+        assert_eq!(spec.positions[1].applicable, vec![0]);
+        let jump = spec.positions[1].jump.expect("jump expected");
         assert_eq!(jump.index_col, 0);
         assert_eq!(jump.src_table, 0);
         assert_eq!(jump.src_col, 0);
         // reversed order jumps through a's index
-        let plan = p.plan_order(&[1, 0]);
-        let jump = plan.positions[1].jump.expect("jump expected");
+        let spec = p.plan_spec(&[1, 0]);
+        let jump = spec.positions[1].jump.expect("jump expected");
         assert_eq!(jump.src_table, 1);
+    }
+
+    #[test]
+    fn bound_plan_captures_slices_and_index() {
+        let cat = catalog();
+        let q = query(&cat);
+        let p = PreparedQuery::new(&q, true, 1);
+        let plan = p.plan_order(&[0, 1]);
+        assert_eq!(plan.positions.len(), 2);
+        assert_eq!(plan.positions[0].table, 0);
+        assert_eq!(plan.positions[0].card, 3);
+        assert_eq!(plan.positions[0].base, &[1, 2, 3]);
+        assert!(plan.positions[0].preds.is_empty());
+        assert!(plan.positions[0].jump.is_none());
+        let pos1 = &plan.positions[1];
+        assert_eq!(pos1.table, 1);
+        assert_eq!(pos1.card, 4);
+        assert_eq!(pos1.preds.len(), 1);
+        let jump = pos1.jump.as_ref().expect("bound jump");
+        assert_eq!(jump.src_table, 0);
+        // key source is a's id column — non-nullable INT slice
+        assert_eq!(jump.key.key(0), Some(1));
+        assert_eq!(jump.key.key(3), Some(4));
+        // the bound index is b's index: base row of b with a_id=3 is row 1
+        assert_eq!(jump.index.probe(3), &[1, 2]);
+        // no indexes ⇒ no jumps in the bound plan either
+        let p2 = PreparedQuery::new(&q, false, 1);
+        let plan2 = p2.plan_order(&[0, 1]);
+        assert!(plan2.positions[1].jump.is_none());
     }
 
     #[test]

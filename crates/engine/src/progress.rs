@@ -80,7 +80,11 @@ impl ProgressTracker {
         let mut proj: Vec<u32> = Vec::with_capacity(order.len());
         for &t in order {
             proj.push(state_by_table[t]);
-            let next = self.nodes[node].children.get(&t).copied().unwrap_or(NO_NODE);
+            let next = self.nodes[node]
+                .children
+                .get(&t)
+                .copied()
+                .unwrap_or(NO_NODE);
             let next = if next == NO_NODE {
                 let id = self.nodes.len();
                 self.nodes.push(Node {
@@ -105,17 +109,37 @@ impl ProgressTracker {
     /// indexed by table id; positions of tables not in any shared prefix
     /// start at their offsets.
     pub fn restore(&self, order: &[TableId], offsets: &[u32]) -> Vec<u32> {
+        let mut out = vec![0u32; self.num_tables];
+        self.restore_into(order, offsets, &mut out);
+        out
+    }
+
+    /// [`restore`](ProgressTracker::restore) into a caller-owned buffer,
+    /// so the per-slice driver loop reuses one scratch cursor instead of
+    /// allocating a fresh `Vec` every slice.
+    pub fn restore_into(&self, order: &[TableId], offsets: &[u32], out: &mut [u32]) {
         let m = self.num_tables;
         debug_assert_eq!(order.len(), m);
+        debug_assert_eq!(out.len(), m);
+        // Order-position scratch on the stack (queries are capped at 64
+        // tables by the `TableSet` bitset), keeping the per-slice restore
+        // allocation-free.
+        assert!(m <= 64, "more tables than TableSet supports");
+        let mut best_buf = [0u32; 64];
+        let mut candidate_buf = [0u32; 64];
         // Baseline: fresh start at the offsets.
-        let mut best: Vec<u32> = order.iter().map(|&t| offsets[t]).collect();
+        let best = &mut best_buf[..m];
+        for (b, &t) in best.iter_mut().zip(order) {
+            *b = offsets[t];
+        }
 
         // Walk the trie along the order's path; every visited node's
         // cursor yields a candidate (cursor prefix clamped to offsets,
         // offsets below). Deeper candidates dominate shallower ones only
         // sometimes, so compare them all lexicographically.
         let mut node = 0usize;
-        let mut candidate: Vec<u32> = best.clone();
+        let candidate = &mut candidate_buf[..m];
+        candidate.copy_from_slice(best);
         for (depth, &t) in order.iter().enumerate() {
             match self.nodes[node].children.get(&t) {
                 Some(&next) => {
@@ -137,8 +161,8 @@ impl ProgressTracker {
                             cursor[i]
                         };
                     }
-                    if lex_less(&best, &candidate) {
-                        best.copy_from_slice(&candidate);
+                    if lex_less(best, candidate) {
+                        best.copy_from_slice(candidate);
                     }
                     node = next;
                 }
@@ -147,11 +171,9 @@ impl ProgressTracker {
         }
 
         // Re-index by table.
-        let mut by_table = vec![0u32; m];
         for (i, &t) in order.iter().enumerate() {
-            by_table[t] = best[i];
+            out[t] = best[i];
         }
-        by_table
     }
 }
 

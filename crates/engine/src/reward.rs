@@ -45,8 +45,7 @@ pub fn reward(
 ) -> f64 {
     let r = match kind {
         RewardKind::ScaledDeltas => {
-            fractional_position(order, after, cards)
-                - fractional_position(order, before, cards)
+            fractional_position(order, after, cards) - fractional_position(order, before, cards)
         }
         RewardKind::LeftmostProgress => {
             let t = order[0];
@@ -102,7 +101,13 @@ mod tests {
         let before = [0u32, 2];
         let after = [50u32, 3];
         // leftmost table is table 1 (cards 10): delta 1/10
-        let r = reward(RewardKind::LeftmostProgress, &order, &before, &after, &cards);
+        let r = reward(
+            RewardKind::LeftmostProgress,
+            &order,
+            &before,
+            &after,
+            &cards,
+        );
         assert!((r - 0.1).abs() < 1e-9);
         let r2 = reward(RewardKind::ScaledDeltas, &order, &before, &after, &cards);
         assert!(r2 > 0.1, "scaled reward also counts deep progress: {r2}");
@@ -114,13 +119,7 @@ mod tests {
         // negative; the clamp keeps UCT's [0,1] contract.
         let order = [0usize, 1];
         let cards = [10u32, 10];
-        let r = reward(
-            RewardKind::ScaledDeltas,
-            &order,
-            &[3, 9],
-            &[3, 0],
-            &cards,
-        );
+        let r = reward(RewardKind::ScaledDeltas, &order, &[3, 9], &[3, 0], &cards);
         assert_eq!(r, 0.0);
     }
 

@@ -150,8 +150,12 @@ impl SkinnerC {
         let mut tracker = ProgressTracker::new(m);
         let mut offsets = vec![0u32; m];
         let mut results = ResultSet::new();
-        let join = MultiwayJoin::new(&pq);
-        let mut plan_cache: FxHashMap<Vec<TableId>, OrderPlan> = FxHashMap::default();
+        let mut join = MultiwayJoin::new(&pq);
+        let mut plan_cache: FxHashMap<Vec<TableId>, OrderPlan<'_>> = FxHashMap::default();
+
+        // Scratch cursors owned by the run loop, reused across slices.
+        let mut state = vec![0u32; m];
+        let mut before = vec![0u32; m];
 
         // A budget below the walk-down depth could live-lock (the re-walk
         // repeats without advancing); clamp well above it.
@@ -164,12 +168,15 @@ impl SkinnerC {
                 OrderPolicy::Uct => tree.choose(),
                 OrderPolicy::Random => random_order(&space, &mut rng),
             };
-            let plan = plan_cache
-                .entry(order.clone())
-                .or_insert_with(|| pq.plan_order(&order));
+            // Look up by slice first: cloning the order `Vec` only on the
+            // first sighting, not on the thousands of cache hits.
+            if !plan_cache.contains_key(order.as_slice()) {
+                plan_cache.insert(order.clone(), pq.plan_order(&order));
+            }
+            let plan = &plan_cache[order.as_slice()];
 
-            let mut state = tracker.restore(&order, &offsets);
-            let before = state.clone();
+            tracker.restore_into(&order, &offsets, &mut state);
+            before.copy_from_slice(&state);
 
             let (res, steps) =
                 join.continue_join(&order, plan, &offsets, &mut state, budget, &mut results);
@@ -194,7 +201,7 @@ impl SkinnerC {
             tracker.backup(&order, &state);
             *metrics.order_selections.entry(order).or_insert(0) += 1;
 
-            if cfg.tree_sample_every > 0 && metrics.slices % cfg.tree_sample_every == 0 {
+            if cfg.tree_sample_every > 0 && metrics.slices.is_multiple_of(cfg.tree_sample_every) {
                 metrics.tree_growth.push((metrics.slices, tree.num_nodes()));
             }
         }
@@ -290,7 +297,7 @@ mod tests {
         let pq = PreparedQuery::new(q, true, 1);
         let order: Vec<usize> = (0..q.num_tables()).collect();
         let plan = pq.plan_order(&order);
-        let join = MultiwayJoin::new(&pq);
+        let mut join = MultiwayJoin::new(&pq);
         let offsets = vec![0u32; q.num_tables()];
         let mut state = offsets.clone();
         let mut rs = ResultSet::new();

@@ -124,7 +124,11 @@ impl<'a> QueryBuilder<'a> {
     /// Add a column to SELECT, named after the column.
     pub fn select_col(&mut self, qualified: &str) -> Result<&mut Self, QueryError> {
         let e = self.col(qualified)?;
-        let name = qualified.rsplit('.').next().unwrap_or(qualified).to_string();
+        let name = qualified
+            .rsplit('.')
+            .next()
+            .unwrap_or(qualified)
+            .to_string();
         Ok(self.select_expr(e, name))
     }
 
@@ -231,10 +235,7 @@ mod tests {
                     ColumnDef::new("id", ValueType::Int),
                     ColumnDef::new("user_id", ValueType::Int),
                 ]),
-                vec![
-                    Column::from_ints(vec![1]),
-                    Column::from_ints(vec![2]),
-                ],
+                vec![Column::from_ints(vec![1]), Column::from_ints(vec![2])],
             )
             .unwrap(),
         );

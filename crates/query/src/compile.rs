@@ -136,22 +136,18 @@ impl CompiledPred {
                                 op,
                                 k: *k,
                             }),
-                            (ValueType::Float, Value::Float(k)) => {
-                                Some(Fast::FloatCmpConst {
-                                    t: c.table,
-                                    c: c.column,
-                                    op,
-                                    k: *k,
-                                })
-                            }
-                            (ValueType::Float, Value::Int(k)) => {
-                                Some(Fast::FloatCmpConst {
-                                    t: c.table,
-                                    c: c.column,
-                                    op,
-                                    k: *k as f64,
-                                })
-                            }
+                            (ValueType::Float, Value::Float(k)) => Some(Fast::FloatCmpConst {
+                                t: c.table,
+                                c: c.column,
+                                op,
+                                k: *k,
+                            }),
+                            (ValueType::Float, Value::Int(k)) => Some(Fast::FloatCmpConst {
+                                t: c.table,
+                                c: c.column,
+                                op,
+                                k: *k as f64,
+                            }),
                             (ValueType::Str, Value::Str(s))
                                 if op == BinOp::Eq || op == BinOp::Ne =>
                             {
@@ -171,9 +167,7 @@ impl CompiledPred {
                         if ca.nullable() || cb.nullable() {
                             return None;
                         }
-                        if ca.value_type() == ValueType::Int
-                            && cb.value_type() == ValueType::Int
-                        {
+                        if ca.value_type() == ValueType::Int && cb.value_type() == ValueType::Int {
                             Some(Fast::IntCmpInt {
                                 t1: a.table,
                                 c1: a.column,
@@ -268,6 +262,187 @@ impl CompiledPred {
     /// to confirm coverage of hot shapes).
     pub fn is_fast(&self) -> bool {
         !matches!(self.fast, Fast::Generic)
+    }
+
+    /// Bind this conjunct to `tables` for repeated evaluation: resolve
+    /// table/column indirections *once*, capturing raw typed column
+    /// slices, so the per-tuple hot path touches only `rows` and flat
+    /// memory. The generic fallback (UDFs, LIKE, NULLs, …) keeps
+    /// interpreter semantics unchanged.
+    pub fn bind<'a>(&'a self, tables: &'a [TableRef]) -> BoundPred<'a> {
+        match &self.fast {
+            Fast::IntCmpConst { t, c, op, k } => BoundPred::IntCmpConst {
+                col: tables[*t].column(*c).ints().expect("INT fast path"),
+                t: *t,
+                mask: op_mask(*op),
+                k: *k,
+            },
+            Fast::FloatCmpConst { t, c, op, k } => BoundPred::FloatCmpConst {
+                col: tables[*t].column(*c).floats().expect("FLOAT fast path"),
+                t: *t,
+                mask: op_mask(*op),
+                k: *k,
+            },
+            Fast::StrEqCode {
+                t,
+                c,
+                code,
+                negated,
+            } => BoundPred::StrEqCode {
+                codes: tables[*t].column(*c).str_codes().expect("TEXT fast path"),
+                t: *t,
+                code: *code,
+                negated: *negated,
+            },
+            Fast::IntCmpInt { t1, c1, op, t2, c2 } => BoundPred::IntCmpInt {
+                a: tables[*t1].column(*c1).ints().expect("INT fast path"),
+                ta: *t1,
+                b: tables[*t2].column(*c2).ints().expect("INT fast path"),
+                tb: *t2,
+                mask: op_mask(*op),
+            },
+            Fast::IntInList { t, c, set } => BoundPred::IntInList {
+                col: tables[*t].column(*c).ints().expect("INT fast path"),
+                t: *t,
+                set,
+            },
+            Fast::Generic => BoundPred::Generic { pred: self, tables },
+        }
+    }
+}
+
+/// Comparison-outcome bitmask: plan-time specialization of a [`BinOp`]
+/// into the set of accepted [`Ordering`]s, so the per-tuple test is a
+/// single AND instead of an operator dispatch.
+const ORD_LT: u8 = 1;
+const ORD_EQ: u8 = 2;
+const ORD_GT: u8 = 4;
+
+fn op_mask(op: BinOp) -> u8 {
+    match op {
+        BinOp::Eq => ORD_EQ,
+        BinOp::Ne => ORD_LT | ORD_GT,
+        BinOp::Lt => ORD_LT,
+        BinOp::Le => ORD_LT | ORD_EQ,
+        BinOp::Gt => ORD_GT,
+        BinOp::Ge => ORD_GT | ORD_EQ,
+        _ => 0,
+    }
+}
+
+#[inline(always)]
+fn ord_bit(ord: Ordering) -> u8 {
+    match ord {
+        Ordering::Less => ORD_LT,
+        Ordering::Equal => ORD_EQ,
+        Ordering::Greater => ORD_GT,
+    }
+}
+
+/// A [`CompiledPred`] bound to a fixed table list: every table/column
+/// indirection resolved at plan time into raw typed slices. This is what
+/// the order-specialized multi-way join kernel evaluates per tuple —
+/// the closest safe-Rust analogue of the paper's per-query code
+/// generation (§6 of Trummer et al., SIGMOD 2019).
+#[derive(Debug, Clone, Copy)]
+pub enum BoundPred<'a> {
+    /// `int_col <op> k` over a raw `i64` slice.
+    IntCmpConst {
+        /// Column data.
+        col: &'a [i64],
+        /// Owning table (selects the row id from `rows`).
+        t: TableId,
+        /// Accepted-ordering bitmask (see `op_mask`).
+        mask: u8,
+        /// Constant operand.
+        k: i64,
+    },
+    /// `float_col <op> k` over a raw `f64` slice.
+    FloatCmpConst {
+        /// Column data.
+        col: &'a [f64],
+        /// Owning table.
+        t: TableId,
+        /// Accepted-ordering bitmask.
+        mask: u8,
+        /// Constant operand.
+        k: f64,
+    },
+    /// `str_col = 'lit'` as a dictionary-code comparison over the raw
+    /// code slice; `None` code means the literal is not in the dictionary.
+    StrEqCode {
+        /// Dictionary codes.
+        codes: &'a [u32],
+        /// Owning table.
+        t: TableId,
+        /// Code of the literal, if interned.
+        code: Option<u32>,
+        /// True for `!=`.
+        negated: bool,
+    },
+    /// `int_col <op> int_col` across tables, both as raw slices.
+    IntCmpInt {
+        /// Left column data.
+        a: &'a [i64],
+        /// Left table.
+        ta: TableId,
+        /// Right column data.
+        b: &'a [i64],
+        /// Right table.
+        tb: TableId,
+        /// Accepted-ordering bitmask.
+        mask: u8,
+    },
+    /// `int_col IN (...)` over a raw slice and the compiled constant set.
+    IntInList {
+        /// Column data.
+        col: &'a [i64],
+        /// Owning table.
+        t: TableId,
+        /// The IN-list constants.
+        set: &'a FxHashSet<i64>,
+    },
+    /// Anything else: the generic interpreter, unchanged semantics.
+    Generic {
+        /// The compiled conjunct.
+        pred: &'a CompiledPred,
+        /// The query's tables.
+        tables: &'a [TableRef],
+    },
+}
+
+impl BoundPred<'_> {
+    /// Evaluate against the tuple `rows` (SQL WHERE semantics: NULL is
+    /// false). Matches [`CompiledPred::eval`] exactly.
+    #[inline(always)]
+    pub fn eval(&self, rows: &[u32]) -> bool {
+        match self {
+            BoundPred::IntCmpConst { col, t, mask, k } => {
+                mask & ord_bit(col[rows[*t] as usize].cmp(k)) != 0
+            }
+            BoundPred::FloatCmpConst { col, t, mask, k } => {
+                match col[rows[*t] as usize].partial_cmp(k) {
+                    Some(ord) => mask & ord_bit(ord) != 0,
+                    None => false,
+                }
+            }
+            BoundPred::StrEqCode {
+                codes,
+                t,
+                code,
+                negated,
+            } => {
+                let eq = *code == Some(codes[rows[*t] as usize]);
+                eq != *negated
+            }
+            BoundPred::IntCmpInt { a, ta, b, tb, mask } => {
+                let va = a[rows[*ta] as usize];
+                let vb = b[rows[*tb] as usize];
+                mask & ord_bit(va.cmp(&vb)) != 0
+            }
+            BoundPred::IntInList { col, t, set } => set.contains(&col[rows[*t] as usize]),
+            BoundPred::Generic { pred, tables } => pred.eval(rows, tables),
+        }
     }
 }
 
@@ -404,6 +579,34 @@ mod tests {
         assert!(!p.is_fast());
         assert!(p.eval(&[1, 0], &ts));
         assert!(!p.eval(&[0, 0], &ts));
+    }
+
+    #[test]
+    fn bound_agrees_with_compiled_eval() {
+        let ts = tables();
+        let preds = vec![
+            Expr::col(0, 0).lt(Expr::lit(6)),
+            Expr::col(0, 0).eq(Expr::col(1, 0)),
+            Expr::col(0, 1).eq(Expr::lit("p")),
+            Expr::col(0, 1).ne(Expr::lit("zz")),
+            Expr::col(0, 2).le(Expr::lit(1.5)),
+            Expr::col(0, 0).in_list(vec![Value::Int(1), Value::Int(9)]),
+            Expr::col(0, 1).like("q%"), // generic fallback
+        ];
+        for e in preds {
+            let p = CompiledPred::compile(&e, &ts);
+            let bound = p.bind(&ts);
+            for a in 0..3u32 {
+                for b in 0..3u32 {
+                    let rows = [a, b];
+                    assert_eq!(
+                        bound.eval(&rows),
+                        p.eval(&rows, &ts),
+                        "bound/eval disagreement on {e:?} rows {rows:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

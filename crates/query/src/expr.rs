@@ -350,18 +350,22 @@ impl Expr {
         self.bin(BinOp::Or, rhs)
     }
     /// `self + rhs`
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, rhs: Expr) -> Expr {
         self.bin(BinOp::Add, rhs)
     }
     /// `self - rhs`
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, rhs: Expr) -> Expr {
         self.bin(BinOp::Sub, rhs)
     }
     /// `self * rhs`
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, rhs: Expr) -> Expr {
         self.bin(BinOp::Mul, rhs)
     }
     /// `NOT self`
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Expr {
         Expr::Unary {
             op: UnOp::Not,
@@ -564,9 +568,7 @@ impl Expr {
                     None => Value::Null,
                 }
             }
-            Expr::IsNull { expr, negated } => {
-                bool_val(expr.eval(ctx).is_null() != *negated)
-            }
+            Expr::IsNull { expr, negated } => bool_val(expr.eval(ctx).is_null() != *negated),
         }
     }
 
@@ -677,7 +679,10 @@ mod tests {
         let null = Expr::Literal(Value::Null);
         let t = Expr::lit(1);
         let f = Expr::lit(0);
-        assert_eq!(null.clone().and(f.clone()).eval(&ctx(vec![])), Value::Int(0));
+        assert_eq!(
+            null.clone().and(f.clone()).eval(&ctx(vec![])),
+            Value::Int(0)
+        );
         assert_eq!(null.clone().and(t.clone()).eval(&ctx(vec![])), Value::Null);
         assert_eq!(null.clone().or(t).eval(&ctx(vec![])), Value::Int(1));
         assert_eq!(null.clone().or(f).eval(&ctx(vec![])), Value::Null);
@@ -740,7 +745,9 @@ mod tests {
 
     #[test]
     fn tables_collection() {
-        let e = Expr::col(0, 0).eq(Expr::col(3, 1)).and(Expr::col(1, 0).gt(Expr::lit(5)));
+        let e = Expr::col(0, 0)
+            .eq(Expr::col(3, 1))
+            .and(Expr::col(1, 0).gt(Expr::lit(5)));
         let s = e.tables();
         assert_eq!(s.len(), 3);
         assert!(s.contains(0) && s.contains(1) && s.contains(3));

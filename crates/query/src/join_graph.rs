@@ -177,10 +177,7 @@ mod tests {
     fn eligible_next_prefers_connected() {
         let g = JoinGraph::from_query(&chain(4));
         // chose t0 → only t1 eligible
-        assert_eq!(
-            g.eligible_next(TableSet::single(0)),
-            TableSet::single(1)
-        );
+        assert_eq!(g.eligible_next(TableSet::single(0)), TableSet::single(1));
         // chose {t0,t1} → only t2
         let chosen: TableSet = [0usize, 1].into_iter().collect();
         assert_eq!(g.eligible_next(chosen), TableSet::single(2));
@@ -230,9 +227,7 @@ mod tests {
         // predicate over t0,t1,t2 at once
         let q = query_with_preds(
             3,
-            vec![Expr::col(0, 0)
-                .add(Expr::col(1, 0))
-                .eq(Expr::col(2, 0))],
+            vec![Expr::col(0, 0).add(Expr::col(1, 0)).eq(Expr::col(2, 0))],
         );
         let g = JoinGraph::from_query(&q);
         assert!(g.is_connected());

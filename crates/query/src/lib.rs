@@ -33,7 +33,7 @@ pub mod query;
 pub mod udf;
 
 pub use builder::QueryBuilder;
-pub use compile::{compile_predicates, CompiledPred, TupleContext};
+pub use compile::{compile_predicates, BoundPred, CompiledPred, TupleContext};
 pub use error::QueryError;
 pub use expr::{BinOp, ColRef, Expr, RowContext, TableSet, UnOp};
 pub use join_graph::JoinGraph;

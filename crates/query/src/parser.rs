@@ -387,9 +387,9 @@ impl<'a> Parser<'a> {
         let mut order_by = Vec::new();
         for (name, asc) in order_raw {
             let output = if let Some(stripped) = name.strip_prefix('#') {
-                let idx: usize = stripped.parse().map_err(|_| {
-                    QueryError::Invalid(format!("bad ORDER BY position {name}"))
-                })?;
+                let idx: usize = stripped
+                    .parse()
+                    .map_err(|_| QueryError::Invalid(format!("bad ORDER BY position {name}")))?;
                 idx.checked_sub(1)
                     .ok_or_else(|| QueryError::Invalid("ORDER BY position 0".into()))?
             } else {
@@ -478,7 +478,11 @@ impl<'a> Parser<'a> {
                 self.tokens.get(self.pos + 1).map(|s| &s.tok),
                 self.tokens.get(self.pos + 2).map(|s| &s.tok),
             ),
-            (Some(Tok::Ident(_)), Some(Tok::Sym(".")), Some(Tok::Sym("*")))
+            (
+                Some(Tok::Ident(_)),
+                Some(Tok::Sym(".")),
+                Some(Tok::Sym("*"))
+            )
         );
         if is_star {
             let alias = match self.peek() {
@@ -764,9 +768,7 @@ impl<'a> Parser<'a> {
                         .table
                         .schema()
                         .index_of(&column)
-                        .ok_or_else(|| {
-                            QueryError::UnknownColumn(format!("{name}.{column}"))
-                        })?;
+                        .ok_or_else(|| QueryError::UnknownColumn(format!("{name}.{column}")))?;
                     return Ok(Expr::col(t, c));
                 }
                 // unqualified column
@@ -853,10 +855,7 @@ mod tests {
                     ColumnDef::new("movie_id", ValueType::Int),
                     ColumnDef::new("score", ValueType::Float),
                 ]),
-                vec![
-                    Column::from_ints(vec![1]),
-                    Column::from_floats(vec![8.5]),
-                ],
+                vec![Column::from_ints(vec![1]), Column::from_floats(vec![8.5])],
             )
             .unwrap(),
         );
@@ -939,7 +938,7 @@ mod tests {
     fn udf_call() {
         let mut udfs = UdfRegistry::new();
         udfs.register(Udf::new("is_good", |args| {
-            Value::from(args[0].as_f64().map_or(false, |f| f > 8.0))
+            Value::from(args[0].as_f64().is_some_and(|f| f > 8.0))
         }));
         let q = parse(
             "SELECT r.movie_id FROM ratings r WHERE is_good(r.score)",
@@ -995,13 +994,18 @@ mod tests {
     #[test]
     fn arithmetic_precedence() {
         let q = parse_ok("SELECT m.id + 2 * 3 AS x FROM movies m");
-        if let SelectItem::Expr { expr, .. } = &q.select[0] {
+        if let SelectItem::Expr {
+            expr: Expr::Binary { op, right, .. },
+            ..
+        } = &q.select[0]
+        {
             // must parse as id + (2*3)
-            if let Expr::Binary { op, right, .. } = expr {
-                assert_eq!(*op, BinOp::Add);
-                assert!(matches!(right.as_ref(), Expr::Binary { op: BinOp::Mul, .. }));
-                return;
-            }
+            assert_eq!(*op, BinOp::Add);
+            assert!(matches!(
+                right.as_ref(),
+                Expr::Binary { op: BinOp::Mul, .. }
+            ));
+            return;
         }
         panic!("bad parse");
     }

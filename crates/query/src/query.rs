@@ -167,9 +167,10 @@ impl Query {
             g.col_refs(&mut refs);
         }
         for r in refs {
-            let binding = self.tables.get(r.table).ok_or_else(|| {
-                QueryError::Invalid(format!("column ref to table #{}", r.table))
-            })?;
+            let binding = self
+                .tables
+                .get(r.table)
+                .ok_or_else(|| QueryError::Invalid(format!("column ref to table #{}", r.table)))?;
             if r.column >= binding.table.schema().len() {
                 return Err(QueryError::Invalid(format!(
                     "column ref {}.#{} out of range",

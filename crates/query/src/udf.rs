@@ -145,7 +145,7 @@ mod tests {
     #[test]
     fn call_and_count() {
         let u = Udf::new("is_even", |args| {
-            Value::from(args[0].as_int().map_or(false, |i| i % 2 == 0))
+            Value::from(args[0].as_int().is_some_and(|i| i % 2 == 0))
         });
         assert_eq!(u.call(&[Value::Int(4)]), Value::Int(1));
         assert_eq!(u.call(&[Value::Int(5)]), Value::Int(0));

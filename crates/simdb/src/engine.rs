@@ -71,10 +71,7 @@ impl Engine for RowEngine {
     }
 
     fn execute(&self, query: &Query, opts: &ExecOptions) -> ExecOutcome {
-        let order = opts
-            .join_order
-            .clone()
-            .unwrap_or_else(|| self.plan(query));
+        let order = opts.join_order.clone().unwrap_or_else(|| self.plan(query));
         let pre = Prefiltered::compute_interpreted(query);
         run_left_deep(query, &pre, &order, EvalMode::Interpreted, opts, true)
     }
@@ -118,12 +115,7 @@ impl ColEngine {
         self.threads
     }
 
-    fn execute_order(
-        &self,
-        query: &Query,
-        order: &[TableId],
-        opts: &ExecOptions,
-    ) -> ExecOutcome {
+    fn execute_order(&self, query: &Query, order: &[TableId], opts: &ExecOptions) -> ExecOutcome {
         let preds = compile_predicates(query);
         let pre = Prefiltered::compute(query, &preds);
         let m = query.num_tables();
@@ -148,7 +140,7 @@ impl ColEngine {
 
         let mut partials: Vec<Option<ExecOutcome>> = Vec::new();
         partials.resize_with(workers, || None);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (w, slot) in partials.iter_mut().enumerate() {
                 let pre = &pre;
                 let start = lo + w * chunk;
@@ -160,7 +152,7 @@ impl ColEngine {
                 };
                 ranges[first] = start..end;
                 sub.ranges = Some(ranges);
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     *slot = Some(run_left_deep(
                         query,
                         pre,
@@ -171,8 +163,7 @@ impl ColEngine {
                     ));
                 });
             }
-        })
-        .expect("worker panic");
+        });
 
         // Merge.
         let mut merged = ExecOutcome {
@@ -213,10 +204,7 @@ impl Engine for ColEngine {
     }
 
     fn execute(&self, query: &Query, opts: &ExecOptions) -> ExecOutcome {
-        let order = opts
-            .join_order
-            .clone()
-            .unwrap_or_else(|| self.plan(query));
+        let order = opts.join_order.clone().unwrap_or_else(|| self.plan(query));
         self.execute_order(query, &order, opts)
     }
 }
@@ -370,12 +358,7 @@ mod tests {
         ] {
             let out = engine.execute(&q, &ExecOptions::default());
             assert!(out.completed(), "{} did not complete", engine.name());
-            assert_eq!(
-                out.result_count,
-                expected,
-                "{} wrong count",
-                engine.name()
-            );
+            assert_eq!(out.result_count, expected, "{} wrong count", engine.name());
         }
     }
 

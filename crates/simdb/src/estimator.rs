@@ -40,11 +40,8 @@ pub struct Estimator {
 impl Estimator {
     /// Build an estimator for `query` (analyzes tables through `stats`).
     pub fn new(query: &Query, stats: &mut StatsCatalog) -> Estimator {
-        let table_stats: Vec<Arc<TableStats>> = query
-            .tables
-            .iter()
-            .map(|b| stats.get(&b.table))
-            .collect();
+        let table_stats: Vec<Arc<TableStats>> =
+            query.tables.iter().map(|b| stats.get(&b.table)).collect();
         let filtered = (0..query.num_tables())
             .map(|t| {
                 let base = table_stats[t].rows as f64;
@@ -197,12 +194,7 @@ fn estimate(pred: &Expr, stats: &[Arc<TableStats>]) -> f64 {
     }
 }
 
-fn range_selectivity(
-    op: BinOp,
-    left: &Expr,
-    right: &Expr,
-    stats: &[Arc<TableStats>],
-) -> f64 {
+fn range_selectivity(op: BinOp, left: &Expr, right: &Expr, stats: &[Arc<TableStats>]) -> f64 {
     // col <op> const (or flipped): interpolate within [min, max].
     let (col, lit, op) = match (left, right) {
         (Expr::Col(c), Expr::Literal(v)) => (c, v, op),

@@ -101,9 +101,7 @@ impl Prefiltered {
         for (t, table) in tables.iter().enumerate() {
             let unary: Vec<&CompiledPred> = preds
                 .iter()
-                .filter(|p| {
-                    p.tables() == skinner_query::TableSet::single(t)
-                })
+                .filter(|p| p.tables() == skinner_query::TableSet::single(t))
                 .collect();
             let mut keep = Vec::new();
             for r in 0..table.num_rows() as u32 {
@@ -228,7 +226,7 @@ impl Budget {
     #[inline]
     fn tick(&mut self) -> bool {
         self.counter += 1;
-        if self.counter % DEADLINE_CHECK_INTERVAL == 0 {
+        if self.counter.is_multiple_of(DEADLINE_CHECK_INTERVAL) {
             if let Some(d) = self.deadline {
                 if Instant::now() >= d {
                     self.timed_out = true;
@@ -338,8 +336,7 @@ pub fn run_left_deep(
             .map(|(_, ot, oc)| (*ot, tables[*ot].column(*oc)))
             .collect();
 
-        let applicable: Vec<&CompiledPred> =
-            step.applicable.iter().map(|&i| &preds[i]).collect();
+        let applicable: Vec<&CompiledPred> = step.applicable.iter().map(|&i| &preds[i]).collect();
 
         let mut out_cols: Vec<Vec<RowId>> = vec![Vec::new(); inter.cols.len() + 1];
         let mut out_len = 0usize;
@@ -392,17 +389,13 @@ pub fn run_left_deep(
                 }
                 scratch_rows[t] = cand;
                 let ok = match mode {
-                    EvalMode::Compiled => applicable
-                        .iter()
-                        .all(|p| p.eval(&scratch_rows, &tables)),
+                    EvalMode::Compiled => applicable.iter().all(|p| p.eval(&scratch_rows, &tables)),
                     EvalMode::Interpreted => {
                         let ctx = TupleContext {
                             rows: &scratch_rows,
                             tables: &tables,
                         };
-                        applicable
-                            .iter()
-                            .all(|p| p.expr().eval_predicate(&ctx))
+                        applicable.iter().all(|p| p.expr().eval_predicate(&ctx))
                     }
                 };
                 if ok {
@@ -447,7 +440,7 @@ pub fn run_left_deep(
     }
 
     // Assemble final tuples in FROM-list slot order.
-    let result_count = if steps.len() == 1 { inter.len } else { inter.len } as u64;
+    let result_count = inter.len as u64;
     let tuples = if opts.count_only || inter.len == 0 {
         Vec::new()
     } else {

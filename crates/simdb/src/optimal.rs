@@ -53,12 +53,7 @@ struct Inter {
 /// Join `inter` with table `t`, aborting once more than `limit` tuples
 /// are produced (returns `None` on abort). `budget` is decremented by the
 /// number of candidate tuples examined.
-fn extend(
-    ctx: &mut Ctx<'_>,
-    inter: &Inter,
-    t: TableId,
-    limit: u64,
-) -> Option<Inter> {
+fn extend(ctx: &mut Ctx<'_>, inter: &Inter, t: TableId, limit: u64) -> Option<Inter> {
     let joined: TableSet = inter.tables.iter().copied().collect();
     let mut with_t = joined;
     with_t.insert(t);
@@ -213,11 +208,7 @@ fn dfs(ctx: &mut Ctx<'_>, inter: &Inter, cout: u64, order: &mut Vec<TableId>) {
 /// `bound_order`, if given (e.g. the traditional optimizer's or
 /// SkinnerDB's final order), seeds the upper bound. `budget` limits the
 /// total number of candidate tuples examined during the search.
-pub fn optimal_order(
-    query: &Query,
-    bound_order: Option<&[TableId]>,
-    budget: u64,
-) -> OptimalResult {
+pub fn optimal_order(query: &Query, bound_order: Option<&[TableId]>, budget: u64) -> OptimalResult {
     let tables: Vec<TableRef> = query.tables.iter().map(|b| b.table.clone()).collect();
     let preds = compile_predicates(query);
     let pre = Prefiltered::compute(query, &preds);
@@ -383,7 +374,11 @@ mod tests {
         let (bf_order, bf_cout) = brute_force_best(&q);
         let opt = optimal_order(&q, None, 100_000_000);
         assert!(opt.exact);
-        assert_eq!(opt.cout, bf_cout, "oracle {:?} vs brute {bf_order:?}", opt.order);
+        assert_eq!(
+            opt.cout, bf_cout,
+            "oracle {:?} vs brute {bf_order:?}",
+            opt.order
+        );
     }
 
     #[test]

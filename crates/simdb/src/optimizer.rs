@@ -95,7 +95,7 @@ pub fn greedy_order(graph: &JoinGraph, est: &Estimator, m: usize) -> Vec<TableId
             } else {
                 est.subset_card(next)
             };
-            if best.map_or(true, |(bc, _)| card < bc) {
+            if best.is_none_or(|(bc, _)| card < bc) {
                 best = Some((card, t));
             }
         }

@@ -392,13 +392,13 @@ mod tests {
     #[test]
     fn join_key_of_value_matches_row_keys() {
         let c = Column::from_strs(["hello", "world"]);
-        assert_eq!(
-            c.join_key_of_value(&Value::str("world")),
-            c.join_key(1)
-        );
+        assert_eq!(c.join_key_of_value(&Value::str("world")), c.join_key(1));
         let f = Column::from_floats(vec![1.5]);
         assert_eq!(f.join_key_of_value(&Value::Float(1.5)), f.join_key(0));
-        assert_eq!(f.join_key_of_value(&Value::Int(1)), Some(1.0f64.to_bits() as i64));
+        assert_eq!(
+            f.join_key_of_value(&Value::Int(1)),
+            Some(1.0f64.to_bits() as i64)
+        );
     }
 
     #[test]

@@ -16,11 +16,18 @@ use crate::column::Column;
 use crate::hash::FxHashMap;
 
 /// A value → sorted-posting-list index over one column.
+///
+/// Postings for all keys live in one dense buffer; the per-key map stores
+/// `(start, len)` spans into it. Compared to one `Vec<u32>` per key this
+/// halves the probe's pointer chasing and keeps the whole index in two
+/// allocations — the layout the order-specialized join kernel probes on
+/// every tuple advance.
 #[derive(Debug, Clone, Default)]
 pub struct HashIndex {
-    postings: FxHashMap<i64, Vec<u32>>,
-    /// Number of indexed (non-NULL) entries.
-    entries: usize,
+    /// key → (start, len) span into `postings`.
+    spans: FxHashMap<i64, (u32, u32)>,
+    /// All posting lists, concatenated; each span is sorted ascending.
+    postings: Vec<u32>,
 }
 
 impl HashIndex {
@@ -31,69 +38,87 @@ impl HashIndex {
     /// `0..positions.len()`; otherwise postings are base row ids. NULL rows
     /// are not indexed (NULL never matches an equality predicate).
     pub fn build(col: &Column, positions: Option<&[u32]>) -> HashIndex {
-        let mut postings: FxHashMap<i64, Vec<u32>> = FxHashMap::default();
-        let mut entries = 0;
-        let mut add = |key: Option<i64>, pos: u32| {
-            if let Some(k) = key {
-                postings.entry(k).or_default().push(pos);
-                entries += 1;
-            }
-        };
-        match positions {
-            Some(rows) => {
-                for (i, &r) in rows.iter().enumerate() {
-                    add(col.join_key(r as usize), i as u32);
-                }
-            }
-            None => {
-                for r in 0..col.len() {
-                    add(col.join_key(r), r as u32);
-                }
+        let n = positions.map_or(col.len(), <[u32]>::len);
+        // Keys computed once per row (string keys hash the value).
+        let keys: Vec<Option<i64>> = (0..n)
+            .map(|i| match positions {
+                Some(rows) => col.join_key(rows[i] as usize),
+                None => col.join_key(i),
+            })
+            .collect();
+
+        // Pass 1: count entries per key (len field doubles as counter).
+        let mut spans: FxHashMap<i64, (u32, u32)> = FxHashMap::default();
+        let mut total = 0u32;
+        for k in keys.iter().flatten() {
+            spans.entry(*k).or_insert((0, 0)).1 += 1;
+            total += 1;
+        }
+        // Carve spans; reset len to 0 to reuse as the write cursor.
+        let mut cursor = 0u32;
+        for span in spans.values_mut() {
+            span.0 = cursor;
+            cursor += span.1;
+            span.1 = 0;
+        }
+        // Pass 2: scatter. Rows are visited in ascending position order,
+        // so each key's postings come out sorted; len is restored to the
+        // count by the time the pass ends.
+        let mut postings = vec![0u32; total as usize];
+        for (i, k) in keys.iter().enumerate() {
+            if let Some(k) = k {
+                let span = spans.get_mut(k).expect("counted key");
+                postings[(span.0 + span.1) as usize] = i as u32;
+                span.1 += 1;
             }
         }
-        // Posting lists are sorted by construction (positions visited in
-        // ascending order); keep a debug check to catch regressions.
-        debug_assert!(postings
-            .values()
-            .all(|v| v.windows(2).all(|w| w[0] < w[1])));
-        HashIndex { postings, entries }
+        debug_assert!(spans.values().all(|&(s, l)| {
+            postings[s as usize..(s + l) as usize]
+                .windows(2)
+                .all(|w| w[0] < w[1])
+        }));
+        HashIndex { spans, postings }
     }
 
     /// All positions whose join key equals `key` (ascending). String keys
     /// are hashes, so callers must re-verify the underlying predicate.
+    #[inline]
     pub fn probe(&self, key: i64) -> &[u32] {
-        self.postings.get(&key).map_or(&[], Vec::as_slice)
+        match self.spans.get(&key) {
+            Some(&(start, len)) => &self.postings[start as usize..(start + len) as usize],
+            None => &[],
+        }
     }
 
     /// Smallest indexed position `>= min` with the given key — the §4.5
     /// "jump". Returns `None` when the key's posting list is exhausted.
     #[inline]
     pub fn next_ge(&self, key: i64, min: u32) -> Option<u32> {
-        let list = self.postings.get(&key)?;
+        let list = self.probe(key);
         let i = list.partition_point(|&p| p < min);
         list.get(i).copied()
     }
 
     /// Number of distinct keys.
     pub fn distinct_keys(&self) -> usize {
-        self.postings.len()
+        self.spans.len()
     }
 
     /// Number of indexed entries (non-NULL rows).
     pub fn len(&self) -> usize {
-        self.entries
+        self.postings.len()
     }
 
     /// True if nothing was indexed.
     pub fn is_empty(&self) -> bool {
-        self.entries == 0
+        self.postings.is_empty()
     }
 
     /// Approximate heap footprint in bytes (reported by the Figure 8
     /// memory experiment).
     pub fn approx_bytes(&self) -> usize {
-        self.postings.len() * (std::mem::size_of::<i64>() + std::mem::size_of::<Vec<u32>>())
-            + self.entries * std::mem::size_of::<u32>()
+        self.spans.len() * (std::mem::size_of::<i64>() + std::mem::size_of::<(u32, u32)>())
+            + self.postings.len() * std::mem::size_of::<u32>()
     }
 }
 

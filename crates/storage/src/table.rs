@@ -200,7 +200,11 @@ impl TableBuilder {
         Table {
             name: self.name,
             schema: self.schema,
-            columns: self.builders.into_iter().map(ColumnBuilder::finish).collect(),
+            columns: self
+                .builders
+                .into_iter()
+                .map(ColumnBuilder::finish)
+                .collect(),
             rows: self.rows,
         }
     }

@@ -150,8 +150,7 @@ impl<S: SearchSpace> UctTree<S> {
         for (i, &c) in n.children.iter().enumerate() {
             let child = &self.nodes[c];
             let mean = child.reward_sum / child.visits as f64;
-            let bound = mean
-                + self.config.exploration * (ln_parent / child.visits as f64).sqrt();
+            let bound = mean + self.config.exploration * (ln_parent / child.visits as f64).sqrt();
             if bound > best_score {
                 best_score = bound;
                 best = i;
@@ -229,7 +228,7 @@ impl<S: SearchSpace> UctTree<S> {
                         } else {
                             self.nodes[c].visits
                         };
-                        if best.map_or(true, |(_, bv)| v > bv) {
+                        if best.is_none_or(|(_, bv)| v > bv) {
                             best = Some((i, v));
                         }
                     }

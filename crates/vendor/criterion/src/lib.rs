@@ -1,0 +1,232 @@
+//! Vendored, dependency-free shim of the `criterion` benchmarking API
+//! subset used by this workspace's benches.
+//!
+//! The build environment has no crates.io access. This shim keeps the
+//! bench sources identical to what they would be against real criterion
+//! (`criterion_group!`, `criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function` / `bench_with_input`, `Bencher::iter`, `black_box`)
+//! and implements a simple but honest measurement loop: warm up, size the
+//! batch so one sample spans ≥ ~10ms, take `sample_size` samples, report
+//! mean / median / min per iteration in nanoseconds.
+//!
+//! `SKINNER_BENCH_MS` scales the per-sample target duration (default 10).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Identifier with a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { name: s }
+    }
+}
+
+/// Runs one benchmark's timing loop.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled by [`Bencher::iter`].
+    mean_ns: f64,
+    median_ns: f64,
+    min_ns: f64,
+    sample_size: usize,
+}
+
+fn target_sample_duration() -> Duration {
+    let ms = std::env::var("SKINNER_BENCH_MS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10u64);
+    Duration::from_millis(ms.max(1))
+}
+
+impl Bencher {
+    /// Time `f`, repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and batch sizing: grow the batch until one batch takes
+        // at least the target sample duration.
+        let target = target_sample_duration();
+        let mut batch = 1u64;
+        let batch = loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= target || batch >= 1 << 30 {
+                break batch;
+            }
+            // Aim straight for the target with a 2x cap per step.
+            let scale = (target.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)).min(16.0);
+            batch = ((batch as f64 * scale).ceil() as u64).max(batch * 2);
+        };
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(start.elapsed().as_secs_f64() * 1e9 / batch as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.min_ns = samples.first().copied().unwrap_or(0.0);
+        self.median_ns = samples[samples.len() / 2];
+        self.mean_ns = samples.iter().sum::<f64>() / samples.len() as f64;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            median_ns: 0.0,
+            min_ns: 0.0,
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        let full = format!("{}/{}", self.name, id.name);
+        println!(
+            "{full:<48} time: [{} {} {}]  (min median mean)",
+            fmt_ns(b.min_ns),
+            fmt_ns(b.median_ns),
+            fmt_ns(b.mean_ns),
+        );
+        self.criterion.results.push((full, b.mean_ns));
+        self
+    }
+
+    /// Benchmark a closure against one input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver (shim of `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    /// `(full benchmark name, mean ns/iter)` pairs, in execution order.
+    pub results: Vec<(String, f64)>,
+}
+
+impl Criterion {
+    /// Begin a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== bench group: {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 12,
+        }
+    }
+}
+
+/// Expands to a function running each bench target with one `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Expands to `main` invoking each group function.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        std::env::set_var("SKINNER_BENCH_MS", "1");
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("shim");
+            g.sample_size(3);
+            g.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+            g.bench_with_input(BenchmarkId::new("sum_n", 500), &500u64, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+            g.finish();
+        }
+        assert_eq!(c.results.len(), 2);
+        assert!(c.results.iter().all(|(_, ns)| *ns > 0.0));
+        assert!(c.results[1].0.contains("shim/sum_n/500"));
+    }
+}

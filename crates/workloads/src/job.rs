@@ -350,10 +350,7 @@ fn build_queries(catalog: &Catalog, rng: &mut SmallRng) -> Vec<NamedQuery> {
                 let f1 = qb.col("cn.country_code").unwrap().eq(Expr::lit(country));
                 // correlated pair: kind + year (independence fails here)
                 let f2 = qb.col("t.kind_id").unwrap().eq(Expr::lit(kind));
-                let f3 = qb
-                    .col("t.production_year")
-                    .unwrap()
-                    .gt(Expr::lit(year_lo));
+                let f3 = qb.col("t.production_year").unwrap().gt(Expr::lit(year_lo));
                 qb.filter(f1);
                 qb.filter(f2);
                 qb.filter(f3);
@@ -378,10 +375,7 @@ fn build_queries(catalog: &Catalog, rng: &mut SmallRng) -> Vec<NamedQuery> {
                 let f1 = qb.col("it.id").unwrap().eq(Expr::lit(it));
                 // correlated: info_val range implied by info type
                 let f2 = qb.col("mi.info_val").unwrap().ge(Expr::lit(it * 100));
-                let f3 = qb
-                    .col("mi.info_val")
-                    .unwrap()
-                    .lt(Expr::lit(it * 100 + 40));
+                let f3 = qb.col("mi.info_val").unwrap().lt(Expr::lit(it * 100 + 40));
                 qb.filter(f1);
                 qb.filter(f2);
                 qb.filter(f3);
@@ -500,10 +494,7 @@ fn build_queries(catalog: &Catalog, rng: &mut SmallRng) -> Vec<NamedQuery> {
                     .unwrap()
                     .lt(Expr::lit(1930 + kind * 12 + 15));
                 // narrow correlated value band keeps the result small
-                let f5 = qb
-                    .col("mi.info_val")
-                    .unwrap()
-                    .lt(Expr::lit(it * 100 + 15));
+                let f5 = qb.col("mi.info_val").unwrap().lt(Expr::lit(it * 100 + 15));
                 let f6 = qb.col("mc.company_type_id").unwrap().eq(Expr::lit(2));
                 qb.filter(f1);
                 qb.filter(f2);

@@ -103,7 +103,11 @@ pub fn udf_torture(
         query: NamedQuery::new(
             format!(
                 "udf-{}-{m}t",
-                if shape == Shape::Chain { "chain" } else { "star" }
+                if shape == Shape::Chain {
+                    "chain"
+                } else {
+                    "star"
+                }
             ),
             query,
         ),

@@ -17,7 +17,13 @@ use rand::{Rng, SeedableRng};
 use skinner_query::{AggFunc, Expr, Query, QueryBuilder};
 use skinner_storage::{Catalog, Column, ColumnDef, Schema, Table, ValueType};
 
-const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
 const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
 const BRANDS: [&str; 5] = ["Brand#11", "Brand#22", "Brand#33", "Brand#44", "Brand#55"];
 const TYPES: [&str; 6] = [
@@ -109,9 +115,7 @@ pub fn generate(sf: f64, seed: u64) -> Catalog {
             vec![
                 Column::from_ints((0..n_cust as i64).collect()),
                 Column::from_ints((0..n_cust).map(|_| rng.gen_range(0..25i64)).collect()),
-                Column::from_strs(
-                    (0..n_cust).map(|_| SEGMENTS[rng.gen_range(0..SEGMENTS.len())]),
-                ),
+                Column::from_strs((0..n_cust).map(|_| SEGMENTS[rng.gen_range(0..SEGMENTS.len())])),
                 Column::from_floats(
                     (0..n_cust)
                         .map(|_| rng.gen_range(-999.0..9999.0f64))
@@ -139,7 +143,9 @@ pub fn generate(sf: f64, seed: u64) -> Catalog {
                 Column::from_strs((0..n_part).map(|_| TYPES[rng.gen_range(0..TYPES.len())])),
                 Column::from_ints((0..n_part).map(|_| rng.gen_range(1..51i64)).collect()),
                 Column::from_floats(
-                    (0..n_part).map(|_| rng.gen_range(900.0..2100.0f64)).collect(),
+                    (0..n_part)
+                        .map(|_| rng.gen_range(900.0..2100.0f64))
+                        .collect(),
                 ),
             ],
         )
@@ -164,7 +170,9 @@ pub fn generate(sf: f64, seed: u64) -> Catalog {
                         .collect(),
                 ),
                 Column::from_floats(
-                    (0..n_psupp).map(|_| rng.gen_range(1.0..1000.0f64)).collect(),
+                    (0..n_psupp)
+                        .map(|_| rng.gen_range(1.0..1000.0f64))
+                        .collect(),
                 ),
                 Column::from_ints((0..n_psupp).map(|_| rng.gen_range(1..10_000i64)).collect()),
             ],
@@ -190,12 +198,10 @@ pub fn generate(sf: f64, seed: u64) -> Catalog {
                         .collect(),
                 ),
                 Column::from_ints((0..n_ord).map(|_| rng.gen_range(0..2557i64)).collect()),
-                Column::from_strs(
-                    (0..n_ord).map(|_| {
-                        ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
-                            [rng.gen_range(0..5)]
-                    }),
-                ),
+                Column::from_strs((0..n_ord).map(|_| {
+                    ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+                        [rng.gen_range(0..5)]
+                })),
             ],
         )
         .expect("orders"),
@@ -237,9 +243,7 @@ pub fn generate(sf: f64, seed: u64) -> Catalog {
                         .map(|_| rng.gen_range(900.0..105_000.0f64))
                         .collect(),
                 ),
-                Column::from_floats(
-                    (0..n_line).map(|_| rng.gen_range(0.0..0.11f64)).collect(),
-                ),
+                Column::from_floats((0..n_line).map(|_| rng.gen_range(0.0..0.11f64)).collect()),
                 Column::from_ints((0..n_line).map(|_| rng.gen_range(0..2557i64)).collect()),
                 Column::from_strs((0..n_line).map(|_| FLAGS[rng.gen_range(0..FLAGS.len())])),
             ],
@@ -312,8 +316,14 @@ pub fn queries(catalog: &Catalog, udf: bool, udf_cost: u32) -> Vec<NamedQuery> {
             "q3_seg",
             qb.col("c.mktsegment").unwrap().eq(Expr::lit("BUILDING")),
         );
-        let f2 = maybe_wrap("q3_odate", qb.col("o.orderdate").unwrap().lt(Expr::lit(1100)));
-        let f3 = maybe_wrap("q3_sdate", qb.col("l.shipdate").unwrap().gt(Expr::lit(1100)));
+        let f2 = maybe_wrap(
+            "q3_odate",
+            qb.col("o.orderdate").unwrap().lt(Expr::lit(1100)),
+        );
+        let f3 = maybe_wrap(
+            "q3_sdate",
+            qb.col("l.shipdate").unwrap().gt(Expr::lit(1100)),
+        );
         qb.filter(f1);
         qb.filter(f2);
         qb.filter(f3);
@@ -468,7 +478,11 @@ pub fn queries(catalog: &Catalog, udf: bool, udf_cost: u32) -> Vec<NamedQuery> {
             .col("l.extendedprice")
             .unwrap()
             .mul(Expr::lit(1.0).sub(qb.col("l.discount").unwrap()))
-            .sub(qb.col("ps.supplycost").unwrap().mul(qb.col("l.quantity").unwrap()));
+            .sub(
+                qb.col("ps.supplycost")
+                    .unwrap()
+                    .mul(qb.col("l.quantity").unwrap()),
+            );
         qb.select_agg(AggFunc::Sum, Some(profit), "profit");
         push("q09", qb.build().expect("q9"));
     }
@@ -589,8 +603,7 @@ mod tests {
     fn catalog_has_all_tables() {
         let cat = generate(0.002, 1);
         for t in [
-            "region", "nation", "supplier", "customer", "part", "partsupp", "orders",
-            "lineitem",
+            "region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem",
         ] {
             assert!(cat.contains(t), "missing {t}");
         }
@@ -614,7 +627,11 @@ mod tests {
         let udf = queries(&cat, true, 10);
         let engine = ColEngine::new();
         for (p, u) in plain.iter().zip(&udf) {
-            assert!(u.query.predicates.iter().any(|e| e.contains_udf()), "{}", u.id);
+            assert!(
+                u.query.predicates.iter().any(|e| e.contains_udf()),
+                "{}",
+                u.id
+            );
             let rp = run_engine(&engine, &p.query, &ExecOptions::default());
             let ru = run_engine(&engine, &u.query, &ExecOptions::default());
             // SUM over floats accumulates in plan order, so compare with a

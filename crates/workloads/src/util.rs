@@ -154,8 +154,14 @@ mod tests {
 
     #[test]
     fn udf_constants() {
-        let a = ColRef { table: 0, column: 0 };
-        let b = ColRef { table: 1, column: 0 };
+        let a = ColRef {
+            table: 0,
+            column: 0,
+        };
+        let b = ColRef {
+            table: 1,
+            column: 0,
+        };
         let t = udf_always_true("t", a, b, 0);
         let f = udf_always_false("f", a, b, 0);
         // evaluate with a dummy context

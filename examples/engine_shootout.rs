@@ -23,7 +23,10 @@ fn main() {
 
     // Traditional engines.
     for (name, engine) in [
-        ("RowEngine (PgSim)", Box::new(RowEngine::new()) as Box<dyn Engine>),
+        (
+            "RowEngine (PgSim)",
+            Box::new(RowEngine::new()) as Box<dyn Engine>,
+        ),
         ("ColEngine (MonetSim)", Box::new(ColEngine::new())),
         ("AdaptiveEngine (ComSim)", Box::new(AdaptiveEngine::new())),
     ] {

@@ -58,9 +58,11 @@ fn main() {
     // --- 3. Execute with Skinner-C --------------------------------------
     let db = SkinnerDB::skinner_c(SkinnerCConfig::default());
     let result = db.execute(&query);
-    println!("Skinner-C ({} slices, learned order {:?}):",
+    println!(
+        "Skinner-C ({} slices, learned order {:?}):",
         result.stats.slices,
-        result.stats.final_order.as_deref().unwrap_or(&[]));
+        result.stats.final_order.as_deref().unwrap_or(&[])
+    );
     println!("{}", result.table);
 
     // --- 4. The same query through Skinner-G and Skinner-H --------------

@@ -18,9 +18,7 @@ fn main() {
     let tables = 6;
     let rows = 40;
     let case = udf_torture(Shape::Chain, tables, rows, 2, 100);
-    println!(
-        "UDF torture: {tables}-table chain, {rows} tuples/table, good predicate on edge 2"
-    );
+    println!("UDF torture: {tables}-table chain, {rows} tuples/table, good predicate on edge 2");
     println!("{}\n", case.query.query.sketch());
 
     // Traditional engine: the optimizer assigns every UDF the same

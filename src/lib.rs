@@ -88,12 +88,8 @@ pub mod prelude {
         SkinnerHConfig, Variant,
     };
     pub use skinner_engine::{RewardKind, SkinnerC, SkinnerCConfig, SkinnerOutcome};
-    pub use skinner_query::{
-        parse, AggFunc, Expr, Query, QueryBuilder, Udf, UdfRegistry,
-    };
+    pub use skinner_query::{parse, AggFunc, Expr, Query, QueryBuilder, Udf, UdfRegistry};
     pub use skinner_simdb::exec::ExecOptions;
     pub use skinner_simdb::{AdaptiveEngine, ColEngine, Engine, RowEngine};
-    pub use skinner_storage::{
-        Catalog, Column, ColumnDef, Schema, Table, Value, ValueType,
-    };
+    pub use skinner_storage::{Catalog, Column, ColumnDef, Schema, Table, Value, ValueType};
 }

@@ -40,11 +40,9 @@ fn job_queries_all_strategies_agree() {
         let truth = ground_truth(&nq.query);
         let c = SkinnerDB::skinner_c(SkinnerCConfig::default()).execute(&nq.query);
         rows_match(&c.table, &truth, &format!("{} skinner-c", nq.id));
-        let g = SkinnerDB::skinner_g(engine.clone(), SkinnerGConfig::default())
-            .execute(&nq.query);
+        let g = SkinnerDB::skinner_g(engine.clone(), SkinnerGConfig::default()).execute(&nq.query);
         rows_match(&g.table, &truth, &format!("{} skinner-g", nq.id));
-        let h = SkinnerDB::skinner_h(engine.clone(), SkinnerHConfig::default())
-            .execute(&nq.query);
+        let h = SkinnerDB::skinner_h(engine.clone(), SkinnerHConfig::default()).execute(&nq.query);
         rows_match(&h.table, &truth, &format!("{} skinner-h", nq.id));
     }
 }
@@ -103,8 +101,16 @@ fn torture_cases_all_strategies_agree() {
         let eddy = Eddy::new(EddyConfig::default()).run(q);
         let reopt = Reoptimizer::default().run(q, &ExecOptions::default());
         let engine_raw = ColEngine::new().execute(q, &ExecOptions::default());
-        assert_eq!(eddy.result_count, engine_raw.result_count, "{}", case.query.id);
-        assert_eq!(reopt.result_count, engine_raw.result_count, "{}", case.query.id);
+        assert_eq!(
+            eddy.result_count, engine_raw.result_count,
+            "{}",
+            case.query.id
+        );
+        assert_eq!(
+            reopt.result_count, engine_raw.result_count,
+            "{}",
+            case.query.id
+        );
     }
 }
 
