@@ -1,6 +1,6 @@
 //! Eddies: per-tuple adaptive join routing.
 //!
-//! Implements the reinforcement-learning eddy of Tzoumas et al. [47] as
+//! Implements the reinforcement-learning eddy of Tzoumas et al. \[47\] as
 //! the paper uses it: tuples of a driver table are routed through joins
 //! one at a time, and the routing policy learns per-state fanout
 //! estimates (expected number of matches when extending a partial tuple

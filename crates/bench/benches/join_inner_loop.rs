@@ -9,8 +9,9 @@
 //! reference. The acceptance bar for the specialization is ≥ 1.5×.
 //!
 //! Run with `cargo bench --bench join_inner_loop`. The measured means
-//! and the speedup ratio are written to `BENCH_join.json` in the current
-//! directory (repo root when invoked via cargo).
+//! and the speedup ratio are merged into `BENCH_join.json` (repo root)
+//! under the `join_inner_loop` key; `join_parallel` records the
+//! partitioned-slice numbers next to them.
 
 use criterion::{BenchmarkId, Criterion};
 use skinner_engine::multiway::{ResultSet, ResultSink};
@@ -131,11 +132,11 @@ fn main() {
             .map(|(_, ns)| *ns)
             .expect("bench result")
     };
-    let mut json = String::from("{\n  \"bench\": \"join_inner_loop\",\n");
-    json.push_str(&format!(
-        "  \"workload\": \"{TABLES}-table FK chain, {ROWS} rows/table, {KEYS} keys, {STEPS} steps\",\n"
+    let mut section = String::from("{\n");
+    section.push_str(&format!(
+        "    \"workload\": \"{TABLES}-table FK chain, {ROWS} rows/table, {KEYS} keys, {STEPS} steps\",\n"
     ));
-    json.push_str("  \"mean_ns\": {\n");
+    section.push_str("    \"mean_ns\": {\n");
     let names = [
         "join_inner_loop/specialized/indexed",
         "join_inner_loop/generic/indexed",
@@ -143,20 +144,24 @@ fn main() {
         "join_inner_loop/generic/scan",
     ];
     for (i, n) in names.iter().enumerate() {
-        json.push_str(&format!(
-            "    \"{n}\": {:.0}{}\n",
+        section.push_str(&format!(
+            "      \"{n}\": {:.0}{}\n",
             get(n),
             if i + 1 < names.len() { "," } else { "" }
         ));
     }
-    json.push_str("  },\n");
+    section.push_str("    },\n");
     let sp_indexed =
         get("join_inner_loop/generic/indexed") / get("join_inner_loop/specialized/indexed");
     let sp_scan = get("join_inner_loop/generic/scan") / get("join_inner_loop/specialized/scan");
-    json.push_str(&format!(
-        "  \"speedup\": {{ \"indexed\": {sp_indexed:.2}, \"scan\": {sp_scan:.2} }}\n}}\n"
+    section.push_str(&format!(
+        "    \"speedup\": {{ \"indexed\": {sp_indexed:.2}, \"scan\": {sp_scan:.2} }}\n  }}"
     ));
     println!("speedup: indexed {sp_indexed:.2}x, scan {sp_scan:.2}x");
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_join.json");
-    std::fs::write(path, json).expect("write BENCH_join.json");
+    let path = std::path::Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_join.json"
+    ));
+    skinner_bench::upsert_bench_json(path, "join_inner_loop", &section)
+        .expect("write BENCH_join.json");
 }

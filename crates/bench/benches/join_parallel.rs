@@ -1,0 +1,142 @@
+//! Criterion bench: offset-range-partitioned vs. sequential join slices
+//! on a 4-table FK chain.
+//!
+//! Each measured iteration executes one `MultiwayJoin::continue_join`
+//! slice of `STEPS` budget from a fresh cursor, with the engine
+//! configured for 1 / 2 / 4 worker threads. A partitioned slice divides
+//! the budget across its chunks, so every configuration examines the
+//! same ~`STEPS` tuples; the metric is *slice throughput* (wall time for
+//! the same step budget). The acceptance bar is ≥ 1.5× at 4 threads on a
+//! host with ≥ 4 cores — the recorded `host_cores` field says how many
+//! the measuring machine actually had (thread spawns serialize on a
+//! 1-core container, so speedup there sits at ~1.0× or below).
+//!
+//! Run with `cargo bench --bench join_parallel`. Results are merged into
+//! `BENCH_join.json` (repo root) under the `join_parallel` key, next to
+//! the `join_inner_loop` numbers.
+
+use criterion::{BenchmarkId, Criterion};
+use skinner_bench::upsert_bench_json;
+use skinner_engine::multiway::ResultSet;
+use skinner_engine::{MultiwayJoin, PreparedQuery};
+use skinner_query::{Query, QueryBuilder};
+use skinner_storage::{Catalog, Column, ColumnDef, Schema, Table, ValueType};
+
+const TABLES: usize = 4;
+const ROWS: usize = 4096;
+const KEYS: i64 = 256;
+const STEPS: u64 = 200_000;
+const THREADS: [usize; 3] = [1, 2, 4];
+
+/// 4-table FK chain: t0.k = t1.k, t1.k = t2.k, t2.k = t3.k — the same
+/// workload `join_inner_loop` measures, so the two sections of
+/// `BENCH_join.json` compose.
+fn fk_chain() -> (Catalog, Query) {
+    let mut cat = Catalog::new();
+    for t in 0..TABLES {
+        cat.register(
+            Table::new(
+                format!("t{t}"),
+                Schema::new([
+                    ColumnDef::new("k", ValueType::Int),
+                    ColumnDef::new("v", ValueType::Int),
+                ]),
+                vec![
+                    Column::from_ints(
+                        (0..ROWS as i64)
+                            .map(|i| i.wrapping_mul(2654435761).rem_euclid(KEYS))
+                            .collect(),
+                    ),
+                    Column::from_ints((0..ROWS as i64).collect()),
+                ],
+            )
+            .unwrap(),
+        );
+    }
+    let q = {
+        let mut qb = QueryBuilder::new(&cat);
+        for t in 0..TABLES {
+            qb.table(&format!("t{t}")).unwrap();
+        }
+        for t in 0..TABLES - 1 {
+            let j = qb
+                .col(&format!("t{t}.k"))
+                .unwrap()
+                .eq(qb.col(&format!("t{}.k", t + 1)).unwrap());
+            qb.filter(j);
+        }
+        qb.select_col("t0.v").unwrap();
+        qb.build().unwrap()
+    };
+    (cat, q)
+}
+
+fn bench_parallel_slices(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join_parallel");
+    let (_cat, q) = fk_chain();
+    let pq = PreparedQuery::new(&q, true, 1);
+    let order: Vec<usize> = (0..TABLES).collect();
+    let plan = pq.plan_order(&order);
+    let offsets = vec![0u32; TABLES];
+
+    for &threads in &THREADS {
+        group.bench_with_input(
+            BenchmarkId::new("slice", format!("{threads}t")),
+            &threads,
+            |b, &threads| {
+                let mut join = MultiwayJoin::with_threads(&pq, threads);
+                b.iter(|| {
+                    let mut state = offsets.clone();
+                    let mut rs = ResultSet::new();
+                    let (_r, steps) =
+                        join.continue_join(&order, &plan, &offsets, &mut state, STEPS, &mut rs);
+                    criterion::black_box((steps, rs.len()))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_parallel_slices(&mut criterion);
+
+    let get = |name: &str| -> f64 {
+        criterion
+            .results
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, ns)| *ns)
+            .expect("bench result")
+    };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut section = String::from("{\n");
+    section.push_str(&format!(
+        "    \"workload\": \"{TABLES}-table FK chain, {ROWS} rows/table, {KEYS} keys, {STEPS}-step slices\",\n"
+    ));
+    section.push_str(&format!("    \"host_cores\": {cores},\n"));
+    section.push_str("    \"mean_ns_per_slice\": {\n");
+    for (i, &t) in THREADS.iter().enumerate() {
+        section.push_str(&format!(
+            "      \"{t}_threads\": {:.0}{}\n",
+            get(&format!("join_parallel/slice/{t}t")),
+            if i + 1 < THREADS.len() { "," } else { "" }
+        ));
+    }
+    section.push_str("    },\n");
+    let base = get("join_parallel/slice/1t");
+    let sp2 = base / get("join_parallel/slice/2t");
+    let sp4 = base / get("join_parallel/slice/4t");
+    section.push_str(&format!(
+        "    \"speedup_vs_sequential\": {{ \"2_threads\": {sp2:.2}, \"4_threads\": {sp4:.2} }}\n  }}"
+    ));
+    println!("slice speedup vs sequential: 2t {sp2:.2}x, 4t {sp4:.2}x (host cores: {cores})");
+    let path = std::path::Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_join.json"
+    ));
+    upsert_bench_json(path, "join_parallel", &section).expect("write BENCH_join.json");
+}

@@ -25,9 +25,11 @@ fn main() {
     );
 
     // (a) tree growth over time, b = 500.
+    let threads = skinner_bench::env_threads(1);
     let out = SkinnerC::new(SkinnerCConfig {
         budget: 500,
         tree_sample_every: 1,
+        threads,
         ..Default::default()
     })
     .run(&nq.query);
@@ -58,6 +60,7 @@ fn main() {
     for budget in [500u64, 10] {
         let out = SkinnerC::new(SkinnerCConfig {
             budget,
+            threads,
             ..Default::default()
         })
         .run(&nq.query);

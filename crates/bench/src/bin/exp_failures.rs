@@ -6,11 +6,12 @@
 //! 100×. Counted both by wall time and by an engine-independent effort
 //! metric (predicate evaluations / join steps / C_out).
 
-use skinner_bench::{env_timeout, print_table, run_approach, Approach};
+use skinner_bench::{env_threads, env_timeout, print_table, run_approach, Approach};
 use skinner_workloads::torture::correlation_torture;
 
 fn main() {
     let cap = env_timeout(1_500);
+    let threads = env_threads(1);
     let rows_base = std::env::var("SKINNER_ROWS")
         .ok()
         .and_then(|s| s.parse().ok())
@@ -21,7 +22,7 @@ fn main() {
     let approaches = [
         Approach::SkinnerC {
             budget: 500,
-            threads: 1,
+            threads,
             indexes: true,
         },
         Approach::Eddy,

@@ -11,19 +11,14 @@
 //! for MonetDB(sim) and per-query Skinner-C speedups vs. MonetDB(sim).
 
 use skinner_bench::approaches::EngineKind;
-use skinner_bench::{env_scale, env_seed, env_timeout, fmt_duration, print_table};
+use skinner_bench::{env_scale, env_seed, env_threads, env_timeout, fmt_duration, print_table};
 use skinner_bench::{run_approach, Approach, RunOutcome};
 use skinner_workloads::job;
 use std::time::Duration;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let threads = args
-        .iter()
-        .position(|a| a == "--threads")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1usize);
+    let threads = env_threads(1);
     let figures = args.iter().any(|a| a == "--figures");
 
     let scale = env_scale(0.04);

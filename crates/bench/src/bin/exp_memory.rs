@@ -19,8 +19,13 @@ fn main() {
 
     // group by #tables → (count, uct nodes, trie nodes, result tuples, bytes)
     let mut groups: FxHashMap<usize, (usize, u64, u64, u64, u64)> = FxHashMap::default();
+    let threads = skinner_bench::env_threads(1);
     for nq in &wl.queries {
-        let out = SkinnerC::new(SkinnerCConfig::default()).run(&nq.query);
+        let out = SkinnerC::new(SkinnerCConfig {
+            threads,
+            ..Default::default()
+        })
+        .run(&nq.query);
         let m = &out.metrics;
         let e = groups.entry(nq.query.num_tables()).or_default();
         e.0 += 1;

@@ -7,13 +7,15 @@
 
 use skinner_bench::approaches::EngineKind;
 use skinner_bench::{
-    env_scale, env_seed, env_timeout, fmt_duration, print_table, run_approach, Approach,
+    env_scale, env_seed, env_threads, env_timeout, fmt_duration, print_table, run_approach,
+    Approach,
 };
 use skinner_workloads::tpch;
 use std::time::Duration;
 
 fn main() {
     let sf = env_scale(0.004);
+    let threads = env_threads(1);
     let cap = env_timeout(4_000);
     let catalog = tpch::generate(sf, env_seed());
     println!(
@@ -24,7 +26,7 @@ fn main() {
     let approaches = [
         Approach::SkinnerC {
             budget: 500,
-            threads: 1,
+            threads,
             indexes: true,
         },
         Approach::PgSim,

@@ -5,11 +5,12 @@
 //! overhead here; the paper's point is that the overhead stays bounded.
 
 use skinner_bench::approaches::EngineKind;
-use skinner_bench::{env_timeout, fmt_duration, print_table, run_approach, Approach};
+use skinner_bench::{env_threads, env_timeout, fmt_duration, print_table, run_approach, Approach};
 use skinner_workloads::torture::trivial_optimization;
 
 fn main() {
     let cap = env_timeout(2_000);
+    let threads = env_threads(1);
     let rows = std::env::var("SKINNER_ROWS")
         .ok()
         .and_then(|s| s.parse().ok())
@@ -18,7 +19,7 @@ fn main() {
     let approaches = vec![
         Approach::SkinnerC {
             budget: 500,
-            threads: 1,
+            threads,
             indexes: true,
         },
         Approach::Eddy,

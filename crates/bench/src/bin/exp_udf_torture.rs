@@ -6,11 +6,12 @@
 //! good edge. Reports per-approach time as the query size grows.
 
 use skinner_bench::approaches::EngineKind;
-use skinner_bench::{env_timeout, fmt_duration, print_table, run_approach, Approach};
+use skinner_bench::{env_threads, env_timeout, fmt_duration, print_table, run_approach, Approach};
 use skinner_workloads::torture::{udf_torture, Shape};
 
 fn main() {
     let cap = env_timeout(2_000);
+    let threads = env_threads(1);
     let rows_per_table = std::env::var("SKINNER_ROWS")
         .ok()
         .and_then(|s| s.parse().ok())
@@ -20,7 +21,7 @@ fn main() {
     let approaches = vec![
         Approach::SkinnerC {
             budget: 500,
-            threads: 1,
+            threads,
             indexes: true,
         },
         Approach::Eddy,

@@ -10,7 +10,9 @@
 //!
 //! * `SKINNER_SCALE` — multiplies workload sizes (default per binary),
 //! * `SKINNER_TIMEOUT_MS` — per-query cap for baseline engines,
-//! * `SKINNER_SEED` — workload seed.
+//! * `SKINNER_SEED` — workload seed,
+//! * `SKINNER_THREADS` / `--threads N` — Skinner-C worker threads
+//!   (pre-processing filters and the partitioned join phase).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,7 +21,7 @@ pub mod approaches;
 pub mod report;
 
 pub use approaches::{run_approach, Approach, RunOutcome};
-pub use report::{fmt_duration, print_table};
+pub use report::{fmt_duration, print_table, upsert_bench_json};
 
 use std::time::Duration;
 
@@ -47,4 +49,24 @@ pub fn env_seed() -> u64 {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(42)
+}
+
+/// Skinner-C worker threads for an experiment binary: the `--threads N`
+/// command-line flag wins, then the `SKINNER_THREADS` environment
+/// variable, then `default`. Feeds both the pre-processing filter
+/// scans and the offset-range-partitioned join phase.
+pub fn env_threads(default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    let n = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .or_else(|| {
+            std::env::var("SKINNER_THREADS")
+                .ok()
+                .and_then(|s| s.parse().ok())
+        })
+        .unwrap_or(default);
+    n.max(1)
 }

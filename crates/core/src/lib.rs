@@ -10,8 +10,9 @@
 //!   batches, and timeouts allocated by the [`pyramid`] scheme.
 //! * [`SkinnerH`] (§4.4) — the hybrid: alternates doubling-timeout runs
 //!   of the engine's own optimizer plan with Skinner-G learning slices.
-//! * [`postprocess`] — grouping, aggregation, sorting, DISTINCT, LIMIT
-//!   (§3: "post-processing involves grouping, aggregation, and sorting").
+//! * [`postprocess`](mod@postprocess) — grouping, aggregation, sorting,
+//!   DISTINCT, LIMIT (§3: "post-processing involves grouping,
+//!   aggregation, and sorting").
 //!
 //! The [`SkinnerDB`] type bundles a variant choice with post-processing
 //! behind one `execute(query) -> QueryResult` call.

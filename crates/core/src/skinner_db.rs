@@ -231,6 +231,31 @@ mod tests {
     }
 
     #[test]
+    fn parallel_skinner_c_matches_sequential_end_to_end() {
+        // Full pipeline (pre-process → partitioned join → post-process):
+        // a parallel join phase must be invisible to the result table,
+        // and the per-chunk step accounting must surface in the metrics.
+        let cat = catalog();
+        let q = agg_query(&cat);
+        let seq = SkinnerDB::skinner_c(SkinnerCConfig {
+            budget: 50,
+            ..Default::default()
+        })
+        .execute(&q);
+        let par = SkinnerDB::skinner_c(SkinnerCConfig {
+            budget: 50,
+            threads: 4,
+            ..Default::default()
+        })
+        .execute(&q);
+        assert!(par.table.same_rows(&seq.table), "parallel mismatch");
+        let m = par.stats.metrics.as_ref().expect("C metrics");
+        assert_eq!(m.join_threads, 4);
+        assert!(m.join_chunks >= m.slices);
+        assert!(m.steps > 0);
+    }
+
+    #[test]
     fn row_engine_baseline_matches_col_engine() {
         let cat = catalog();
         let q = agg_query(&cat);

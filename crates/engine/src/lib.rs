@@ -21,12 +21,20 @@
 //! The main entry point is [`SkinnerC`], Algorithm 3: choose order via
 //! UCT → restore state → run the multi-way join for a fixed step budget →
 //! compute a progress-based reward → update UCT → back up state.
+//!
+//! Beyond the paper's implementation, the join phase can run each slice
+//! across multiple worker threads by offset-range partitioning of the
+//! left-most table ([`partition`]): workers execute disjoint chunks of
+//! the driver range and their cursors fold back into one slice cursor,
+//! so the learned-order semantics — and the regret analysis — are
+//! unchanged by the worker count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod metrics;
 pub mod multiway;
+pub mod partition;
 pub mod prepare;
 pub mod progress;
 pub mod reward;
@@ -34,6 +42,7 @@ pub mod skinner_c;
 
 pub use metrics::ExecMetrics;
 pub use multiway::{ContinueResult, MultiwayJoin};
+pub use partition::PartitionSpec;
 pub use prepare::PreparedQuery;
 pub use progress::ProgressTracker;
 pub use reward::RewardKind;

@@ -14,8 +14,16 @@ use std::time::Duration;
 pub struct ExecMetrics {
     /// Number of time slices executed.
     pub slices: u64,
-    /// Total multi-way-join steps across slices.
+    /// Total multi-way-join steps across slices (summed over all workers
+    /// when the join phase runs partitioned — the tuples-examined
+    /// analogue of the paper's per-slice accounting).
     pub steps: u64,
+    /// Join-kernel invocations: one per sequential slice, one per offset
+    /// chunk of a partitioned slice. `join_chunks == slices` means the
+    /// whole join ran single-threaded; the excess is parallel fan-out.
+    pub join_chunks: u64,
+    /// Configured join worker threads (1 = sequential, as in the paper).
+    pub join_threads: usize,
     /// Wall time in pre-processing.
     pub preprocess_time: Duration,
     /// Wall time in the join phase.

@@ -9,8 +9,9 @@
 //! The prepared query holds, per table, the *filtered positions* (base
 //! row ids surviving unary predicates); all Skinner-C state lives in this
 //! filtered position space. Filtering can run one scoped worker thread
-//! per table (the only parallelism the paper's implementation has —
-//! Table 2).
+//! per table (Table 2 — the only parallelism the paper's implementation
+//! has; this reproduction additionally partitions the join phase itself,
+//! see [`crate::partition`]).
 //!
 //! # Two plan layers
 //!
@@ -22,10 +23,10 @@
 //!    jump ([`JumpSpec`], as `(table, column)` ids).
 //! 2. [`PreparedQuery::plan_order`] *binds* that spec into an
 //!    [`OrderPlan`]: each position caches its filtered cardinality and
-//!    base-row slice, each predicate is specialized into a
-//!    [`BoundPred`](skinner_query::BoundPred) over raw typed column
-//!    slices, and each jump holds a direct [`HashIndex`] reference plus a
-//!    [`KeyCol`] accessor specialized to the key column's representation.
+//!    base-row slice, each predicate is specialized into a [`BoundPred`]
+//!    over raw typed column slices, and each jump holds a direct
+//!    [`HashIndex`] reference plus a [`KeyCol`] accessor specialized to
+//!    the key column's representation.
 //!
 //! The bound plan is what the multi-way join kernel executes: the
 //! closest safe-Rust stand-in for the paper's §6 per-query code

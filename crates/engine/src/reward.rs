@@ -8,6 +8,13 @@
 //! lexicographic enumeration space, differenced across the slice. The
 //! simple variant (progress in the left-most table only) matches the
 //! formal analysis of §5.
+//!
+//! Rewards are *slice-normalized regardless of worker count*: with a
+//! partitioned join phase (see [`crate::partition`]) the cursors fed in
+//! here are the folded slice cursors, which live in the same
+//! lexicographic space as sequential cursors, and every order's slices
+//! run with the same worker count — so UCT comparisons between orders
+//! stay fair and the `[0, 1]` clamp keeps the bandit contract either way.
 
 use skinner_query::TableId;
 
@@ -23,7 +30,8 @@ pub enum RewardKind {
 }
 
 /// Fractional position of `state` (indexed by table) in the enumeration
-/// space of `order`: Σ_i s[j_i] / Π_{q ≤ i} |R_{j_q}|, a value in [0, 1].
+/// space of `order`: `Σ_i s[j_i] / Π_{q ≤ i} |R_{j_q}|`, a value in
+/// `[0, 1]`.
 pub fn fractional_position(order: &[TableId], state: &[u32], cards: &[u32]) -> f64 {
     let mut denom = 1.0f64;
     let mut f = 0.0f64;

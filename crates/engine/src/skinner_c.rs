@@ -41,18 +41,30 @@ pub enum OrderPolicy {
 pub struct SkinnerCConfig {
     /// Step budget `b` per time slice (paper default: 500 outer-loop
     /// iterations, i.e. thousands of join-order switches per second).
+    /// With parallel join workers the budget is divided across the
+    /// slice's offset chunks, so a slice examines roughly `budget`
+    /// tuples regardless of the worker count — larger budgets amortize
+    /// the per-slice thread-spawn cost and are recommended when
+    /// `threads > 1`.
     pub budget: u64,
-    /// UCT exploration weight `w` (paper: 1e-6 for Skinner-C).
+    /// UCT exploration weight `w` (paper: 1e-6 for Skinner-C, whose
+    /// fine-grained progress reward needs little forced exploration).
     pub exploration: f64,
-    /// Reward function.
+    /// Reward function mapping per-slice cursor progress to the `[0, 1]`
+    /// signal UCT expects (see [`RewardKind`]).
     pub reward: RewardKind,
-    /// Build hash indexes during pre-processing (Table 6 ablation).
+    /// Build hash indexes on equi-join columns during pre-processing
+    /// (Table 6 ablation).
     pub use_indexes: bool,
-    /// Worker threads for the pre-processing filter scans (Table 6 /
-    /// Table 2; the join phase itself is single-threaded, as in the
-    /// paper's implementation).
+    /// Worker threads, used twice: one filter thread per table during
+    /// pre-processing (Table 2, as in the paper's implementation), and —
+    /// beyond the paper, whose join phase is single-threaded — offset-
+    /// range-partitioned execution of every join slice (see
+    /// [`crate::partition`]). `1` reproduces the paper's sequential join
+    /// phase exactly.
     pub threads: usize,
-    /// Order selection policy.
+    /// Order selection policy (UCT, or uniform random for the Table 5
+    /// ablation).
     pub policy: OrderPolicy,
     /// RNG seed (UCT tie-breaking / random policy).
     pub seed: u64,
@@ -117,6 +129,40 @@ impl SkinnerC {
 
     /// Execute the join phase of `query` (pre-processing included;
     /// post-processing is the caller's job — see `skinner-core`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use skinner_engine::{SkinnerC, SkinnerCConfig};
+    /// use skinner_query::QueryBuilder;
+    /// use skinner_storage::{Catalog, Column, ColumnDef, Schema, Table, ValueType};
+    ///
+    /// let mut cat = Catalog::new();
+    /// cat.register(Table::new(
+    ///     "a",
+    ///     Schema::new([ColumnDef::new("id", ValueType::Int)]),
+    ///     vec![Column::from_ints(vec![1, 2, 3])],
+    /// ).unwrap());
+    /// cat.register(Table::new(
+    ///     "b",
+    ///     Schema::new([ColumnDef::new("a_id", ValueType::Int)]),
+    ///     vec![Column::from_ints(vec![1, 1, 3])],
+    /// ).unwrap());
+    ///
+    /// let mut qb = QueryBuilder::new(&cat);
+    /// qb.table("a").unwrap();
+    /// qb.table("b").unwrap();
+    /// let join = qb.col("a.id").unwrap().eq(qb.col("b.a_id").unwrap());
+    /// qb.filter(join);
+    /// qb.select_col("a.id").unwrap();
+    /// let query = qb.build().unwrap();
+    ///
+    /// // Paper defaults (sequential join phase). `threads: 4` would
+    /// // additionally partition every join slice across 4 workers.
+    /// let out = SkinnerC::new(SkinnerCConfig::default()).run(&query);
+    /// assert_eq!(out.result_count, 3);
+    /// assert_eq!(out.num_tables, 2);
+    /// ```
     pub fn run(&self, query: &Query) -> SkinnerOutcome {
         let cfg = &self.config;
         let m = query.num_tables();
@@ -150,7 +196,7 @@ impl SkinnerC {
         let mut tracker = ProgressTracker::new(m);
         let mut offsets = vec![0u32; m];
         let mut results = ResultSet::new();
-        let mut join = MultiwayJoin::new(&pq);
+        let mut join = MultiwayJoin::with_threads(&pq, cfg.threads);
         let mut plan_cache: FxHashMap<Vec<TableId>, OrderPlan<'_>> = FxHashMap::default();
 
         // Scratch cursors owned by the run loop, reused across slices.
@@ -207,6 +253,8 @@ impl SkinnerC {
         }
 
         metrics.join_time = join_start.elapsed();
+        metrics.join_chunks = join.chunks_run();
+        metrics.join_threads = cfg.threads.max(1);
         metrics.uct_nodes = tree.num_nodes();
         metrics.uct_bytes = tree.approx_bytes();
         metrics.tracker_nodes = tracker.num_nodes();
@@ -380,6 +428,51 @@ mod tests {
         let mut o = out.final_order.clone();
         o.sort_unstable();
         assert_eq!(o, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn parallel_join_phase_correct() {
+        let cat = fk_catalog(64);
+        let q = chain_query(&cat, 4);
+        let expected = ground_truth(&q);
+        let out = SkinnerC::new(SkinnerCConfig {
+            budget: 200,
+            threads: 4,
+            ..Default::default()
+        })
+        .run(&q);
+        assert_eq!(out.result_count, expected);
+        assert_eq!(out.metrics.join_threads, 4);
+        // partitioned slices fan out to more kernel runs than slices
+        assert!(
+            out.metrics.join_chunks > out.metrics.slices,
+            "chunks {} slices {}",
+            out.metrics.join_chunks,
+            out.metrics.slices
+        );
+    }
+
+    #[test]
+    fn parallel_matches_sequential_outcome() {
+        let cat = fk_catalog(48);
+        let q = chain_query(&cat, 3);
+        let seq = SkinnerC::new(SkinnerCConfig {
+            budget: 64,
+            ..Default::default()
+        })
+        .run(&q);
+        let par = SkinnerC::new(SkinnerCConfig {
+            budget: 64,
+            threads: 3,
+            ..Default::default()
+        })
+        .run(&q);
+        assert_eq!(par.result_count, seq.result_count);
+        let mut a: Vec<&[u32]> = seq.tuples.chunks_exact(3).collect();
+        let mut b: Vec<&[u32]> = par.tuples.chunks_exact(3).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! * [`JoinGraph`] — connectivity structure driving the §4.2 rule that
 //!   join orders avoid Cartesian products unless unavoidable,
 //! * [`QueryBuilder`] — a typed fluent API for constructing queries,
-//! * [`parse`](parser::parse) — a small SQL dialect covering every query
+//! * [`parse`] — a small SQL dialect covering every query
 //!   shape used in the paper's evaluation.
 
 #![forbid(unsafe_code)]

@@ -17,11 +17,11 @@
 //! * [`exec`] — a shared left-deep executor with hash/nested-loop joins,
 //!   deadlines, batch ranges and intermediate-cardinality accounting,
 //! * [`engine`] — the three engine personalities:
-//!   [`RowEngine`](engine::RowEngine) (Postgres-like: row-at-a-time,
+//!   [`RowEngine`] (Postgres-like: row-at-a-time,
 //!   materializes intermediate tuples as values, interprets predicates),
-//!   [`ColEngine`](engine::ColEngine) (MonetDB-like: vectorized,
+//!   [`ColEngine`] (MonetDB-like: vectorized,
 //!   late-materialized row-id intermediates, compiled predicates, optional
-//!   multithreading), and [`AdaptiveEngine`](engine::AdaptiveEngine)
+//!   multithreading), and [`AdaptiveEngine`]
 //!   (ComDB-like: re-optimizes mid-query when observed cardinalities
 //!   diverge from estimates),
 //! * [`optimal`] — the true-C_out oracle computing certified-optimal

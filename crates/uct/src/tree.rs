@@ -161,6 +161,13 @@ impl<S: SearchSpace> UctTree<S> {
 
     /// Register `reward` (clamped to `[0, 1]`) for the previously chosen
     /// `path`; materializes at most one new node.
+    ///
+    /// The caller is responsible for normalizing rewards *per slice*, not
+    /// per unit of work: Skinner-C feeds cursor-progress deltas here, and
+    /// those stay comparable across orders whether a slice ran on one
+    /// thread or was partitioned across many — every order's slices use
+    /// the same worker count, so the bandit never sees a thread-count
+    /// bias between arms.
     pub fn update(&mut self, path: &[S::Action], reward: f64) {
         let reward = reward.clamp(0.0, 1.0);
         self.rounds += 1;

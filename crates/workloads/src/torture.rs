@@ -4,7 +4,7 @@
 //!   "good" predicate always fails (its join is empty: starting there
 //!   finishes instantly); the rest always succeed (their joins are full
 //!   Cartesian blow-ups). No statistics can distinguish them.
-//! * **Correlation torture** (extended from Wu et al. [50]) — chain
+//! * **Correlation torture** (extended from Wu et al. \[50\]) — chain
 //!   queries over skewed, correlated data: all equi-join edges have
 //!   identical statistics (same distinct counts, same sizes) but one
 //!   edge, at position `m`, is empty while the others fan out massively.

@@ -10,6 +10,11 @@
 //! left-deep join orders *while the query runs* — with formal regret
 //! bounds relative to the optimal join order.
 //!
+//! Start with the repository docs: `README.md` (crate map, quick start,
+//! paper mapping) and `ARCHITECTURE.md` (the slice → reward → UCT loop,
+//! `OrderPlan` plan-time specialization, and how the offset-range-
+//! partitioned parallel join phase threads through all of it).
+//!
 //! ## Quick start
 //!
 //! ```
@@ -64,11 +69,14 @@
 //! | [`storage`] | column store, catalog, hash indexes |
 //! | [`query`] | expressions, UDFs, SQL parser, join graphs |
 //! | [`uct`] | the UCT bandit-tree learner |
-//! | [`engine`] | Skinner-C: multi-way join, progress sharing (§4.5) |
+//! | [`engine`] | Skinner-C: specialized multi-way join, parallel partitioned slices, progress sharing (§4.5) |
 //! | [`simdb`] | simulated traditional engines + optimizer + C_out oracle |
 //! | [`core`] | Skinner-G/H, pyramid timeouts, post-processing, facade |
 //! | [`baselines`] | Eddies, re-optimizer, random orders |
 //! | [`workloads`] | JOB-like, TPC-H dbgen-lite, torture benchmarks |
+//!
+//! (`crates/bench` regenerates the paper's tables/figures and records
+//! kernel benchmarks; `crates/vendor` holds offline dependency shims.)
 
 #![forbid(unsafe_code)]
 

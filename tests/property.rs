@@ -3,10 +3,17 @@
 //! * Skinner-C produces exactly the same result set as a direct engine
 //!   on arbitrary generated schemas/queries (Theorem 5.3),
 //! * every valid join order yields the same multi-way join result,
+//! * the offset-range-partitioned join produces exactly the result set
+//!   of the sequential specialized kernel and the generic reference
+//!   kernel, for random catalogs, orders, budgets, and thread counts,
 //! * the progress tracker never loses results under arbitrary
 //!   slice/order interleavings,
 //! * the pyramid timeout scheme keeps its Lemma 5.4/5.5 guarantees for
 //!   arbitrary iteration counts.
+//!
+//! `SKINNER_TEST_THREADS` (default 1) sets the Skinner-C worker count for
+//! the end-to-end properties, so CI can run the whole suite once with a
+//! multi-threaded configuration.
 
 use proptest::prelude::*;
 use skinnerdb::core::PyramidTimeouts;
@@ -15,6 +22,16 @@ use skinnerdb::engine::{MultiwayJoin, PreparedQuery, SkinnerC, SkinnerCConfig};
 use skinnerdb::prelude::*;
 use skinnerdb::query::JoinGraph;
 use skinnerdb::query::TableSet;
+
+/// Skinner-C worker threads for the end-to-end properties (CI runs the
+/// suite a second time with `SKINNER_TEST_THREADS=4` to exercise the
+/// partitioned join path everywhere).
+fn env_threads() -> usize {
+    std::env::var("SKINNER_TEST_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
 
 /// Generate a random chain query over `m` tables with random small data.
 fn arb_chain_case() -> impl Strategy<Value = (Catalog, Query)> {
@@ -72,6 +89,7 @@ proptest! {
             .result_count;
         let out = SkinnerC::new(SkinnerCConfig {
             budget: 16, // tiny slices: maximal order switching
+            threads: env_threads(),
             ..Default::default()
         })
         .run(&q);
@@ -177,6 +195,87 @@ proptest! {
     }
 
     #[test]
+    fn parallel_join_matches_sequential_and_generic(
+        (_cat, q) in arb_chain_case(),
+        oseed in any::<u64>(),
+        budget in 3u64..48,
+        threads in 2usize..5,
+    ) {
+        // Differential test for the partitioned join: the parallel path
+        // (offset chunks on scoped workers, shard merge, cursor fold),
+        // run in small slices so budget exhaustion hits mid-chunk
+        // constantly, must produce exactly the result set of (a) the
+        // sequential specialized kernel run the same way and (b) the
+        // generic reference kernel run in one shot — for random
+        // catalogs, random valid orders, random budgets and thread
+        // counts, with and without hash indexes.
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let graph = JoinGraph::from_query(&q);
+        let m = q.num_tables();
+        let mut rng = SmallRng::seed_from_u64(oseed);
+        let mut order: Vec<usize> = Vec::with_capacity(m);
+        let mut chosen = TableSet::EMPTY;
+        while order.len() < m {
+            let elig: Vec<usize> = graph.eligible_next(chosen).iter().collect();
+            let t = elig[rng.gen_range(0..elig.len())];
+            order.push(t);
+            chosen.insert(t);
+        }
+        for indexes in [true, false] {
+            let pq = PreparedQuery::new(&q, indexes, 1);
+            prop_assume!(!pq.any_empty());
+            let plan = pq.plan_order(&order);
+            let spec = pq.plan_spec(&order);
+            let offsets = vec![0u32; m];
+            let budget = budget.max(4 * m as u64);
+
+            // (b) generic oracle, one shot
+            let mut join = MultiwayJoin::new(&pq);
+            let mut state = offsets.clone();
+            let mut rs_generic = ResultSet::new();
+            join.continue_join_generic(
+                &order, &spec, &offsets, &mut state, u64::MAX, &mut rs_generic,
+            );
+
+            // run one kernel config in `budget`-sized slices to exhaustion
+            let run_sliced = |workers: usize| -> Vec<Vec<u32>> {
+                let mut join = MultiwayJoin::with_threads(&pq, workers);
+                let mut state = offsets.clone();
+                let mut rs = ResultSet::new();
+                let mut slices = 0u64;
+                loop {
+                    slices += 1;
+                    assert!(slices < 5_000_000, "no termination");
+                    let (res, _) = join.continue_join(
+                        &order, &plan, &offsets, &mut state, budget, &mut rs,
+                    );
+                    if res == ContinueResult::Exhausted {
+                        break;
+                    }
+                }
+                let mut out: Vec<Vec<u32>> = rs.iter().map(|t| t.to_vec()).collect();
+                out.sort();
+                out
+            };
+            let sequential = run_sliced(1);
+            let parallel = run_sliced(threads);
+
+            let mut oracle: Vec<Vec<u32>> = rs_generic.iter().map(|t| t.to_vec()).collect();
+            oracle.sort();
+            prop_assert_eq!(
+                &sequential, &oracle,
+                "sequential/generic divergence: order {:?} indexes {}", order, indexes
+            );
+            prop_assert_eq!(
+                &parallel, &oracle,
+                "parallel/generic divergence: order {:?} indexes {} threads {}",
+                order, indexes, threads
+            );
+        }
+    }
+
+    #[test]
     fn random_policy_interleavings_lose_nothing(
         (_cat, q) in arb_chain_case(),
         budget in 4u64..64,
@@ -191,6 +290,7 @@ proptest! {
             budget,
             seed,
             policy: skinnerdb::engine::OrderPolicy::Random,
+            threads: env_threads(),
             ..Default::default()
         })
         .run(&q);
