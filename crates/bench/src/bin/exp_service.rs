@@ -1,0 +1,278 @@
+//! `exp_service` — the service layer's two headline claims, measured:
+//!
+//! 1. **Learning reuse**: on repeated JOB-like templates, a warm-cache
+//!    execution (UCT tree snapshot + pre-bound orders from the template
+//!    cache) converges in fewer time slices / join steps than the cold
+//!    execution that populated the cache.
+//! 2. **Concurrent serving**: a 4-session concurrent run over the full
+//!    JOB-like query set returns results identical to serial execution,
+//!    sharing one core budget (admission + intra-query partitioning).
+//!
+//! Results are printed as tables and recorded into `BENCH_service.json`
+//! (sections `service_learning` and `service_concurrency`) via
+//! `upsert_bench_json`.
+//!
+//! Knobs: `SKINNER_SCALE` (default 0.03), `SKINNER_SEED`,
+//! `SKINNER_THREADS` / `--threads N` (service core budget, default 4).
+
+use skinner_bench::{
+    env_scale, env_seed, env_threads, fmt_duration, print_table, upsert_bench_json,
+};
+use skinner_core::ResultTable;
+use skinner_engine::SkinnerCConfig;
+use skinner_service::{QueryService, ServiceConfig};
+use skinner_workloads::job;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn make_service(catalog: skinner_storage::Catalog, threads: usize) -> Arc<QueryService> {
+    QueryService::new(
+        catalog,
+        skinner_query::UdfRegistry::new(),
+        ServiceConfig {
+            engine: SkinnerCConfig {
+                threads,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+}
+
+fn main() {
+    let scale = env_scale(0.03);
+    let seed = env_seed();
+    let threads = env_threads(4);
+    let wl = job::generate(scale, seed);
+    println!(
+        "Service experiment over the JOB-like workload (scale={scale}, seed={seed}, \
+         {} queries, core budget {threads})",
+        wl.queries.len()
+    );
+
+    // ---- 1. Learning reuse: warm vs cold on repeated templates -------
+    // Measure the templates where the learner does the most work: probe
+    // every query once (fine-grained slice budget for resolution) and
+    // take the three with the most cold slices. Empty-after-filtering
+    // templates probe at 0 slices and drop out naturally.
+    let learn_budget = 64;
+    let make_learning_service = |threads: usize| {
+        QueryService::new(
+            wl.catalog.clone(),
+            skinner_query::UdfRegistry::new(),
+            ServiceConfig {
+                engine: SkinnerCConfig {
+                    budget: learn_budget,
+                    threads,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+    };
+    let probe_svc = make_learning_service(threads);
+    let mut probe_session = probe_svc.session();
+    let probed: Vec<(usize, u64)> = (0..wl.queries.len())
+        .map(|i| {
+            let r = execute_query(&mut probe_session, &wl.queries[i].query);
+            (i, r.stats.slices)
+        })
+        .collect();
+    let mut largest: Vec<usize> = probed.iter().map(|&(i, _)| i).collect();
+    largest.sort_by_key(|&i| std::cmp::Reverse(probed[i].1));
+    largest.truncate(3);
+
+    let mut rows = Vec::new();
+    let mut learning_json = String::from("{\n");
+    learning_json.push_str(&format!(
+        "    \"workload\": \"JOB-like scale={scale} seed={seed}\",\n    \"core_budget\": {threads},\n    \"templates\": {{\n"
+    ));
+    for (li, &qi) in largest.iter().enumerate() {
+        let nq = &wl.queries[qi];
+        // One service per template: run 1 is cold, run 2+ are warm.
+        let svc = make_learning_service(threads);
+        let mut session = svc.session();
+        const RUNS: usize = 4;
+        let mut slices = Vec::new();
+        let mut nonbest = Vec::new();
+        let mut walls = Vec::new();
+        let mut result: Option<ResultTable> = None;
+        for run in 0..RUNS {
+            let started = Instant::now();
+            let r = execute_query(&mut session, &nq.query);
+            walls.push(started.elapsed());
+            let m = r.stats.metrics.as_ref().expect("metrics");
+            slices.push(m.slices);
+            // Exploration waste: slices spent executing anything other
+            // than the order the run ultimately recommends. A warm run
+            // starts *at* the learned order, so this collapses toward 0.
+            let best = r.stats.final_order.as_ref().expect("final order");
+            let best_slices = m.order_selections.get(best).copied().unwrap_or(0);
+            nonbest.push(m.slices - best_slices);
+            if run == 0 {
+                assert!(!r.stats.warm_start, "first run must be cold");
+            } else {
+                assert!(r.stats.cache_hit, "repeat run missed the cache");
+                assert!(r.stats.warm_start, "repeat run did not warm-start");
+            }
+            match &result {
+                None => result = Some(r.table),
+                Some(prev) => assert!(
+                    r.table.same_rows(prev),
+                    "{}: warm result differs from cold",
+                    nq.id
+                ),
+            }
+        }
+        let (cold_slices, warm_slices) = (slices[0], *slices.last().expect("runs"));
+        let (cold_nonbest, warm_nonbest) = (nonbest[0], *nonbest.last().expect("runs"));
+        rows.push(vec![
+            nq.id.clone(),
+            format!("{}", nq.query.num_tables()),
+            format!("{cold_slices}"),
+            format!("{warm_slices}"),
+            format!("{cold_nonbest}"),
+            format!("{warm_nonbest}"),
+            fmt_duration(walls[0]),
+            fmt_duration(*walls.last().expect("runs")),
+        ]);
+        learning_json.push_str(&format!(
+            "      \"{}\": {{ \"tables\": {}, \"cold_slices\": {}, \"warm_slices\": {}, \
+             \"cold_nonbest_slices\": {}, \"warm_nonbest_slices\": {}, \
+             \"cold_wall_us\": {}, \"warm_wall_us\": {} }}{}\n",
+            nq.id,
+            nq.query.num_tables(),
+            cold_slices,
+            warm_slices,
+            cold_nonbest,
+            warm_nonbest,
+            walls[0].as_micros(),
+            walls.last().expect("runs").as_micros(),
+            if li + 1 < largest.len() { "," } else { "" },
+        ));
+    }
+    learning_json.push_str("    }\n  }");
+    print_table(
+        "Learning reuse: cold vs warm (last of 4 runs) per template",
+        &[
+            "template",
+            "tables",
+            "cold slices",
+            "warm slices",
+            "cold non-best",
+            "warm non-best",
+            "cold wall",
+            "warm wall",
+        ],
+        &rows,
+    );
+    println!(
+        "  (\"non-best\" = slices spent off the finally-recommended join order: \
+         the exploration a warm start avoids)"
+    );
+
+    // ---- 2. Concurrency: 4 sessions vs serial ------------------------
+    const SESSIONS: usize = 4;
+    // Serial baseline: every query once, one session.
+    let serial_svc = make_service(wl.catalog.clone(), threads);
+    let serial_start = Instant::now();
+    let mut serial_results = Vec::new();
+    {
+        let mut session = serial_svc.session();
+        for nq in &wl.queries {
+            serial_results.push(execute_query(&mut session, &nq.query).table);
+        }
+    }
+    let serial_wall = serial_start.elapsed();
+
+    // Concurrent: the same query list, striped across 4 sessions.
+    let conc_svc = make_service(wl.catalog.clone(), threads);
+    let queries: Arc<Vec<_>> = Arc::new(wl.queries.iter().map(|nq| nq.query.clone()).collect());
+    let conc_start = Instant::now();
+    let mut handles = Vec::new();
+    for worker in 0..SESSIONS {
+        let svc = conc_svc.clone();
+        let queries = queries.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut session = svc.session();
+            let mut results = Vec::new();
+            for i in (worker..queries.len()).step_by(SESSIONS) {
+                results.push((i, execute_query(&mut session, &queries[i]).table));
+            }
+            results
+        }));
+    }
+    let mut concurrent_results: Vec<Option<ResultTable>> = vec![None; wl.queries.len()];
+    for h in handles {
+        for (i, t) in h.join().expect("session thread") {
+            concurrent_results[i] = Some(t);
+        }
+    }
+    let conc_wall = conc_start.elapsed();
+
+    let mut identical = true;
+    for (i, (s, c)) in serial_results.iter().zip(&concurrent_results).enumerate() {
+        let c = c.as_ref().expect("all queries ran");
+        if !c.same_rows(s) {
+            identical = false;
+            eprintln!("MISMATCH on {}", wl.queries[i].id);
+        }
+    }
+    assert!(identical, "concurrent results diverged from serial");
+
+    let n = wl.queries.len() as f64;
+    let serial_qps = n / serial_wall.as_secs_f64().max(1e-9);
+    let conc_qps = n / conc_wall.as_secs_f64().max(1e-9);
+    let stats = conc_svc.stats();
+    print_table(
+        "Concurrent serving: 4 sessions vs serial (full JOB-like query set)",
+        &["mode", "wall", "qps", "identical"],
+        &[
+            vec![
+                "serial".into(),
+                fmt_duration(serial_wall),
+                format!("{serial_qps:.1}"),
+                "—".into(),
+            ],
+            vec![
+                format!("{SESSIONS} sessions"),
+                fmt_duration(conc_wall),
+                format!("{conc_qps:.1}"),
+                format!("{identical}"),
+            ],
+        ],
+    );
+    println!(
+        "  service counters: {} queries, {} cache hits, {} warm starts",
+        stats.queries, stats.cache.hits, stats.warm_starts
+    );
+
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let concurrency_json = format!(
+        "{{\n    \"workload\": \"JOB-like scale={scale} seed={seed}, {} queries\",\n    \
+         \"host_cores\": {host_cores},\n    \"core_budget\": {threads},\n    \
+         \"sessions\": {SESSIONS},\n    \"serial_wall_ms\": {},\n    \
+         \"concurrent_wall_ms\": {},\n    \"serial_qps\": {serial_qps:.1},\n    \
+         \"concurrent_qps\": {conc_qps:.1},\n    \"identical_to_serial\": {identical}\n  }}",
+        wl.queries.len(),
+        serial_wall.as_millis(),
+        conc_wall.as_millis(),
+    );
+
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_service.json");
+    upsert_bench_json(&path, "service_learning", &learning_json).expect("write BENCH_service.json");
+    upsert_bench_json(&path, "service_concurrency", &concurrency_json)
+        .expect("write BENCH_service.json");
+    println!("\nrecorded → {}", path.display());
+}
+
+/// Execute a pre-built query through a session (the service's SQL entry
+/// point is bypassed because workload queries are built programmatically;
+/// the template cache and admission path are identical).
+fn execute_query(
+    session: &mut skinner_service::Session,
+    query: &skinner_query::Query,
+) -> skinner_core::QueryResult {
+    session.execute_query(query).expect("workload query")
+}

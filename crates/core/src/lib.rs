@@ -27,7 +27,7 @@ pub mod skinner_db;
 pub mod skinner_g;
 pub mod skinner_h;
 
-pub use postprocess::postprocess;
+pub use postprocess::{postprocess, project_tuple};
 pub use pyramid::PyramidTimeouts;
 pub use result::ResultTable;
 pub use skinner_db::{run_engine, QueryResult, RunStats, SkinnerDB, Variant};

@@ -152,23 +152,10 @@ pub fn postprocess(query: &Query, tuples: &[RowId], _result_count: u64) -> Resul
     let mut rows: Vec<Vec<Value>> = if grouped {
         aggregate_rows(query, tuples, &tables, m)
     } else {
-        let mut out = Vec::with_capacity(tuples.len() / m);
-        for tup in tuples.chunks_exact(m) {
-            let ctx = TupleContext {
-                rows: tup,
-                tables: &tables,
-            };
-            let row: Vec<Value> = query
-                .select
-                .iter()
-                .map(|item| match item {
-                    SelectItem::Expr { expr, .. } => expr.eval(&ctx),
-                    SelectItem::Agg { .. } => unreachable!("grouped handled above"),
-                })
-                .collect();
-            out.push(row);
-        }
-        out
+        tuples
+            .chunks_exact(m)
+            .map(|tup| project_tuple(query, tup, &tables))
+            .collect()
     };
 
     if query.distinct {
@@ -210,6 +197,23 @@ pub fn postprocess(query: &Query, tuples: &[RowId], _result_count: u64) -> Resul
     }
 
     ResultTable { columns, rows }
+}
+
+/// Project one join tuple (base row ids in FROM order) into an output
+/// row of the SELECT list. Only valid for non-aggregated queries — the
+/// building block of both full materialization and streaming delivery
+/// (`skinner-service` projects tuples one at a time through this when a
+/// consumer stops early).
+pub fn project_tuple(query: &Query, tup: &[RowId], tables: &[TableRef]) -> Vec<Value> {
+    let ctx = TupleContext { rows: tup, tables };
+    query
+        .select
+        .iter()
+        .map(|item| match item {
+            SelectItem::Expr { expr, .. } => expr.eval(&ctx),
+            SelectItem::Agg { .. } => unreachable!("aggregates go through grouping"),
+        })
+        .collect()
 }
 
 fn aggregate_rows(

@@ -8,7 +8,7 @@ use crate::postprocess::postprocess;
 use crate::result::ResultTable;
 use crate::skinner_g::{SkinnerG, SkinnerGConfig};
 use crate::skinner_h::{PlanSource, SkinnerH, SkinnerHConfig};
-use skinner_engine::{ExecMetrics, SkinnerC, SkinnerCConfig};
+use skinner_engine::{ExecMetrics, RunOptions, SkinnerC, SkinnerCConfig, StopReason};
 use skinner_query::{Query, TableId};
 use skinner_simdb::exec::ExecOptions;
 use skinner_simdb::Engine;
@@ -45,11 +45,21 @@ pub struct RunStats {
     /// Measured intermediate-result cardinality (engines only; Skinner-C
     /// has no materialized intermediates by construction).
     pub cout: Option<u64>,
+    /// Why the Skinner-C join phase stopped (C only): `Completed`, or
+    /// `RowTarget` when LIMIT pushdown ended the join early.
+    pub stop: Option<StopReason>,
+    /// Served through the service layer's template cache (the query's
+    /// normalized template had a live cache entry).
+    pub cache_hit: bool,
+    /// The execution warm-started from cached learned state (UCT tree
+    /// snapshot + pre-bound orders) instead of exploring from scratch.
+    pub warm_start: bool,
     /// Detailed Skinner-C metrics (C only).
     pub metrics: Option<ExecMetrics>,
 }
 
 /// A materialized result plus execution statistics.
+#[derive(Debug, Clone)]
 pub struct QueryResult {
     /// The result table.
     pub table: ResultTable,
@@ -95,12 +105,20 @@ impl SkinnerDB {
         let start = Instant::now();
         let (tuples, stride, mut stats) = match &self.variant {
             Variant::C(cfg) => {
-                let out = SkinnerC::new(*cfg).run(query);
+                // LIMIT pushdown: when each distinct join tuple maps to
+                // exactly one output row, the join phase stops as soon as
+                // `limit` tuples exist instead of materializing fully.
+                let opts = RunOptions {
+                    target_rows: query.join_limit(),
+                    ..Default::default()
+                };
+                let out = SkinnerC::new(*cfg).run_with(query, &opts);
                 let stats = RunStats {
                     join_phase: out.metrics.preprocess_time + out.metrics.join_time,
                     result_count: out.result_count,
                     slices: out.metrics.slices,
                     final_order: Some(out.final_order.clone()),
+                    stop: Some(out.stop),
                     metrics: Some(out.metrics),
                     ..Default::default()
                 };
@@ -253,6 +271,37 @@ mod tests {
         assert_eq!(m.join_threads, 4);
         assert!(m.join_chunks >= m.slices);
         assert!(m.steps > 0);
+    }
+
+    #[test]
+    fn limit_pushdown_stops_join_early() {
+        let cat = catalog();
+        // Plain projection + LIMIT: eligible for pushdown.
+        let mut qb = QueryBuilder::new(&cat);
+        qb.table("a").unwrap();
+        qb.table("b").unwrap();
+        let j = qb.col("a.k").unwrap().eq(qb.col("b.k").unwrap());
+        qb.filter(j);
+        qb.select_col("a.v").unwrap();
+        qb.limit(5);
+        let q = qb.build().unwrap();
+        assert_eq!(q.join_limit(), Some(5));
+        let r = SkinnerDB::skinner_c(SkinnerCConfig {
+            budget: 16,
+            ..Default::default()
+        })
+        .execute(&q);
+        assert_eq!(r.table.num_rows(), 5);
+        assert_eq!(r.stats.stop, Some(StopReason::RowTarget));
+        // 200 total join tuples exist; the join phase stopped well short.
+        assert!(r.stats.result_count < 200);
+
+        // Aggregation disables pushdown: the full join must run.
+        let q = agg_query(&cat);
+        assert_eq!(q.join_limit(), None);
+        let r = SkinnerDB::skinner_c(SkinnerCConfig::default()).execute(&q);
+        assert_eq!(r.stats.stop, Some(StopReason::Completed));
+        assert_eq!(r.stats.result_count, 200);
     }
 
     #[test]

@@ -41,9 +41,11 @@ pub mod reward;
 pub mod skinner_c;
 
 pub use metrics::ExecMetrics;
-pub use multiway::{ContinueResult, MultiwayJoin};
+pub use multiway::{ContinueResult, LimitSink, MultiwayJoin, ResultSink};
 pub use partition::PartitionSpec;
 pub use prepare::PreparedQuery;
 pub use progress::ProgressTracker;
 pub use reward::RewardKind;
-pub use skinner_c::{OrderPolicy, SkinnerC, SkinnerCConfig, SkinnerOutcome};
+pub use skinner_c::{
+    LearnedState, OrderPolicy, RunOptions, SkinnerC, SkinnerCConfig, SkinnerOutcome, StopReason,
+};

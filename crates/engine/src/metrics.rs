@@ -24,6 +24,9 @@ pub struct ExecMetrics {
     pub join_chunks: u64,
     /// Configured join worker threads (1 = sequential, as in the paper).
     pub join_threads: usize,
+    /// UCT nodes adopted from a prior execution's snapshot at run start
+    /// (0 = cold start; see `RunOptions::prior`).
+    pub warm_start_nodes: usize,
     /// Wall time in pre-processing.
     pub preprocess_time: Duration,
     /// Wall time in the join phase.

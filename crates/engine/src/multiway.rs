@@ -67,6 +67,17 @@ const EMPTY_SLOT: u32 = u32::MAX;
 pub trait ResultSink {
     /// Insert a tuple (base row ids in FROM order); false if duplicate.
     fn insert(&mut self, tuple: &[RowId]) -> bool;
+
+    /// True once the sink needs no more tuples (e.g. a LIMIT target was
+    /// reached). Kernels consult this after each insert and suspend the
+    /// slice early — the cursor state is identical to a budget
+    /// exhaustion, so resumption and progress tracking are unaffected.
+    /// Default: never full (statically false for the plain sinks, so the
+    /// check monomorphizes away on the hot path).
+    #[inline]
+    fn is_full(&self) -> bool {
+        false
+    }
 }
 
 impl ResultSink for ResultSet {
@@ -89,6 +100,45 @@ impl ResultSink for CountingSink {
     fn insert(&mut self, _tuple: &[RowId]) -> bool {
         self.attempts += 1;
         true
+    }
+}
+
+/// The LIMIT-pushdown sink: delegates to a [`ResultSet`] and reports
+/// fullness once `target` *distinct* tuples exist, which suspends the
+/// running slice (see [`ResultSink::is_full`]). Used by the Skinner-C
+/// driver when [`Query::join_limit`](skinner_query::Query::join_limit)
+/// allows the join phase to stop early instead of materializing the
+/// full result.
+///
+/// Note: partitioned slices check fullness only between slices (worker
+/// shards are merged through this sink, so the target is still honored
+/// promptly — within one slice's worth of tuples).
+pub struct LimitSink<'a> {
+    inner: &'a mut ResultSet,
+    target: u64,
+}
+
+impl<'a> LimitSink<'a> {
+    /// Wrap `inner`, reporting full at `target` distinct tuples.
+    pub fn new(inner: &'a mut ResultSet, target: u64) -> LimitSink<'a> {
+        LimitSink { inner, target }
+    }
+
+    /// True once the target is reached.
+    pub fn full(&self) -> bool {
+        self.inner.len() as u64 >= self.target
+    }
+}
+
+impl ResultSink for LimitSink<'_> {
+    #[inline]
+    fn insert(&mut self, tuple: &[RowId]) -> bool {
+        self.inner.insert(tuple)
+    }
+
+    #[inline]
+    fn is_full(&self) -> bool {
+        self.full()
     }
 }
 
@@ -551,6 +601,11 @@ fn run_plan_kernel<R: ResultSink>(
         if ok {
             if i + 1 == m {
                 results.insert(rows);
+                if results.is_full() {
+                    // Sink-driven early exit (LIMIT pushdown): suspend as
+                    // if the budget ran out; the cursor resumes exactly.
+                    return (ContinueResult::BudgetSpent, steps);
+                }
                 if !next_tuple(positions, offsets, state, &mut i, rows, end0, false) {
                     return (ContinueResult::Exhausted, steps);
                 }

@@ -14,7 +14,7 @@
 //! for the Table 5 ablation — uniformly at random.
 
 use crate::metrics::ExecMetrics;
-use crate::multiway::{ContinueResult, MultiwayJoin, ResultSet};
+use crate::multiway::{ContinueResult, LimitSink, MultiwayJoin, ResultSet};
 use crate::prepare::{OrderPlan, PreparedQuery};
 use crate::progress::ProgressTracker;
 use crate::reward::{reward, RewardKind};
@@ -22,7 +22,8 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use skinner_query::{Query, TableId};
 use skinner_storage::{FxHashMap, RowId};
-use skinner_uct::{JoinOrderSpace, SearchSpace, UctConfig, UctTree};
+use skinner_uct::{JoinOrderSpace, SearchSpace, TreeSnapshot, UctConfig, UctTree};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 /// Join-order selection policy (Table 5 compares Original=UCT against
@@ -88,6 +89,62 @@ impl Default for SkinnerCConfig {
     }
 }
 
+/// Why a Skinner-C run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StopReason {
+    /// The join ran to completion: the result set is the full distinct
+    /// join result.
+    #[default]
+    Completed,
+    /// [`RunOptions::target_rows`] distinct tuples were produced (LIMIT
+    /// pushdown). The result is a valid LIMIT prefix, not the full join.
+    RowTarget,
+    /// [`RunOptions::cancel`] was raised between slices. The result is
+    /// partial and must be discarded.
+    Cancelled,
+    /// [`RunOptions::deadline`] passed between slices. The result is
+    /// partial and must be discarded.
+    DeadlineExceeded,
+}
+
+/// Per-run controls beyond the engine configuration: cross-execution
+/// learning state in and out, cooperative cancellation, and sink-driven
+/// early exit. `RunOptions::default()` reproduces the plain
+/// [`SkinnerC::run`] behaviour exactly.
+#[derive(Default)]
+pub struct RunOptions<'a> {
+    /// Warm-start the UCT tree from a prior execution of the same query
+    /// template (see `skinner_query::TemplateKey`). Ignored when the
+    /// snapshot does not match this query's join-order space.
+    pub prior: Option<&'a TreeSnapshot<TableId>>,
+    /// Join orders to pre-bind into the plan cache (the orders a prior
+    /// execution materialized). Non-permutations are skipped.
+    pub planned_orders: &'a [Vec<TableId>],
+    /// Cooperative cancel flag, checked at every slice boundary.
+    pub cancel: Option<&'a AtomicBool>,
+    /// Wall-clock deadline, checked at every slice boundary.
+    pub deadline: Option<Instant>,
+    /// Stop once this many distinct join tuples exist (LIMIT pushdown —
+    /// callers must check `Query::join_limit` eligibility first). The
+    /// sequential kernel suspends mid-slice on reaching the target;
+    /// partitioned slices stop at the next slice boundary.
+    pub target_rows: Option<u64>,
+    /// Capture a [`LearnedState`] in the outcome for the learning cache.
+    pub capture_learning: bool,
+}
+
+/// Learned join-order state captured from one execution, reusable by a
+/// later execution of the same query template.
+#[derive(Debug, Clone)]
+pub struct LearnedState {
+    /// The UCT tree at termination.
+    pub snapshot: TreeSnapshot<TableId>,
+    /// The most-visited (recommended) join order.
+    pub best_order: Vec<TableId>,
+    /// Every order that was bound into the plan cache.
+    pub planned_orders: Vec<Vec<TableId>>,
+}
+
 /// Result of a Skinner-C join phase.
 #[derive(Debug)]
 pub struct SkinnerOutcome {
@@ -101,6 +158,12 @@ pub struct SkinnerOutcome {
     /// The most-visited join order at termination (replayed in other
     /// engines for Tables 3/4).
     pub final_order: Vec<TableId>,
+    /// Why the run ended ([`StopReason::Completed`] unless a
+    /// [`RunOptions`] control fired).
+    pub stop: StopReason,
+    /// Learned state for the cross-query cache (present iff
+    /// [`RunOptions::capture_learning`] was set).
+    pub learning: Option<LearnedState>,
     /// Execution metrics.
     pub metrics: ExecMetrics,
 }
@@ -164,6 +227,15 @@ impl SkinnerC {
     /// assert_eq!(out.num_tables, 2);
     /// ```
     pub fn run(&self, query: &Query) -> SkinnerOutcome {
+        self.run_with(query, &RunOptions::default())
+    }
+
+    /// [`run`](SkinnerC::run) with per-run controls: UCT warm start and
+    /// plan pre-binding from a prior execution of the same template,
+    /// cooperative cancel / deadline checks at slice boundaries, a
+    /// distinct-tuple target for LIMIT pushdown, and capture of the
+    /// learned state for the service layer's cross-query cache.
+    pub fn run_with(&self, query: &Query, opts: &RunOptions<'_>) -> SkinnerOutcome {
         let cfg = &self.config;
         let m = query.num_tables();
         let pq = PreparedQuery::new(query, cfg.use_indexes, cfg.threads);
@@ -179,25 +251,39 @@ impl SkinnerC {
                 num_tables: m,
                 result_count: 0,
                 final_order: (0..m).collect(),
+                stop: StopReason::Completed,
+                learning: None,
                 metrics,
             };
         }
 
         let join_start = Instant::now();
         let space = JoinOrderSpace::new(query);
-        let mut tree = UctTree::new(
-            space.clone(),
-            UctConfig {
-                exploration: cfg.exploration,
-                seed: cfg.seed,
-            },
-        );
+        let uct_config = UctConfig {
+            exploration: cfg.exploration,
+            seed: cfg.seed,
+        };
+        let mut tree = match opts.prior {
+            Some(snapshot) => UctTree::with_snapshot(space.clone(), uct_config, snapshot),
+            None => UctTree::new(space.clone(), uct_config),
+        };
+        // > 1 means the prior was actually adopted (a mismatched
+        // snapshot falls back to the cold single-node tree).
+        metrics.warm_start_nodes = match opts.prior {
+            Some(_) if tree.num_nodes() > 1 => tree.num_nodes(),
+            _ => 0,
+        };
         let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x9e3779b97f4a7c15);
         let mut tracker = ProgressTracker::new(m);
         let mut offsets = vec![0u32; m];
         let mut results = ResultSet::new();
         let mut join = MultiwayJoin::with_threads(&pq, cfg.threads);
         let mut plan_cache: FxHashMap<Vec<TableId>, OrderPlan<'_>> = FxHashMap::default();
+        for order in opts.planned_orders {
+            if is_permutation(order, m) && !plan_cache.contains_key(order.as_slice()) {
+                plan_cache.insert(order.clone(), pq.plan_order(order));
+            }
+        }
 
         // Scratch cursors owned by the run loop, reused across slices.
         let mut state = vec![0u32; m];
@@ -208,7 +294,24 @@ impl SkinnerC {
         let budget = cfg.budget.max(4 * m as u64);
 
         let mut finished = false;
+        let mut stop = StopReason::Completed;
         while !finished {
+            // Cooperative interruption, checked at slice granularity
+            // (a slice is bounded by the step budget, so these fire
+            // promptly without a hot-loop cost).
+            if let Some(cancel) = opts.cancel {
+                if cancel.load(Ordering::Relaxed) {
+                    stop = StopReason::Cancelled;
+                    break;
+                }
+            }
+            if let Some(deadline) = opts.deadline {
+                if Instant::now() >= deadline {
+                    stop = StopReason::DeadlineExceeded;
+                    break;
+                }
+            }
+
             metrics.slices += 1;
             let order = match cfg.policy {
                 OrderPolicy::Uct => tree.choose(),
@@ -224,8 +327,15 @@ impl SkinnerC {
             tracker.restore_into(&order, &offsets, &mut state);
             before.copy_from_slice(&state);
 
-            let (res, steps) =
-                join.continue_join(&order, plan, &offsets, &mut state, budget, &mut results);
+            let (res, steps) = match opts.target_rows {
+                Some(target) => {
+                    let mut sink = LimitSink::new(&mut results, target);
+                    join.continue_join(&order, plan, &offsets, &mut state, budget, &mut sink)
+                }
+                None => {
+                    join.continue_join(&order, plan, &offsets, &mut state, budget, &mut results)
+                }
+            };
             metrics.steps += steps;
 
             if res == ContinueResult::Exhausted {
@@ -249,6 +359,17 @@ impl SkinnerC {
 
             if cfg.tree_sample_every > 0 && metrics.slices.is_multiple_of(cfg.tree_sample_every) {
                 metrics.tree_growth.push((metrics.slices, tree.num_nodes()));
+            }
+
+            // LIMIT pushdown: enough distinct tuples exist — a complete
+            // join result is no longer needed.
+            if !finished {
+                if let Some(target) = opts.target_rows {
+                    if results.len() as u64 >= target {
+                        stop = StopReason::RowTarget;
+                        finished = true;
+                    }
+                }
             }
         }
 
@@ -275,15 +396,43 @@ impl SkinnerC {
             }
         };
 
+        let learning = if opts.capture_learning {
+            Some(LearnedState {
+                snapshot: tree.snapshot(),
+                best_order: final_order.clone(),
+                planned_orders: plan_cache.keys().cloned().collect(),
+            })
+        } else {
+            None
+        };
+
         let result_count = results.len() as u64;
         SkinnerOutcome {
             tuples: results.into_flat(m),
             num_tables: m,
             result_count,
             final_order,
+            stop,
+            learning,
             metrics,
         }
     }
+}
+
+/// Is `order` a permutation of `0..m`? Guards plan pre-binding against
+/// stale cached orders from a differently-shaped query.
+fn is_permutation(order: &[TableId], m: usize) -> bool {
+    if order.len() != m || m > 64 {
+        return false;
+    }
+    let mut seen = 0u64;
+    for &t in order {
+        if t >= m || seen >> t & 1 == 1 {
+            return false;
+        }
+        seen |= 1 << t;
+    }
+    true
 }
 
 fn random_order(space: &JoinOrderSpace, rng: &mut SmallRng) -> Vec<TableId> {
@@ -494,6 +643,208 @@ mod tests {
         assert!(m.total_aux_bytes() > 0);
         assert!(m.top_k_share(100) > 0.99);
         assert_eq!(m.result_tuples as u64, out.result_count);
+    }
+
+    #[test]
+    fn row_target_stops_early_with_valid_prefix() {
+        let cat = fk_catalog(64);
+        let q = chain_query(&cat, 3);
+        let expected = ground_truth(&q);
+        assert!(expected > 10);
+        let full = SkinnerC::new(SkinnerCConfig {
+            budget: 50,
+            ..Default::default()
+        })
+        .run(&q);
+        let limited = SkinnerC::new(SkinnerCConfig {
+            budget: 50,
+            ..Default::default()
+        })
+        .run_with(
+            &q,
+            &RunOptions {
+                target_rows: Some(10),
+                ..Default::default()
+            },
+        );
+        assert_eq!(limited.stop, StopReason::RowTarget);
+        assert!(limited.result_count >= 10);
+        assert!(limited.result_count < expected);
+        assert!(limited.metrics.steps < full.metrics.steps);
+        // Every produced tuple is a member of the full result.
+        let all: std::collections::HashSet<&[u32]> = full.tuples.chunks_exact(3).collect();
+        for t in limited.tuples.chunks_exact(3) {
+            assert!(all.contains(t), "tuple {t:?} not in the full result");
+        }
+    }
+
+    #[test]
+    fn row_target_beyond_result_completes() {
+        let cat = fk_catalog(32);
+        let q = chain_query(&cat, 3);
+        let expected = ground_truth(&q);
+        let out = SkinnerC::new(SkinnerCConfig {
+            budget: 50,
+            ..Default::default()
+        })
+        .run_with(
+            &q,
+            &RunOptions {
+                target_rows: Some(expected + 1_000),
+                ..Default::default()
+            },
+        );
+        assert_eq!(out.stop, StopReason::Completed);
+        assert_eq!(out.result_count, expected);
+    }
+
+    #[test]
+    fn cancel_flag_interrupts() {
+        use std::sync::atomic::AtomicBool;
+        let cat = fk_catalog(64);
+        let q = chain_query(&cat, 4);
+        let cancel = AtomicBool::new(true); // pre-raised: stop before slice 1
+        let out = SkinnerC::default().run_with(
+            &q,
+            &RunOptions {
+                cancel: Some(&cancel),
+                ..Default::default()
+            },
+        );
+        assert_eq!(out.stop, StopReason::Cancelled);
+        assert_eq!(out.metrics.slices, 0);
+    }
+
+    #[test]
+    fn deadline_interrupts() {
+        let cat = fk_catalog(64);
+        let q = chain_query(&cat, 4);
+        let out = SkinnerC::default().run_with(
+            &q,
+            &RunOptions {
+                deadline: Some(Instant::now() - std::time::Duration::from_millis(1)),
+                ..Default::default()
+            },
+        );
+        assert_eq!(out.stop, StopReason::DeadlineExceeded);
+    }
+
+    /// A 3-table chain where join-order quality differs sharply: `wide`
+    /// (4 rows) fans out 1024× into `mid` (4096 rows), while `sel`
+    /// (256 rows) joins `mid` 1:1 — so sel-first orders cost ~10× fewer
+    /// steps than wide-first ones. This is the shape where learned-order
+    /// reuse pays.
+    fn skewed_catalog() -> (Catalog, Query) {
+        let n_mid = 4096i64;
+        let n_sel = 256i64;
+        let mut cat = Catalog::new();
+        cat.register(
+            Table::new(
+                "wide",
+                Schema::new([ColumnDef::new("k", ValueType::Int)]),
+                vec![Column::from_ints(vec![0, 1, 2, 3])],
+            )
+            .unwrap(),
+        );
+        cat.register(
+            Table::new(
+                "mid",
+                Schema::new([
+                    ColumnDef::new("ka", ValueType::Int),
+                    ColumnDef::new("kb", ValueType::Int),
+                ]),
+                vec![
+                    Column::from_ints((0..n_mid).map(|i| i % 4).collect()),
+                    Column::from_ints((0..n_mid).collect()),
+                ],
+            )
+            .unwrap(),
+        );
+        cat.register(
+            Table::new(
+                "sel",
+                Schema::new([ColumnDef::new("k", ValueType::Int)]),
+                vec![Column::from_ints((0..n_sel).collect())],
+            )
+            .unwrap(),
+        );
+        let mut qb = QueryBuilder::new(&cat);
+        qb.table("wide").unwrap();
+        qb.table("mid").unwrap();
+        qb.table("sel").unwrap();
+        let j1 = qb.col("wide.k").unwrap().eq(qb.col("mid.ka").unwrap());
+        let j2 = qb.col("mid.kb").unwrap().eq(qb.col("sel.k").unwrap());
+        qb.filter(j1);
+        qb.filter(j2);
+        qb.select_col("mid.kb").unwrap();
+        let q = qb.build().unwrap();
+        (cat, q)
+    }
+
+    #[test]
+    fn warm_start_resumes_learning_in_fewer_slices() {
+        let (_cat, q) = skewed_catalog();
+        let expected = ground_truth(&q);
+        assert_eq!(expected, 256);
+        let cfg = SkinnerCConfig {
+            budget: 200,
+            ..Default::default()
+        };
+        let cold = SkinnerC::new(cfg).run_with(
+            &q,
+            &RunOptions {
+                capture_learning: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(cold.result_count, expected);
+        let learned = cold.learning.expect("learning captured");
+        assert!(learned.snapshot.num_nodes() > 1);
+        assert!(!learned.planned_orders.is_empty());
+        assert_eq!(learned.best_order, cold.final_order);
+
+        let warm = SkinnerC::new(cfg).run_with(
+            &q,
+            &RunOptions {
+                prior: Some(&learned.snapshot),
+                planned_orders: &learned.planned_orders,
+                capture_learning: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(warm.result_count, expected, "warm result differs");
+        assert_eq!(warm.metrics.warm_start_nodes, learned.snapshot.num_nodes());
+        assert!(
+            warm.metrics.slices < cold.metrics.slices,
+            "warm start should converge in fewer slices (warm {} vs cold {})",
+            warm.metrics.slices,
+            cold.metrics.slices
+        );
+        // Learning keeps accumulating across executions.
+        let relearned = warm.learning.expect("learning captured");
+        assert!(relearned.snapshot.rounds() > learned.snapshot.rounds());
+    }
+
+    #[test]
+    fn bogus_planned_orders_are_skipped() {
+        let cat = fk_catalog(32);
+        let q = chain_query(&cat, 3);
+        let expected = ground_truth(&q);
+        // Stale orders from a different template: wrong arity, out-of-
+        // range ids, duplicates. None may panic or corrupt the run.
+        let stale = vec![vec![0usize, 1], vec![0, 1, 7], vec![0, 0, 1], vec![2, 1, 0]];
+        let out = SkinnerC::new(SkinnerCConfig {
+            budget: 50,
+            ..Default::default()
+        })
+        .run_with(
+            &q,
+            &RunOptions {
+                planned_orders: &stale,
+                ..Default::default()
+            },
+        );
+        assert_eq!(out.result_count, expected);
     }
 
     #[test]

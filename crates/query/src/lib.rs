@@ -18,7 +18,10 @@
 //!   join orders avoid Cartesian products unless unavoidable,
 //! * [`QueryBuilder`] — a typed fluent API for constructing queries,
 //! * [`parse`] — a small SQL dialect covering every query
-//!   shape used in the paper's evaluation.
+//!   shape used in the paper's evaluation,
+//! * [`TemplateKey`] — normalized query-template fingerprints
+//!   (constants stripped) keying the service layer's cross-query
+//!   learning cache.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,6 +33,7 @@ pub mod expr;
 pub mod join_graph;
 pub mod parser;
 pub mod query;
+pub mod template;
 pub mod udf;
 
 pub use builder::QueryBuilder;
@@ -39,6 +43,7 @@ pub use expr::{BinOp, ColRef, Expr, RowContext, TableSet, UnOp};
 pub use join_graph::JoinGraph;
 pub use parser::parse;
 pub use query::{Agg, AggFunc, OrderKey, Query, SelectItem, TableBinding};
+pub use template::TemplateKey;
 pub use udf::{Udf, UdfRegistry};
 
 /// Index of a table within a query's FROM list.

@@ -137,6 +137,29 @@ impl Query {
         self.select.iter().any(SelectItem::is_agg)
     }
 
+    /// The LIMIT that can be pushed into the join phase, if any.
+    ///
+    /// Each distinct join tuple maps to exactly one output row iff the
+    /// query has no aggregates, no GROUP BY (both collapse tuples), no
+    /// ORDER BY (any `n` tuples are a valid LIMIT prefix only when the
+    /// output order is unconstrained), and no DISTINCT (projection may
+    /// collapse distinct join tuples into equal rows). Under those
+    /// conditions the join phase may stop as soon as `limit` distinct
+    /// tuples exist instead of materializing the full result.
+    pub fn join_limit(&self) -> Option<u64> {
+        match self.limit {
+            Some(n)
+                if !self.has_aggregates()
+                    && self.group_by.is_empty()
+                    && self.order_by.is_empty()
+                    && !self.distinct =>
+            {
+                Some(n as u64)
+            }
+            _ => None,
+        }
+    }
+
     /// Structural validation (arity limits, column references in range).
     pub fn validate(&self) -> Result<(), crate::QueryError> {
         use crate::QueryError;

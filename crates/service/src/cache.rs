@@ -1,0 +1,332 @@
+//! The cross-query learning cache: template key → learned join-order
+//! state.
+//!
+//! SkinnerDB learns a near-optimal join order *while a query runs*; this
+//! cache keeps that knowledge alive *between* runs. Entries are keyed by
+//! the normalized query template ([`TemplateKey`]: join graph +
+//! predicate shape, constants stripped) and hold the terminal UCT tree
+//! snapshot, the recommended order, and the set of orders that were
+//! bound into plans — everything a later execution of the same template
+//! needs to warm-start instead of re-exploring.
+//!
+//! # Invalidation
+//!
+//! Every entry records the catalog version it was learned against.
+//! Catalog mutations (registering or replacing a table) bump the
+//! service's version; a lookup that finds a stale entry drops it and
+//! reports a miss. This is deliberately coarse — learned order quality
+//! depends on data distributions, and any table change may shift them —
+//! and it is what keeps warm-started answers byte-for-byte equal to
+//! cold ones: the cache only ever changes *how fast* the learner
+//! converges, never what the join produces, and stale priors are
+//! discarded rather than trusted across data changes.
+
+use skinner_engine::LearnedState;
+use skinner_query::TemplateKey;
+use skinner_storage::FxHashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One cached template's learned state.
+#[derive(Debug, Clone)]
+struct Entry {
+    learning: LearnedState,
+    catalog_version: u64,
+    executions: u64,
+    /// Logical clock of the last hit/store (LRU eviction order).
+    last_used: u64,
+}
+
+/// Aggregate cache counters (monotonic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that returned live learned state.
+    pub hits: u64,
+    /// Lookups with no entry for the template.
+    pub misses: u64,
+    /// Entries dropped because the catalog changed under them.
+    pub invalidated: u64,
+    /// Stores (first sighting or refresh after an execution).
+    pub stores: u64,
+    /// Entries evicted to stay within the capacity bound.
+    pub evicted: u64,
+}
+
+/// Default maximum number of cached templates (see
+/// [`LearningCache::with_capacity`]).
+pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
+/// Thread-safe template-keyed learning cache, bounded to a fixed number
+/// of templates with least-recently-used eviction (UCT snapshots are
+/// small — kilobytes — but a service fed endlessly varying generated
+/// query shapes must not grow without bound).
+#[derive(Debug)]
+pub struct LearningCache {
+    entries: Mutex<FxHashMap<TemplateKey, Entry>>,
+    capacity: usize,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidated: AtomicU64,
+    stores: AtomicU64,
+    evicted: AtomicU64,
+}
+
+impl Default for LearningCache {
+    fn default() -> Self {
+        LearningCache::with_capacity(DEFAULT_CACHE_CAPACITY)
+    }
+}
+
+impl LearningCache {
+    /// Empty cache with the default capacity.
+    pub fn new() -> LearningCache {
+        LearningCache::default()
+    }
+
+    /// Empty cache holding at most `capacity` templates (clamped ≥ 1);
+    /// storing past capacity evicts the least-recently-used entry.
+    pub fn with_capacity(capacity: usize) -> LearningCache {
+        LearningCache {
+            entries: Mutex::new(FxHashMap::default()),
+            capacity: capacity.max(1),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidated: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Learned state for `key` if present and learned against
+    /// `catalog_version`; stale entries are dropped (counted as both an
+    /// invalidation and a miss).
+    pub fn lookup(&self, key: &TemplateKey, catalog_version: u64) -> Option<LearnedState> {
+        let tick = self.tick();
+        let mut entries = self.entries.lock().expect("cache lock");
+        match entries.get_mut(key) {
+            Some(e) if e.catalog_version == catalog_version => {
+                e.executions += 1;
+                e.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(e.learning.clone())
+            }
+            Some(_) => {
+                entries.remove(key);
+                self.invalidated.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store (or refresh) the learned state for `key`, evicting the
+    /// least-recently-used entry if the capacity is exceeded. Later
+    /// snapshots carry strictly more rounds, so a concurrent execution
+    /// racing an older snapshot in is harmless — whichever lands last
+    /// wins and both are valid priors.
+    pub fn store(&self, key: TemplateKey, catalog_version: u64, learning: LearnedState) {
+        let tick = self.tick();
+        let mut entries = self.entries.lock().expect("cache lock");
+        self.stores.fetch_add(1, Ordering::Relaxed);
+        let executions = entries.get(&key).map_or(0, |e| e.executions);
+        entries.insert(
+            key.clone(),
+            Entry {
+                learning,
+                catalog_version,
+                executions,
+                last_used: tick,
+            },
+        );
+        while entries.len() > self.capacity {
+            // O(n) scan; caches are at most `capacity` entries and
+            // stores are once per query, so this is off the hot path.
+            let coldest = entries
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            match coldest {
+                Some(k) => {
+                    entries.remove(&k);
+                    self.evicted.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Eagerly drop every entry not learned at `current_version` (called
+    /// on catalog mutation, so stale learning does not linger until its
+    /// template happens to be looked up again).
+    pub fn remove_stale(&self, current_version: u64) {
+        let mut entries = self.entries.lock().expect("cache lock");
+        let before = entries.len();
+        entries.retain(|_, e| e.catalog_version == current_version);
+        self.invalidated
+            .fetch_add((before - entries.len()) as u64, Ordering::Relaxed);
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache lock").len()
+    }
+
+    /// True if no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every entry (e.g. after a bulk catalog reload).
+    pub fn clear(&self) {
+        self.entries.lock().expect("cache lock").clear();
+    }
+
+    /// The maximum number of cached templates.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidated: self.invalidated.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Approximate heap bytes held by cached snapshots (introspection).
+    pub fn approx_bytes(&self) -> usize {
+        let entries = self.entries.lock().expect("cache lock");
+        entries
+            .values()
+            .map(|e| e.learning.snapshot.approx_bytes())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skinner_uct::{SearchSpace, UctConfig, UctTree};
+
+    struct TwoArms;
+    impl SearchSpace for TwoArms {
+        type Action = usize;
+        fn actions(&self, path: &[usize]) -> Vec<usize> {
+            if path.is_empty() {
+                vec![0, 1]
+            } else {
+                vec![]
+            }
+        }
+        fn depth(&self) -> usize {
+            1
+        }
+    }
+
+    fn learned() -> LearnedState {
+        let mut tree = UctTree::new(TwoArms, UctConfig::default());
+        for _ in 0..10 {
+            let p = tree.choose();
+            tree.update(&p, 0.5);
+        }
+        LearnedState {
+            snapshot: tree.snapshot(),
+            best_order: vec![0],
+            planned_orders: vec![vec![0], vec![1]],
+        }
+    }
+
+    #[test]
+    fn hit_miss_and_invalidation() {
+        let cache = LearningCache::new();
+        let k = template_key_for_test("a");
+        assert!(cache.lookup(&k, 1).is_none());
+        cache.store(k.clone(), 1, learned());
+        assert!(cache.lookup(&k, 1).is_some());
+        // Catalog changed: the entry is dropped, not served.
+        assert!(cache.lookup(&k, 2).is_none());
+        assert!(cache.is_empty());
+        let s = cache.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.invalidated, 1);
+        assert_eq!(s.stores, 1);
+    }
+
+    #[test]
+    fn store_refresh_and_bytes() {
+        let cache = LearningCache::new();
+        let k = template_key_for_test("b");
+        cache.store(k.clone(), 1, learned());
+        cache.store(k.clone(), 1, learned());
+        assert_eq!(cache.len(), 1);
+        assert!(cache.approx_bytes() > 0);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let cache = LearningCache::with_capacity(2);
+        let (a, b, c) = (
+            template_key_for_test("ta"),
+            template_key_for_test("tb"),
+            template_key_for_test("tc"),
+        );
+        cache.store(a.clone(), 1, learned());
+        cache.store(b.clone(), 1, learned());
+        // Touch `a` so `b` is the LRU entry when `c` overflows the cache.
+        assert!(cache.lookup(&a, 1).is_some());
+        cache.store(c.clone(), 1, learned());
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(&a, 1).is_some(), "recently used evicted");
+        assert!(cache.lookup(&b, 1).is_none(), "LRU entry survived");
+        assert!(cache.lookup(&c, 1).is_some(), "fresh entry evicted");
+        assert_eq!(cache.stats().evicted, 1);
+    }
+
+    #[test]
+    fn remove_stale_purges_eagerly() {
+        let cache = LearningCache::new();
+        cache.store(template_key_for_test("old"), 1, learned());
+        cache.store(template_key_for_test("new"), 2, learned());
+        cache.remove_stale(2);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().invalidated, 1);
+    }
+
+    /// Build a real TemplateKey from a one-table query over a throwaway
+    /// catalog whose table name is `name` (distinct names ⇒ distinct keys).
+    fn template_key_for_test(name: &str) -> TemplateKey {
+        use skinner_query::QueryBuilder;
+        use skinner_storage::{Catalog, Column, ColumnDef, Schema, Table, ValueType};
+        let mut cat = Catalog::new();
+        cat.register(
+            Table::new(
+                name,
+                Schema::new([ColumnDef::new("x", ValueType::Int)]),
+                vec![Column::from_ints(vec![1])],
+            )
+            .unwrap(),
+        );
+        let mut qb = QueryBuilder::new(&cat);
+        qb.table(name).unwrap();
+        qb.select_col(&format!("{name}.x")).unwrap();
+        TemplateKey::of(&qb.build().unwrap())
+    }
+}

@@ -1,0 +1,393 @@
+//! `skinner-repl` front ends: an interactive SQL shell and a
+//! line-protocol server over a local Unix socket (`--serve`).
+//!
+//! Both front ends share one command handler: a line is either a
+//! backslash command (`\tables`, `\stats`, `\cache`, `\quit`) or SQL
+//! submitted to the [`QueryService`].
+//!
+//! # Line protocol (`--serve` mode)
+//!
+//! One request per line; every response ends with a single terminator
+//! line starting with `;; `, so scripts can delimit responses without
+//! counting rows:
+//!
+//! ```text
+//! → SELECT COUNT(*) AS n FROM t
+//! ← n
+//! ← 42
+//! ← ;; ok 1 rows
+//! → SELECT nope
+//! ← ;; err expected FROM ...
+//! ```
+//!
+//! Data lines are tab-separated with `\\`, `\t`, `\n`, `\r` escapes
+//! inside cells; a data line that would begin with `;;` (or `\`) is
+//! prefixed with one `\`, which clients strip. The terminator is
+//! therefore unspoofable by result values.
+
+use crate::service::{QueryService, ServiceError, Session};
+use skinner_core::{QueryResult, RunStats};
+use std::io::{BufRead, BufReader, Write};
+use std::sync::Arc;
+
+/// Outcome of handling one input line.
+pub enum Response {
+    /// A query result (table + stats).
+    Result(Box<QueryResult>),
+    /// Informational text (backslash commands), pre-formatted lines.
+    Message(Vec<String>),
+    /// An error to report to the client.
+    Error(String),
+    /// The client asked to end the session.
+    Quit,
+    /// Blank input; nothing to do.
+    Empty,
+}
+
+/// Handle one line of input against `session`.
+pub fn handle_line(session: &mut Session, line: &str) -> Response {
+    let line = line.trim();
+    match line {
+        "" => Response::Empty,
+        "\\quit" | "\\q" | "exit" => Response::Quit,
+        "\\tables" => {
+            let catalog = session.service().catalog();
+            let mut lines = Vec::new();
+            for name in catalog.table_names() {
+                let t = catalog.get(name).expect("listed table");
+                let cols: Vec<String> = t
+                    .schema()
+                    .columns()
+                    .iter()
+                    .map(|c| format!("{} {}", c.name, c.ty))
+                    .collect();
+                lines.push(format!(
+                    "{name} ({}) — {} rows",
+                    cols.join(", "),
+                    t.num_rows()
+                ));
+            }
+            Response::Message(lines)
+        }
+        "\\stats" => {
+            let st = session.service().stats();
+            Response::Message(vec![
+                format!("queries: {}", st.queries),
+                format!(
+                    "learning cache: {} hits, {} misses, {} invalidated",
+                    st.cache.hits, st.cache.misses, st.cache.invalidated
+                ),
+                format!("warm starts: {}", st.warm_starts),
+                format!("limit pushdowns: {}", st.limit_pushdowns),
+                format!("cancelled: {}, timed out: {}", st.cancelled, st.timed_out),
+            ])
+        }
+        "\\cache" => {
+            let cache = session.service().learning_cache();
+            Response::Message(vec![format!(
+                "{} templates cached (~{} bytes of learned state)",
+                cache.len(),
+                cache.approx_bytes()
+            )])
+        }
+        sql => match session.execute(sql) {
+            Ok(result) => Response::Result(Box::new(result)),
+            Err(e @ ServiceError::Parse(_)) => Response::Error(e.to_string()),
+            Err(e) => Response::Error(e.to_string()),
+        },
+    }
+}
+
+fn stats_suffix(stats: &RunStats) -> String {
+    let mut flags = Vec::new();
+    if stats.warm_start {
+        flags.push("warm");
+    }
+    if matches!(stats.stop, Some(skinner_engine::StopReason::RowTarget)) {
+        flags.push("limit-pushdown");
+    }
+    let flags = if flags.is_empty() {
+        String::new()
+    } else {
+        format!(" [{}]", flags.join(", "))
+    };
+    format!(
+        "({} rows in {:?}; {} time slices, join order {:?}{flags})",
+        stats.result_count,
+        stats.total,
+        stats.slices,
+        stats.final_order.as_deref().unwrap_or(&[]),
+    )
+}
+
+/// The interactive / piped-stdin shell: prompt, pretty tables, stats
+/// line per query. Returns when input ends or the client quits.
+pub fn run_shell(
+    service: &Arc<QueryService>,
+    input: impl BufRead,
+    out: &mut impl Write,
+    prompt: bool,
+) -> std::io::Result<()> {
+    let mut session = service.session();
+    if prompt {
+        write!(out, "skinner> ")?;
+        out.flush()?;
+    }
+    for line in input.lines() {
+        let line = line?;
+        match handle_line(&mut session, &line) {
+            Response::Quit => break,
+            Response::Empty => {}
+            Response::Message(lines) => {
+                for l in lines {
+                    writeln!(out, "{l}")?;
+                }
+            }
+            Response::Error(e) => writeln!(out, "error: {e}")?,
+            Response::Result(r) => {
+                write!(out, "{}", r.table)?;
+                let mut stats = r.stats;
+                // The shell reports output rows (post LIMIT), not join tuples.
+                stats.result_count = r.table.num_rows() as u64;
+                writeln!(out, "{}", stats_suffix(&stats))?;
+            }
+        }
+        if prompt {
+            write!(out, "skinner> ")?;
+            out.flush()?;
+        }
+    }
+    if prompt {
+        writeln!(out)?;
+    }
+    Ok(())
+}
+
+/// Escape one protocol cell: the framing characters (tab = cell
+/// separator, newline/CR = line separator) and backslash itself become
+/// two-character escapes, so a cell can never span or split lines.
+fn escape_cell(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Join escaped cells into one protocol data line. A line that would
+/// collide with the `;;` terminator prefix is emitted with a leading
+/// backslash (clients strip one leading `\` from data lines).
+fn protocol_line(cells: impl IntoIterator<Item = String>) -> String {
+    let line = cells
+        .into_iter()
+        .map(|c| escape_cell(&c))
+        .collect::<Vec<_>>()
+        .join("\t");
+    if line.starts_with(";;") || line.starts_with('\\') {
+        format!("\\{line}")
+    } else {
+        line
+    }
+}
+
+/// Write one line-protocol response for `response`.
+pub fn write_protocol_response(out: &mut impl Write, response: &Response) -> std::io::Result<()> {
+    match response {
+        Response::Empty => writeln!(out, ";; ok 0 rows")?,
+        Response::Quit => writeln!(out, ";; bye")?,
+        Response::Message(lines) => {
+            for l in lines {
+                writeln!(out, "{}", protocol_line([l.clone()]))?;
+            }
+            writeln!(out, ";; ok {} rows", lines.len())?;
+        }
+        Response::Error(e) => writeln!(out, ";; err {}", e.replace(['\n', '\r'], " "))?,
+        Response::Result(r) => {
+            writeln!(out, "{}", protocol_line(r.table.columns.iter().cloned()))?;
+            for row in &r.table.rows {
+                writeln!(out, "{}", protocol_line(row.iter().map(|v| v.to_string())))?;
+            }
+            writeln!(out, ";; ok {} rows", r.table.num_rows())?;
+        }
+    }
+    out.flush()
+}
+
+/// Serve the line protocol to one connected client (one session per
+/// connection). Returns when the client disconnects or sends `\quit`.
+pub fn serve_connection(
+    service: &Arc<QueryService>,
+    reader: impl BufRead,
+    mut writer: impl Write,
+) -> std::io::Result<()> {
+    let mut session = service.session();
+    for line in reader.lines() {
+        let line = line?;
+        let response = handle_line(&mut session, &line);
+        write_protocol_response(&mut writer, &response)?;
+        if matches!(response, Response::Quit) {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Accept loop for `--serve`: line protocol over a Unix domain socket,
+/// one thread (and one service session) per connection. Blocks forever;
+/// concurrency across connections is bounded by the service's core
+/// budget, not by the thread count.
+#[cfg(unix)]
+pub fn serve_unix(service: Arc<QueryService>, path: &std::path::Path) -> std::io::Result<()> {
+    use std::os::unix::net::UnixListener;
+    // A stale socket file from a previous run would fail the bind.
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let service = service.clone();
+        std::thread::spawn(move || {
+            let reader = BufReader::new(stream.try_clone().expect("socket clone"));
+            let _ = serve_connection(&service, reader, stream);
+        });
+    }
+    Ok(())
+}
+
+/// A ready-made demo service over the synthetic JOB-like catalog (what
+/// `skinner-repl` serves by default).
+pub fn demo_service(scale: f64, seed: u64, threads: usize) -> Arc<QueryService> {
+    use crate::service::ServiceConfig;
+    use skinner_engine::SkinnerCConfig;
+    let wl = skinner_workloads::job::generate(scale, seed);
+    QueryService::new(
+        wl.catalog,
+        skinner_query::UdfRegistry::new(),
+        ServiceConfig {
+            engine: SkinnerCConfig {
+                threads,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skinner_storage::{Catalog, Column, ColumnDef, Schema, Table, ValueType};
+
+    fn service() -> Arc<QueryService> {
+        let mut cat = Catalog::new();
+        cat.register(
+            Table::new(
+                "t",
+                Schema::new([ColumnDef::new("x", ValueType::Int)]),
+                vec![Column::from_ints(vec![1, 2, 3])],
+            )
+            .unwrap(),
+        );
+        QueryService::over(cat)
+    }
+
+    #[test]
+    fn shell_runs_script() {
+        let svc = service();
+        let script = "\\tables\nSELECT COUNT(*) AS n FROM t\nbad sql\n\\quit\n";
+        let mut out = Vec::new();
+        run_shell(&svc, script.as_bytes(), &mut out, false).expect("shell");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.contains("t (x INT) — 3 rows"), "tables: {text}");
+        assert!(text.contains("(1 rows in"), "stats line: {text}");
+        assert!(text.contains("error:"), "error surfaced: {text}");
+    }
+
+    #[test]
+    fn protocol_responses_are_delimited() {
+        let svc = service();
+        let script = "SELECT x FROM t\nnonsense\n\\stats\n\\quit\n";
+        let mut out = Vec::new();
+        serve_connection(&svc, script.as_bytes(), &mut out).expect("serve");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.contains(";; ok 3 rows"), "{text}");
+        assert!(text.contains(";; err"), "{text}");
+        assert!(text.contains(";; bye"), "{text}");
+        // Every response block is terminated.
+        assert_eq!(text.matches(";; ").count(), 4, "{text}");
+    }
+
+    #[test]
+    fn protocol_escapes_framing_characters() {
+        // String values containing tabs, newlines, and terminator-like
+        // prefixes must not break or spoof the line protocol.
+        let mut cat = Catalog::new();
+        cat.register(
+            Table::new(
+                "s",
+                Schema::new([ColumnDef::new("x", ValueType::Str)]),
+                vec![Column::from_strs(["a\nb", "c\td", ";; ok 9 rows", "\\raw"])],
+            )
+            .unwrap(),
+        );
+        let svc = QueryService::over(cat);
+        let mut out = Vec::new();
+        serve_connection(&svc, "SELECT s.x FROM s\n".as_bytes(), &mut out).expect("serve");
+        let text = String::from_utf8(out).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        // Header + 4 data lines + terminator: exactly 6 protocol lines.
+        assert_eq!(lines.len(), 6, "{text}");
+        assert_eq!(lines[1], "a\\nb");
+        assert_eq!(lines[2], "c\\td");
+        assert_eq!(lines[3], "\\;; ok 9 rows");
+        assert_eq!(lines[4], "\\\\\\raw");
+        assert_eq!(lines[5], ";; ok 4 rows");
+        // Only the real terminator starts with ";;".
+        assert_eq!(lines.iter().filter(|l| l.starts_with(";;")).count(), 1);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_socket_roundtrip() {
+        use std::io::{BufRead, BufReader, Write};
+        use std::os::unix::net::UnixStream;
+        let svc = service();
+        let path =
+            std::env::temp_dir().join(format!("skinner-repl-test-{}.sock", std::process::id()));
+        let p = path.clone();
+        std::thread::spawn(move || {
+            let _ = serve_unix(svc, &p);
+        });
+        // The listener needs a moment to bind.
+        let mut stream = None;
+        for _ in 0..100 {
+            match UnixStream::connect(&path) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(10)),
+            }
+        }
+        let mut stream = stream.expect("connect to repl socket");
+        writeln!(stream, "SELECT COUNT(*) AS n FROM t").expect("send");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut lines = Vec::new();
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("read");
+            let done = line.starts_with(";; ");
+            lines.push(line.trim_end().to_string());
+            if done {
+                break;
+            }
+        }
+        assert_eq!(lines, vec!["n", "3", ";; ok 1 rows"]);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,720 @@
+//! The query service: SQL in, results out, across many concurrent
+//! sessions, with cross-query learning reuse.
+//!
+//! One [`QueryService`] owns the catalog, the UDF registry, the shared
+//! [`CoreBudget`] and the template-keyed [`LearningCache`]. Sessions
+//! ([`Session`]) are cheap clonable handles; any number of threads may
+//! execute queries concurrently — admission is FIFO-fair over the core
+//! budget, so `SkinnerCConfig.threads` bounds the *total* worker count
+//! across concurrent queries and within-query join partitioning alike.
+
+use crate::budget::{AdmissionError, CoreBudget};
+use crate::cache::{CacheStats, LearningCache, DEFAULT_CACHE_CAPACITY};
+use skinner_core::{postprocess, project_tuple, QueryResult, RunStats};
+use skinner_engine::{RunOptions, SkinnerC, SkinnerCConfig, SkinnerOutcome, StopReason};
+use skinner_query::{parse, Query, QueryError, TemplateKey, UdfRegistry};
+use skinner_storage::table::TableRef;
+use skinner_storage::{Catalog, Table, Value};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+/// Service configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Base Skinner-C configuration. `engine.threads` is the service's
+    /// *total* core budget: an idle service hands it all to one query
+    /// (intra-query partitioning); under load it is split across
+    /// concurrent queries (see [`CoreBudget`]).
+    pub engine: SkinnerCConfig,
+    /// Default per-query timeout (covers queueing and execution);
+    /// `None` = unlimited. Individual executions may override it.
+    pub default_timeout: Option<Duration>,
+    /// Enable the cross-query learning cache (on by default; disable to
+    /// reproduce the paper's from-scratch-per-query behaviour).
+    pub learning_cache: bool,
+    /// Maximum number of cached templates (LRU eviction past this;
+    /// default [`DEFAULT_CACHE_CAPACITY`]).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            engine: SkinnerCConfig::default(),
+            default_timeout: None,
+            learning_cache: true,
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+        }
+    }
+}
+
+/// Errors surfaced to service clients.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// SQL failed to parse or validate.
+    Parse(QueryError),
+    /// The execution's [`CancelToken`] was raised.
+    Cancelled,
+    /// The per-query timeout elapsed (queueing included).
+    TimedOut,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Parse(e) => write!(f, "{e}"),
+            ServiceError::Cancelled => write!(f, "query cancelled"),
+            ServiceError::TimedOut => write!(f, "query timed out"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<QueryError> for ServiceError {
+    fn from(e: QueryError) -> ServiceError {
+        ServiceError::Parse(e)
+    }
+}
+
+/// Cooperative cancellation handle for one in-flight execution. Clone
+/// it, hand one clone to the execution and keep the other; `cancel`
+/// stops the engine at the next slice boundary.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Fresh, un-raised token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Raise the token; the running query stops at its next slice.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// True once raised.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn flag(&self) -> &AtomicBool {
+        &self.0
+    }
+}
+
+/// Per-execution options.
+#[derive(Debug, Clone, Default)]
+pub struct ExecuteOptions {
+    /// Override the service default timeout.
+    pub timeout: Option<Duration>,
+    /// Cancellation handle.
+    pub cancel: Option<CancelToken>,
+}
+
+/// Monotonic service-wide counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceStats {
+    /// Successfully completed queries.
+    pub queries: u64,
+    /// Executions warm-started from the learning cache.
+    pub warm_starts: u64,
+    /// Executions whose join phase stopped early via LIMIT pushdown.
+    pub limit_pushdowns: u64,
+    /// Executions cancelled via a [`CancelToken`].
+    pub cancelled: u64,
+    /// Executions that hit their timeout.
+    pub timed_out: u64,
+    /// Learning-cache counters.
+    pub cache: CacheStats,
+}
+
+#[derive(Debug)]
+struct CatalogState {
+    catalog: Catalog,
+    version: u64,
+}
+
+/// The concurrent query service (see module docs).
+#[derive(Debug)]
+pub struct QueryService {
+    config: ServiceConfig,
+    catalog: RwLock<CatalogState>,
+    udfs: UdfRegistry,
+    cache: LearningCache,
+    budget: CoreBudget,
+    queries: AtomicU64,
+    warm_starts: AtomicU64,
+    limit_pushdowns: AtomicU64,
+    cancelled: AtomicU64,
+    timed_out: AtomicU64,
+    next_session: AtomicU64,
+}
+
+impl QueryService {
+    /// Service over `catalog` with `udfs` resolving UDF calls.
+    pub fn new(catalog: Catalog, udfs: UdfRegistry, config: ServiceConfig) -> Arc<QueryService> {
+        let budget = CoreBudget::new(config.engine.threads);
+        Arc::new(QueryService {
+            config,
+            catalog: RwLock::new(CatalogState {
+                catalog,
+                version: 0,
+            }),
+            udfs,
+            cache: LearningCache::with_capacity(config.cache_capacity),
+            budget,
+            queries: AtomicU64::new(0),
+            warm_starts: AtomicU64::new(0),
+            limit_pushdowns: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
+            next_session: AtomicU64::new(0),
+        })
+    }
+
+    /// Service with default configuration and no UDFs.
+    pub fn over(catalog: Catalog) -> Arc<QueryService> {
+        QueryService::new(catalog, UdfRegistry::new(), ServiceConfig::default())
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Open a session (a cheap handle; any number may run concurrently).
+    pub fn session(self: &Arc<Self>) -> Session {
+        Session {
+            service: self.clone(),
+            id: self.next_session.fetch_add(1, Ordering::Relaxed),
+            queries: 0,
+        }
+    }
+
+    /// A point-in-time copy of the catalog (table data is shared, not
+    /// copied — tables are `Arc`s).
+    pub fn catalog(&self) -> Catalog {
+        self.catalog.read().expect("catalog lock").catalog.clone()
+    }
+
+    /// Current catalog version (bumped by every mutation).
+    pub fn catalog_version(&self) -> u64 {
+        self.catalog.read().expect("catalog lock").version
+    }
+
+    /// Register (or replace) a table. Bumps the catalog version, which
+    /// invalidates every cached learning entry — learned join orders are
+    /// data-dependent and must not survive data changes (stale entries
+    /// are purged eagerly, not just lazily on lookup). In-flight queries
+    /// keep executing against the table `Arc`s they resolved at parse
+    /// time (snapshot semantics).
+    pub fn register_table(&self, table: Table) {
+        let version = {
+            let mut st = self.catalog.write().expect("catalog lock");
+            st.catalog.register(table);
+            st.version += 1;
+            st.version
+        };
+        self.cache.remove_stale(version);
+    }
+
+    /// Service-wide counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            warm_starts: self.warm_starts.load(Ordering::Relaxed),
+            limit_pushdowns: self.limit_pushdowns.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            cache: self.cache.stats(),
+        }
+    }
+
+    /// The learning cache (introspection: entry count, bytes).
+    pub fn learning_cache(&self) -> &LearningCache {
+        &self.cache
+    }
+
+    /// Parse `sql` against the current catalog, returning the query, the
+    /// version it was bound at, and the execution start instant.
+    fn parse_sql(&self, sql: &str) -> Result<(Query, u64, Instant), ServiceError> {
+        let start = Instant::now();
+        // Parse under a read lock; the query holds `Arc`s to its tables,
+        // so execution is snapshot-consistent even if the catalog mutates
+        // concurrently.
+        let st = self.catalog.read().expect("catalog lock");
+        let query = parse(sql, &st.catalog, &self.udfs)?;
+        Ok((query, st.version, start))
+    }
+
+    /// Is every table of `query` the exact `Arc` currently registered?
+    /// A pre-built query bound to since-replaced tables must not consume
+    /// or produce learning-cache entries: it executes old data, and
+    /// tagging its learned state with the current version would poison
+    /// warm starts over the new data.
+    fn query_is_current(&self, query: &Query) -> (bool, u64) {
+        let st = self.catalog.read().expect("catalog lock");
+        let current = query.tables.iter().all(|b| {
+            st.catalog
+                .get(b.table.name())
+                .is_ok_and(|t| Arc::ptr_eq(&t, &b.table))
+        });
+        (current, st.version)
+    }
+
+    fn execute_inner(&self, sql: &str, opts: &ExecuteOptions) -> Result<QueryResult, ServiceError> {
+        let (query, version, start) = self.parse_sql(sql)?;
+        self.execute_query(&query, version, opts, start, true)
+    }
+
+    /// Run the join phase of `query` through admission, the learning
+    /// cache (when `use_learning`), and the engine's per-run controls.
+    /// Returns the raw outcome plus `RunStats` with everything except
+    /// `postprocess`/`total` filled in (the caller finalizes those
+    /// around its own materialization or streaming).
+    fn run_query(
+        &self,
+        query: &Query,
+        catalog_version: u64,
+        opts: &ExecuteOptions,
+        start: Instant,
+        use_learning: bool,
+    ) -> Result<(SkinnerOutcome, RunStats), ServiceError> {
+        let use_learning = use_learning && self.config.learning_cache;
+        let key = use_learning.then(|| TemplateKey::of(query));
+        let cached = key
+            .as_ref()
+            .and_then(|key| self.cache.lookup(key, catalog_version));
+
+        // Deadline covers queueing: a query stuck behind a long queue
+        // fails fast rather than running past its budget — both the
+        // admission wait and the engine honor it.
+        let deadline = opts
+            .timeout
+            .or(self.config.default_timeout)
+            .map(|t| start + t);
+        let cancel = opts.cancel.as_ref().map(CancelToken::flag);
+
+        // Admission: FIFO over the shared core budget. The grant decides
+        // this query's worker count and covers the join phase (post-
+        // processing is single-threaded and runs off-budget).
+        let grant = match self.budget.acquire_with(deadline, cancel) {
+            Ok(grant) => grant,
+            Err(AdmissionError::Cancelled) => {
+                self.cancelled.fetch_add(1, Ordering::Relaxed);
+                return Err(ServiceError::Cancelled);
+            }
+            Err(AdmissionError::TimedOut) => {
+                self.timed_out.fetch_add(1, Ordering::Relaxed);
+                return Err(ServiceError::TimedOut);
+            }
+        };
+        let mut engine_cfg = self.config.engine;
+        engine_cfg.threads = grant.threads();
+
+        let run_opts = RunOptions {
+            prior: cached.as_ref().map(|c| &c.snapshot),
+            planned_orders: cached
+                .as_ref()
+                .map(|c| c.planned_orders.as_slice())
+                .unwrap_or(&[]),
+            cancel,
+            deadline,
+            target_rows: query.join_limit(),
+            capture_learning: use_learning,
+        };
+        let mut out = SkinnerC::new(engine_cfg).run_with(query, &run_opts);
+        drop(grant);
+
+        match out.stop {
+            StopReason::Cancelled => {
+                self.cancelled.fetch_add(1, Ordering::Relaxed);
+                return Err(ServiceError::Cancelled);
+            }
+            StopReason::DeadlineExceeded => {
+                self.timed_out.fetch_add(1, Ordering::Relaxed);
+                return Err(ServiceError::TimedOut);
+            }
+            StopReason::RowTarget => {
+                self.limit_pushdowns.fetch_add(1, Ordering::Relaxed);
+            }
+            StopReason::Completed => {}
+        }
+
+        let warm_start = out.metrics.warm_start_nodes > 0;
+        if warm_start {
+            self.warm_starts.fetch_add(1, Ordering::Relaxed);
+        }
+        if let (Some(key), Some(learning)) = (key, out.learning.take()) {
+            self.cache.store(key, catalog_version, learning);
+        }
+
+        let stats = RunStats {
+            join_phase: out.metrics.preprocess_time + out.metrics.join_time,
+            result_count: out.result_count,
+            slices: out.metrics.slices,
+            final_order: Some(out.final_order.clone()),
+            stop: Some(out.stop),
+            cache_hit: cached.is_some(),
+            warm_start,
+            metrics: Some(out.metrics.clone()),
+            ..Default::default()
+        };
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        Ok((out, stats))
+    }
+
+    fn execute_query(
+        &self,
+        query: &Query,
+        catalog_version: u64,
+        opts: &ExecuteOptions,
+        start: Instant,
+        use_learning: bool,
+    ) -> Result<QueryResult, ServiceError> {
+        let (out, mut stats) = self.run_query(query, catalog_version, opts, start, use_learning)?;
+        let post_start = Instant::now();
+        let stride = out.num_tables.max(1);
+        let table = postprocess(query, &out.tuples, (out.tuples.len() / stride) as u64);
+        stats.postprocess = post_start.elapsed();
+        stats.total = start.elapsed();
+        Ok(QueryResult { table, stats })
+    }
+}
+
+/// One client session: a handle for submitting SQL to the service.
+#[derive(Debug)]
+pub struct Session {
+    service: Arc<QueryService>,
+    id: u64,
+    queries: u64,
+}
+
+impl Session {
+    /// This session's id (stable for its lifetime).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Queries this session has submitted.
+    pub fn queries(&self) -> u64 {
+        self.queries
+    }
+
+    /// The owning service.
+    pub fn service(&self) -> &Arc<QueryService> {
+        &self.service
+    }
+
+    /// Execute `sql` with default options, blocking until admitted and
+    /// complete.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult, ServiceError> {
+        self.execute_with(sql, &ExecuteOptions::default())
+    }
+
+    /// Execute `sql` with a per-query timeout and/or cancel token.
+    pub fn execute_with(
+        &mut self,
+        sql: &str,
+        opts: &ExecuteOptions,
+    ) -> Result<QueryResult, ServiceError> {
+        self.queries += 1;
+        self.service.execute_inner(sql, opts)
+    }
+
+    /// Execute a pre-built [`Query`] (bypassing the SQL parser — the
+    /// entry point for programmatic workloads). Admission, LIMIT
+    /// pushdown and the template cache behave exactly as for SQL text —
+    /// *unless* the query's tables are no longer the ones currently
+    /// registered (it was built before a catalog update): then it
+    /// executes against its own (old) table snapshots with the learning
+    /// cache bypassed, so stale data can neither consume nor produce
+    /// cache entries.
+    pub fn execute_query(&mut self, query: &Query) -> Result<QueryResult, ServiceError> {
+        self.execute_query_with(query, &ExecuteOptions::default())
+    }
+
+    /// [`execute_query`](Session::execute_query) with per-query options.
+    pub fn execute_query_with(
+        &mut self,
+        query: &Query,
+        opts: &ExecuteOptions,
+    ) -> Result<QueryResult, ServiceError> {
+        self.queries += 1;
+        let (current, version) = self.service.query_is_current(query);
+        self.service
+            .execute_query(query, version, opts, Instant::now(), current)
+    }
+
+    /// Execute `sql`, delivering result rows through `on_row` one at a
+    /// time; `on_row` returning `false` stops delivery. For queries
+    /// whose join tuples map 1:1 to output rows (no aggregates, GROUP
+    /// BY, ORDER BY or DISTINCT) rows are projected lazily from the
+    /// join result — an early `false` skips the projection and
+    /// materialization of every remaining row, and a SQL `LIMIT`
+    /// additionally bounds the join work itself (LIMIT pushdown).
+    /// Other query shapes require their full post-processing pass
+    /// first and stream the finished rows. Returns the run statistics.
+    pub fn execute_streaming(
+        &mut self,
+        sql: &str,
+        opts: &ExecuteOptions,
+        mut on_row: impl FnMut(&[Value]) -> bool,
+    ) -> Result<RunStats, ServiceError> {
+        self.queries += 1;
+        let (query, version, start) = self.service.parse_sql(sql)?;
+        // 1:1 shape ⇔ the LIMIT-pushdown eligibility conditions (with or
+        // without an actual LIMIT).
+        let streamable = !query.has_aggregates()
+            && query.group_by.is_empty()
+            && query.order_by.is_empty()
+            && !query.distinct;
+        if !streamable {
+            let result = self
+                .service
+                .execute_query(&query, version, opts, start, true)?;
+            for row in &result.table.rows {
+                if !on_row(row) {
+                    break;
+                }
+            }
+            return Ok(result.stats);
+        }
+        let (out, mut stats) = self.service.run_query(&query, version, opts, start, true)?;
+        let post_start = Instant::now();
+        let tables: Vec<TableRef> = query.tables.iter().map(|b| b.table.clone()).collect();
+        let m = out.num_tables.max(1);
+        let limit = query.limit.unwrap_or(usize::MAX);
+        for tup in out.tuples.chunks_exact(m).take(limit) {
+            let row = project_tuple(&query, tup, &tables);
+            if !on_row(&row) {
+                break;
+            }
+        }
+        stats.postprocess = post_start.elapsed();
+        stats.total = start.elapsed();
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skinner_storage::{Column, ColumnDef, Schema, ValueType};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        let mk = |name: &str, keys: Vec<i64>| {
+            Table::new(
+                name,
+                Schema::new([
+                    ColumnDef::new("k", ValueType::Int),
+                    ColumnDef::new("v", ValueType::Int),
+                ]),
+                vec![
+                    Column::from_ints(keys.clone()),
+                    Column::from_ints((0..keys.len() as i64).collect()),
+                ],
+            )
+            .unwrap()
+        };
+        cat.register(mk("a", (0..64).map(|i| i % 8).collect()));
+        cat.register(mk("b", (0..32).map(|i| i % 8).collect()));
+        cat
+    }
+
+    #[test]
+    fn execute_parses_and_answers() {
+        let svc = QueryService::over(catalog());
+        let mut s = svc.session();
+        let r = s
+            .execute("SELECT COUNT(*) AS n FROM a, b WHERE a.k = b.k")
+            .expect("query");
+        assert_eq!(r.table.rows[0][0], Value::Int(64 * 4));
+        assert_eq!(svc.stats().queries, 1);
+        assert_eq!(s.queries(), 1);
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        let svc = QueryService::over(catalog());
+        let mut s = svc.session();
+        assert!(matches!(
+            s.execute("SELECT FROM nothing"),
+            Err(ServiceError::Parse(_))
+        ));
+        assert_eq!(svc.stats().queries, 0);
+    }
+
+    #[test]
+    fn repeated_template_hits_cache_and_warm_starts() {
+        let svc = QueryService::over(catalog());
+        let mut s = svc.session();
+        let sql = "SELECT COUNT(*) AS n FROM a, b WHERE a.k = b.k AND a.v < 60";
+        let cold = s.execute(sql).expect("cold");
+        assert!(!cold.stats.cache_hit);
+        assert!(!cold.stats.warm_start);
+        // Same template, different constant.
+        let warm = s
+            .execute("SELECT COUNT(*) AS n FROM a, b WHERE a.k = b.k AND a.v < 59")
+            .expect("warm");
+        assert!(warm.stats.cache_hit);
+        assert!(warm.stats.warm_start);
+        let st = svc.stats();
+        assert_eq!(st.cache.hits, 1);
+        assert_eq!(st.warm_starts, 1);
+        assert_eq!(svc.learning_cache().len(), 1);
+    }
+
+    #[test]
+    fn catalog_update_invalidates_cache() {
+        let svc = QueryService::over(catalog());
+        let mut s = svc.session();
+        let sql = "SELECT COUNT(*) AS n FROM a, b WHERE a.k = b.k";
+        s.execute(sql).expect("cold");
+        let v0 = svc.catalog_version();
+        // Replace "b" with different data.
+        svc.register_table(
+            Table::new(
+                "b",
+                Schema::new([
+                    ColumnDef::new("k", ValueType::Int),
+                    ColumnDef::new("v", ValueType::Int),
+                ]),
+                vec![
+                    Column::from_ints(vec![0, 0, 1]),
+                    Column::from_ints(vec![9, 9, 9]),
+                ],
+            )
+            .unwrap(),
+        );
+        assert_eq!(svc.catalog_version(), v0 + 1);
+        let fresh = s.execute(sql).expect("fresh");
+        assert!(!fresh.stats.cache_hit, "stale entry must not be served");
+        assert_eq!(fresh.table.rows[0][0], Value::Int(64 / 8 * 2 + 64 / 8));
+        assert_eq!(svc.stats().cache.invalidated, 1);
+    }
+
+    #[test]
+    fn limit_pushdown_counted() {
+        let svc = QueryService::over(catalog());
+        let mut s = svc.session();
+        let r = s
+            .execute("SELECT a.v FROM a, b WHERE a.k = b.k LIMIT 3")
+            .expect("limited");
+        assert_eq!(r.table.num_rows(), 3);
+        assert_eq!(r.stats.stop, Some(StopReason::RowTarget));
+        assert_eq!(svc.stats().limit_pushdowns, 1);
+    }
+
+    #[test]
+    fn stale_prebuilt_query_bypasses_learning_cache() {
+        use skinner_query::{AggFunc, QueryBuilder};
+        let svc = QueryService::over(catalog());
+        // Build a Query bound to the *current* table Arcs.
+        let snapshot = svc.catalog();
+        let mut qb = QueryBuilder::new(&snapshot);
+        qb.table("a").unwrap();
+        qb.table("b").unwrap();
+        let j = qb.col("a.k").unwrap().eq(qb.col("b.k").unwrap());
+        qb.filter(j);
+        qb.select_agg(AggFunc::Count, None, "n");
+        let query = qb.build().unwrap();
+
+        // Replace "b" AFTER the query was built: the query now holds a
+        // stale Arc.
+        svc.register_table(
+            Table::new(
+                "b",
+                Schema::new([
+                    ColumnDef::new("k", ValueType::Int),
+                    ColumnDef::new("v", ValueType::Int),
+                ]),
+                vec![Column::from_ints(vec![0]), Column::from_ints(vec![0])],
+            )
+            .unwrap(),
+        );
+
+        let mut s = svc.session();
+        let r = s.execute_query(&query).expect("stale query");
+        // Snapshot semantics: the answer reflects the OLD b (32 rows, 4
+        // per key → 64 * 4 matches), not the replacement.
+        assert_eq!(r.table.rows[0][0], Value::Int(64 * 4));
+        // And stale data neither consumed nor produced cache entries.
+        assert!(!r.stats.cache_hit);
+        assert!(svc.learning_cache().is_empty(), "stale learning stored");
+
+        // A query bound to the live catalog caches normally.
+        let live = svc.catalog();
+        let mut qb = QueryBuilder::new(&live);
+        qb.table("a").unwrap();
+        qb.table("b").unwrap();
+        let j = qb.col("a.k").unwrap().eq(qb.col("b.k").unwrap());
+        qb.filter(j);
+        qb.select_agg(AggFunc::Count, None, "n");
+        let query = qb.build().unwrap();
+        let r = s.execute_query(&query).expect("live query");
+        assert_eq!(r.table.rows[0][0], Value::Int(8)); // a has 8 rows with k=0
+        assert_eq!(svc.learning_cache().len(), 1);
+        assert!(s.execute_query(&query).expect("repeat").stats.cache_hit);
+    }
+
+    #[test]
+    fn cancel_token_stops_query() {
+        let svc = QueryService::over(catalog());
+        let mut s = svc.session();
+        let token = CancelToken::new();
+        token.cancel(); // pre-raised: the engine stops before slice 1
+        let err = s
+            .execute_with(
+                "SELECT COUNT(*) AS n FROM a, b WHERE a.k = b.k",
+                &ExecuteOptions {
+                    cancel: Some(token.clone()),
+                    ..Default::default()
+                },
+            )
+            .expect_err("cancelled");
+        assert!(matches!(err, ServiceError::Cancelled));
+        assert!(token.is_cancelled());
+        assert_eq!(svc.stats().cancelled, 1);
+    }
+
+    #[test]
+    fn zero_timeout_times_out() {
+        let svc = QueryService::over(catalog());
+        let mut s = svc.session();
+        let err = s
+            .execute_with(
+                "SELECT COUNT(*) AS n FROM a, b WHERE a.k = b.k",
+                &ExecuteOptions {
+                    timeout: Some(Duration::ZERO),
+                    ..Default::default()
+                },
+            )
+            .expect_err("timed out");
+        assert!(matches!(err, ServiceError::TimedOut));
+        assert_eq!(svc.stats().timed_out, 1);
+    }
+
+    #[test]
+    fn streaming_stops_on_false() {
+        let svc = QueryService::over(catalog());
+        let mut s = svc.session();
+        let mut seen = 0;
+        let stats = s
+            .execute_streaming(
+                "SELECT a.v FROM a, b WHERE a.k = b.k",
+                &ExecuteOptions::default(),
+                |_row| {
+                    seen += 1;
+                    seen < 5
+                },
+            )
+            .expect("stream");
+        assert_eq!(seen, 5);
+        assert!(stats.result_count > 5);
+    }
+}

@@ -1,0 +1,225 @@
+//! Service-level integration tests:
+//!
+//! * **Concurrent-session stress** — N OS threads hammer the service
+//!   with repeated templates; every result must be identical to serial
+//!   execution, the core budget must never be exceeded, and the cache
+//!   must end up warm.
+//! * **Cache correctness** — warm-started answers are byte-for-byte
+//!   equal to cold ones, including after catalog-invalidating updates.
+//!
+//! `SKINNER_TEST_THREADS` (default 4) sets the service's total core
+//! budget, so CI exercises the admission path with a multi-core budget.
+
+use skinner_core::ResultTable;
+use skinner_engine::SkinnerCConfig;
+use skinner_service::{QueryService, ServiceConfig};
+use skinner_storage::{Catalog, Column, ColumnDef, Schema, Table, ValueType};
+use std::sync::Arc;
+
+fn env_threads() -> usize {
+    std::env::var("SKINNER_TEST_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4)
+}
+
+/// A three-table catalog with enough rows that queries take multiple
+/// slices (so admission, warm starts, and interleavings all matter).
+fn catalog(seed: u64) -> Catalog {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut cat = Catalog::new();
+    let mk = |name: &str, n: usize, keys: u64, rng: &mut SmallRng| {
+        let k: Vec<i64> = (0..n).map(|_| rng.gen_range(0..keys) as i64).collect();
+        let v: Vec<i64> = (0..n).map(|i| i as i64).collect();
+        Table::new(
+            name,
+            Schema::new([
+                ColumnDef::new("k", ValueType::Int),
+                ColumnDef::new("v", ValueType::Int),
+            ]),
+            vec![Column::from_ints(k), Column::from_ints(v)],
+        )
+        .unwrap()
+    };
+    cat.register(mk("r", 256, 32, &mut rng));
+    cat.register(mk("s", 512, 32, &mut rng));
+    cat.register(mk("u", 128, 32, &mut rng));
+    cat
+}
+
+fn service(seed: u64) -> Arc<QueryService> {
+    QueryService::new(
+        catalog(seed),
+        skinner_query::UdfRegistry::new(),
+        ServiceConfig {
+            engine: SkinnerCConfig {
+                budget: 200,
+                threads: env_threads(),
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+}
+
+/// Query templates (varying constants per iteration).
+fn sql(template: usize, constant: i64) -> String {
+    match template {
+        0 => format!("SELECT COUNT(*) AS n FROM r, s WHERE r.k = s.k AND r.v < {constant}"),
+        1 => format!(
+            "SELECT r.k AS k, COUNT(*) AS n FROM r, s, u \
+             WHERE r.k = s.k AND s.k = u.k AND u.v < {constant} \
+             GROUP BY r.k ORDER BY k"
+        ),
+        _ => format!(
+            "SELECT MIN(s.v) AS lo, MAX(s.v) AS hi FROM s, u WHERE s.k = u.k AND s.v > {constant}"
+        ),
+    }
+}
+
+#[test]
+fn concurrent_sessions_match_serial_execution() {
+    const SESSIONS: usize = 4;
+    const QUERIES_PER_SESSION: usize = 12;
+
+    // Serial ground truth on a service of its own (cold and warm runs
+    // both happen here too — results must be constant regardless).
+    let serial = service(7);
+    let mut expected: Vec<Vec<ResultTable>> = Vec::new();
+    {
+        let mut session = serial.session();
+        for worker in 0..SESSIONS {
+            let mut per_worker = Vec::new();
+            for i in 0..QUERIES_PER_SESSION {
+                let q = sql(i % 3, 10 + (worker * QUERIES_PER_SESSION + i) as i64);
+                per_worker.push(session.execute(&q).expect("serial query").table);
+            }
+            expected.push(per_worker);
+        }
+    }
+
+    // The same queries, now from 4 concurrent sessions.
+    let svc = service(7);
+    let mut handles = Vec::new();
+    for worker in 0..SESSIONS {
+        let svc = svc.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut session = svc.session();
+            let mut tables = Vec::new();
+            for i in 0..QUERIES_PER_SESSION {
+                let q = sql(i % 3, 10 + (worker * QUERIES_PER_SESSION + i) as i64);
+                tables.push(session.execute(&q).expect("concurrent query").table);
+            }
+            tables
+        }));
+    }
+    for (worker, h) in handles.into_iter().enumerate() {
+        let got = h.join().expect("session thread");
+        for (i, (g, e)) in got.iter().zip(&expected[worker]).enumerate() {
+            assert!(
+                g.same_rows(e),
+                "worker {worker} query {i}: concurrent result diverged from serial"
+            );
+        }
+    }
+
+    let stats = svc.stats();
+    assert_eq!(stats.queries, (SESSIONS * QUERIES_PER_SESSION) as u64);
+    // 3 templates across 48 executions: the cache must be doing work.
+    assert_eq!(svc.learning_cache().len(), 3);
+    assert!(
+        stats.cache.hits >= (SESSIONS * QUERIES_PER_SESSION - 3 * SESSIONS) as u64,
+        "cache barely hit: {:?}",
+        stats.cache
+    );
+    assert!(stats.warm_starts > 0, "no warm starts under repetition");
+}
+
+#[test]
+fn warm_answers_equal_cold_answers() {
+    // The learning cache must never change answers — only convergence
+    // speed. Run each template cold on a fresh service, then repeatedly
+    // on a shared one; all answers must match exactly (canonical rows,
+    // i.e. byte-for-byte modulo row order, which grouped/sorted queries
+    // pin down anyway).
+    let shared = service(21);
+    let mut session = shared.session();
+    for template in 0..3 {
+        for round in 0..4 {
+            let q = sql(template, 25);
+            let cold = {
+                let fresh = service(21);
+                let mut s = fresh.session();
+                s.execute(&q).expect("cold").table
+            };
+            let warm = session.execute(&q).expect("warm");
+            assert!(
+                warm.table.same_rows(&cold),
+                "template {template} round {round}: warm result differs from cold"
+            );
+            if round > 0 {
+                assert!(warm.stats.cache_hit, "repeat execution missed the cache");
+            }
+        }
+    }
+}
+
+#[test]
+fn warm_answers_survive_catalog_invalidation() {
+    let svc = service(33);
+    let mut session = svc.session();
+    let q = sql(0, 40);
+    let before = session.execute(&q).expect("before update");
+    assert!(session.execute(&q).expect("warm repeat").stats.cache_hit);
+
+    // Replace table "s": different rows, same schema. The cached entry
+    // for the template is now stale and must be invalidated, and the
+    // fresh answer must match a cold service over the *new* catalog.
+    let new_s = {
+        let k: Vec<i64> = (0..300).map(|i| i % 16).collect();
+        let v: Vec<i64> = (0..300).collect();
+        Table::new(
+            "s",
+            Schema::new([
+                ColumnDef::new("k", ValueType::Int),
+                ColumnDef::new("v", ValueType::Int),
+            ]),
+            vec![Column::from_ints(k), Column::from_ints(v)],
+        )
+        .unwrap()
+    };
+    svc.register_table(new_s.clone());
+
+    let after = session.execute(&q).expect("after update");
+    assert!(
+        !after.stats.cache_hit,
+        "stale learning served across a catalog update"
+    );
+    assert!(
+        !after.table.same_rows(&before.table),
+        "sanity: the update should change the answer"
+    );
+
+    // Cold oracle over the updated catalog.
+    let mut oracle_cat = catalog(33);
+    oracle_cat.register(new_s);
+    let oracle = QueryService::new(
+        oracle_cat,
+        skinner_query::UdfRegistry::new(),
+        ServiceConfig {
+            engine: SkinnerCConfig {
+                budget: 200,
+                threads: env_threads(),
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let expected = oracle.session().execute(&q).expect("oracle").table;
+    assert!(after.table.same_rows(&expected));
+
+    // And the template re-warms against the new catalog version.
+    assert!(session.execute(&q).expect("re-warm").stats.cache_hit);
+}

@@ -37,7 +37,7 @@ pub mod value;
 
 pub use bitmap::Bitmap;
 pub use catalog::Catalog;
-pub use column::Column;
+pub use column::{Column, ColumnBuilder};
 pub use error::StorageError;
 pub use hash::{FxHashMap, FxHashSet};
 pub use index::HashIndex;

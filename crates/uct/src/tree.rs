@@ -36,7 +36,7 @@ impl Default for UctConfig {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Node<A> {
     visits: u64,
     reward_sum: f64,
@@ -46,6 +46,57 @@ struct Node<A> {
 }
 
 const UNEXPANDED: usize = usize::MAX;
+
+/// A detached copy of a tree's materialized nodes (visit counts, reward
+/// sums, child structure), taken with [`UctTree::snapshot`] and restored
+/// with [`UctTree::with_snapshot`].
+///
+/// Snapshots are how learned join-order knowledge survives a query
+/// execution: the service layer stores one per query template and
+/// warm-starts the next execution of that template from it, so the
+/// learner resumes with its priors instead of re-exploring from scratch.
+#[derive(Debug, Clone)]
+pub struct TreeSnapshot<A> {
+    nodes: Vec<Node<A>>,
+    rounds: u64,
+}
+
+impl<A> TreeSnapshot<A> {
+    /// Number of materialized nodes captured.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Choose/update rounds the source tree had completed.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Approximate heap footprint in bytes (cache accounting).
+    pub fn approx_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<Node<A>>()
+            + self
+                .nodes
+                .iter()
+                .map(|n| {
+                    n.actions.len() * std::mem::size_of::<A>()
+                        + n.children.len() * std::mem::size_of::<usize>()
+                })
+                .sum::<usize>()
+    }
+
+    /// Structural sanity: every child index in range, child slots match
+    /// action slots, and the root exists.
+    fn well_formed(&self) -> bool {
+        !self.nodes.is_empty()
+            && self.nodes.iter().all(|n| {
+                n.actions.len() == n.children.len()
+                    && n.children
+                        .iter()
+                        .all(|&c| c == UNEXPANDED || c < self.nodes.len())
+            })
+    }
+}
 
 /// The UCT search tree (paper §4.1).
 ///
@@ -82,6 +133,32 @@ impl<S: SearchSpace> UctTree<S> {
             actions: root_actions,
         });
         tree
+    }
+
+    /// Create a tree over `space` warm-started from a prior execution's
+    /// [`TreeSnapshot`]. The snapshot is adopted only if it is
+    /// structurally sound and its root actions match this space's (the
+    /// template-keyed cache guarantees that in practice; a mismatch —
+    /// e.g. a snapshot taken against a differently-shaped query — falls
+    /// back to a cold tree rather than corrupting selection).
+    pub fn with_snapshot(space: S, config: UctConfig, snapshot: &TreeSnapshot<S::Action>) -> Self {
+        let mut tree = UctTree::new(space, config);
+        if snapshot.well_formed() && snapshot.nodes[0].actions == tree.nodes[0].actions {
+            tree.nodes = snapshot.nodes.clone();
+            tree.rounds = snapshot.rounds;
+        }
+        tree
+    }
+
+    /// Detach a copy of the materialized tree for cross-execution reuse.
+    pub fn snapshot(&self) -> TreeSnapshot<S::Action>
+    where
+        S::Action: Clone,
+    {
+        TreeSnapshot {
+            nodes: self.nodes.clone(),
+            rounds: self.rounds,
+        }
     }
 
     /// The underlying search space.
@@ -405,6 +482,49 @@ mod tests {
             tree.update(&p, r);
         }
         assert!(hits >= 95, "exploitation too weak: {hits}/100");
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_learning() {
+        let mut tree = UctTree::new(Bandit { arms: 5 }, UctConfig::default());
+        for _ in 0..500 {
+            let p = tree.choose();
+            let r = if p[0] == 3 { 0.9 } else { 0.1 };
+            tree.update(&p, r);
+        }
+        let snap = tree.snapshot();
+        assert_eq!(snap.num_nodes(), tree.num_nodes());
+        assert_eq!(snap.rounds(), tree.rounds());
+        assert!(snap.approx_bytes() > 0);
+
+        // A warm-started tree recommends the learned best arm immediately
+        // and keeps exploiting it.
+        let mut warm = UctTree::with_snapshot(Bandit { arms: 5 }, UctConfig::default(), &snap);
+        assert_eq!(warm.best_path(), vec![3]);
+        assert_eq!(warm.rounds(), snap.rounds());
+        let mut hits = 0;
+        for _ in 0..50 {
+            let p = warm.choose();
+            if p[0] == 3 {
+                hits += 1;
+            }
+            warm.update(&p, if p[0] == 3 { 0.9 } else { 0.1 });
+        }
+        assert!(hits >= 45, "warm start not exploiting: {hits}/50");
+    }
+
+    #[test]
+    fn mismatched_snapshot_falls_back_to_cold() {
+        let mut tree = UctTree::new(Bandit { arms: 3 }, UctConfig::default());
+        for _ in 0..50 {
+            let p = tree.choose();
+            tree.update(&p, 0.5);
+        }
+        let snap = tree.snapshot();
+        // Different root arity: the snapshot must be rejected.
+        let warm = UctTree::with_snapshot(Bandit { arms: 7 }, UctConfig::default(), &snap);
+        assert_eq!(warm.num_nodes(), 1);
+        assert_eq!(warm.rounds(), 0);
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //!   ones), correlation torture (skewed, correlated chains with the
 //!   selective join at parameterized position `m`), and the trivial
 //!   optimization benchmark (all non-Cartesian plans equivalent).
+//! * [`nulls`] — NULL-heavy, string-join stress: nullable
+//!   dictionary-encoded string keys exercising the engine's
+//!   `KeyCol::Other` fallback (hash-verified string keys, NULL
+//!   semantics through joins, indexes and aggregates).
 //!
 //! All generators are seeded and deterministic.
 
@@ -24,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod job;
+pub mod nulls;
 pub mod torture;
 pub mod tpch;
 pub mod util;

@@ -73,7 +73,8 @@
 //! | [`simdb`] | simulated traditional engines + optimizer + C_out oracle |
 //! | [`core`] | Skinner-G/H, pyramid timeouts, post-processing, facade |
 //! | [`baselines`] | Eddies, re-optimizer, random orders |
-//! | [`workloads`] | JOB-like, TPC-H dbgen-lite, torture benchmarks |
+//! | [`workloads`] | JOB-like, TPC-H dbgen-lite, torture + NULL/string benchmarks |
+//! | [`service`] | concurrent query service: sessions, core-budget admission, cross-query learning cache, `skinner-repl` |
 //!
 //! (`crates/bench` regenerates the paper's tables/figures and records
 //! kernel benchmarks; `crates/vendor` holds offline dependency shims.)
@@ -84,6 +85,7 @@ pub use skinner_baselines as baselines;
 pub use skinner_core as core;
 pub use skinner_engine as engine;
 pub use skinner_query as query;
+pub use skinner_service as service;
 pub use skinner_simdb as simdb;
 pub use skinner_storage as storage;
 pub use skinner_uct as uct;
@@ -97,6 +99,7 @@ pub mod prelude {
     };
     pub use skinner_engine::{RewardKind, SkinnerC, SkinnerCConfig, SkinnerOutcome};
     pub use skinner_query::{parse, AggFunc, Expr, Query, QueryBuilder, Udf, UdfRegistry};
+    pub use skinner_service::{QueryService, ServiceConfig, Session};
     pub use skinner_simdb::exec::ExecOptions;
     pub use skinner_simdb::{AdaptiveEngine, ColEngine, Engine, RowEngine};
     pub use skinner_storage::{Catalog, Column, ColumnDef, Schema, Table, Value, ValueType};

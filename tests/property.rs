@@ -276,6 +276,105 @@ proptest! {
     }
 
     #[test]
+    fn null_string_joins_match_engine(seed in any::<u64>()) {
+        // NULL-heavy, string-keyed chains (the `KeyCol::Other` fallback:
+        // hash-verified string join keys, NULL equality semantics):
+        // Skinner-C under heavy order switching must agree with a direct
+        // engine execution.
+        let (_cat, q) = skinnerdb::workloads::nulls::generate_case(seed);
+        let truth = ColEngine::new()
+            .execute(&q, &ExecOptions { count_only: true, ..Default::default() })
+            .result_count;
+        let out = SkinnerC::new(SkinnerCConfig {
+            budget: 16, // tiny slices: maximal order switching
+            threads: env_threads(),
+            ..Default::default()
+        })
+        .run(&q);
+        prop_assert_eq!(out.result_count, truth);
+    }
+
+    #[test]
+    fn null_string_kernels_agree(seed in any::<u64>(), budget in 3u64..48) {
+        // Differential: the specialized kernel (sliced) vs the generic
+        // reference kernel (one shot) on nullable string-keyed chains,
+        // with and without hash indexes (indexes skip NULL keys; the
+        // no-index path must filter them through predicate evaluation).
+        let (_cat, q) = skinnerdb::workloads::nulls::generate_case(seed);
+        let m = q.num_tables();
+        let order: Vec<usize> = (0..m).collect();
+        for indexes in [true, false] {
+            let pq = PreparedQuery::new(&q, indexes, 1);
+            prop_assume!(!pq.any_empty());
+            let plan = pq.plan_order(&order);
+            let spec = pq.plan_spec(&order);
+            let offsets = vec![0u32; m];
+            let mut join = MultiwayJoin::new(&pq);
+
+            let mut state = offsets.clone();
+            let mut rs_generic = ResultSet::new();
+            join.continue_join_generic(
+                &order, &spec, &offsets, &mut state, u64::MAX, &mut rs_generic,
+            );
+
+            let mut state = offsets.clone();
+            let mut rs_special = ResultSet::new();
+            let budget = budget.max(4 * m as u64);
+            let mut slices = 0u64;
+            loop {
+                slices += 1;
+                prop_assert!(slices < 5_000_000, "no termination");
+                let (res, _) = join.continue_join(
+                    &order, &plan, &offsets, &mut state, budget, &mut rs_special,
+                );
+                if res == ContinueResult::Exhausted {
+                    break;
+                }
+            }
+
+            let mut a: Vec<Vec<u32>> = rs_generic.iter().map(|t| t.to_vec()).collect();
+            let mut b: Vec<Vec<u32>> = rs_special.iter().map(|t| t.to_vec()).collect();
+            a.sort();
+            b.sort();
+            prop_assert_eq!(a, b, "kernel divergence on NULL/string case, indexes {}", indexes);
+        }
+    }
+
+    #[test]
+    fn limit_pushdown_prefix_is_sound(
+        (_cat, q) in arb_chain_case(),
+        limit in 1usize..12,
+    ) {
+        // LIMIT pushdown must return exactly `min(limit, |result|)` rows,
+        // each a member of the full result.
+        let full = SkinnerDB::skinner_c(SkinnerCConfig {
+            budget: 32,
+            threads: env_threads(),
+            ..Default::default()
+        })
+        .execute(&q);
+        let mut limited_q = q.clone();
+        limited_q.limit = Some(limit);
+        prop_assert_eq!(limited_q.join_limit(), Some(limit as u64));
+        let limited = SkinnerDB::skinner_c(SkinnerCConfig {
+            budget: 32,
+            threads: env_threads(),
+            ..Default::default()
+        })
+        .execute(&limited_q);
+        prop_assert_eq!(
+            limited.table.num_rows(),
+            limit.min(full.table.num_rows())
+        );
+        for row in &limited.table.rows {
+            prop_assert!(
+                full.table.rows.contains(row),
+                "LIMIT row not in the full result"
+            );
+        }
+    }
+
+    #[test]
     fn random_policy_interleavings_lose_nothing(
         (_cat, q) in arb_chain_case(),
         budget in 4u64..64,
