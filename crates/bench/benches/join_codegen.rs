@@ -1,0 +1,201 @@
+//! Criterion bench: compiled (codegen-tier) vs. plan-bound vs. generic
+//! join kernels on FK chains of 2..=6 tables.
+//!
+//! Each configuration runs the *same* complete join to exhaustion under
+//! the canonical order, through a counting sink — so the three tiers do
+//! identical logical work (same candidate sequence, same result tuples)
+//! and the measurement isolates the kernel itself: the compiled kernel's
+//! posting-list cursors and elided equality predicates against the
+//! plan-bound kernel's per-advance hash probe + binary search, against
+//! the generic kernel's per-tuple column re-resolution. The acceptance
+//! bar for the codegen tier is ≥ 1.2× over the plan-bound kernel on the
+//! 4-table chain.
+//!
+//! Run with `cargo bench --bench join_codegen`. Mean ns per full join
+//! and the speedup ratios are merged into `BENCH_join.json` (repo root)
+//! under the `codegen` key.
+
+use criterion::{BenchmarkId, Criterion};
+use skinner_engine::multiway::CountingSink;
+use skinner_engine::{MultiwayJoin, PreparedQuery};
+use skinner_query::{Query, QueryBuilder};
+use skinner_storage::{Catalog, Column, ColumnDef, Schema, Table, ValueType};
+
+const ROWS: usize = 2048;
+const KEYS: i64 = 1024;
+const MIN_TABLES: usize = 2;
+const MAX_TABLES: usize = 6;
+
+/// FK chain of `m` tables: t0.k = t1.k, ..., t{m-2}.k = t{m-1}.k
+/// (each key matches ~2 rows per table, so the full join stays small
+/// enough to run to exhaustion at every arity).
+fn fk_chain(m: usize) -> (Catalog, Query) {
+    let mut cat = Catalog::new();
+    for t in 0..m {
+        cat.register(
+            Table::new(
+                format!("t{t}"),
+                Schema::new([
+                    ColumnDef::new("k", ValueType::Int),
+                    ColumnDef::new("v", ValueType::Int),
+                ]),
+                vec![
+                    Column::from_ints(
+                        (0..ROWS as i64)
+                            .map(|i| i.wrapping_mul(2654435761).rem_euclid(KEYS))
+                            .collect(),
+                    ),
+                    Column::from_ints((0..ROWS as i64).collect()),
+                ],
+            )
+            .unwrap(),
+        );
+    }
+    let q = {
+        let mut qb = QueryBuilder::new(&cat);
+        for t in 0..m {
+            qb.table(&format!("t{t}")).unwrap();
+        }
+        for t in 0..m - 1 {
+            let j = qb
+                .col(&format!("t{t}.k"))
+                .unwrap()
+                .eq(qb.col(&format!("t{}.k", t + 1)).unwrap());
+            qb.filter(j);
+        }
+        qb.select_col("t0.v").unwrap();
+        qb.build().unwrap()
+    };
+    (cat, q)
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join_codegen");
+    for m in MIN_TABLES..=MAX_TABLES {
+        let (_cat, q) = fk_chain(m);
+        let pq = PreparedQuery::new(&q, true, 1);
+        let order: Vec<usize> = (0..m).collect();
+        let plan = pq.plan_order(&order);
+        let spec = pq.plan_spec(&order);
+        let kernel = plan.compile_kernel(None).expect("int chains compile");
+        let offsets = vec![0u32; m];
+
+        // The three tiers must agree on the work before we time them.
+        let attempts = |run: &mut dyn FnMut(&mut CountingSink)| {
+            let mut sink = CountingSink::default();
+            run(&mut sink);
+            sink.attempts
+        };
+        let mut join = MultiwayJoin::new(&pq);
+        let a_codegen = attempts(&mut |s| {
+            let mut state = offsets.clone();
+            join.continue_join_compiled(&kernel, &offsets, &mut state, u64::MAX, s);
+        });
+        let a_bound = attempts(&mut |s| {
+            let mut state = offsets.clone();
+            join.continue_join(&order, &plan, &offsets, &mut state, u64::MAX, s);
+        });
+        let a_generic = attempts(&mut |s| {
+            let mut state = offsets.clone();
+            join.continue_join_generic(&order, &spec, &offsets, &mut state, u64::MAX, s);
+        });
+        assert_eq!(a_codegen, a_bound, "m={m}: codegen/bound tuple mismatch");
+        assert_eq!(
+            a_codegen, a_generic,
+            "m={m}: codegen/generic tuple mismatch"
+        );
+        assert!(a_codegen > 0, "m={m}: empty join benches nothing");
+
+        group.bench_with_input(BenchmarkId::new("codegen", format!("m{m}")), &m, |b, _| {
+            let mut join = MultiwayJoin::new(&pq);
+            b.iter(|| {
+                let mut state = offsets.clone();
+                let mut sink = CountingSink::default();
+                join.continue_join_compiled(&kernel, &offsets, &mut state, u64::MAX, &mut sink);
+                criterion::black_box(sink.attempts)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bound", format!("m{m}")), &m, |b, _| {
+            let mut join = MultiwayJoin::new(&pq);
+            b.iter(|| {
+                let mut state = offsets.clone();
+                let mut sink = CountingSink::default();
+                join.continue_join(&order, &plan, &offsets, &mut state, u64::MAX, &mut sink);
+                criterion::black_box(sink.attempts)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("generic", format!("m{m}")), &m, |b, _| {
+            let mut join = MultiwayJoin::new(&pq);
+            b.iter(|| {
+                let mut state = offsets.clone();
+                let mut sink = CountingSink::default();
+                join.continue_join_generic(
+                    &order,
+                    &spec,
+                    &offsets,
+                    &mut state,
+                    u64::MAX,
+                    &mut sink,
+                );
+                criterion::black_box(sink.attempts)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_kernels(&mut criterion);
+
+    let get = |name: &str| -> f64 {
+        criterion
+            .results
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, ns)| *ns)
+            .expect("bench result")
+    };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut section = String::from("{\n");
+    section.push_str(&format!(
+        "    \"workload\": \"FK chains m=2..6, {ROWS} rows/table, {KEYS} keys, full join to exhaustion, counting sink\",\n"
+    ));
+    section.push_str(&format!("    \"host_cores\": {cores},\n"));
+    section.push_str("    \"mean_ns\": {\n");
+    let mut names = Vec::new();
+    for m in MIN_TABLES..=MAX_TABLES {
+        for tier in ["codegen", "bound", "generic"] {
+            names.push(format!("join_codegen/{tier}/m{m}"));
+        }
+    }
+    for (i, n) in names.iter().enumerate() {
+        section.push_str(&format!(
+            "      \"{n}\": {:.0}{}\n",
+            get(n),
+            if i + 1 < names.len() { "," } else { "" }
+        ));
+    }
+    section.push_str("    },\n");
+    section.push_str("    \"speedup_vs_bound\": { ");
+    for m in MIN_TABLES..=MAX_TABLES {
+        let sp =
+            get(&format!("join_codegen/bound/m{m}")) / get(&format!("join_codegen/codegen/m{m}"));
+        section.push_str(&format!(
+            "\"m{m}\": {sp:.2}{}",
+            if m < MAX_TABLES { ", " } else { "" }
+        ));
+        println!("m{m}: codegen {sp:.2}x over bound");
+    }
+    section.push_str(" },\n");
+    let sp4 = get("join_codegen/generic/m4") / get("join_codegen/codegen/m4");
+    section.push_str(&format!(
+        "    \"speedup_vs_generic\": {{ \"m4\": {sp4:.2} }}\n  }}"
+    ));
+    println!("m4: codegen {sp4:.2}x over generic");
+    let path = std::path::Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_join.json"
+    ));
+    skinner_bench::upsert_bench_json(path, "codegen", &section).expect("write BENCH_join.json");
+}

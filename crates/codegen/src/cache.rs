@@ -1,0 +1,125 @@
+//! The cross-query kernel cache: shape key → kernel resolution.
+//!
+//! A [`CompiledKernel`](crate::CompiledKernel) borrows the prepared
+//! query's column slices and indexes, so the kernel *object* lives only
+//! as long as one execution. What outlives the execution — and is worth
+//! sharing across slices, orders, queries, and service sessions — is the
+//! *resolution* of a shape: whether a compiled kernel exists for a
+//! [`KernelKey`] and which [`KernelClass`] executes it. The resolution
+//! depends only on the key's table count and per-position jump kinds —
+//! not on its predicate fingerprint — so the memo is keyed on exactly
+//! that projection ([`KernelKey::class_key`]): two templates that
+//! differ only in predicate shapes share one entry, and the key domain
+//! is finite (arities × jump-kind combinations), so the process-lifetime
+//! cache a service shares across sessions is naturally bounded.
+
+use crate::kernel::KernelClass;
+use crate::key::{ClassKey, KernelKey};
+use skinner_storage::FxHashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Aggregate kernel-cache counters (monotonic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelCacheStats {
+    /// Resolutions served from the cache.
+    pub hits: u64,
+    /// Resolutions that had to analyze the shape.
+    pub misses: u64,
+}
+
+/// Thread-safe shape-resolution cache. Entries are tiny (a class key
+/// and a three-valued class), drawn from a finite domain,
+/// data-independent, and never invalidated: a shape resolves the same
+/// way regardless of catalog contents, so unlike the learning cache
+/// this cache survives table replacement.
+#[derive(Debug, Default)]
+pub struct KernelCache {
+    entries: Mutex<FxHashMap<ClassKey, Option<KernelClass>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl KernelCache {
+    /// Empty cache.
+    pub fn new() -> KernelCache {
+        KernelCache::default()
+    }
+
+    /// Resolve `key` to its kernel class (`None` = no compiled kernel
+    /// for the shape), computing and memoizing via `analyze` on a miss.
+    /// Memoization is by [`KernelKey::class_key`] — the projection the
+    /// resolution actually depends on.
+    pub fn resolve(
+        &self,
+        key: &KernelKey,
+        analyze: impl FnOnce() -> Option<KernelClass>,
+    ) -> Option<KernelClass> {
+        let class_key = key.class_key();
+        let mut entries = self.entries.lock().expect("kernel cache lock");
+        if let Some(&class) = entries.get(&class_key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return class;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let class = analyze();
+        entries.insert(class_key, class);
+        class
+    }
+
+    /// Number of memoized shapes.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("kernel cache lock").len()
+    }
+
+    /// True if nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> KernelCacheStats {
+        KernelCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Approximate heap bytes held by the memo table.
+    pub fn approx_bytes(&self) -> usize {
+        self.len() * (std::mem::size_of::<KernelKey>() + std::mem::size_of::<Option<KernelClass>>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::JumpKind;
+
+    fn key(kinds: &[JumpKind]) -> KernelKey {
+        KernelKey::new(kinds.len(), kinds.iter().map(|&k| (k, &[][..], false)))
+    }
+
+    #[test]
+    fn memoizes_and_counts() {
+        let cache = KernelCache::new();
+        let a = key(&[JumpKind::Scan, JumpKind::Int]);
+        let b = key(&[JumpKind::Scan, JumpKind::Other]);
+        assert_eq!(
+            cache.resolve(&a, || Some(KernelClass::IntChain)),
+            Some(KernelClass::IntChain)
+        );
+        // Hit: the closure must not run again.
+        assert_eq!(
+            cache.resolve(&a, || panic!("analyzed twice")),
+            Some(KernelClass::IntChain)
+        );
+        // Unsupported shapes are memoized too.
+        assert_eq!(cache.resolve(&b, || None), None);
+        assert_eq!(cache.resolve(&b, || panic!("analyzed twice")), None);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (2, 2));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.approx_bytes() > 0);
+    }
+}

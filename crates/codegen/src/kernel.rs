@@ -1,0 +1,879 @@
+//! The compiled join kernels: monomorphized, straight-line DFS loops
+//! specialized on a join-order shape.
+//!
+//! The plan-bound kernel in `skinner-engine` already resolves every
+//! table/column/index indirection at plan time, but its inner loop is
+//! still one generic routine: each tuple advance re-dispatches on
+//! `Option<BoundJump>` and the `KeyCol` variant, and each index jump
+//! re-probes the hash map and binary-searches the posting list. The
+//! kernels here go the rest of the way to the paper's §6 compilation:
+//!
+//! * **Const-generic arity** — one kernel instance per table count
+//!   (2..=6), so position arrays are fixed-size and bounds checks
+//!   vanish.
+//! * **Class-typed jumps** — the per-position jump code is selected by a
+//!   zero-sized class type ([`KernelClass`]): the FK-chain hot shape
+//!   (every non-first position driven by an integer-keyed index) and the
+//!   pure scan shape compile with *no* jump dispatch at all; arbitrary
+//!   mixes take one three-way match.
+//! * **Postings cursors** — descending into an index-driven position
+//!   probes the hash index **once** for the current predecessor key and
+//!   then walks the sorted posting list with a cursor; every subsequent
+//!   advance is `list[idx++]` instead of probe + binary search.
+//! * **Equality-predicate elision** — integer join keys are exact (the
+//!   join key *is* the value), so candidates drawn from the posting list
+//!   provably satisfy the driving equality predicate; the kernel
+//!   evaluates only the remaining predicates. Float keys match by bit
+//!   pattern, which over-approximates IEEE equality on NaN, so float
+//!   positions keep full re-verification (exactly like the bound
+//!   kernel's float jumps).
+//!
+//! Soundness relative to the plan-bound kernel: both enumerate the same
+//! depth-first candidate sequence — the posting-list cursor yields
+//! exactly the positions `next_ge` would visit (postings are sorted
+//! ascending, and candidates the bound kernel visits but rejects on the
+//! jump predicate are precisely the non-postings the cursor skips) — so
+//! accepted tuples, their order, and the suspend/resume cursor contract
+//! are identical. The differential properties in `tests/property.rs`
+//! check this byte for byte.
+
+use crate::key::{JumpKind, KernelKey, MAX_KERNEL_TABLES, MIN_KERNEL_TABLES};
+use crate::sink::{ContinueResult, ResultSink};
+use skinner_query::BoundPred;
+use skinner_storage::{HashIndex, RowId};
+
+/// The tuple-advance source at one compiled position.
+#[derive(Debug, Clone, Copy)]
+pub enum KernelJump<'a> {
+    /// No index: candidates are consecutive filtered positions.
+    Scan,
+    /// Integer-keyed posting-list cursor. `keys` is the predecessor
+    /// table's raw key column, `src` the predecessor's table id.
+    IntEq {
+        /// Predecessor key column (non-nullable `i64`).
+        keys: &'a [i64],
+        /// Predecessor table id (indexes `rows`).
+        src: usize,
+        /// This position's hash index (postings = filtered positions).
+        index: &'a HashIndex,
+    },
+    /// Float-keyed posting-list cursor (bit-pattern keys; predicates are
+    /// always re-verified).
+    FloatEq {
+        /// Predecessor key column (non-nullable `f64`).
+        keys: &'a [f64],
+        /// Predecessor table id (indexes `rows`).
+        src: usize,
+        /// This position's hash index (postings = filtered positions).
+        index: &'a HashIndex,
+    },
+}
+
+impl KernelJump<'_> {
+    /// The shape-level kind of this jump.
+    pub fn kind(&self) -> JumpKind {
+        match self {
+            KernelJump::Scan => JumpKind::Scan,
+            KernelJump::IntEq { .. } => JumpKind::Int,
+            KernelJump::FloatEq { .. } => JumpKind::Float,
+        }
+    }
+}
+
+/// One fully compiled join-order position.
+#[derive(Debug, Clone)]
+pub struct KernelPosition<'a> {
+    /// The table joined at this position (indexes `rows` and `state`).
+    pub table: usize,
+    /// Filtered cardinality of the table.
+    pub card: u32,
+    /// Filtered positions → base row ids.
+    pub base: &'a [RowId],
+    /// Predicates to evaluate per candidate. When `elided` is set, the
+    /// equality predicate driving an [`KernelJump::IntEq`] jump has been
+    /// removed (the posting list already guarantees it).
+    pub preds: Vec<BoundPred<'a>>,
+    /// Candidate source.
+    pub jump: KernelJump<'a>,
+    /// True when the jump-driving equality predicate was elided from
+    /// `preds`.
+    pub elided: bool,
+}
+
+/// Which monomorphized kernel family executes an order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelClass {
+    /// Position 0 scans; every later position has an [`KernelJump::IntEq`]
+    /// jump — the indexed FK-chain hot shape, compiled with zero jump
+    /// dispatch.
+    IntChain,
+    /// Every position scans (no usable indexes) — compiled with zero
+    /// jump dispatch.
+    Scan,
+    /// Any other supported mix (float jumps, partial index coverage):
+    /// one three-way match per advance.
+    Mixed,
+}
+
+impl KernelClass {
+    /// Classify a supported shape from its per-position jump kinds
+    /// (position 0 must be `Scan`; `Other` kinds are the caller's job to
+    /// reject via [`KernelKey::supported`]).
+    pub fn of(kinds: impl IntoIterator<Item = JumpKind>) -> KernelClass {
+        let kinds: Vec<JumpKind> = kinds.into_iter().collect();
+        if kinds.iter().all(|&k| k == JumpKind::Scan) {
+            KernelClass::Scan
+        } else if kinds.len() > 1
+            && kinds[0] == JumpKind::Scan
+            && kinds[1..].iter().all(|&k| k == JumpKind::Int)
+        {
+            KernelClass::IntChain
+        } else {
+            KernelClass::Mixed
+        }
+    }
+}
+
+/// A join order compiled into a specialized kernel: fixed-arity position
+/// array plus the class-typed entry point. Borrows the prepared query's
+/// column slices and indexes (same lifetime discipline as the engine's
+/// bound `OrderPlan`); build one per (query, order) and reuse it across
+/// every time slice and every partitioned chunk.
+#[derive(Debug, Clone)]
+pub struct CompiledKernel<'a> {
+    key: KernelKey,
+    class: KernelClass,
+    positions: Vec<KernelPosition<'a>>,
+}
+
+impl<'a> CompiledKernel<'a> {
+    /// Assemble a kernel from compiled positions. Returns `None` when no
+    /// specialized kernel exists for the shape (arity outside
+    /// [`MIN_KERNEL_TABLES`]`..=`[`MAX_KERNEL_TABLES`]; key-column kinds
+    /// outside Int/Float are unrepresentable in [`KernelJump`] by
+    /// construction).
+    pub fn new(key: KernelKey, positions: Vec<KernelPosition<'a>>) -> Option<CompiledKernel<'a>> {
+        let m = positions.len();
+        if !(MIN_KERNEL_TABLES..=MAX_KERNEL_TABLES).contains(&m) || !key.supported() {
+            return None;
+        }
+        debug_assert_eq!(key.tables(), m);
+        let class = KernelClass::of(positions.iter().map(|p| p.jump.kind()));
+        Some(CompiledKernel {
+            key,
+            class,
+            positions,
+        })
+    }
+
+    /// The shape key this kernel was compiled for.
+    pub fn key(&self) -> &KernelKey {
+        &self.key
+    }
+
+    /// The kernel family executing this order.
+    pub fn class(&self) -> KernelClass {
+        self.class
+    }
+
+    /// Number of join-order positions.
+    pub fn num_tables(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// The compiled positions (introspection and tests).
+    pub fn positions(&self) -> &[KernelPosition<'a>] {
+        &self.positions
+    }
+
+    /// The left-most table's id.
+    pub fn table0(&self) -> usize {
+        self.positions[0].table
+    }
+
+    /// The left-most table's filtered cardinality (the `end0` a
+    /// sequential caller passes to [`run`](CompiledKernel::run)).
+    pub fn card0(&self) -> u32 {
+        self.positions[0].card
+    }
+
+    /// Execute the compiled kernel from cursor `state` (indexed by table
+    /// id, filtered positions) for at most `budget` outer-loop steps,
+    /// with the left-most coordinate bounded by `end0` (sequential
+    /// callers pass [`card0`](CompiledKernel::card0); partitioned chunk
+    /// workers pass their chunk's upper bound). Result tuples go to
+    /// `results`; `offsets` are the global per-table floors; `rows` is
+    /// the caller's per-table base-row scratch. Semantics — including
+    /// the suspend/resume cursor contract and emit order — match the
+    /// engine's plan-bound kernel exactly.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run<R: ResultSink>(
+        &self,
+        offsets: &[u32],
+        state: &mut [u32],
+        budget: u64,
+        end0: u32,
+        rows: &mut [RowId],
+        results: &mut R,
+    ) -> (ContinueResult, u64) {
+        macro_rules! dispatch {
+            ($($m:literal),*) => {
+                match (self.positions.len(), self.class) {
+                    $(
+                        ($m, KernelClass::IntChain) => run_kernel::<$m, IntChain, R>(
+                            self.positions[..].try_into().expect("arity"),
+                            offsets, state, budget, end0, rows, results,
+                        ),
+                        ($m, KernelClass::Scan) => run_kernel::<$m, ScanOnly, R>(
+                            self.positions[..].try_into().expect("arity"),
+                            offsets, state, budget, end0, rows, results,
+                        ),
+                        ($m, KernelClass::Mixed) => run_kernel::<$m, Mixed, R>(
+                            self.positions[..].try_into().expect("arity"),
+                            offsets, state, budget, end0, rows, results,
+                        ),
+                    )*
+                    (m, _) => unreachable!("no compiled kernel for {m} tables"),
+                }
+            };
+        }
+        dispatch!(2, 3, 4, 5, 6)
+    }
+}
+
+/// Candidate cursor at one position: either a posting-list walk
+/// (`list`/`idx`) or a consecutive scan (`scan`). Which field is live is
+/// statically known per class (the `postings` flag exists only for the
+/// [`Mixed`] class).
+#[derive(Clone, Copy)]
+struct CandCur<'a> {
+    list: &'a [u32],
+    idx: u32,
+    scan: u32,
+    postings: bool,
+}
+
+impl CandCur<'_> {
+    const EMPTY: CandCur<'static> = CandCur {
+        list: &[],
+        idx: 0,
+        scan: 0,
+        postings: false,
+    };
+}
+
+#[inline(always)]
+fn begin_scan<'a>(min: u32) -> (CandCur<'a>, u32) {
+    (
+        CandCur {
+            list: &[],
+            idx: 0,
+            scan: min.saturating_add(1),
+            postings: false,
+        },
+        min,
+    )
+}
+
+#[inline(always)]
+fn next_scan(cur: &mut CandCur<'_>) -> u32 {
+    let c = cur.scan;
+    cur.scan = c.saturating_add(1);
+    c
+}
+
+#[inline(always)]
+fn begin_postings<'a>(index: &'a HashIndex, key: i64, min: u32, card: u32) -> (CandCur<'a>, u32) {
+    let list = index.probe(key);
+    let idx = list.partition_point(|&p| p < min) as u32;
+    let first = list.get(idx as usize).copied().unwrap_or(card);
+    (
+        CandCur {
+            list,
+            idx: idx + 1,
+            scan: 0,
+            postings: true,
+        },
+        first,
+    )
+}
+
+#[inline(always)]
+fn next_postings(cur: &mut CandCur<'_>, card: u32) -> u32 {
+    let c = cur.list.get(cur.idx as usize).copied().unwrap_or(card);
+    cur.idx += 1;
+    c
+}
+
+/// Class-typed candidate iteration: the monomorphization axis that
+/// removes jump dispatch from the hot loop.
+trait ClassSpec {
+    /// Establish the candidate sequence at position `i` with minimum
+    /// candidate `min`; returns the cursor and the first candidate
+    /// (`card` when exhausted).
+    fn begin<'a>(
+        i: usize,
+        pos: &KernelPosition<'a>,
+        rows: &[RowId],
+        min: u32,
+    ) -> (CandCur<'a>, u32);
+    /// The next candidate at position `i` (`card` when exhausted).
+    fn next(pos: &KernelPosition<'_>, cur: &mut CandCur<'_>) -> u32;
+}
+
+/// FK-chain hot shape: position 0 scans, positions 1.. walk integer
+/// posting lists. No jump dispatch survives monomorphization.
+struct IntChain;
+
+impl ClassSpec for IntChain {
+    #[inline(always)]
+    fn begin<'a>(
+        i: usize,
+        pos: &KernelPosition<'a>,
+        rows: &[RowId],
+        min: u32,
+    ) -> (CandCur<'a>, u32) {
+        if i == 0 {
+            begin_scan(min)
+        } else {
+            match pos.jump {
+                KernelJump::IntEq { keys, src, index } => {
+                    begin_postings(index, keys[rows[src] as usize], min, pos.card)
+                }
+                _ => unreachable!("IntChain position without IntEq jump"),
+            }
+        }
+    }
+
+    #[inline(always)]
+    fn next(pos: &KernelPosition<'_>, cur: &mut CandCur<'_>) -> u32 {
+        if cur.postings {
+            next_postings(cur, pos.card)
+        } else {
+            next_scan(cur)
+        }
+    }
+}
+
+/// Pure scan shape (no usable indexes): candidates are consecutive
+/// filtered positions everywhere.
+struct ScanOnly;
+
+impl ClassSpec for ScanOnly {
+    #[inline(always)]
+    fn begin<'a>(
+        _i: usize,
+        _pos: &KernelPosition<'a>,
+        _rows: &[RowId],
+        min: u32,
+    ) -> (CandCur<'a>, u32) {
+        begin_scan(min)
+    }
+
+    #[inline(always)]
+    fn next(_pos: &KernelPosition<'_>, cur: &mut CandCur<'_>) -> u32 {
+        next_scan(cur)
+    }
+}
+
+/// Arbitrary supported mix: one three-way match per establish/advance.
+struct Mixed;
+
+impl ClassSpec for Mixed {
+    #[inline(always)]
+    fn begin<'a>(
+        _i: usize,
+        pos: &KernelPosition<'a>,
+        rows: &[RowId],
+        min: u32,
+    ) -> (CandCur<'a>, u32) {
+        match pos.jump {
+            KernelJump::Scan => begin_scan(min),
+            KernelJump::IntEq { keys, src, index } => {
+                begin_postings(index, keys[rows[src] as usize], min, pos.card)
+            }
+            KernelJump::FloatEq { keys, src, index } => {
+                let key = keys[rows[src] as usize].to_bits() as i64;
+                begin_postings(index, key, min, pos.card)
+            }
+        }
+    }
+
+    #[inline(always)]
+    fn next(pos: &KernelPosition<'_>, cur: &mut CandCur<'_>) -> u32 {
+        if cur.postings {
+            next_postings(cur, pos.card)
+        } else {
+            next_scan(cur)
+        }
+    }
+}
+
+/// The compiled DFS join loop, monomorphized per (arity, class, sink).
+///
+/// Cursor contract (identical to the engine's plan-bound kernel): on
+/// entry `state` holds restored per-table coordinates; on `BudgetSpent`
+/// it holds the exact resume point (the not-yet-evaluated candidate at
+/// the active position, floors below it); on `Exhausted` the left-most
+/// coordinate is at or past `end0`.
+#[allow(clippy::too_many_arguments)]
+fn run_kernel<const M: usize, C: ClassSpec, R: ResultSink>(
+    positions: &[KernelPosition<'_>; M],
+    offsets: &[u32],
+    state: &mut [u32],
+    budget: u64,
+    end0: u32,
+    rows: &mut [RowId],
+    results: &mut R,
+) -> (ContinueResult, u64) {
+    let t0 = positions[0].table;
+    if state[t0] >= end0 {
+        return (ContinueResult::Exhausted, 0);
+    }
+    let mut curs = [CandCur::EMPTY; M];
+    let mut i = 0usize;
+    let mut steps = 0u64;
+    // Establish position 0 at the restored coordinate; deeper positions
+    // are established as the walk-down descends (each `begin` re-probes
+    // with the by-then-current predecessor tuple — the O(m) re-walk the
+    // suspend/resume contract requires).
+    {
+        let (cur, first) = C::begin(0, &positions[0], rows, state[t0]);
+        curs[0] = cur;
+        state[t0] = first;
+    }
+    loop {
+        steps += 1;
+        if steps > budget {
+            return (ContinueResult::BudgetSpent, steps - 1);
+        }
+        let pos = &positions[i];
+        let t = pos.table;
+        let bound = if i == 0 { end0 } else { pos.card };
+        let s = state[t];
+        if s >= bound {
+            // Candidates exhausted here: reset to the floor, backtrack,
+            // advance the predecessor.
+            if i == 0 {
+                return (ContinueResult::Exhausted, steps);
+            }
+            state[t] = offsets[t];
+            i -= 1;
+            let prev = &positions[i];
+            state[prev.table] = C::next(prev, &mut curs[i]);
+            continue;
+        }
+        rows[t] = pos.base[s as usize];
+        if pos.preds.iter().all(|p| p.eval(rows)) {
+            if i + 1 == M {
+                results.insert(rows);
+                if results.is_full() {
+                    // Sink-driven early exit (LIMIT pushdown): suspend as
+                    // if the budget ran out; the cursor resumes exactly.
+                    return (ContinueResult::BudgetSpent, steps);
+                }
+                state[t] = C::next(pos, &mut curs[i]);
+            } else {
+                i += 1;
+                let nxt = &positions[i];
+                let (cur, first) = C::begin(i, nxt, rows, state[nxt.table]);
+                curs[i] = cur;
+                state[nxt.table] = first;
+            }
+        } else {
+            state[t] = C::next(pos, &mut curs[i]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::JumpKind;
+    use skinner_query::{CompiledPred, Expr};
+    use skinner_storage::table::TableRef;
+    use skinner_storage::{Column, ColumnDef, Schema, Table, ValueType};
+    use std::sync::Arc;
+
+    /// A deduplicating sink collecting tuples in first-emit order (the
+    /// engine's real `ResultSet` dedups too: a resume after a sink-full
+    /// suspension legitimately re-offers the last tuple).
+    #[derive(Default)]
+    struct Collect {
+        tuples: Vec<Vec<RowId>>,
+        full_at: Option<usize>,
+    }
+
+    impl ResultSink for Collect {
+        fn insert(&mut self, tuple: &[RowId]) -> bool {
+            if self.tuples.iter().any(|t| t == tuple) {
+                return false;
+            }
+            self.tuples.push(tuple.to_vec());
+            true
+        }
+        fn is_full(&self) -> bool {
+            self.full_at.is_some_and(|n| self.tuples.len() >= n)
+        }
+    }
+
+    /// Two int-keyed tables, every row filtered in (identity base maps).
+    fn tables() -> Vec<TableRef> {
+        vec![
+            Arc::new(
+                Table::new(
+                    "a",
+                    Schema::new([ColumnDef::new("k", ValueType::Int)]),
+                    vec![Column::from_ints(vec![1, 2, 3, 2])],
+                )
+                .unwrap(),
+            ),
+            Arc::new(
+                Table::new(
+                    "b",
+                    Schema::new([ColumnDef::new("k", ValueType::Int)]),
+                    vec![Column::from_ints(vec![2, 1, 2, 9])],
+                )
+                .unwrap(),
+            ),
+        ]
+    }
+
+    fn base(n: usize) -> Vec<RowId> {
+        (0..n as u32).collect()
+    }
+
+    /// Build the 2-table kernel `a ⋈ b on k`, int jump at position 1
+    /// with the equality elided.
+    fn int_join_kernel<'a>(
+        ts: &'a [TableRef],
+        b0: &'a [RowId],
+        b1: &'a [RowId],
+        idx: &'a HashIndex,
+        elide: bool,
+        pred: &'a CompiledPred,
+    ) -> CompiledKernel<'a> {
+        let keys = ts[0].column(0).ints().unwrap();
+        let preds1: Vec<BoundPred<'a>> = if elide { vec![] } else { vec![pred.bind(ts)] };
+        let positions = vec![
+            KernelPosition {
+                table: 0,
+                card: 4,
+                base: b0,
+                preds: vec![],
+                jump: KernelJump::Scan,
+                elided: false,
+            },
+            KernelPosition {
+                table: 1,
+                card: 4,
+                base: b1,
+                preds: preds1,
+                jump: KernelJump::IntEq {
+                    keys,
+                    src: 0,
+                    index: idx,
+                },
+                elided: elide,
+            },
+        ];
+        let key = KernelKey::new(
+            2,
+            positions
+                .iter()
+                .map(|p| (p.jump.kind(), p.preds.as_slice(), p.elided)),
+        );
+        CompiledKernel::new(key, positions).expect("supported")
+    }
+
+    #[test]
+    fn int_chain_join_with_and_without_elision() {
+        let ts = tables();
+        let (b0, b1) = (base(4), base(4));
+        let idx = HashIndex::build(ts[1].column(0), Some(&b1));
+        let pred = CompiledPred::compile(&Expr::col(0, 0).eq(Expr::col(1, 0)), &ts);
+        let expected = vec![vec![0, 1], vec![1, 0], vec![1, 2], vec![3, 0], vec![3, 2]];
+        for elide in [true, false] {
+            let k = int_join_kernel(&ts, &b0, &b1, &idx, elide, &pred);
+            assert_eq!(k.class(), KernelClass::IntChain);
+            let offsets = vec![0u32; 2];
+            let mut state = vec![0u32; 2];
+            let mut rows = vec![0u32; 2];
+            let mut out = Collect::default();
+            let (res, _) = k.run(
+                &offsets,
+                &mut state,
+                u64::MAX,
+                k.card0(),
+                &mut rows,
+                &mut out,
+            );
+            assert_eq!(res, ContinueResult::Exhausted);
+            assert_eq!(out.tuples, expected, "elide {elide}");
+        }
+    }
+
+    #[test]
+    fn slicing_resumes_exactly() {
+        let ts = tables();
+        let (b0, b1) = (base(4), base(4));
+        let idx = HashIndex::build(ts[1].column(0), Some(&b1));
+        let pred = CompiledPred::compile(&Expr::col(0, 0).eq(Expr::col(1, 0)), &ts);
+        let k = int_join_kernel(&ts, &b0, &b1, &idx, true, &pred);
+        let offsets = vec![0u32; 2];
+        let mut one_shot = Collect::default();
+        let mut state = vec![0u32; 2];
+        let mut rows = vec![0u32; 2];
+        let (_, total_steps) = k.run(
+            &offsets,
+            &mut state,
+            u64::MAX,
+            k.card0(),
+            &mut rows,
+            &mut one_shot,
+        );
+
+        // Budgets at or above the livelock clamp (4·m, like the slice
+        // driver enforces) but well below the one-shot step count, so
+        // every run genuinely slices and resumes.
+        for budget in 8..14u64 {
+            assert!(total_steps > budget, "workload too small to slice");
+            let mut sliced = Collect::default();
+            let mut state = vec![0u32; 2];
+            let mut slices = 0;
+            loop {
+                slices += 1;
+                assert!(slices < 1000, "no termination at budget {budget}");
+                let (res, steps) = k.run(
+                    &offsets,
+                    &mut state,
+                    budget,
+                    k.card0(),
+                    &mut rows,
+                    &mut sliced,
+                );
+                assert!(steps <= budget);
+                if res == ContinueResult::Exhausted {
+                    break;
+                }
+            }
+            assert_eq!(sliced.tuples, one_shot.tuples, "budget {budget}");
+            assert!(slices > 1);
+        }
+    }
+
+    #[test]
+    fn offsets_floor_excludes_and_end0_bounds() {
+        let ts = tables();
+        let (b0, b1) = (base(4), base(4));
+        let idx = HashIndex::build(ts[1].column(0), Some(&b1));
+        let pred = CompiledPred::compile(&Expr::col(0, 0).eq(Expr::col(1, 0)), &ts);
+        let k = int_join_kernel(&ts, &b0, &b1, &idx, true, &pred);
+        // Floor a past its first row: tuple [0,1] disappears.
+        let offsets = vec![1u32, 0];
+        let mut state = offsets.clone();
+        let mut rows = vec![0u32; 2];
+        let mut out = Collect::default();
+        k.run(
+            &offsets,
+            &mut state,
+            u64::MAX,
+            k.card0(),
+            &mut rows,
+            &mut out,
+        );
+        assert_eq!(
+            out.tuples,
+            vec![vec![1, 0], vec![1, 2], vec![3, 0], vec![3, 2]]
+        );
+        // Chunk bound end0 = 2: only a-rows 1 (a-row 0 floored out).
+        let offsets = vec![0u32, 0];
+        let mut state = vec![1u32, 0];
+        let mut out = Collect::default();
+        let (res, _) = k.run(&offsets, &mut state, u64::MAX, 2, &mut rows, &mut out);
+        assert_eq!(res, ContinueResult::Exhausted);
+        assert_eq!(out.tuples, vec![vec![1, 0], vec![1, 2]]);
+    }
+
+    #[test]
+    fn full_sink_suspends_with_resumable_cursor() {
+        let ts = tables();
+        let (b0, b1) = (base(4), base(4));
+        let idx = HashIndex::build(ts[1].column(0), Some(&b1));
+        let pred = CompiledPred::compile(&Expr::col(0, 0).eq(Expr::col(1, 0)), &ts);
+        let k = int_join_kernel(&ts, &b0, &b1, &idx, true, &pred);
+        let offsets = vec![0u32; 2];
+        let mut state = vec![0u32; 2];
+        let mut rows = vec![0u32; 2];
+        let mut out = Collect {
+            full_at: Some(2),
+            ..Default::default()
+        };
+        let (res, _) = k.run(
+            &offsets,
+            &mut state,
+            u64::MAX,
+            k.card0(),
+            &mut rows,
+            &mut out,
+        );
+        assert_eq!(res, ContinueResult::BudgetSpent);
+        assert_eq!(out.tuples.len(), 2);
+        // Resuming without the limit completes the remaining three.
+        out.full_at = None;
+        let (res, _) = k.run(
+            &offsets,
+            &mut state,
+            u64::MAX,
+            k.card0(),
+            &mut rows,
+            &mut out,
+        );
+        assert_eq!(res, ContinueResult::Exhausted);
+        assert_eq!(out.tuples.len(), 5);
+    }
+
+    #[test]
+    fn scan_class_matches_int_chain() {
+        let ts = tables();
+        let (b0, b1) = (base(4), base(4));
+        let idx = HashIndex::build(ts[1].column(0), Some(&b1));
+        let pred = CompiledPred::compile(&Expr::col(0, 0).eq(Expr::col(1, 0)), &ts);
+        let indexed = int_join_kernel(&ts, &b0, &b1, &idx, true, &pred);
+        // Same join compiled as a pure scan (no index available).
+        let positions = vec![
+            KernelPosition {
+                table: 0,
+                card: 4,
+                base: &b0,
+                preds: vec![],
+                jump: KernelJump::Scan,
+                elided: false,
+            },
+            KernelPosition {
+                table: 1,
+                card: 4,
+                base: &b1,
+                preds: vec![pred.bind(&ts)],
+                jump: KernelJump::Scan,
+                elided: false,
+            },
+        ];
+        let key = KernelKey::new(
+            2,
+            positions
+                .iter()
+                .map(|p| (p.jump.kind(), p.preds.as_slice(), p.elided)),
+        );
+        let scan = CompiledKernel::new(key, positions).expect("supported");
+        assert_eq!(scan.class(), KernelClass::Scan);
+        let offsets = vec![0u32; 2];
+        let mut rows = vec![0u32; 2];
+        let mut run = |k: &CompiledKernel<'_>| {
+            let mut state = vec![0u32; 2];
+            let mut out = Collect::default();
+            k.run(
+                &offsets,
+                &mut state,
+                u64::MAX,
+                k.card0(),
+                &mut rows,
+                &mut out,
+            );
+            out.tuples
+        };
+        assert_eq!(run(&scan), run(&indexed));
+    }
+
+    #[test]
+    fn float_keys_take_mixed_class_and_reverify() {
+        let ts: Vec<TableRef> = vec![
+            Arc::new(
+                Table::new(
+                    "a",
+                    Schema::new([ColumnDef::new("k", ValueType::Float)]),
+                    vec![Column::from_floats(vec![0.5, 1.5, 2.5])],
+                )
+                .unwrap(),
+            ),
+            Arc::new(
+                Table::new(
+                    "b",
+                    Schema::new([ColumnDef::new("k", ValueType::Float)]),
+                    vec![Column::from_floats(vec![1.5, 0.5, 1.5])],
+                )
+                .unwrap(),
+            ),
+        ];
+        let (b0, b1) = (base(3), base(3));
+        let idx = HashIndex::build(ts[1].column(0), Some(&b1));
+        let pred = CompiledPred::compile(&Expr::col(0, 0).eq(Expr::col(1, 0)), &ts);
+        let keys = ts[0].column(0).floats().unwrap();
+        let positions = vec![
+            KernelPosition {
+                table: 0,
+                card: 3,
+                base: &b0,
+                preds: vec![],
+                jump: KernelJump::Scan,
+                elided: false,
+            },
+            KernelPosition {
+                table: 1,
+                card: 3,
+                base: &b1,
+                preds: vec![pred.bind(&ts)],
+                jump: KernelJump::FloatEq {
+                    keys,
+                    src: 0,
+                    index: &idx,
+                },
+                elided: false,
+            },
+        ];
+        let key = KernelKey::new(
+            2,
+            positions
+                .iter()
+                .map(|p| (p.jump.kind(), p.preds.as_slice(), p.elided)),
+        );
+        let k = CompiledKernel::new(key, positions).expect("supported");
+        assert_eq!(k.class(), KernelClass::Mixed);
+        assert_eq!(k.key().jump(1), JumpKind::Float);
+        let offsets = vec![0u32; 2];
+        let mut state = vec![0u32; 2];
+        let mut rows = vec![0u32; 2];
+        let mut out = Collect::default();
+        let (res, _) = k.run(
+            &offsets,
+            &mut state,
+            u64::MAX,
+            k.card0(),
+            &mut rows,
+            &mut out,
+        );
+        assert_eq!(res, ContinueResult::Exhausted);
+        assert_eq!(out.tuples, vec![vec![0, 1], vec![1, 0], vec![1, 2]]);
+    }
+
+    #[test]
+    fn unsupported_shapes_refuse_to_build() {
+        let ts = tables();
+        let b0 = base(4);
+        let one = vec![KernelPosition {
+            table: 0,
+            card: 4,
+            base: &b0,
+            preds: vec![],
+            jump: KernelJump::Scan,
+            elided: false,
+        }];
+        let key = KernelKey::new(
+            1,
+            one.iter()
+                .map(|p| (p.jump.kind(), p.preds.as_slice(), false)),
+        );
+        assert!(CompiledKernel::new(key, one).is_none());
+        let _ = ts;
+    }
+}

@@ -1,0 +1,196 @@
+//! Kernel shape keys: what makes two (query, order) pairs share a
+//! compiled kernel.
+//!
+//! A compiled kernel is specialized on the *shape* of a bound order plan
+//! — how many tables it joins, what kind of index jump drives each
+//! position, and the structural fingerprint of each position's predicate
+//! set — not on the data or the constants. [`KernelKey`] captures exactly
+//! that shape, so the [`KernelCache`](crate::KernelCache) can recognize a
+//! repeated shape across slices, across orders, and across queries (a
+//! warm service-layer template produces the same keys as its first
+//! execution).
+
+use skinner_query::BoundPred;
+use skinner_storage::hash::FxHasher;
+use std::fmt;
+use std::hash::Hasher;
+
+/// Smallest join-order arity with a compiled kernel.
+pub const MIN_KERNEL_TABLES: usize = 2;
+/// Largest join-order arity with a compiled kernel. Orders outside
+/// `MIN..=MAX` fall back to the plan-bound kernel.
+pub const MAX_KERNEL_TABLES: usize = 6;
+
+/// The kind of tuple advance at one join-order position, as seen by the
+/// kernel compiler (the shape-level projection of the engine's bound
+/// `KeyCol`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum JumpKind {
+    /// No hash-index jump: candidates are consecutive filtered positions.
+    #[default]
+    Scan,
+    /// Index jump keyed by a non-nullable `i64` column. Postings are
+    /// exact (integer keys are their own join keys), so the driving
+    /// equality predicate can be elided when it compiled to the exact
+    /// integer fast path.
+    Int,
+    /// Index jump keyed by a non-nullable `f64` column (bit-pattern
+    /// keys). Postings enumerate the right candidates but predicates are
+    /// always re-verified (NaN never equals itself even when the bits do).
+    Float,
+    /// Any other key source (strings, nullable columns): not compiled —
+    /// the whole order falls back to the plan-bound kernel.
+    Other,
+}
+
+/// Shape identity of a compiled kernel: table count, per-position jump
+/// kind, and a fingerprint of the per-position predicate shapes (variant
+/// tags plus elision flags, no constants). Equal keys ⇒ the same
+/// monomorphized kernel instance executes the order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KernelKey {
+    /// Number of joined tables (join-order positions).
+    tables: u8,
+    /// Jump kind per position (`Scan`-padded past `tables`).
+    jumps: [JumpKind; MAX_KERNEL_TABLES],
+    /// Structural fingerprint of the per-position predicate sets.
+    pred_fp: u64,
+}
+
+impl KernelKey {
+    /// Build the key for an order of `m` tables from per-position
+    /// `(jump kind, predicate set, jump-predicate elided)` descriptions.
+    /// `positions` must yield exactly `m` entries; `m` may exceed
+    /// [`MAX_KERNEL_TABLES`] (the key then reports itself unsupported).
+    pub fn new<'a, I>(m: usize, positions: I) -> KernelKey
+    where
+        I: IntoIterator<Item = (JumpKind, &'a [BoundPred<'a>], bool)>,
+    {
+        let mut jumps = [JumpKind::Scan; MAX_KERNEL_TABLES];
+        let mut h = FxHasher::default();
+        h.write_usize(m);
+        for (i, (kind, preds, elided)) in positions.into_iter().enumerate() {
+            if i < MAX_KERNEL_TABLES {
+                jumps[i] = kind;
+            }
+            h.write_u8(kind as u8);
+            h.write_u8(u8::from(elided));
+            h.write_usize(preds.len());
+            for p in preds {
+                h.write_u8(p.shape_tag());
+            }
+        }
+        KernelKey {
+            tables: m.min(u8::MAX as usize) as u8,
+            jumps,
+            pred_fp: h.finish(),
+        }
+    }
+
+    /// Number of joined tables.
+    pub fn tables(&self) -> usize {
+        self.tables as usize
+    }
+
+    /// Jump kind at position `i` (`Scan` past the table count).
+    pub fn jump(&self, i: usize) -> JumpKind {
+        self.jumps.get(i).copied().unwrap_or(JumpKind::Scan)
+    }
+
+    /// The predicate-shape fingerprint.
+    pub fn pred_fingerprint(&self) -> u64 {
+        self.pred_fp
+    }
+
+    /// Whether a compiled kernel exists for this shape: arity within
+    /// `2..=6` and no [`JumpKind::Other`] position.
+    pub fn supported(&self) -> bool {
+        (MIN_KERNEL_TABLES..=MAX_KERNEL_TABLES).contains(&self.tables())
+            && self.jumps[..self.tables().min(MAX_KERNEL_TABLES)]
+                .iter()
+                .all(|k| *k != JumpKind::Other)
+    }
+
+    /// The projection of this key that kernel-class resolution depends
+    /// on: table count and per-position jump kinds, *without* the
+    /// predicate fingerprint. This is what the
+    /// [`KernelCache`](crate::KernelCache) memoizes — its domain is
+    /// finite, so the cache is naturally bounded.
+    pub fn class_key(&self) -> ClassKey {
+        ClassKey {
+            tables: self.tables,
+            jumps: self.jumps,
+        }
+    }
+
+    /// A stable 64-bit digest of the whole key (logging, cache dumps).
+    pub fn digest(&self) -> u64 {
+        let mut h = FxHasher::default();
+        h.write_u8(self.tables);
+        for k in &self.jumps {
+            h.write_u8(*k as u8);
+        }
+        h.write_u64(self.pred_fp);
+        h.finish()
+    }
+}
+
+/// The class-determining projection of a [`KernelKey`]: table count +
+/// per-position jump kinds (see [`KernelKey::class_key`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClassKey {
+    tables: u8,
+    jumps: [JumpKind; MAX_KERNEL_TABLES],
+}
+
+impl fmt::Display for KernelKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}[", self.tables)?;
+        for i in 0..self.tables().min(MAX_KERNEL_TABLES) {
+            let c = match self.jumps[i] {
+                JumpKind::Scan => 's',
+                JumpKind::Int => 'i',
+                JumpKind::Float => 'f',
+                JumpKind::Other => 'o',
+            };
+            f.write_fmt(format_args!("{c}"))?;
+        }
+        write!(f, "]#{:08x}", self.pred_fp as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(m: usize, kinds: &[JumpKind]) -> KernelKey {
+        KernelKey::new(m, kinds.iter().map(|&k| (k, &[][..], false)))
+    }
+
+    #[test]
+    fn supported_range_and_kinds() {
+        assert!(key(2, &[JumpKind::Scan, JumpKind::Int]).supported());
+        assert!(key(6, &[JumpKind::Scan; 6]).supported());
+        assert!(!key(1, &[JumpKind::Scan]).supported());
+        assert!(!key(7, &[JumpKind::Scan; 7]).supported());
+        assert!(!key(3, &[JumpKind::Scan, JumpKind::Other, JumpKind::Int]).supported());
+    }
+
+    #[test]
+    fn keys_distinguish_shapes() {
+        let a = key(3, &[JumpKind::Scan, JumpKind::Int, JumpKind::Int]);
+        let b = key(3, &[JumpKind::Scan, JumpKind::Int, JumpKind::Float]);
+        let c = key(
+            4,
+            &[JumpKind::Scan, JumpKind::Int, JumpKind::Int, JumpKind::Int],
+        );
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, key(3, &[JumpKind::Scan, JumpKind::Int, JumpKind::Int]));
+        assert_ne!(a.digest(), b.digest());
+        assert_eq!(
+            format!("{a}"),
+            format!("m3[sii]#{:08x}", a.pred_fingerprint() as u32)
+        );
+    }
+}

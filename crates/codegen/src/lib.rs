@@ -1,0 +1,42 @@
+//! # skinner-codegen
+//!
+//! Per-query specialized join kernels: the reproduction's stand-in for
+//! Skinner-C's per-query code generation (§6 of Trummer et al., SIGMOD
+//! 2019).
+//!
+//! The paper compiles each query into a specialized execution loop so
+//! that the millions of per-tuple steps the regret-bounded executor
+//! takes are branch-free. This crate is the safe-Rust analogue, one
+//! layer above the engine's plan-time binding:
+//!
+//! * [`KernelKey`] — the *shape* of a (query, order) pair: table count,
+//!   per-position key-column kind, predicate-shape fingerprint. Equal
+//!   keys execute on the same monomorphized kernel instance.
+//! * [`CompiledKernel`] — a bound order compiled into a fixed-arity,
+//!   class-typed DFS loop (see [`kernel`]): const-generic table count
+//!   (2..=6), posting-list cursors instead of per-advance index probes,
+//!   and elision of index-implied equality predicates.
+//! * [`KernelCache`] — memoizes shape resolutions across slices, orders,
+//!   queries, and service sessions, so repeated shapes (including warm
+//!   service-layer templates) skip kernel-construction analysis.
+//!
+//! The engine (`skinner-engine`) selects between three execution tiers
+//! per join order — generic reference kernel → plan-bound kernel →
+//! compiled kernel — falling back to the plan-bound tier for shapes this
+//! crate does not compile (arity outside 2..=6, string/nullable key
+//! columns). All three tiers speak the [`ResultSink`] protocol defined
+//! here and produce byte-for-byte identical results; the differential
+//! properties in the workspace's `tests/property.rs` enforce that.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod kernel;
+pub mod key;
+pub mod sink;
+
+pub use cache::{KernelCache, KernelCacheStats};
+pub use kernel::{CompiledKernel, KernelClass, KernelJump, KernelPosition};
+pub use key::{ClassKey, JumpKind, KernelKey, MAX_KERNEL_TABLES, MIN_KERNEL_TABLES};
+pub use sink::{ContinueResult, ResultSink};

@@ -22,6 +22,15 @@
 //! UCT → restore state → run the multi-way join for a fixed step budget →
 //! compute a progress-based reward → update UCT → back up state.
 //!
+//! Each chosen order executes on one of **three tiers** (see
+//! `ARCHITECTURE.md`): the generic reference kernel (differential
+//! oracle), the plan-bound kernel ([`OrderPlan`](prepare::OrderPlan):
+//! typed slices, direct index references), or — for supported shapes —
+//! a compiled kernel from [`skinner_codegen`] (const-generic arity,
+//! posting-list cursors, elided index-implied predicates). Tier
+//! selection is per order with automatic fallback; all tiers produce
+//! byte-for-byte identical results.
+//!
 //! Beyond the paper's implementation, the join phase can run each slice
 //! across multiple worker threads by offset-range partitioning of the
 //! left-most table ([`partition`]): workers execute disjoint chunks of
@@ -44,8 +53,13 @@ pub use metrics::ExecMetrics;
 pub use multiway::{ContinueResult, LimitSink, MultiwayJoin, ResultSink};
 pub use partition::PartitionSpec;
 pub use prepare::PreparedQuery;
+// The codegen tier's public surface, re-exported for drivers that
+// compile kernels or share a cross-query kernel cache.
 pub use progress::ProgressTracker;
 pub use reward::RewardKind;
 pub use skinner_c::{
     LearnedState, OrderPolicy, RunOptions, SkinnerC, SkinnerCConfig, SkinnerOutcome, StopReason,
+};
+pub use skinner_codegen::{
+    CompiledKernel, JumpKind, KernelCache, KernelCacheStats, KernelClass, KernelKey,
 };

@@ -27,6 +27,15 @@ pub struct ExecMetrics {
     /// UCT nodes adopted from a prior execution's snapshot at run start
     /// (0 = cold start; see `RunOptions::prior`).
     pub warm_start_nodes: usize,
+    /// Join orders compiled to the codegen tier (specialized kernels).
+    pub codegen_orders: usize,
+    /// Join orders that fell back to the plan-bound kernel because no
+    /// compiled kernel exists for their shape (arity outside 2..=6 or
+    /// string/nullable key columns). Only counted when the codegen tier
+    /// is enabled.
+    pub fallback_orders: usize,
+    /// Slices executed on a compiled kernel (the rest ran plan-bound).
+    pub codegen_slices: u64,
     /// Wall time in pre-processing.
     pub preprocess_time: Duration,
     /// Wall time in the join phase.

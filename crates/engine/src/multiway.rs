@@ -44,41 +44,16 @@
 
 use crate::partition::{fold_outcomes, ChunkOutcome, PartitionSpec, WorkerScratch};
 use crate::prepare::{BoundPosition, OrderPlan, OrderSpec, PreparedQuery};
+use skinner_codegen::CompiledKernel;
+// The sink protocol moved to `skinner-codegen` (every execution tier
+// speaks it); re-exported here under the historical paths.
+pub use skinner_codegen::{ContinueResult, ResultSink};
 use skinner_query::TableId;
 use skinner_storage::hash::FxHasher;
 use skinner_storage::RowId;
 use std::hash::Hasher;
 
-/// Why a slice ended.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ContinueResult {
-    /// The left-most table's tuples are exhausted: the join (under this
-    /// order, with current offsets) is complete.
-    Exhausted,
-    /// The step budget ran out mid-search; state holds the cursor.
-    BudgetSpent,
-}
-
 const EMPTY_SLOT: u32 = u32::MAX;
-
-/// Destination of result tuples for the join kernels. Monomorphized, so
-/// alternative sinks (counting, the boxed reference implementation in
-/// the benches) cost nothing on the hot path.
-pub trait ResultSink {
-    /// Insert a tuple (base row ids in FROM order); false if duplicate.
-    fn insert(&mut self, tuple: &[RowId]) -> bool;
-
-    /// True once the sink needs no more tuples (e.g. a LIMIT target was
-    /// reached). Kernels consult this after each insert and suspend the
-    /// slice early — the cursor state is identical to a budget
-    /// exhaustion, so resumption and progress tracking are unaffected.
-    /// Default: never full (statically false for the plain sinks, so the
-    /// check monomorphizes away on the hot path).
-    #[inline]
-    fn is_full(&self) -> bool {
-        false
-    }
-}
 
 impl ResultSink for ResultSet {
     #[inline]
@@ -394,8 +369,16 @@ impl<'a> MultiwayJoin<'a> {
         if self.threads > 1 {
             let spec = PartitionSpec::split(state[t0], end0, self.threads);
             if spec.len() > 1 {
-                return self
-                    .continue_join_partitioned(&spec, plan, offsets, state, budget, results);
+                let run_chunk = |state: &mut [u32],
+                                 chunk_budget: u64,
+                                 hi: u32,
+                                 rows: &mut [RowId],
+                                 sink: &mut ShardSink<'_>| {
+                    run_plan_kernel(positions, offsets, state, chunk_budget, hi, rows, sink)
+                };
+                return self.continue_join_partitioned(
+                    m, t0, end0, &spec, offsets, state, budget, results, run_chunk,
+                );
             }
         }
         self.chunks_run += 1;
@@ -410,21 +393,74 @@ impl<'a> MultiwayJoin<'a> {
         )
     }
 
-    /// The parallel slice: one kernel run per offset chunk on scoped
-    /// worker threads, then a deterministic merge + cursor fold.
-    fn continue_join_partitioned<R: ResultSink>(
+    /// Execute a *compiled* kernel (the codegen tier — see
+    /// `skinner-codegen`) from cursor `state`, with the same slice
+    /// semantics, partitioning behaviour, and cursor contract as
+    /// [`continue_join`](MultiwayJoin::continue_join): with more than
+    /// one configured worker thread the remaining left-most range splits
+    /// into offset chunks and every chunk runs the compiled kernel on
+    /// its own worker. The caller guarantees `kernel` was compiled from
+    /// the same prepared query and order as the plan it replaces.
+    pub fn continue_join_compiled<R: ResultSink>(
         &mut self,
-        spec: &PartitionSpec,
-        plan: &OrderPlan<'_>,
+        kernel: &CompiledKernel<'_>,
         offsets: &[u32],
         state: &mut [u32],
         budget: u64,
         results: &mut R,
     ) -> (ContinueResult, u64) {
-        let positions = plan.positions.as_slice();
-        let m = positions.len();
-        let t0 = positions[0].table;
-        let end0 = positions[0].card;
+        let m = kernel.num_tables();
+        debug_assert_eq!(m, self.pq.num_tables());
+        let t0 = kernel.table0();
+        let end0 = kernel.card0();
+
+        // Immediate exhaustion (restored past the end).
+        if state[t0] >= end0 {
+            return (ContinueResult::Exhausted, 0);
+        }
+
+        if self.threads > 1 {
+            let spec = PartitionSpec::split(state[t0], end0, self.threads);
+            if spec.len() > 1 {
+                let run_chunk = |state: &mut [u32],
+                                 chunk_budget: u64,
+                                 hi: u32,
+                                 rows: &mut [RowId],
+                                 sink: &mut ShardSink<'_>| {
+                    kernel.run(offsets, state, chunk_budget, hi, rows, sink)
+                };
+                return self.continue_join_partitioned(
+                    m, t0, end0, &spec, offsets, state, budget, results, run_chunk,
+                );
+            }
+        }
+        self.chunks_run += 1;
+        kernel.run(offsets, state, budget, end0, &mut self.rows, results)
+    }
+
+    /// The parallel slice, shared by the plan-bound and compiled tiers:
+    /// one `run_chunk` invocation per offset chunk on scoped worker
+    /// threads, then a deterministic merge + cursor fold. `run_chunk`
+    /// executes one chunk's kernel `(state, chunk_budget, hi, rows,
+    /// shard)` with the left-most coordinate bounded by `hi`.
+    #[allow(clippy::too_many_arguments)]
+    fn continue_join_partitioned<R, K>(
+        &mut self,
+        m: usize,
+        t0: TableId,
+        end0: u32,
+        spec: &PartitionSpec,
+        offsets: &[u32],
+        state: &mut [u32],
+        budget: u64,
+        results: &mut R,
+        run_chunk: K,
+    ) -> (ContinueResult, u64)
+    where
+        R: ResultSink,
+        K: Fn(&mut [u32], u64, u32, &mut [RowId], &mut ShardSink<'_>) -> (ContinueResult, u64)
+            + Sync,
+    {
         let n = spec.len();
         self.chunks_run += n as u64;
         if self.scratch.len() < n {
@@ -456,17 +492,10 @@ impl<'a> MultiwayJoin<'a> {
                     out,
                     outcome,
                 } = ws;
+                let run_chunk = &run_chunk;
                 scope.spawn(move || {
                     let mut sink = ShardSink { out };
-                    let (result, steps) = run_plan_kernel(
-                        positions,
-                        offsets,
-                        state,
-                        chunk_budget,
-                        hi,
-                        rows,
-                        &mut sink,
-                    );
+                    let (result, steps) = run_chunk(state, chunk_budget, hi, rows, &mut sink);
                     *outcome = Some(ChunkOutcome { result, steps });
                 });
             }
@@ -483,10 +512,9 @@ impl<'a> MultiwayJoin<'a> {
         let (res, steps) = fold_outcomes(scratch, state);
         if res == ContinueResult::Exhausted {
             // Mirror the sequential end state: left-most cursor at the
-            // end, deeper coordinates back at their floors.
-            for pos in positions.iter().skip(1) {
-                state[pos.table] = offsets[pos.table];
-            }
+            // end, deeper coordinates back at their floors (the order's
+            // positions cover every table exactly once).
+            state.copy_from_slice(&offsets[..state.len()]);
             state[t0] = end0;
         }
         (res, steps)
@@ -792,6 +820,28 @@ mod tests {
         out
     }
 
+    /// Same, through the compiled (codegen-tier) kernel.
+    fn run_order_compiled(
+        q: &Query,
+        order: &[usize],
+        indexes: bool,
+        threads: usize,
+    ) -> Vec<Vec<u32>> {
+        let pq = PreparedQuery::new(q, indexes, 1);
+        let plan = pq.plan_order(order);
+        let kernel = plan.compile_kernel(None).expect("supported shape");
+        let mut join = MultiwayJoin::with_threads(&pq, threads);
+        let offsets = vec![0u32; pq.num_tables()];
+        let mut state = offsets.clone();
+        let mut rs = ResultSet::new();
+        let (res, _) =
+            join.continue_join_compiled(&kernel, &offsets, &mut state, u64::MAX, &mut rs);
+        assert_eq!(res, ContinueResult::Exhausted);
+        let mut out: Vec<Vec<u32>> = rs.iter().map(|t| t.to_vec()).collect();
+        out.sort();
+        out
+    }
+
     /// Same, through the generic reference kernel.
     fn run_order_generic(q: &Query, order: &[usize], indexes: bool) -> Vec<Vec<u32>> {
         let pq = PreparedQuery::new(q, indexes, 1);
@@ -838,6 +888,55 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn compiled_kernel_matches_specialized_all_orders() {
+        let cat = catalog();
+        let q = three_way(&cat);
+        let expected = run_order(&q, &[0, 1, 2], true);
+        for order in [vec![0usize, 1, 2], vec![1, 0, 2], vec![2, 1, 0]] {
+            for indexes in [true, false] {
+                for threads in [1, 3] {
+                    assert_eq!(
+                        run_order_compiled(&q, &order, indexes, threads),
+                        expected,
+                        "codegen divergence: order {order:?} indexes {indexes} threads {threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_kernel_slicing_preserves_results() {
+        let cat = catalog();
+        let q = three_way(&cat);
+        let expected = run_order(&q, &[0, 1, 2], true);
+        let pq = PreparedQuery::new(&q, true, 1);
+        let plan = pq.plan_order(&[0, 1, 2]);
+        let kernel = plan.compile_kernel(None).expect("supported shape");
+        // The string-free int chain elides its jump predicates entirely.
+        assert!(kernel.positions()[1..].iter().all(|p| p.elided));
+        let mut join = MultiwayJoin::new(&pq);
+        let offsets = vec![0u32; 3];
+        let mut state = vec![0u32; 3];
+        let mut rs = ResultSet::new();
+        let mut slices = 0;
+        loop {
+            slices += 1;
+            assert!(slices < 10_000, "no termination");
+            let (res, steps) =
+                join.continue_join_compiled(&kernel, &offsets, &mut state, 12, &mut rs);
+            assert!(steps <= 12);
+            if res == ContinueResult::Exhausted {
+                break;
+            }
+        }
+        let mut got: Vec<Vec<u32>> = rs.iter().map(|t| t.to_vec()).collect();
+        got.sort();
+        assert_eq!(got, expected);
+        assert!(slices > 1, "test should actually slice");
     }
 
     #[test]

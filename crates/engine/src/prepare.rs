@@ -36,6 +36,9 @@
 //! position's predicate vector into straight-line generated code — is
 //! tracked in ROADMAP.md.
 
+use skinner_codegen::{
+    CompiledKernel, JumpKind, KernelCache, KernelClass, KernelJump, KernelKey, KernelPosition,
+};
 use skinner_query::{compile_predicates, BoundPred, CompiledPred, Query, TableId, TableSet};
 use skinner_storage::table::TableRef;
 use skinner_storage::{Column, FxHashMap, HashIndex, RowId};
@@ -196,6 +199,10 @@ impl PreparedQuery {
                                     index_col: tc.column,
                                     src_table: oc.table,
                                     src_col: oc.column,
+                                    // The equi conjunct was just pushed:
+                                    // its index in this position's
+                                    // applicable/preds list.
+                                    pred: applicable.len() - 1,
                                 });
                             }
                         }
@@ -235,6 +242,7 @@ impl PreparedQuery {
                         index: &self.indexes[&(t, j.index_col)],
                         src_table: j.src_table,
                         key: KeyCol::bind(src),
+                        pred: j.pred,
                     }
                 });
                 BoundPosition {
@@ -299,6 +307,10 @@ pub struct BoundJump<'a> {
     pub src_table: TableId,
     /// Key-column accessor, specialized to the column's representation.
     pub key: KeyCol<'a>,
+    /// Index (within this position's `preds`) of the equality conjunct
+    /// that drives the jump — the predicate a compiled kernel may elide
+    /// when the index provably implies it.
+    pub pred: usize,
 }
 
 /// One fully bound position of an [`OrderPlan`]: the table's filtered
@@ -327,6 +339,103 @@ pub struct OrderPlan<'a> {
     pub positions: Vec<BoundPosition<'a>>,
 }
 
+impl<'a> OrderPlan<'a> {
+    /// The shape key of this plan (see `skinner-codegen`): table count,
+    /// per-position key-column kind, predicate-shape fingerprint. Two
+    /// plans with equal keys execute on the same compiled kernel
+    /// instance, so the key is what the cross-query
+    /// [`KernelCache`] memoizes.
+    pub fn kernel_key(&self) -> KernelKey {
+        KernelKey::new(
+            self.positions.len(),
+            self.positions.iter().map(|p| {
+                let kind = match &p.jump {
+                    None => JumpKind::Scan,
+                    Some(j) => match j.key {
+                        KeyCol::Int(_) => JumpKind::Int,
+                        KeyCol::Float(_) => JumpKind::Float,
+                        KeyCol::Other(_) => JumpKind::Other,
+                    },
+                };
+                let elided = kind == JumpKind::Int
+                    && p.jump
+                        .as_ref()
+                        .is_some_and(|j| p.preds[j.pred].is_exact_int_eq());
+                (kind, p.preds.as_slice(), elided)
+            }),
+        )
+    }
+
+    /// Compile this plan into a specialized kernel (the codegen
+    /// execution tier), or `None` when the shape has no compiled kernel
+    /// — arity outside 2..=6 tables, or a jump keyed by a string or
+    /// nullable column ([`KeyCol::Other`]) — in which case the caller
+    /// keeps executing the plan-bound kernel.
+    ///
+    /// `cache` (when given) memoizes the shape resolution across
+    /// queries: a hit skips the per-position support and elision
+    /// analysis. The returned kernel borrows the same prepared-query
+    /// data as the plan itself.
+    pub fn compile_kernel(&self, cache: Option<&KernelCache>) -> Option<CompiledKernel<'a>> {
+        let key = self.kernel_key();
+        let analyze = || {
+            key.supported()
+                .then(|| KernelClass::of((0..key.tables()).map(|i| key.jump(i))))
+        };
+        match cache {
+            Some(cache) => cache.resolve(&key, analyze)?,
+            None => analyze()?,
+        };
+        let positions = self
+            .positions
+            .iter()
+            .map(|p| {
+                let (jump, elided) = match &p.jump {
+                    None => (KernelJump::Scan, false),
+                    Some(j) => match j.key {
+                        KeyCol::Int(keys) => (
+                            KernelJump::IntEq {
+                                keys,
+                                src: j.src_table,
+                                index: j.index,
+                            },
+                            p.preds[j.pred].is_exact_int_eq(),
+                        ),
+                        KeyCol::Float(keys) => (
+                            KernelJump::FloatEq {
+                                keys,
+                                src: j.src_table,
+                                index: j.index,
+                            },
+                            false,
+                        ),
+                        KeyCol::Other(_) => unreachable!("unsupported shape passed resolution"),
+                    },
+                };
+                let preds = match (&p.jump, elided) {
+                    (Some(j), true) => p
+                        .preds
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i != j.pred)
+                        .map(|(_, p)| *p)
+                        .collect(),
+                    _ => p.preds.clone(),
+                };
+                KernelPosition {
+                    table: p.table,
+                    card: p.card,
+                    base: p.base,
+                    preds,
+                    jump,
+                    elided,
+                }
+            })
+            .collect();
+        CompiledKernel::new(key, positions)
+    }
+}
+
 /// Equality-predicate jump at one join-order position (§4.5: "jump
 /// directly to the next highest tuple index that satisfies at least all
 /// applicable equality predicates"), as logical indices.
@@ -338,6 +447,9 @@ pub struct JumpSpec {
     pub src_table: TableId,
     /// Key column in the earlier table.
     pub src_col: usize,
+    /// Index of the driving equality conjunct within this position's
+    /// applicable-predicate list.
+    pub pred: usize,
 }
 
 /// Per-position logical plan for one join order (indices into the

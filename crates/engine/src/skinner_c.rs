@@ -14,12 +14,13 @@
 //! for the Table 5 ablation — uniformly at random.
 
 use crate::metrics::ExecMetrics;
-use crate::multiway::{ContinueResult, LimitSink, MultiwayJoin, ResultSet};
+use crate::multiway::{ContinueResult, LimitSink, MultiwayJoin, ResultSet, ResultSink};
 use crate::prepare::{OrderPlan, PreparedQuery};
 use crate::progress::ProgressTracker;
 use crate::reward::{reward, RewardKind};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use skinner_codegen::{CompiledKernel, KernelCache};
 use skinner_query::{Query, TableId};
 use skinner_storage::{FxHashMap, RowId};
 use skinner_uct::{JoinOrderSpace, SearchSpace, TreeSnapshot, UctConfig, UctTree};
@@ -64,6 +65,14 @@ pub struct SkinnerCConfig {
     /// [`crate::partition`]). `1` reproduces the paper's sequential join
     /// phase exactly.
     pub threads: usize,
+    /// Execute supported join orders on the codegen tier (per-shape
+    /// compiled kernels, see `skinner-codegen`) instead of the
+    /// plan-bound kernel. Orders whose shape has no compiled kernel
+    /// (arity outside 2..=6, string/nullable key columns) fall back to
+    /// the plan-bound kernel either way; results are identical in every
+    /// case (the differential properties enforce it), so this switch
+    /// only trades compilation for interpretation.
+    pub codegen: bool,
     /// Order selection policy (UCT, or uniform random for the Table 5
     /// ablation).
     pub policy: OrderPolicy,
@@ -82,6 +91,7 @@ impl Default for SkinnerCConfig {
             reward: RewardKind::ScaledDeltas,
             use_indexes: true,
             threads: 1,
+            codegen: true,
             policy: OrderPolicy::Uct,
             seed: 0x5EED,
             tree_sample_every: 64,
@@ -131,6 +141,11 @@ pub struct RunOptions<'a> {
     pub target_rows: Option<u64>,
     /// Capture a [`LearnedState`] in the outcome for the learning cache.
     pub capture_learning: bool,
+    /// Cross-query kernel cache (see `skinner-codegen`): memoizes
+    /// kernel-shape resolutions so repeated shapes — including the
+    /// pre-bound orders of a warm service-layer template — skip
+    /// kernel-construction analysis. `None` resolves shapes locally.
+    pub kernel_cache: Option<&'a KernelCache>,
 }
 
 /// Learned join-order state captured from one execution, reusable by a
@@ -278,10 +293,17 @@ impl SkinnerC {
         let mut offsets = vec![0u32; m];
         let mut results = ResultSet::new();
         let mut join = MultiwayJoin::with_threads(&pq, cfg.threads);
-        let mut plan_cache: FxHashMap<Vec<TableId>, OrderPlan<'_>> = FxHashMap::default();
+        // Per-order execution state: the bound plan plus, when the
+        // codegen tier is on and the shape is supported, the compiled
+        // kernel (tier three). Bound once per order, reused across every
+        // slice and partitioned chunk.
+        let mut plan_cache: FxHashMap<Vec<TableId>, PlannedOrder<'_>> = FxHashMap::default();
         for order in opts.planned_orders {
             if is_permutation(order, m) && !plan_cache.contains_key(order.as_slice()) {
-                plan_cache.insert(order.clone(), pq.plan_order(order));
+                plan_cache.insert(
+                    order.clone(),
+                    bind_order(&pq, cfg.codegen, opts.kernel_cache, order, &mut metrics),
+                );
             }
         }
 
@@ -320,21 +342,32 @@ impl SkinnerC {
             // Look up by slice first: cloning the order `Vec` only on the
             // first sighting, not on the thousands of cache hits.
             if !plan_cache.contains_key(order.as_slice()) {
-                plan_cache.insert(order.clone(), pq.plan_order(&order));
+                plan_cache.insert(
+                    order.clone(),
+                    bind_order(&pq, cfg.codegen, opts.kernel_cache, &order, &mut metrics),
+                );
             }
-            let plan = &plan_cache[order.as_slice()];
+            let planned = &plan_cache[order.as_slice()];
 
             tracker.restore_into(&order, &offsets, &mut state);
             before.copy_from_slice(&state);
 
+            if planned.kernel.is_some() {
+                metrics.codegen_slices += 1;
+            }
             let (res, steps) = match opts.target_rows {
                 Some(target) => {
                     let mut sink = LimitSink::new(&mut results, target);
-                    join.continue_join(&order, plan, &offsets, &mut state, budget, &mut sink)
+                    planned.run_slice(&mut join, &order, &offsets, &mut state, budget, &mut sink)
                 }
-                None => {
-                    join.continue_join(&order, plan, &offsets, &mut state, budget, &mut results)
-                }
+                None => planned.run_slice(
+                    &mut join,
+                    &order,
+                    &offsets,
+                    &mut state,
+                    budget,
+                    &mut results,
+                ),
             };
             metrics.steps += steps;
 
@@ -416,6 +449,55 @@ impl SkinnerC {
             learning,
             metrics,
         }
+    }
+}
+
+/// One join order's bound execution state: the plan-bound tier plus the
+/// compiled tier when the shape supports it.
+struct PlannedOrder<'a> {
+    plan: OrderPlan<'a>,
+    kernel: Option<CompiledKernel<'a>>,
+}
+
+impl PlannedOrder<'_> {
+    /// Run one slice on the best available tier (compiled kernel when
+    /// present, plan-bound otherwise).
+    fn run_slice<R: ResultSink>(
+        &self,
+        join: &mut MultiwayJoin<'_>,
+        order: &[TableId],
+        offsets: &[u32],
+        state: &mut [u32],
+        budget: u64,
+        results: &mut R,
+    ) -> (ContinueResult, u64) {
+        match &self.kernel {
+            Some(kernel) => join.continue_join_compiled(kernel, offsets, state, budget, results),
+            None => join.continue_join(order, &self.plan, offsets, state, budget, results),
+        }
+    }
+}
+
+/// Bind one join order for execution: the plan-bound tier always, the
+/// compiled tier when codegen is on and the shape is supported (counted
+/// into the metrics either way).
+fn bind_order<'p>(
+    pq: &'p PreparedQuery,
+    codegen: bool,
+    kernel_cache: Option<&KernelCache>,
+    order: &[TableId],
+    metrics: &mut ExecMetrics,
+) -> PlannedOrder<'p> {
+    let plan = pq.plan_order(order);
+    let kernel = codegen.then(|| plan.compile_kernel(kernel_cache));
+    match &kernel {
+        Some(Some(_)) => metrics.codegen_orders += 1,
+        Some(None) => metrics.fallback_orders += 1,
+        None => {}
+    }
+    PlannedOrder {
+        plan,
+        kernel: kernel.flatten(),
     }
 }
 
@@ -643,6 +725,146 @@ mod tests {
         assert!(m.total_aux_bytes() > 0);
         assert!(m.top_k_share(100) > 0.99);
         assert_eq!(m.result_tuples as u64, out.result_count);
+    }
+
+    #[test]
+    fn codegen_tier_runs_and_can_be_disabled() {
+        let cat = fk_catalog(64);
+        let q = chain_query(&cat, 4);
+        let expected = ground_truth(&q);
+        let on = SkinnerC::new(SkinnerCConfig {
+            budget: 100,
+            ..Default::default()
+        })
+        .run(&q);
+        assert_eq!(on.result_count, expected);
+        // Int FK chain within 2..=6 tables: every order compiles.
+        assert!(on.metrics.codegen_orders > 0);
+        assert_eq!(on.metrics.fallback_orders, 0);
+        assert_eq!(on.metrics.codegen_slices, on.metrics.slices);
+
+        let off = SkinnerC::new(SkinnerCConfig {
+            budget: 100,
+            codegen: false,
+            ..Default::default()
+        })
+        .run(&q);
+        assert_eq!(off.result_count, expected);
+        assert_eq!(off.metrics.codegen_orders, 0);
+        assert_eq!(off.metrics.fallback_orders, 0);
+        assert_eq!(off.metrics.codegen_slices, 0);
+        // Same distinct tuples either way.
+        let mut a: Vec<&[u32]> = on.tuples.chunks_exact(4).collect();
+        let mut b: Vec<&[u32]> = off.tuples.chunks_exact(4).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn string_keyed_join_falls_back_and_stays_correct() {
+        // String join keys bind to `KeyCol::Other`: no compiled kernel
+        // exists, the engine must take the plan-bound tier and still
+        // produce the right answer.
+        let mut cat = Catalog::new();
+        cat.register(
+            Table::new(
+                "s1",
+                Schema::new([ColumnDef::new("k", ValueType::Str)]),
+                vec![Column::from_strs(["a", "b", "c", "a"])],
+            )
+            .unwrap(),
+        );
+        cat.register(
+            Table::new(
+                "s2",
+                Schema::new([ColumnDef::new("k", ValueType::Str)]),
+                vec![Column::from_strs(["b", "a", "a"])],
+            )
+            .unwrap(),
+        );
+        let mut qb = QueryBuilder::new(&cat);
+        qb.table("s1").unwrap();
+        qb.table("s2").unwrap();
+        let j = qb.col("s1.k").unwrap().eq(qb.col("s2.k").unwrap());
+        qb.filter(j);
+        qb.select_col("s1.k").unwrap();
+        let q = qb.build().unwrap();
+        let out = SkinnerC::new(SkinnerCConfig {
+            budget: 16,
+            ..Default::default()
+        })
+        .run(&q);
+        // a⋈a: 2×2, b⋈b: 1×1.
+        assert_eq!(out.result_count, 5);
+        assert_eq!(out.metrics.codegen_orders, 0, "Other keys must not compile");
+        assert!(out.metrics.fallback_orders > 0, "fallback path not taken");
+        assert_eq!(out.metrics.codegen_slices, 0);
+    }
+
+    #[test]
+    fn seven_table_chain_falls_back_and_stays_correct() {
+        // Arity above MAX_KERNEL_TABLES: no compiled kernel; the
+        // plan-bound tier must carry the whole run.
+        let mut cat = Catalog::new();
+        for t in 0..7 {
+            cat.register(
+                Table::new(
+                    format!("c{t}"),
+                    Schema::new([ColumnDef::new("k", ValueType::Int)]),
+                    vec![Column::from_ints((0..6).map(|i| i % 3).collect())],
+                )
+                .unwrap(),
+            );
+        }
+        let mut qb = QueryBuilder::new(&cat);
+        for t in 0..7 {
+            qb.table(&format!("c{t}")).unwrap();
+        }
+        for t in 0..6 {
+            let j = qb
+                .col(&format!("c{t}.k"))
+                .unwrap()
+                .eq(qb.col(&format!("c{}.k", t + 1)).unwrap());
+            qb.filter(j);
+        }
+        qb.select_col("c0.k").unwrap();
+        let q = qb.build().unwrap();
+        let out = SkinnerC::new(SkinnerCConfig {
+            budget: 200,
+            ..Default::default()
+        })
+        .run(&q);
+        // Each key appears twice per table; 3 keys × 2^7 combinations.
+        assert_eq!(out.result_count, 3 * 128);
+        assert_eq!(out.metrics.codegen_orders, 0);
+        assert!(out.metrics.fallback_orders > 0);
+    }
+
+    #[test]
+    fn kernel_cache_hits_across_runs() {
+        let cache = KernelCache::new();
+        let cat = fk_catalog(32);
+        let q = chain_query(&cat, 3);
+        let opts = || RunOptions {
+            kernel_cache: Some(&cache),
+            ..Default::default()
+        };
+        let cfg = SkinnerCConfig {
+            budget: 50,
+            ..Default::default()
+        };
+        let first = SkinnerC::new(cfg).run_with(&q, &opts());
+        let misses_after_first = cache.stats().misses;
+        assert!(misses_after_first > 0, "first run must analyze shapes");
+        let second = SkinnerC::new(cfg).run_with(&q, &opts());
+        assert_eq!(first.result_count, second.result_count);
+        let stats = cache.stats();
+        assert_eq!(
+            stats.misses, misses_after_first,
+            "second run must not re-analyze"
+        );
+        assert!(stats.hits > 0);
     }
 
     #[test]

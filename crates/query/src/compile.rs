@@ -412,6 +412,28 @@ pub enum BoundPred<'a> {
 }
 
 impl BoundPred<'_> {
+    /// Structural variant tag, used by the kernel compiler's shape
+    /// fingerprints (`skinner-codegen`'s `KernelKey`): two predicates
+    /// with equal tags compile to the same inner-loop code.
+    pub fn shape_tag(&self) -> u8 {
+        match self {
+            BoundPred::IntCmpConst { mask, .. } => 0x10 | mask,
+            BoundPred::FloatCmpConst { mask, .. } => 0x20 | mask,
+            BoundPred::StrEqCode { negated, .. } => 0x30 | u8::from(*negated),
+            BoundPred::IntCmpInt { mask, .. } => 0x40 | mask,
+            BoundPred::IntInList { .. } => 0x50,
+            BoundPred::Generic { .. } => 0x60,
+        }
+    }
+
+    /// True for an exact integer equality between two non-nullable `i64`
+    /// columns — the only predicate shape a hash-index jump fully
+    /// implies (integer join keys are the values themselves), and
+    /// therefore the only one the kernel compiler may elide.
+    pub fn is_exact_int_eq(&self) -> bool {
+        matches!(self, BoundPred::IntCmpInt { mask, .. } if *mask == ORD_EQ)
+    }
+
     /// Evaluate against the tuple `rows` (SQL WHERE semantics: NULL is
     /// false). Matches [`CompiledPred::eval`] exactly.
     #[inline(always)]
@@ -607,6 +629,26 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn shape_tags_and_exact_int_eq() {
+        let ts = tables();
+        let bindp = |e: &Expr| CompiledPred::compile(e, &ts);
+        let eq = bindp(&Expr::col(0, 0).eq(Expr::col(1, 0)));
+        let lt = bindp(&Expr::col(0, 0).lt(Expr::col(1, 0)));
+        let konst = bindp(&Expr::col(0, 0).eq(Expr::lit(5)));
+        let like = bindp(&Expr::col(0, 1).like("q%"));
+        assert!(eq.bind(&ts).is_exact_int_eq());
+        assert!(!lt.bind(&ts).is_exact_int_eq());
+        assert!(!konst.bind(&ts).is_exact_int_eq());
+        assert!(!like.bind(&ts).is_exact_int_eq());
+        // Tags separate shapes but ignore constants.
+        let konst2 = bindp(&Expr::col(0, 0).eq(Expr::lit(99)));
+        assert_eq!(konst.bind(&ts).shape_tag(), konst2.bind(&ts).shape_tag());
+        assert_ne!(eq.bind(&ts).shape_tag(), lt.bind(&ts).shape_tag());
+        assert_ne!(eq.bind(&ts).shape_tag(), konst.bind(&ts).shape_tag());
+        assert_ne!(konst.bind(&ts).shape_tag(), like.bind(&ts).shape_tag());
     }
 
     #[test]

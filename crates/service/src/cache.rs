@@ -11,15 +11,26 @@
 //!
 //! # Invalidation
 //!
-//! Every entry records the catalog version it was learned against.
-//! Catalog mutations (registering or replacing a table) bump the
-//! service's version; a lookup that finds a stale entry drops it and
-//! reports a miss. This is deliberately coarse — learned order quality
-//! depends on data distributions, and any table change may shift them —
-//! and it is what keeps warm-started answers byte-for-byte equal to
-//! cold ones: the cache only ever changes *how fast* the learner
-//! converges, never what the join produces, and stale priors are
-//! discarded rather than trusted across data changes.
+//! Every entry records the *per-table* versions it was learned against
+//! (the service bumps a table's version each time [`register_table`]
+//! replaces it). A lookup whose current table versions differ from the
+//! entry's drops it and reports a miss, and a catalog mutation eagerly
+//! purges exactly the entries that touch the mutated table — templates
+//! over unrelated tables keep their learning. This is deliberately
+//! table-granular but version-coarse: learned order quality depends on
+//! data distributions, so *any* change to a touched table discards the
+//! entry. Stale priors are dropped, never trusted, which is what keeps
+//! warm-started answers byte-for-byte equal to cold ones — the cache
+//! only ever changes *how fast* the learner converges.
+//!
+//! # Bounds
+//!
+//! The cache is bounded two ways: a maximum entry count, and an optional
+//! maximum total byte footprint ([`LearningCache::with_limits`]) computed
+//! from the snapshots' own accounting. Exceeding either evicts
+//! least-recently-used entries.
+//!
+//! [`register_table`]: crate::QueryService::register_table
 
 use skinner_engine::LearnedState;
 use skinner_query::TemplateKey;
@@ -27,11 +38,19 @@ use skinner_storage::FxHashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+/// Versions of the tables a cached template touches, in FROM order:
+/// `(table name, per-table catalog version)` pairs. Equality of the
+/// whole vector is the entry's validity condition.
+pub type TableDeps = Vec<(String, u64)>;
+
 /// One cached template's learned state.
 #[derive(Debug, Clone)]
 struct Entry {
     learning: LearnedState,
-    catalog_version: u64,
+    /// Per-table versions the state was learned against.
+    deps: TableDeps,
+    /// Approximate heap footprint, fixed at store time.
+    bytes: usize,
     executions: u64,
     /// Logical clock of the last hit/store (LRU eviction order).
     last_used: u64,
@@ -44,11 +63,11 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups with no entry for the template.
     pub misses: u64,
-    /// Entries dropped because the catalog changed under them.
+    /// Entries dropped because a touched table changed under them.
     pub invalidated: u64,
     /// Stores (first sighting or refresh after an execution).
     pub stores: u64,
-    /// Entries evicted to stay within the capacity bound.
+    /// Entries evicted to stay within the capacity or byte bound.
     pub evicted: u64,
 }
 
@@ -56,14 +75,23 @@ pub struct CacheStats {
 /// [`LearningCache::with_capacity`]).
 pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
 
-/// Thread-safe template-keyed learning cache, bounded to a fixed number
-/// of templates with least-recently-used eviction (UCT snapshots are
-/// small — kilobytes — but a service fed endlessly varying generated
-/// query shapes must not grow without bound).
+#[derive(Debug, Default)]
+struct Inner {
+    map: FxHashMap<TemplateKey, Entry>,
+    /// Sum of `Entry::bytes` over `map` (kept incrementally; the byte
+    /// bound must not cost a full scan per store).
+    total_bytes: usize,
+}
+
+/// Thread-safe template-keyed learning cache, bounded by entry count and
+/// (optionally) by total bytes, with least-recently-used eviction. UCT
+/// snapshots are small — kilobytes — but a service fed endlessly varying
+/// generated query shapes must not grow without bound.
 #[derive(Debug)]
 pub struct LearningCache {
-    entries: Mutex<FxHashMap<TemplateKey, Entry>>,
+    inner: Mutex<Inner>,
     capacity: usize,
+    max_bytes: Option<usize>,
     clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -79,17 +107,25 @@ impl Default for LearningCache {
 }
 
 impl LearningCache {
-    /// Empty cache with the default capacity.
+    /// Empty cache with the default capacity and no byte bound.
     pub fn new() -> LearningCache {
         LearningCache::default()
     }
 
-    /// Empty cache holding at most `capacity` templates (clamped ≥ 1);
-    /// storing past capacity evicts the least-recently-used entry.
+    /// Empty cache holding at most `capacity` templates (clamped ≥ 1).
     pub fn with_capacity(capacity: usize) -> LearningCache {
+        LearningCache::with_limits(capacity, None)
+    }
+
+    /// Empty cache bounded by `capacity` entries *and* `max_bytes` total
+    /// approximate heap bytes (when given). Storing past either bound
+    /// evicts least-recently-used entries; an entry too large to ever
+    /// fit is dropped immediately (the bound always holds).
+    pub fn with_limits(capacity: usize, max_bytes: Option<usize>) -> LearningCache {
         LearningCache {
-            entries: Mutex::new(FxHashMap::default()),
+            inner: Mutex::new(Inner::default()),
             capacity: capacity.max(1),
+            max_bytes,
             clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -103,21 +139,22 @@ impl LearningCache {
         self.clock.fetch_add(1, Ordering::Relaxed)
     }
 
-    /// Learned state for `key` if present and learned against
-    /// `catalog_version`; stale entries are dropped (counted as both an
-    /// invalidation and a miss).
-    pub fn lookup(&self, key: &TemplateKey, catalog_version: u64) -> Option<LearnedState> {
+    /// Learned state for `key` if present and learned against exactly
+    /// the table versions in `deps`; entries with mismatched versions
+    /// are dropped (counted as both an invalidation and a miss).
+    pub fn lookup(&self, key: &TemplateKey, deps: &[(String, u64)]) -> Option<LearnedState> {
         let tick = self.tick();
-        let mut entries = self.entries.lock().expect("cache lock");
-        match entries.get_mut(key) {
-            Some(e) if e.catalog_version == catalog_version => {
+        let mut inner = self.inner.lock().expect("cache lock");
+        match inner.map.get_mut(key) {
+            Some(e) if e.deps == deps => {
                 e.executions += 1;
                 e.last_used = tick;
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(e.learning.clone())
             }
             Some(_) => {
-                entries.remove(key);
+                let e = inner.map.remove(key).expect("entry present");
+                inner.total_bytes -= e.bytes;
                 self.invalidated.fetch_add(1, Ordering::Relaxed);
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
@@ -129,36 +166,48 @@ impl LearningCache {
         }
     }
 
-    /// Store (or refresh) the learned state for `key`, evicting the
-    /// least-recently-used entry if the capacity is exceeded. Later
+    /// Store (or refresh) the learned state for `key`, learned against
+    /// the table versions in `deps`, then evict least-recently-used
+    /// entries until both the capacity and the byte bound hold. Later
     /// snapshots carry strictly more rounds, so a concurrent execution
     /// racing an older snapshot in is harmless — whichever lands last
     /// wins and both are valid priors.
-    pub fn store(&self, key: TemplateKey, catalog_version: u64, learning: LearnedState) {
+    pub fn store(&self, key: TemplateKey, deps: TableDeps, learning: LearnedState) {
         let tick = self.tick();
-        let mut entries = self.entries.lock().expect("cache lock");
+        let bytes = entry_bytes(&key, &deps, &learning);
+        let mut inner = self.inner.lock().expect("cache lock");
         self.stores.fetch_add(1, Ordering::Relaxed);
-        let executions = entries.get(&key).map_or(0, |e| e.executions);
-        entries.insert(
+        let executions = inner.map.get(&key).map_or(0, |e| e.executions);
+        if let Some(old) = inner.map.insert(
             key.clone(),
             Entry {
                 learning,
-                catalog_version,
+                deps,
+                bytes,
                 executions,
                 last_used: tick,
             },
-        );
-        while entries.len() > self.capacity {
-            // O(n) scan; caches are at most `capacity` entries and
-            // stores are once per query, so this is off the hot path.
-            let coldest = entries
+        ) {
+            inner.total_bytes -= old.bytes;
+        }
+        inner.total_bytes += bytes;
+
+        let over = |inner: &Inner| {
+            inner.map.len() > self.capacity || self.max_bytes.is_some_and(|b| inner.total_bytes > b)
+        };
+        // Evict coldest-first, sparing the fresh key until it is the
+        // only entry left (then the byte bound wins and it goes too).
+        while over(&inner) {
+            let coldest = inner
+                .map
                 .iter()
-                .filter(|(k, _)| **k != key)
+                .filter(|(k, _)| **k != key || inner.map.len() == 1)
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(k, _)| k.clone());
             match coldest {
                 Some(k) => {
-                    entries.remove(&k);
+                    let e = inner.map.remove(&k).expect("coldest present");
+                    inner.total_bytes -= e.bytes;
                     self.evicted.fetch_add(1, Ordering::Relaxed);
                 }
                 None => break,
@@ -166,20 +215,30 @@ impl LearningCache {
         }
     }
 
-    /// Eagerly drop every entry not learned at `current_version` (called
-    /// on catalog mutation, so stale learning does not linger until its
-    /// template happens to be looked up again).
-    pub fn remove_stale(&self, current_version: u64) {
-        let mut entries = self.entries.lock().expect("cache lock");
-        let before = entries.len();
-        entries.retain(|_, e| e.catalog_version == current_version);
+    /// Eagerly drop every entry that touches `table` (called when the
+    /// service registers or replaces that table, so stale learning does
+    /// not linger until its template happens to be looked up again).
+    /// Entries over unrelated tables are untouched.
+    pub fn invalidate_table(&self, table: &str) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        let before = inner.map.len();
+        let mut freed = 0usize;
+        inner.map.retain(|_, e| {
+            let touches = e.deps.iter().any(|(t, _)| t == table);
+            if touches {
+                freed += e.bytes;
+            }
+            !touches
+        });
+        let dropped = before - inner.map.len();
+        inner.total_bytes -= freed;
         self.invalidated
-            .fetch_add((before - entries.len()) as u64, Ordering::Relaxed);
+            .fetch_add(dropped as u64, Ordering::Relaxed);
     }
 
     /// Number of live entries.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("cache lock").len()
+        self.inner.lock().expect("cache lock").map.len()
     }
 
     /// True if no entries are cached.
@@ -189,12 +248,19 @@ impl LearningCache {
 
     /// Drop every entry (e.g. after a bulk catalog reload).
     pub fn clear(&self) {
-        self.entries.lock().expect("cache lock").clear();
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.map.clear();
+        inner.total_bytes = 0;
     }
 
     /// The maximum number of cached templates.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// The byte bound, if one is configured.
+    pub fn max_bytes(&self) -> Option<usize> {
+        self.max_bytes
     }
 
     /// Counter snapshot.
@@ -208,14 +274,32 @@ impl LearningCache {
         }
     }
 
-    /// Approximate heap bytes held by cached snapshots (introspection).
+    /// Approximate heap bytes held by cached entries (maintained
+    /// incrementally; this is the quantity the byte bound limits).
     pub fn approx_bytes(&self) -> usize {
-        let entries = self.entries.lock().expect("cache lock");
-        entries
-            .values()
-            .map(|e| e.learning.snapshot.approx_bytes())
-            .sum()
+        self.inner.lock().expect("cache lock").total_bytes
     }
+}
+
+/// Approximate heap footprint of one entry: the snapshot's own
+/// accounting plus the planned orders, the key string, and the
+/// dependency list.
+fn entry_bytes(key: &TemplateKey, deps: &TableDeps, learning: &LearnedState) -> usize {
+    let orders: usize = learning
+        .planned_orders
+        .iter()
+        .map(|o| std::mem::size_of::<Vec<usize>>() + o.len() * std::mem::size_of::<usize>())
+        .sum();
+    let deps_bytes: usize = deps
+        .iter()
+        .map(|(t, _)| t.len() + std::mem::size_of::<(String, u64)>())
+        .sum();
+    learning.snapshot.approx_bytes()
+        + orders
+        + learning.best_order.len() * std::mem::size_of::<usize>()
+        + key.canonical().len()
+        + deps_bytes
+        + std::mem::size_of::<Entry>()
 }
 
 #[cfg(test)]
@@ -251,16 +335,21 @@ mod tests {
         }
     }
 
+    fn deps(pairs: &[(&str, u64)]) -> TableDeps {
+        pairs.iter().map(|(t, v)| (t.to_string(), *v)).collect()
+    }
+
     #[test]
-    fn hit_miss_and_invalidation() {
+    fn hit_miss_and_version_invalidation() {
         let cache = LearningCache::new();
         let k = template_key_for_test("a");
-        assert!(cache.lookup(&k, 1).is_none());
-        cache.store(k.clone(), 1, learned());
-        assert!(cache.lookup(&k, 1).is_some());
-        // Catalog changed: the entry is dropped, not served.
-        assert!(cache.lookup(&k, 2).is_none());
+        assert!(cache.lookup(&k, &deps(&[("a", 1)])).is_none());
+        cache.store(k.clone(), deps(&[("a", 1)]), learned());
+        assert!(cache.lookup(&k, &deps(&[("a", 1)])).is_some());
+        // Table "a" changed: the entry is dropped, not served.
+        assert!(cache.lookup(&k, &deps(&[("a", 2)])).is_none());
         assert!(cache.is_empty());
+        assert_eq!(cache.approx_bytes(), 0);
         let s = cache.stats();
         assert_eq!(s.hits, 1);
         assert_eq!(s.misses, 2);
@@ -269,15 +358,35 @@ mod tests {
     }
 
     #[test]
+    fn invalidate_table_is_per_table() {
+        let cache = LearningCache::new();
+        let (ka, kb) = (template_key_for_test("ta"), template_key_for_test("tb"));
+        cache.store(ka.clone(), deps(&[("ta", 1), ("shared", 1)]), learned());
+        cache.store(kb.clone(), deps(&[("tb", 1)]), learned());
+        // Mutating an unrelated table touches nothing.
+        cache.invalidate_table("elsewhere");
+        assert_eq!(cache.len(), 2);
+        // Mutating "shared" purges only the entry that touches it.
+        cache.invalidate_table("shared");
+        assert_eq!(cache.len(), 1);
+        assert!(cache.lookup(&kb, &deps(&[("tb", 1)])).is_some());
+        assert_eq!(cache.stats().invalidated, 1);
+    }
+
+    #[test]
     fn store_refresh_and_bytes() {
         let cache = LearningCache::new();
         let k = template_key_for_test("b");
-        cache.store(k.clone(), 1, learned());
-        cache.store(k.clone(), 1, learned());
+        cache.store(k.clone(), deps(&[("b", 1)]), learned());
+        let first = cache.approx_bytes();
+        assert!(first > 0);
+        // Refreshing replaces, not accumulates.
+        cache.store(k.clone(), deps(&[("b", 1)]), learned());
         assert_eq!(cache.len(), 1);
-        assert!(cache.approx_bytes() > 0);
+        assert_eq!(cache.approx_bytes(), first);
         cache.clear();
         assert!(cache.is_empty());
+        assert_eq!(cache.approx_bytes(), 0);
     }
 
     #[test]
@@ -288,26 +397,57 @@ mod tests {
             template_key_for_test("tb"),
             template_key_for_test("tc"),
         );
-        cache.store(a.clone(), 1, learned());
-        cache.store(b.clone(), 1, learned());
+        let d = deps(&[("t", 1)]);
+        cache.store(a.clone(), d.clone(), learned());
+        cache.store(b.clone(), d.clone(), learned());
         // Touch `a` so `b` is the LRU entry when `c` overflows the cache.
-        assert!(cache.lookup(&a, 1).is_some());
-        cache.store(c.clone(), 1, learned());
+        assert!(cache.lookup(&a, &d).is_some());
+        cache.store(c.clone(), d.clone(), learned());
         assert_eq!(cache.len(), 2);
-        assert!(cache.lookup(&a, 1).is_some(), "recently used evicted");
-        assert!(cache.lookup(&b, 1).is_none(), "LRU entry survived");
-        assert!(cache.lookup(&c, 1).is_some(), "fresh entry evicted");
+        assert!(cache.lookup(&a, &d).is_some(), "recently used evicted");
+        assert!(cache.lookup(&b, &d).is_none(), "LRU entry survived");
+        assert!(cache.lookup(&c, &d).is_some(), "fresh entry evicted");
         assert_eq!(cache.stats().evicted, 1);
     }
 
     #[test]
-    fn remove_stale_purges_eagerly() {
-        let cache = LearningCache::new();
-        cache.store(template_key_for_test("old"), 1, learned());
-        cache.store(template_key_for_test("new"), 2, learned());
-        cache.remove_stale(2);
-        assert_eq!(cache.len(), 1);
-        assert_eq!(cache.stats().invalidated, 1);
+    fn byte_bound_holds_under_insert_pressure() {
+        // Budget for roughly three entries; insert forty distinct
+        // templates and check the bound after every store.
+        let one = {
+            let probe = LearningCache::new();
+            probe.store(
+                template_key_for_test("probe"),
+                deps(&[("probe", 1)]),
+                learned(),
+            );
+            probe.approx_bytes()
+        };
+        let budget = one * 3;
+        let cache = LearningCache::with_limits(1024, Some(budget));
+        for i in 0..40 {
+            let name = format!("t{i}");
+            cache.store(template_key_for_test(&name), deps(&[(&name, 1)]), learned());
+            assert!(
+                cache.approx_bytes() <= budget,
+                "byte bound violated after store {i}: {} > {budget}",
+                cache.approx_bytes()
+            );
+        }
+        assert!(cache.len() >= 2, "bound should still admit small entries");
+        assert!(cache.stats().evicted > 0, "pressure must evict");
+        // The most recent entry survives (LRU evicts the cold tail).
+        assert!(cache
+            .lookup(&template_key_for_test("t39"), &deps(&[("t39", 1)]))
+            .is_some());
+    }
+
+    #[test]
+    fn oversized_entry_is_dropped_entirely() {
+        let cache = LearningCache::with_limits(1024, Some(8));
+        cache.store(template_key_for_test("big"), deps(&[("big", 1)]), learned());
+        assert!(cache.is_empty(), "entry larger than the bound must go");
+        assert!(cache.approx_bytes() <= 8);
     }
 
     /// Build a real TemplateKey from a one-table query over a throwaway

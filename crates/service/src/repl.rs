@@ -77,6 +77,10 @@ pub fn handle_line(session: &mut Session, line: &str) -> Response {
                     "learning cache: {} hits, {} misses, {} invalidated",
                     st.cache.hits, st.cache.misses, st.cache.invalidated
                 ),
+                format!(
+                    "kernel cache: {} hits, {} misses",
+                    st.kernels.hits, st.kernels.misses
+                ),
                 format!("warm starts: {}", st.warm_starts),
                 format!("limit pushdowns: {}", st.limit_pushdowns),
                 format!("cancelled: {}, timed out: {}", st.cancelled, st.timed_out),

@@ -9,12 +9,14 @@
 //! across concurrent queries and within-query join partitioning alike.
 
 use crate::budget::{AdmissionError, CoreBudget};
-use crate::cache::{CacheStats, LearningCache, DEFAULT_CACHE_CAPACITY};
+use crate::cache::{CacheStats, LearningCache, TableDeps, DEFAULT_CACHE_CAPACITY};
 use skinner_core::{postprocess, project_tuple, QueryResult, RunStats};
-use skinner_engine::{RunOptions, SkinnerC, SkinnerCConfig, SkinnerOutcome, StopReason};
+use skinner_engine::{
+    KernelCache, KernelCacheStats, RunOptions, SkinnerC, SkinnerCConfig, SkinnerOutcome, StopReason,
+};
 use skinner_query::{parse, Query, QueryError, TemplateKey, UdfRegistry};
 use skinner_storage::table::TableRef;
-use skinner_storage::{Catalog, Table, Value};
+use skinner_storage::{Catalog, FxHashMap, Table, Value};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
@@ -36,6 +38,11 @@ pub struct ServiceConfig {
     /// Maximum number of cached templates (LRU eviction past this;
     /// default [`DEFAULT_CACHE_CAPACITY`]).
     pub cache_capacity: usize,
+    /// Maximum total approximate bytes held by the learning cache
+    /// (`None` = unbounded). Exceeding it evicts least-recently-used
+    /// templates, so a byte budget can be enforced independently of the
+    /// entry count.
+    pub cache_max_bytes: Option<usize>,
 }
 
 impl Default for ServiceConfig {
@@ -45,6 +52,7 @@ impl Default for ServiceConfig {
             default_timeout: None,
             learning_cache: true,
             cache_capacity: DEFAULT_CACHE_CAPACITY,
+            cache_max_bytes: None,
         }
     }
 }
@@ -129,12 +137,35 @@ pub struct ServiceStats {
     pub timed_out: u64,
     /// Learning-cache counters.
     pub cache: CacheStats,
+    /// Kernel-shape cache counters (codegen tier, see `skinner-codegen`).
+    pub kernels: KernelCacheStats,
 }
 
 #[derive(Debug)]
 struct CatalogState {
     catalog: Catalog,
     version: u64,
+    /// Per-table versions: bumped for exactly the table a mutation
+    /// replaces, so learning-cache entries over other tables survive.
+    table_versions: FxHashMap<String, u64>,
+}
+
+impl CatalogState {
+    /// The `(table, version)` dependency list of `query` (FROM order;
+    /// never-mutated tables are version 0).
+    fn deps_of(&self, query: &Query) -> TableDeps {
+        query
+            .tables
+            .iter()
+            .map(|b| {
+                let name = b.table.name();
+                (
+                    name.to_string(),
+                    self.table_versions.get(name).copied().unwrap_or(0),
+                )
+            })
+            .collect()
+    }
 }
 
 /// The concurrent query service (see module docs).
@@ -144,6 +175,7 @@ pub struct QueryService {
     catalog: RwLock<CatalogState>,
     udfs: UdfRegistry,
     cache: LearningCache,
+    kernels: KernelCache,
     budget: CoreBudget,
     queries: AtomicU64,
     warm_starts: AtomicU64,
@@ -162,9 +194,11 @@ impl QueryService {
             catalog: RwLock::new(CatalogState {
                 catalog,
                 version: 0,
+                table_versions: FxHashMap::default(),
             }),
             udfs,
-            cache: LearningCache::with_capacity(config.cache_capacity),
+            cache: LearningCache::with_limits(config.cache_capacity, config.cache_max_bytes),
+            kernels: KernelCache::new(),
             budget,
             queries: AtomicU64::new(0),
             warm_starts: AtomicU64::new(0),
@@ -205,20 +239,25 @@ impl QueryService {
         self.catalog.read().expect("catalog lock").version
     }
 
-    /// Register (or replace) a table. Bumps the catalog version, which
-    /// invalidates every cached learning entry — learned join orders are
-    /// data-dependent and must not survive data changes (stale entries
-    /// are purged eagerly, not just lazily on lookup). In-flight queries
-    /// keep executing against the table `Arc`s they resolved at parse
-    /// time (snapshot semantics).
+    /// Register (or replace) a table. Bumps the global catalog version
+    /// *and* the table's own version, which invalidates exactly the
+    /// cached learning entries touching that table — learned join orders
+    /// are data-dependent and must not survive data changes (stale
+    /// entries are purged eagerly, not just lazily on lookup), but
+    /// templates over unrelated tables keep their learning. In-flight
+    /// queries keep executing against the table `Arc`s they resolved at
+    /// parse time (snapshot semantics). The kernel-shape cache is
+    /// untouched: shapes are data-independent.
     pub fn register_table(&self, table: Table) {
-        let version = {
+        let name = table.name().to_string();
+        {
             let mut st = self.catalog.write().expect("catalog lock");
             st.catalog.register(table);
             st.version += 1;
-            st.version
-        };
-        self.cache.remove_stale(version);
+            let version = st.version;
+            st.table_versions.insert(name.clone(), version);
+        }
+        self.cache.invalidate_table(&name);
     }
 
     /// Service-wide counters.
@@ -230,6 +269,7 @@ impl QueryService {
             cancelled: self.cancelled.load(Ordering::Relaxed),
             timed_out: self.timed_out.load(Ordering::Relaxed),
             cache: self.cache.stats(),
+            kernels: self.kernels.stats(),
         }
     }
 
@@ -238,16 +278,24 @@ impl QueryService {
         &self.cache
     }
 
+    /// The kernel-shape cache shared across every execution
+    /// (introspection: memoized shapes, hit counters).
+    pub fn kernel_cache(&self) -> &KernelCache {
+        &self.kernels
+    }
+
     /// Parse `sql` against the current catalog, returning the query, the
-    /// version it was bound at, and the execution start instant.
-    fn parse_sql(&self, sql: &str) -> Result<(Query, u64, Instant), ServiceError> {
+    /// per-table versions it was bound at, and the execution start
+    /// instant.
+    fn parse_sql(&self, sql: &str) -> Result<(Query, TableDeps, Instant), ServiceError> {
         let start = Instant::now();
         // Parse under a read lock; the query holds `Arc`s to its tables,
         // so execution is snapshot-consistent even if the catalog mutates
         // concurrently.
         let st = self.catalog.read().expect("catalog lock");
         let query = parse(sql, &st.catalog, &self.udfs)?;
-        Ok((query, st.version, start))
+        let deps = st.deps_of(&query);
+        Ok((query, deps, start))
     }
 
     /// Is every table of `query` the exact `Arc` currently registered?
@@ -255,19 +303,19 @@ impl QueryService {
     /// or produce learning-cache entries: it executes old data, and
     /// tagging its learned state with the current version would poison
     /// warm starts over the new data.
-    fn query_is_current(&self, query: &Query) -> (bool, u64) {
+    fn query_is_current(&self, query: &Query) -> (bool, TableDeps) {
         let st = self.catalog.read().expect("catalog lock");
         let current = query.tables.iter().all(|b| {
             st.catalog
                 .get(b.table.name())
                 .is_ok_and(|t| Arc::ptr_eq(&t, &b.table))
         });
-        (current, st.version)
+        (current, st.deps_of(query))
     }
 
     fn execute_inner(&self, sql: &str, opts: &ExecuteOptions) -> Result<QueryResult, ServiceError> {
-        let (query, version, start) = self.parse_sql(sql)?;
-        self.execute_query(&query, version, opts, start, true)
+        let (query, deps, start) = self.parse_sql(sql)?;
+        self.execute_query(&query, &deps, opts, start, true)
     }
 
     /// Run the join phase of `query` through admission, the learning
@@ -278,16 +326,14 @@ impl QueryService {
     fn run_query(
         &self,
         query: &Query,
-        catalog_version: u64,
+        deps: &TableDeps,
         opts: &ExecuteOptions,
         start: Instant,
         use_learning: bool,
     ) -> Result<(SkinnerOutcome, RunStats), ServiceError> {
         let use_learning = use_learning && self.config.learning_cache;
         let key = use_learning.then(|| TemplateKey::of(query));
-        let cached = key
-            .as_ref()
-            .and_then(|key| self.cache.lookup(key, catalog_version));
+        let cached = key.as_ref().and_then(|key| self.cache.lookup(key, deps));
 
         // Deadline covers queueing: a query stuck behind a long queue
         // fails fast rather than running past its budget — both the
@@ -325,6 +371,7 @@ impl QueryService {
             deadline,
             target_rows: query.join_limit(),
             capture_learning: use_learning,
+            kernel_cache: Some(&self.kernels),
         };
         let mut out = SkinnerC::new(engine_cfg).run_with(query, &run_opts);
         drop(grant);
@@ -349,7 +396,7 @@ impl QueryService {
             self.warm_starts.fetch_add(1, Ordering::Relaxed);
         }
         if let (Some(key), Some(learning)) = (key, out.learning.take()) {
-            self.cache.store(key, catalog_version, learning);
+            self.cache.store(key, deps.clone(), learning);
         }
 
         let stats = RunStats {
@@ -370,12 +417,12 @@ impl QueryService {
     fn execute_query(
         &self,
         query: &Query,
-        catalog_version: u64,
+        deps: &TableDeps,
         opts: &ExecuteOptions,
         start: Instant,
         use_learning: bool,
     ) -> Result<QueryResult, ServiceError> {
-        let (out, mut stats) = self.run_query(query, catalog_version, opts, start, use_learning)?;
+        let (out, mut stats) = self.run_query(query, deps, opts, start, use_learning)?;
         let post_start = Instant::now();
         let stride = out.num_tables.max(1);
         let table = postprocess(query, &out.tuples, (out.tuples.len() / stride) as u64);
@@ -444,9 +491,9 @@ impl Session {
         opts: &ExecuteOptions,
     ) -> Result<QueryResult, ServiceError> {
         self.queries += 1;
-        let (current, version) = self.service.query_is_current(query);
+        let (current, deps) = self.service.query_is_current(query);
         self.service
-            .execute_query(query, version, opts, Instant::now(), current)
+            .execute_query(query, &deps, opts, Instant::now(), current)
     }
 
     /// Execute `sql`, delivering result rows through `on_row` one at a
@@ -465,7 +512,7 @@ impl Session {
         mut on_row: impl FnMut(&[Value]) -> bool,
     ) -> Result<RunStats, ServiceError> {
         self.queries += 1;
-        let (query, version, start) = self.service.parse_sql(sql)?;
+        let (query, deps, start) = self.service.parse_sql(sql)?;
         // 1:1 shape ⇔ the LIMIT-pushdown eligibility conditions (with or
         // without an actual LIMIT).
         let streamable = !query.has_aggregates()
@@ -475,7 +522,7 @@ impl Session {
         if !streamable {
             let result = self
                 .service
-                .execute_query(&query, version, opts, start, true)?;
+                .execute_query(&query, &deps, opts, start, true)?;
             for row in &result.table.rows {
                 if !on_row(row) {
                     break;
@@ -483,7 +530,7 @@ impl Session {
             }
             return Ok(result.stats);
         }
-        let (out, mut stats) = self.service.run_query(&query, version, opts, start, true)?;
+        let (out, mut stats) = self.service.run_query(&query, &deps, opts, start, true)?;
         let post_start = Instant::now();
         let tables: Vec<TableRef> = query.tables.iter().map(|b| b.table.clone()).collect();
         let m = out.num_tables.max(1);
@@ -596,6 +643,46 @@ mod tests {
         assert!(!fresh.stats.cache_hit, "stale entry must not be served");
         assert_eq!(fresh.table.rows[0][0], Value::Int(64 / 8 * 2 + 64 / 8));
         assert_eq!(svc.stats().cache.invalidated, 1);
+    }
+
+    #[test]
+    fn unrelated_table_registration_keeps_cache() {
+        let svc = QueryService::over(catalog());
+        let mut s = svc.session();
+        let sql = "SELECT COUNT(*) AS n FROM a, b WHERE a.k = b.k";
+        s.execute(sql).expect("cold");
+        assert_eq!(svc.learning_cache().len(), 1);
+        // Register a brand-new table neither "a" nor "b": the cached
+        // learning for a⋈b must survive and keep warm-starting.
+        svc.register_table(
+            Table::new(
+                "c",
+                Schema::new([ColumnDef::new("x", ValueType::Int)]),
+                vec![Column::from_ints(vec![1, 2, 3])],
+            )
+            .unwrap(),
+        );
+        assert_eq!(svc.learning_cache().len(), 1, "unrelated mutation flushed");
+        let warm = s.execute(sql).expect("warm");
+        assert!(warm.stats.cache_hit, "per-table invalidation too coarse");
+        assert_eq!(svc.stats().cache.invalidated, 0);
+    }
+
+    #[test]
+    fn kernel_cache_shared_across_executions() {
+        let svc = QueryService::over(catalog());
+        let mut s = svc.session();
+        let sql = "SELECT COUNT(*) AS n FROM a, b WHERE a.k = b.k";
+        s.execute(sql).expect("first");
+        let misses = svc.stats().kernels.misses;
+        assert!(misses > 0, "shapes must be analyzed once");
+        assert!(!svc.kernel_cache().is_empty());
+        // Same template again (and even a different constant): the
+        // shapes resolve from the cache.
+        s.execute("SELECT COUNT(*) AS n FROM a, b WHERE a.k = b.k AND a.v < 50")
+            .expect("second");
+        let st = svc.stats().kernels;
+        assert!(st.hits > 0, "repeated shapes must hit");
     }
 
     #[test]

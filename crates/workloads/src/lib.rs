@@ -21,6 +21,10 @@
 //!   dictionary-encoded string keys exercising the engine's
 //!   `KeyCol::Other` fallback (hash-verified string keys, NULL
 //!   semantics through joins, indexes and aggregates).
+//! * [`wide`] — wide-schema stress: dozen-plus-column tables,
+//!   high-cardinality string dictionaries, and non-nullable **Float**
+//!   join keys exercising the engine's `KeyCol::Float` jumps and the
+//!   codegen tier's `FloatEq` posting cursors.
 //!
 //! All generators are seeded and deterministic.
 
@@ -32,6 +36,7 @@ pub mod nulls;
 pub mod torture;
 pub mod tpch;
 pub mod util;
+pub mod wide;
 
 use skinner_query::Query;
 

@@ -69,11 +69,12 @@
 //! | [`storage`] | column store, catalog, hash indexes |
 //! | [`query`] | expressions, UDFs, SQL parser, join graphs |
 //! | [`uct`] | the UCT bandit-tree learner |
-//! | [`engine`] | Skinner-C: specialized multi-way join, parallel partitioned slices, progress sharing (§4.5) |
+//! | [`engine`] | Skinner-C: specialized multi-way join, three-tier kernel dispatch, parallel partitioned slices, progress sharing (§4.5) |
+//! | [`codegen`] | per-query compiled join kernels (§6): shape keys, const-generic kernels, cross-query kernel cache |
 //! | [`simdb`] | simulated traditional engines + optimizer + C_out oracle |
 //! | [`core`] | Skinner-G/H, pyramid timeouts, post-processing, facade |
 //! | [`baselines`] | Eddies, re-optimizer, random orders |
-//! | [`workloads`] | JOB-like, TPC-H dbgen-lite, torture + NULL/string benchmarks |
+//! | [`workloads`] | JOB-like, TPC-H dbgen-lite, torture + NULL/string + wide/Float benchmarks |
 //! | [`service`] | concurrent query service: sessions, core-budget admission, cross-query learning cache, `skinner-repl` |
 //!
 //! (`crates/bench` regenerates the paper's tables/figures and records
@@ -82,6 +83,7 @@
 #![forbid(unsafe_code)]
 
 pub use skinner_baselines as baselines;
+pub use skinner_codegen as codegen;
 pub use skinner_core as core;
 pub use skinner_engine as engine;
 pub use skinner_query as query;

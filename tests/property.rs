@@ -276,6 +276,226 @@ proptest! {
     }
 
     #[test]
+    fn codegen_matches_bound_and_generic(
+        (_cat, q) in arb_chain_case(),
+        oseed in any::<u64>(),
+        budget in 3u64..48,
+        threads in 2usize..5,
+    ) {
+        // Differential test for the codegen tier: the compiled kernel
+        // (const-generic arity, posting-list cursors, elided
+        // index-implied equality predicates), run in small slices, must
+        // produce byte-for-byte the result sequence of the plan-bound
+        // kernel and the generic reference kernel — for random catalogs,
+        // random valid orders, with and without hash indexes, sequential
+        // and offset-range partitioned.
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let graph = JoinGraph::from_query(&q);
+        let m = q.num_tables();
+        let mut rng = SmallRng::seed_from_u64(oseed);
+        let mut order: Vec<usize> = Vec::with_capacity(m);
+        let mut chosen = TableSet::EMPTY;
+        while order.len() < m {
+            let elig: Vec<usize> = graph.eligible_next(chosen).iter().collect();
+            let t = elig[rng.gen_range(0..elig.len())];
+            order.push(t);
+            chosen.insert(t);
+        }
+        for indexes in [true, false] {
+            let pq = PreparedQuery::new(&q, indexes, 1);
+            prop_assume!(!pq.any_empty());
+            let plan = pq.plan_order(&order);
+            let spec = pq.plan_spec(&order);
+            // 2..=5-table int chains always have a compiled kernel.
+            let kernel = plan.compile_kernel(None).expect("supported shape");
+            let offsets = vec![0u32; m];
+            let budget = budget.max(4 * m as u64);
+
+            // Oracles: generic one-shot and plan-bound one-shot (the
+            // bound kernel's emit order is the byte-for-byte reference).
+            let mut join = MultiwayJoin::new(&pq);
+            let mut state = offsets.clone();
+            let mut rs_generic = ResultSet::new();
+            join.continue_join_generic(
+                &order, &spec, &offsets, &mut state, u64::MAX, &mut rs_generic,
+            );
+            let mut state = offsets.clone();
+            let mut rs_bound = ResultSet::new();
+            join.continue_join(&order, &plan, &offsets, &mut state, u64::MAX, &mut rs_bound);
+
+            // Compiled kernel, sliced to exhaustion.
+            let run_compiled = |workers: usize| -> Vec<Vec<u32>> {
+                let mut join = MultiwayJoin::with_threads(&pq, workers);
+                let mut state = offsets.clone();
+                let mut rs = ResultSet::new();
+                let mut slices = 0u64;
+                loop {
+                    slices += 1;
+                    assert!(slices < 5_000_000, "no termination");
+                    let (res, _) = join.continue_join_compiled(
+                        &kernel, &offsets, &mut state, budget, &mut rs,
+                    );
+                    if res == ContinueResult::Exhausted {
+                        break;
+                    }
+                }
+                rs.iter().map(|t| t.to_vec()).collect()
+            };
+
+            // Sequential: byte-for-byte including emit order.
+            let sequential = run_compiled(1);
+            let bound: Vec<Vec<u32>> = rs_bound.iter().map(|t| t.to_vec()).collect();
+            prop_assert_eq!(
+                &sequential, &bound,
+                "codegen/bound divergence: order {:?} indexes {}", order, indexes
+            );
+            // Parallel: same distinct set (worker merge order may differ).
+            let mut parallel = run_compiled(threads);
+            parallel.sort();
+            let mut oracle: Vec<Vec<u32>> = rs_generic.iter().map(|t| t.to_vec()).collect();
+            oracle.sort();
+            prop_assert_eq!(
+                &parallel, &oracle,
+                "parallel codegen/generic divergence: order {:?} indexes {} threads {}",
+                order, indexes, threads
+            );
+        }
+    }
+
+    #[test]
+    fn wide_float_joins_match_engine(seed in any::<u64>()) {
+        // Wide schemas + Float join keys (the codegen tier's FloatEq
+        // posting cursors): Skinner-C under heavy order switching must
+        // agree with a direct engine execution.
+        let (_cat, q) = skinnerdb::workloads::wide::generate_case(seed);
+        let truth = ColEngine::new()
+            .execute(&q, &ExecOptions { count_only: true, ..Default::default() })
+            .result_count;
+        let out = SkinnerC::new(SkinnerCConfig {
+            budget: 16, // tiny slices: maximal order switching
+            threads: env_threads(),
+            ..Default::default()
+        })
+        .run(&q);
+        prop_assert_eq!(out.result_count, truth);
+    }
+
+    #[test]
+    fn wide_float_kernels_agree(seed in any::<u64>(), budget in 3u64..48) {
+        // Differential: compiled (sliced) vs plan-bound (one shot) vs
+        // generic (one shot) on wide Float-keyed chains, with and
+        // without hash indexes.
+        let (_cat, q) = skinnerdb::workloads::wide::generate_case(seed);
+        let m = q.num_tables();
+        let order: Vec<usize> = (0..m).collect();
+        for indexes in [true, false] {
+            let pq = PreparedQuery::new(&q, indexes, 1);
+            prop_assume!(!pq.any_empty());
+            let plan = pq.plan_order(&order);
+            let spec = pq.plan_spec(&order);
+            let kernel = plan.compile_kernel(None).expect("float shapes compile");
+            let offsets = vec![0u32; m];
+            let budget = budget.max(4 * m as u64);
+            let mut join = MultiwayJoin::new(&pq);
+
+            let mut state = offsets.clone();
+            let mut rs_generic = ResultSet::new();
+            join.continue_join_generic(
+                &order, &spec, &offsets, &mut state, u64::MAX, &mut rs_generic,
+            );
+            let mut state = offsets.clone();
+            let mut rs_bound = ResultSet::new();
+            join.continue_join(&order, &plan, &offsets, &mut state, u64::MAX, &mut rs_bound);
+
+            let mut state = offsets.clone();
+            let mut rs_compiled = ResultSet::new();
+            let mut slices = 0u64;
+            loop {
+                slices += 1;
+                prop_assert!(slices < 5_000_000, "no termination");
+                let (res, _) = join.continue_join_compiled(
+                    &kernel, &offsets, &mut state, budget, &mut rs_compiled,
+                );
+                if res == ContinueResult::Exhausted {
+                    break;
+                }
+            }
+
+            let bound: Vec<Vec<u32>> = rs_bound.iter().map(|t| t.to_vec()).collect();
+            let compiled: Vec<Vec<u32>> = rs_compiled.iter().map(|t| t.to_vec()).collect();
+            prop_assert_eq!(&compiled, &bound, "codegen/bound divergence, indexes {}", indexes);
+            let mut a: Vec<Vec<u32>> = rs_generic.iter().map(|t| t.to_vec()).collect();
+            let mut b = compiled;
+            a.sort();
+            b.sort();
+            prop_assert_eq!(a, b, "codegen/generic divergence, indexes {}", indexes);
+        }
+    }
+
+    #[test]
+    fn null_string_codegen_falls_back_and_scan_compiles(seed in any::<u64>()) {
+        // Unsupported shapes must demonstrably take the fallback path
+        // and still be correct: string/nullable key columns have no
+        // compiled kernel when indexes give them `KeyCol::Other` jumps,
+        // while the same query *without* indexes is a pure scan — which
+        // the codegen tier does compile (generic predicate evaluation,
+        // three-valued logic and all).
+        let (_cat, q) = skinnerdb::workloads::nulls::generate_case(seed);
+        let m = q.num_tables();
+        let order: Vec<usize> = (0..m).collect();
+        let truth = ColEngine::new()
+            .execute(&q, &ExecOptions { count_only: true, ..Default::default() })
+            .result_count;
+
+        // Indexed: jumps bind KeyCol::Other → no compiled kernel.
+        let pq = PreparedQuery::new(&q, true, 1);
+        let plan = pq.plan_order(&order);
+        let has_other_jump = plan
+            .positions
+            .iter()
+            .any(|p| p.jump.is_some());
+        if has_other_jump {
+            prop_assert!(
+                plan.compile_kernel(None).is_none(),
+                "string-keyed jumps must not compile"
+            );
+        }
+        // End-to-end with codegen enabled: the engine takes the fallback
+        // tier for unsupported orders and the answer is still exact.
+        let out = SkinnerC::new(SkinnerCConfig {
+            budget: 16,
+            threads: env_threads(),
+            ..Default::default()
+        })
+        .run(&q);
+        prop_assert_eq!(out.result_count, truth);
+        // (An empty-filtered table short-circuits before any order is
+        // bound; only runs that actually joined can prove the fallback.)
+        if has_other_jump && out.metrics.slices > 0 {
+            prop_assert!(out.metrics.fallback_orders > 0, "fallback path not taken");
+            prop_assert_eq!(out.metrics.codegen_slices, 0);
+        }
+
+        // Scan mode (no indexes): the shape compiles and must agree.
+        let pq = PreparedQuery::new(&q, false, 1);
+        prop_assume!(!pq.any_empty());
+        let plan = pq.plan_order(&order);
+        let kernel = plan.compile_kernel(None).expect("scan shapes compile");
+        let offsets = vec![0u32; m];
+        let mut join = MultiwayJoin::new(&pq);
+        let mut state = offsets.clone();
+        let mut rs_bound = ResultSet::new();
+        join.continue_join(&order, &plan, &offsets, &mut state, u64::MAX, &mut rs_bound);
+        let mut state = offsets.clone();
+        let mut rs_compiled = ResultSet::new();
+        join.continue_join_compiled(&kernel, &offsets, &mut state, u64::MAX, &mut rs_compiled);
+        let bound: Vec<Vec<u32>> = rs_bound.iter().map(|t| t.to_vec()).collect();
+        let compiled: Vec<Vec<u32>> = rs_compiled.iter().map(|t| t.to_vec()).collect();
+        prop_assert_eq!(compiled, bound, "scan-mode codegen divergence");
+    }
+
+    #[test]
     fn null_string_joins_match_engine(seed in any::<u64>()) {
         // NULL-heavy, string-keyed chains (the `KeyCol::Other` fallback:
         // hash-verified string join keys, NULL equality semantics):
