@@ -209,6 +209,11 @@ impl Eddy {
                 if tc.table == next
                     && set.contains(oc.table)
                     && pq.indexes.contains_key(&(next, tc.column))
+                    // Same key-convention guard as the engine's planner:
+                    // Int = Float widening is true with unequal keys.
+                    && pq.tables[next]
+                        .column(tc.column)
+                        .join_key_compatible(pq.tables[oc.table].column(oc.column))
                 {
                     jump = Some((tc.column, oc.table, oc.column));
                     break;

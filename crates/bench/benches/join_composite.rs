@@ -1,0 +1,117 @@
+//! Criterion bench: composite fused-key jumps vs single-column jump +
+//! residual predicate on the correlated link-table workload.
+//!
+//! Two link tables share a `(movie_id, person_id)` composite key whose
+//! components are individually non-selective (heavy skew toward popular
+//! entities). The **composite** configuration probes one fused-key
+//! index per advance; the **single** baseline expresses the same join
+//! the pre-composite way — one single-column jump plus a per-tuple
+//! residual check on the second component (emulated via `<=` / `>=`
+//! conjuncts, which no index accelerates but which are semantically
+//! identical to the equality).
+//!
+//! Run with `cargo bench --bench join_composite`. Means and the
+//! composite-over-single speedup are merged into `BENCH_join.json`
+//! under the `join_composite` key.
+
+use criterion::{BenchmarkId, Criterion};
+use skinner_engine::multiway::ResultSet;
+use skinner_engine::{MultiwayJoin, PreparedQuery};
+use skinner_query::{Query, QueryBuilder};
+use skinner_storage::Catalog;
+use skinner_workloads::correlated;
+
+const STEPS: u64 = 100_000;
+const SCALE: f64 = 0.5;
+const SEED: u64 = 7;
+
+/// The composite join (appearance ⋈ award on both components).
+fn composite_query(cat: &Catalog) -> Query {
+    let mut qb = QueryBuilder::new(cat);
+    qb.table("appearance").unwrap();
+    qb.table("award").unwrap();
+    let j1 = qb
+        .col("appearance.movie_id")
+        .unwrap()
+        .eq(qb.col("award.movie_id").unwrap());
+    let j2 = qb
+        .col("appearance.person_id")
+        .unwrap()
+        .eq(qb.col("award.person_id").unwrap());
+    qb.filter(j1);
+    qb.filter(j2);
+    qb.select_col("appearance.movie_id").unwrap();
+    qb.build().unwrap()
+}
+
+fn bench_composite(c: &mut Criterion) {
+    let wl = correlated::generate(SCALE, SEED);
+    let mut group = c.benchmark_group("join_composite");
+    for (tag, q) in [
+        ("composite", composite_query(&wl.catalog)),
+        // The pre-composite execution shape, shared with the workload's
+        // step-count test.
+        ("single", correlated::single_key_variant(&wl.catalog)),
+    ] {
+        let pq = PreparedQuery::new(&q, true, 1);
+        if tag == "composite" {
+            assert_eq!(pq.composites.len(), 1, "composite group must exist");
+        } else {
+            assert!(pq.composites.is_empty(), "baseline must stay single-key");
+        }
+        let order = vec![0usize, 1];
+        let plan = pq.plan_order(&order);
+        let offsets = vec![0u32; 2];
+        group.bench_with_input(BenchmarkId::new("plan_bound", tag), &tag, |b, _| {
+            let mut join = MultiwayJoin::new(&pq);
+            b.iter(|| {
+                let mut state = offsets.clone();
+                let mut rs = ResultSet::new();
+                let (_r, steps) =
+                    join.continue_join(&order, &plan, &offsets, &mut state, STEPS, &mut rs);
+                criterion::black_box((steps, rs.len()))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_composite(&mut criterion);
+
+    let get = |name: &str| -> f64 {
+        criterion
+            .results
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, ns)| *ns)
+            .expect("bench result")
+    };
+    let composite = get("join_composite/plan_bound/composite");
+    let single = get("join_composite/plan_bound/single");
+    let speedup = single / composite;
+    let mut section = String::from("{\n");
+    section.push_str(&format!(
+        "    \"workload\": \"correlated link tables (scale {SCALE}), appearance ⋈ award on \
+         (movie_id, person_id), {STEPS} steps\",\n"
+    ));
+    section.push_str("    \"mean_ns\": {\n");
+    section.push_str(&format!(
+        "      \"join_composite/plan_bound/composite\": {composite:.0},\n"
+    ));
+    section.push_str(&format!(
+        "      \"join_composite/plan_bound/single\": {single:.0}\n"
+    ));
+    section.push_str("    },\n");
+    section.push_str(&format!(
+        "    \"speedup\": {{ \"composite_over_single\": {speedup:.2} }}\n  }}"
+    ));
+    println!("composite over single-key+residual: {speedup:.2}x");
+    let path = std::path::Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_join.json"
+    ));
+    skinner_bench::upsert_bench_json(path, "join_composite", &section)
+        .expect("write BENCH_join.json");
+}

@@ -393,7 +393,7 @@ impl ClassSpec for Mixed {
                 begin_postings(index, keys[rows[src] as usize], min, pos.card)
             }
             KernelJump::FloatEq { keys, src, index } => {
-                let key = keys[rows[src] as usize].to_bits() as i64;
+                let key = skinner_storage::f64_key(keys[rows[src] as usize]);
                 begin_postings(index, key, min, pos.card)
             }
         }
@@ -447,6 +447,12 @@ fn run_kernel<const M: usize, C: ClassSpec, R: ResultSink>(
         if steps > budget {
             return (ContinueResult::BudgetSpent, steps - 1);
         }
+        // Per-step sink poll (see the plan-bound kernel): lets a
+        // partitioned LIMIT worker with a match-free chunk observe the
+        // shared quota; statically false for plain sinks.
+        if results.is_full() {
+            return (ContinueResult::BudgetSpent, steps - 1);
+        }
         let pos = &positions[i];
         let t = pos.table;
         let bound = if i == 0 { end0 } else { pos.card };
@@ -467,12 +473,15 @@ fn run_kernel<const M: usize, C: ClassSpec, R: ResultSink>(
         if pos.preds.iter().all(|p| p.eval(rows)) {
             if i + 1 == M {
                 results.insert(rows);
+                // Advance past the emitted tuple *before* any sink-driven
+                // early exit (LIMIT pushdown), so a resumed slice always
+                // makes progress even when the suspension was triggered
+                // by a re-emission of an earlier slice's tuple (the
+                // partitioned path's shared quota counter counts those).
+                state[t] = C::next(pos, &mut curs[i]);
                 if results.is_full() {
-                    // Sink-driven early exit (LIMIT pushdown): suspend as
-                    // if the budget ran out; the cursor resumes exactly.
                     return (ContinueResult::BudgetSpent, steps);
                 }
-                state[t] = C::next(pos, &mut curs[i]);
             } else {
                 i += 1;
                 let nxt = &positions[i];

@@ -37,4 +37,16 @@ pub trait ResultSink {
     fn is_full(&self) -> bool {
         false
     }
+
+    /// How many more tuples this sink wants before it reports full, or
+    /// `None` for unbounded sinks. Partitioned slice drivers read this
+    /// once per slice to seed a shared row-target counter across their
+    /// chunk workers, so a LIMIT can stop workers *mid-chunk* instead of
+    /// at the next slice boundary. The count may be conservative — a
+    /// worker tuple can duplicate one from an earlier slice — but an
+    /// early stop is just a suspension, so correctness is unaffected.
+    #[inline]
+    fn remaining_capacity(&self) -> Option<u64> {
+        None
+    }
 }

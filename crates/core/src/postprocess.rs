@@ -20,12 +20,18 @@ enum Key {
     Int(i64),
     Float(u64),
     Str(String),
+    Date(i64),
+    Interval(i64),
 }
 
 fn key_of(v: &Value) -> Key {
     match v {
         Value::Null => Key::Null,
         Value::Int(i) => Key::Int(*i),
+        // Distinct variants: DATE '1970-01-06' must not group with the
+        // integer 5 (Value's own equality keeps them apart too).
+        Value::Date(d) => Key::Date(*d),
+        Value::Interval(d) => Key::Interval(*d),
         // Normalize -0.0/0.0 and NaN payloads.
         Value::Float(f) => {
             if *f == 0.0 {

@@ -85,9 +85,12 @@ impl ResultSink for CountingSink {
 /// allows the join phase to stop early instead of materializing the
 /// full result.
 ///
-/// Note: partitioned slices check fullness only between slices (worker
-/// shards are merged through this sink, so the target is still honored
-/// promptly — within one slice's worth of tuples).
+/// Partitioned slices honor the target mid-chunk too: the slice driver
+/// reads [`ResultSink::remaining_capacity`] once per slice and threads a
+/// shared emitted-tuple counter through every chunk worker, so workers
+/// suspend as soon as the slice-wide emission count covers the remaining
+/// capacity (conservatively — re-emissions of earlier slices' tuples
+/// count too, and the driver re-checks the deduped total afterwards).
 pub struct LimitSink<'a> {
     inner: &'a mut ResultSet,
     target: u64,
@@ -115,21 +118,49 @@ impl ResultSink for LimitSink<'_> {
     fn is_full(&self) -> bool {
         self.full()
     }
+
+    #[inline]
+    fn remaining_capacity(&self) -> Option<u64> {
+        Some(self.target.saturating_sub(self.inner.len() as u64))
+    }
 }
 
 /// Per-worker sink of the partitioned join: appends tuples to a flat
 /// shard buffer. No dedup — chunks are disjoint in the left-most
 /// coordinate, so one slice can never emit a tuple from two chunks; the
 /// cross-slice dedup happens when shards merge into the caller's sink.
+///
+/// When the caller's sink has a row target (`quota`), every worker
+/// counts its emissions into one shared counter and reports full once
+/// the slice-wide total reaches the target — so a partitioned LIMIT
+/// query stops **mid-chunk**, not merely at the next slice boundary.
+/// The shared count is an upper bound on new distinct tuples (a worker
+/// may re-emit a tuple an earlier slice already produced), which can
+/// only suspend the slice *early*; the driver re-checks the real deduped
+/// count and continues if the target is not actually met.
 struct ShardSink<'a> {
     out: &'a mut Vec<RowId>,
+    /// Shared emitted-tuple counter and the slice-wide target, when the
+    /// caller's sink is limit-aware.
+    quota: Option<(&'a std::sync::atomic::AtomicU64, u64)>,
 }
 
 impl ResultSink for ShardSink<'_> {
     #[inline]
     fn insert(&mut self, tuple: &[RowId]) -> bool {
         self.out.extend_from_slice(tuple);
+        if let Some((counter, _)) = self.quota {
+            counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
         true
+    }
+
+    #[inline]
+    fn is_full(&self) -> bool {
+        match self.quota {
+            Some((counter, target)) => counter.load(std::sync::atomic::Ordering::Relaxed) >= target,
+            None => false,
+        }
     }
 }
 
@@ -471,6 +502,12 @@ impl<'a> MultiwayJoin<'a> {
         // the walk-down depth would re-verify restored coordinates
         // forever without advancing the folded cursor.
         let chunk_budget = (budget / n as u64).max(4 * m as u64);
+        // Shared row-target counter: when the caller's sink is
+        // limit-aware (LIMIT pushdown), workers count emissions into it
+        // and stop mid-chunk once the slice-wide total covers the
+        // remaining capacity (see `ShardSink`).
+        let target = results.remaining_capacity();
+        let emitted = std::sync::atomic::AtomicU64::new(0);
 
         std::thread::scope(|scope| {
             for (k, (ws, &(lo, hi))) in scratch.iter_mut().zip(&spec.chunks).enumerate() {
@@ -493,8 +530,12 @@ impl<'a> MultiwayJoin<'a> {
                     outcome,
                 } = ws;
                 let run_chunk = &run_chunk;
+                let emitted = &emitted;
                 scope.spawn(move || {
-                    let mut sink = ShardSink { out };
+                    let mut sink = ShardSink {
+                        out,
+                        quota: target.map(|t| (emitted, t)),
+                    };
                     let (result, steps) = run_chunk(state, chunk_budget, hi, rows, &mut sink);
                     *outcome = Some(ChunkOutcome { result, steps });
                 });
@@ -613,6 +654,14 @@ fn run_plan_kernel<R: ResultSink>(
         if steps > budget {
             return (ContinueResult::BudgetSpent, steps - 1);
         }
+        // Poll the sink per step too, not only after inserts: a
+        // partitioned LIMIT worker whose chunk holds no matches must
+        // still observe the shared quota tripping and stop scanning.
+        // For plain sinks `is_full` is statically false, so this
+        // monomorphizes away.
+        if results.is_full() {
+            return (ContinueResult::BudgetSpent, steps - 1);
+        }
         let pos = &positions[i];
         let t = pos.table;
         let s = state[t];
@@ -629,13 +678,18 @@ fn run_plan_kernel<R: ResultSink>(
         if ok {
             if i + 1 == m {
                 results.insert(rows);
-                if results.is_full() {
-                    // Sink-driven early exit (LIMIT pushdown): suspend as
-                    // if the budget ran out; the cursor resumes exactly.
-                    return (ContinueResult::BudgetSpent, steps);
-                }
                 if !next_tuple(positions, offsets, state, &mut i, rows, end0, false) {
                     return (ContinueResult::Exhausted, steps);
+                }
+                if results.is_full() {
+                    // Sink-driven early exit (LIMIT pushdown): suspend as
+                    // if the budget ran out. The cursor was advanced past
+                    // the emitted tuple *first*, so a resumed slice always
+                    // makes progress — a suspend on re-emission of an
+                    // earlier slice's tuple (the shared quota counter of
+                    // the partitioned path counts those) can never repeat
+                    // the same cursor forever.
+                    return (ContinueResult::BudgetSpent, steps);
                 }
             } else {
                 i += 1;
@@ -692,7 +746,10 @@ fn next_tuple(
 }
 
 /// Generic-kernel advance: per-jump `(table, column)` map probe and
-/// column re-resolution, as before plan-time specialization.
+/// column re-resolution, as before plan-time specialization. Composite
+/// jumps re-derive the fused key from the raw component columns on every
+/// advance (the oracle deliberately shares no precomputed key vector
+/// with the specialized kernels).
 #[allow(clippy::too_many_arguments)]
 fn next_tuple_generic(
     pq: &PreparedQuery,
@@ -703,19 +760,42 @@ fn next_tuple_generic(
     rows: &[RowId],
     mut skip_advance: bool,
 ) -> bool {
+    use crate::prepare::JumpSpec;
+    use skinner_storage::fused_join_key;
     loop {
         let pos = &spec.positions[*i];
         let t = pos.table;
         if !skip_advance || state[t] < pq.cards[t] {
             state[t] = match &pos.jump {
                 Some(jump) if !skip_advance => {
-                    let key = pq.tables[jump.src_table]
-                        .column(jump.src_col)
-                        .join_key(rows[jump.src_table] as usize);
+                    let (key, index) = match jump {
+                        JumpSpec::Single {
+                            index_col,
+                            src_table,
+                            src_col,
+                            ..
+                        } => (
+                            pq.tables[*src_table]
+                                .column(*src_col)
+                                .join_key(rows[*src_table] as usize),
+                            &pq.indexes[&(t, *index_col)],
+                        ),
+                        JumpSpec::Composite {
+                            group, src_is_a, ..
+                        } => {
+                            let sides = pq.composites[*group].sides(*src_is_a);
+                            let key = fused_join_key(
+                                sides
+                                    .src_cols
+                                    .iter()
+                                    .map(|&c| pq.tables[sides.src_table].column(c)),
+                                rows[sides.src_table] as usize,
+                            );
+                            (key, sides.index)
+                        }
+                    };
                     match key {
-                        Some(k) => pq.indexes[&(t, jump.index_col)]
-                            .next_ge(k, state[t] + 1)
-                            .unwrap_or(pq.cards[t]),
+                        Some(k) => index.next_ge(k, state[t] + 1).unwrap_or(pq.cards[t]),
                         None => pq.cards[t],
                     }
                 }
@@ -1190,6 +1270,389 @@ mod tests {
         let mut got: Vec<Vec<u32>> = rs.iter().map(|t| t.to_vec()).collect();
         got.sort();
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn negative_zero_float_join_matches_positive_zero() {
+        // SQL says -0.0 = 0.0; the bit patterns differ, so join keys
+        // normalize -0.0 to 0.0 — a key-driven jump must surface the
+        // match on every tier.
+        let mut cat = Catalog::new();
+        cat.register(
+            Table::new(
+                "fa",
+                Schema::new([ColumnDef::new("k", ValueType::Float)]),
+                vec![Column::from_floats(vec![-0.0, 1.5])],
+            )
+            .unwrap(),
+        );
+        cat.register(
+            Table::new(
+                "fc",
+                Schema::new([ColumnDef::new("k", ValueType::Float)]),
+                vec![Column::from_floats(vec![0.0, 2.5, -0.0])],
+            )
+            .unwrap(),
+        );
+        let mut qb = QueryBuilder::new(&cat);
+        qb.table("fa").unwrap();
+        qb.table("fc").unwrap();
+        let j = qb.col("fa.k").unwrap().eq(qb.col("fc.k").unwrap());
+        qb.filter(j);
+        qb.select_col("fa.k").unwrap();
+        let q = qb.build().unwrap();
+        let expected = vec![vec![0u32, 0], vec![0, 2]];
+        for order in [[0usize, 1], [1usize, 0]] {
+            for indexes in [true, false] {
+                assert_eq!(
+                    run_order_generic(&q, &order, indexes),
+                    expected,
+                    "generic: order {order:?} indexes {indexes}"
+                );
+                assert_eq!(
+                    run_order_threads(&q, &order, indexes, 1),
+                    expected,
+                    "bound: order {order:?} indexes {indexes}"
+                );
+                assert_eq!(
+                    run_order_compiled(&q, &order, indexes, 1),
+                    expected,
+                    "compiled: order {order:?} indexes {indexes}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cross_type_int_float_join_matches_widened_equality() {
+        // ia.k = fb.k with Int vs Float columns: 2 = 2.0 and 3 = 3.0
+        // are true under numeric widening. Every kernel must find both
+        // matches, with and without indexes (the planner refuses the
+        // cross-convention jump, so the indexed run scans + verifies).
+        let mut cat = Catalog::new();
+        cat.register(
+            Table::new(
+                "ia",
+                Schema::new([ColumnDef::new("k", ValueType::Int)]),
+                vec![Column::from_ints(vec![1, 2, 3])],
+            )
+            .unwrap(),
+        );
+        cat.register(
+            Table::new(
+                "fb",
+                Schema::new([ColumnDef::new("k", ValueType::Float)]),
+                vec![Column::from_floats(vec![2.0, 3.0, 9.5])],
+            )
+            .unwrap(),
+        );
+        let mut qb = QueryBuilder::new(&cat);
+        qb.table("ia").unwrap();
+        qb.table("fb").unwrap();
+        let j = qb.col("ia.k").unwrap().eq(qb.col("fb.k").unwrap());
+        qb.filter(j);
+        qb.select_col("ia.k").unwrap();
+        let q = qb.build().unwrap();
+        let expected = vec![vec![1u32, 0], vec![2, 1]];
+        for order in [[0usize, 1], [1usize, 0]] {
+            for indexes in [true, false] {
+                assert_eq!(
+                    run_order_generic(&q, &order, indexes),
+                    expected,
+                    "generic: order {order:?} indexes {indexes}"
+                );
+                for threads in [1, 3] {
+                    assert_eq!(
+                        run_order_threads(&q, &order, indexes, threads),
+                        expected,
+                        "bound: order {order:?} indexes {indexes} threads {threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_limit_stops_mid_chunk() {
+        // A fat cross-ish join (every key matches) whose full
+        // enumeration costs tens of thousands of steps. One partitioned
+        // slice with an effectively unbounded budget must stop almost
+        // immediately once the shared row-target counter covers the
+        // LIMIT — the pre-fix behaviour ran every chunk to completion.
+        let n = 200usize;
+        let mut cat = Catalog::new();
+        for name in ["big1", "big2"] {
+            cat.register(
+                Table::new(
+                    name,
+                    Schema::new([ColumnDef::new("k", ValueType::Int)]),
+                    vec![Column::from_ints(vec![1; n])],
+                )
+                .unwrap(),
+            );
+        }
+        let mut qb = QueryBuilder::new(&cat);
+        qb.table("big1").unwrap();
+        qb.table("big2").unwrap();
+        let j = qb.col("big1.k").unwrap().eq(qb.col("big2.k").unwrap());
+        qb.filter(j);
+        qb.select_col("big1.k").unwrap();
+        let q = qb.build().unwrap();
+
+        let pq = PreparedQuery::new(&q, true, 1);
+        let plan = pq.plan_order(&[0, 1]);
+        let offsets = vec![0u32; 2];
+        let target = 16u64;
+
+        let run_one_slice = |threads: usize| -> (u64, usize) {
+            let mut join = MultiwayJoin::with_threads(&pq, threads);
+            let mut state = offsets.clone();
+            let mut rs = ResultSet::new();
+            let mut sink = LimitSink::new(&mut rs, target);
+            let (res, steps) = join.continue_join(
+                &[0, 1],
+                &plan,
+                &offsets,
+                &mut state,
+                u64::MAX / 2,
+                &mut sink,
+            );
+            assert_eq!(res, ContinueResult::BudgetSpent, "threads {threads}");
+            (steps, rs.len())
+        };
+
+        let full_steps = (n * n) as u64; // ballpark of full enumeration
+        for threads in [2, 4] {
+            let (steps, produced) = run_one_slice(threads);
+            assert!(
+                produced as u64 >= target,
+                "threads {threads}: produced {produced} < target {target}"
+            );
+            assert!(
+                steps < full_steps / 10,
+                "threads {threads}: {steps} steps — workers did not stop mid-chunk"
+            );
+        }
+    }
+
+    #[test]
+    fn partitioned_limit_quota_suspension_terminates() {
+        // Adversarial quota scenario: drive a partitioned LIMIT loop to
+        // the *exact* full result count. Near the end every slice's
+        // remaining capacity is tiny, and the quota counter trips on
+        // re-emissions of tuples earlier slices already merged — each
+        // suspension must still advance the folded cursor, or the loop
+        // would repeat the same slice forever.
+        let n = 40usize;
+        let mut cat = Catalog::new();
+        for name in ["q1", "q2"] {
+            cat.register(
+                Table::new(
+                    name,
+                    Schema::new([ColumnDef::new("k", ValueType::Int)]),
+                    vec![Column::from_ints((0..n as i64).map(|i| i % 5).collect())],
+                )
+                .unwrap(),
+            );
+        }
+        let mut qb = QueryBuilder::new(&cat);
+        qb.table("q1").unwrap();
+        qb.table("q2").unwrap();
+        let j = qb.col("q1.k").unwrap().eq(qb.col("q2.k").unwrap());
+        qb.filter(j);
+        qb.select_col("q1.k").unwrap();
+        let q = qb.build().unwrap();
+
+        let pq = PreparedQuery::new(&q, true, 1);
+        let total = {
+            let plan = pq.plan_order(&[0, 1]);
+            let mut join = MultiwayJoin::new(&pq);
+            let offsets = vec![0u32; 2];
+            let mut state = offsets.clone();
+            let mut rs = ResultSet::new();
+            join.continue_join(&[0, 1], &plan, &offsets, &mut state, u64::MAX, &mut rs);
+            rs.len() as u64
+        };
+        assert!(total > 10);
+
+        for threads in [2, 4] {
+            let plan = pq.plan_order(&[0, 1]);
+            let mut join = MultiwayJoin::with_threads(&pq, threads);
+            let offsets = vec![0u32; 2];
+            let mut state = offsets.clone();
+            let mut rs = ResultSet::new();
+            let mut slices = 0u64;
+            loop {
+                slices += 1;
+                assert!(
+                    slices < 100_000,
+                    "threads {threads}: partitioned LIMIT loop did not terminate"
+                );
+                let mut sink = LimitSink::new(&mut rs, total);
+                let (res, _) =
+                    join.continue_join(&[0, 1], &plan, &offsets, &mut state, 64, &mut sink);
+                if res == ContinueResult::Exhausted || rs.len() as u64 >= total {
+                    break;
+                }
+            }
+            assert_eq!(rs.len() as u64, total, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn partitioned_limit_end_to_end_counts_match() {
+        // Same shape through the Skinner-C driver: partitioned LIMIT
+        // runs must produce a valid prefix and never fewer rows than the
+        // sequential path would.
+        let n = 120usize;
+        let mut cat = Catalog::new();
+        for name in ["p1", "p2"] {
+            cat.register(
+                Table::new(
+                    name,
+                    Schema::new([ColumnDef::new("k", ValueType::Int)]),
+                    vec![Column::from_ints((0..n as i64).map(|i| i % 4).collect())],
+                )
+                .unwrap(),
+            );
+        }
+        let mut qb = QueryBuilder::new(&cat);
+        qb.table("p1").unwrap();
+        qb.table("p2").unwrap();
+        let j = qb.col("p1.k").unwrap().eq(qb.col("p2.k").unwrap());
+        qb.filter(j);
+        qb.select_col("p1.k").unwrap();
+        let q = qb.build().unwrap();
+
+        use crate::skinner_c::{RunOptions, SkinnerC, SkinnerCConfig, StopReason};
+        let out = SkinnerC::new(SkinnerCConfig {
+            budget: 100_000,
+            threads: 4,
+            ..Default::default()
+        })
+        .run_with(
+            &q,
+            &RunOptions {
+                target_rows: Some(10),
+                ..Default::default()
+            },
+        );
+        assert_eq!(out.stop, StopReason::RowTarget);
+        assert!(out.result_count >= 10);
+        // The giant budget would have enumerated the full join (~3600
+        // distinct tuples) without the mid-chunk stop.
+        assert!(
+            out.metrics.steps < 2_000,
+            "steps {} — partitioned LIMIT did not stop early",
+            out.metrics.steps
+        );
+    }
+
+    #[test]
+    fn composite_join_all_kernels_and_orders_agree() {
+        // Two link tables joined on a two-column composite key plus a
+        // third table chained on one of the components: the composite
+        // jump, the single-column jump and the scan path all in one
+        // query. Every kernel (generic / plan-bound, sequential /
+        // partitioned / sliced) must produce the same tuple set, with
+        // and without indexes.
+        let mut cat = Catalog::new();
+        cat.register(
+            Table::new(
+                "e1",
+                Schema::new([
+                    ColumnDef::new("m", ValueType::Int),
+                    ColumnDef::new("p", ValueType::Int),
+                ]),
+                vec![
+                    Column::from_ints(vec![1, 1, 2, 2, 3, 3]),
+                    Column::from_ints(vec![7, 8, 7, 8, 7, 9]),
+                ],
+            )
+            .unwrap(),
+        );
+        cat.register(
+            Table::new(
+                "e2",
+                Schema::new([
+                    ColumnDef::new("m", ValueType::Int),
+                    ColumnDef::new("p", ValueType::Int),
+                ]),
+                vec![
+                    Column::from_ints(vec![2, 1, 3, 1, 2]),
+                    Column::from_ints(vec![7, 7, 9, 8, 5]),
+                ],
+            )
+            .unwrap(),
+        );
+        cat.register(
+            Table::new(
+                "m",
+                Schema::new([ColumnDef::new("id", ValueType::Int)]),
+                vec![Column::from_ints(vec![1, 2, 3, 4])],
+            )
+            .unwrap(),
+        );
+        let mut qb = QueryBuilder::new(&cat);
+        qb.table("e1").unwrap();
+        qb.table("e2").unwrap();
+        qb.table("m").unwrap();
+        let j1 = qb.col("e1.m").unwrap().eq(qb.col("e2.m").unwrap());
+        let j2 = qb.col("e1.p").unwrap().eq(qb.col("e2.p").unwrap());
+        let j3 = qb.col("e1.m").unwrap().eq(qb.col("m.id").unwrap());
+        qb.filter(j1);
+        qb.filter(j2);
+        qb.filter(j3);
+        qb.select_col("e1.m").unwrap();
+        let q = qb.build().unwrap();
+
+        // The composite machinery is actually in play.
+        let pq = PreparedQuery::new(&q, true, 1);
+        assert_eq!(pq.composites.len(), 1);
+
+        let expected = run_order_generic(&q, &[0, 1, 2], true);
+        assert_eq!(expected.len(), 4); // (1,7) (1,8) (2,7) (3,9) pairs
+        for order in [
+            vec![0usize, 1, 2],
+            vec![1, 0, 2],
+            vec![2, 0, 1],
+            vec![1, 2, 0],
+        ] {
+            for indexes in [true, false] {
+                assert_eq!(
+                    run_order_generic(&q, &order, indexes),
+                    expected,
+                    "generic diverged: order {order:?} indexes {indexes}"
+                );
+                for threads in [1, 3] {
+                    assert_eq!(
+                        run_order_threads(&q, &order, indexes, threads),
+                        expected,
+                        "bound diverged: order {order:?} indexes {indexes} threads {threads}"
+                    );
+                }
+            }
+        }
+
+        // Sliced execution resumes composite cursors losslessly.
+        let plan = pq.plan_order(&[1, 0, 2]);
+        let mut join = MultiwayJoin::new(&pq);
+        let offsets = vec![0u32; 3];
+        let mut state = offsets.clone();
+        let mut rs = ResultSet::new();
+        let mut slices = 0;
+        loop {
+            slices += 1;
+            assert!(slices < 10_000, "no termination");
+            let (res, _) = join.continue_join(&[1, 0, 2], &plan, &offsets, &mut state, 12, &mut rs);
+            if res == ContinueResult::Exhausted {
+                break;
+            }
+        }
+        let mut got: Vec<Vec<u32>> = rs.iter().map(|t| t.to_vec()).collect();
+        got.sort();
+        assert_eq!(got, expected);
+        assert!(slices > 1, "test should actually slice");
     }
 
     #[test]

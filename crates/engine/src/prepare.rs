@@ -41,7 +41,74 @@ use skinner_codegen::{
 };
 use skinner_query::{compile_predicates, BoundPred, CompiledPred, Query, TableId, TableSet};
 use skinner_storage::table::TableRef;
-use skinner_storage::{Column, FxHashMap, HashIndex, RowId};
+use skinner_storage::{fused_join_key, Column, FxHashMap, HashIndex, RowId};
+
+/// One composite (multi-column) equi-join key group, materialized at
+/// prepare time: a pair of tables connected by two or more equality
+/// conjuncts. Both sides get a *fused* key per base row — an FxHash
+/// combine of the component join keys in canonical pair order (see
+/// [`fused_join_key`]) — and a composite hash index over their filtered
+/// positions. Fused keys are hashes, so a composite jump never implies
+/// its driving predicates: the kernel re-verifies every group conjunct,
+/// exactly as it does for string keys. Correlated component columns are
+/// where this pays: a single-column jump enumerates every row matching
+/// one component and rejects the rest per tuple, while the composite
+/// index jumps straight to rows matching the whole key.
+pub struct CompositeKeyGroup {
+    /// The connected tables, `a < b`.
+    pub tables: (TableId, TableId),
+    /// Paired component columns (`cols.0[i]` of side `a` joins
+    /// `cols.1[i]` of side `b`), sorted canonically.
+    pub cols: (Vec<usize>, Vec<usize>),
+    /// Indices into `join_preds` of the group's equality conjuncts.
+    pub preds: Vec<usize>,
+    /// Fused keys per **base row** of each side (`None` = a NULL
+    /// component; such rows never match).
+    pub keys: (Vec<Option<i64>>, Vec<Option<i64>>),
+    /// Composite indexes over each side's **filtered positions**.
+    pub indexes: (HashIndex, HashIndex),
+}
+
+/// One direction of a composite jump: the earlier (key-providing) side
+/// and the later (indexed, probed) side, resolved from `src_is_a`. The
+/// single source of truth for side selection — the bound plan, the
+/// generic oracle, and the jump heuristic all go through it.
+pub struct CompositeSides<'a> {
+    /// The earlier table providing the key tuple.
+    pub src_table: TableId,
+    /// The source side's fused keys per base row.
+    pub src_keys: &'a [Option<i64>],
+    /// The source side's component columns (paired order).
+    pub src_cols: &'a [usize],
+    /// The probed side's composite index (filtered positions).
+    pub index: &'a HashIndex,
+    /// The probed side's component columns (paired order).
+    pub index_cols: &'a [usize],
+}
+
+impl CompositeKeyGroup {
+    /// Resolve the jump direction: `src_is_a` means the group's `a` side
+    /// provides the key and the `b` side is probed.
+    pub fn sides(&self, src_is_a: bool) -> CompositeSides<'_> {
+        if src_is_a {
+            CompositeSides {
+                src_table: self.tables.0,
+                src_keys: &self.keys.0,
+                src_cols: &self.cols.0,
+                index: &self.indexes.1,
+                index_cols: &self.cols.1,
+            }
+        } else {
+            CompositeSides {
+                src_table: self.tables.1,
+                src_keys: &self.keys.1,
+                src_cols: &self.cols.1,
+                index: &self.indexes.0,
+                index_cols: &self.cols.0,
+            }
+        }
+    }
+}
 
 /// A query after pre-processing, ready for multi-way join execution.
 pub struct PreparedQuery {
@@ -57,6 +124,9 @@ pub struct PreparedQuery {
     /// Hash indexes on equi-join columns, keyed by `(table, column)`;
     /// postings are filtered positions.
     pub indexes: FxHashMap<(TableId, usize), HashIndex>,
+    /// Composite key groups (empty unless indexes were built and some
+    /// table pair is connected by ≥ 2 equality conjuncts).
+    pub composites: Vec<CompositeKeyGroup>,
     /// Wall time spent pre-processing.
     pub preprocess_time: std::time::Duration,
 }
@@ -137,12 +207,80 @@ impl PreparedQuery {
             }
         }
 
+        // Composite key groups: fused keys + composite indexes for every
+        // table pair connected by ≥ 2 equality conjuncts.
+        let mut composites = Vec::new();
+        if build_indexes {
+            for ((ta, tb), mut pairs) in query.composite_key_groups() {
+                // Key-convention guard, as for single jumps: drop
+                // component pairs whose equality cannot be accelerated
+                // by key comparison (Int vs Float widening); they stay
+                // residual predicates. A group needs ≥ 2 sound pairs.
+                pairs.retain(|&(ca, cb)| {
+                    tables[ta]
+                        .column(ca)
+                        .join_key_compatible(tables[tb].column(cb))
+                });
+                if pairs.len() < 2 {
+                    continue;
+                }
+                let cols_a: Vec<usize> = pairs.iter().map(|&(a, _)| a).collect();
+                let cols_b: Vec<usize> = pairs.iter().map(|&(_, b)| b).collect();
+                // Map the group's conjuncts to join_preds indices.
+                let preds: Vec<usize> = join_preds
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| {
+                        p.expr().as_equi_join().is_some_and(|(x, y)| {
+                            let ((xa, ca), (xb, cb)) = if x.table < y.table {
+                                ((x.table, x.column), (y.table, y.column))
+                            } else {
+                                ((y.table, y.column), (x.table, x.column))
+                            };
+                            xa == ta && xb == tb && pairs.contains(&(ca, cb))
+                        })
+                    })
+                    .map(|(pi, _)| pi)
+                    .collect();
+                // Fused keys are only ever read for rows that survived
+                // the unary filters (indexes cover filtered positions;
+                // source lookups hold filtered base ids), so hash only
+                // those — on a selectively filtered link table this is
+                // most of the prepare cost.
+                let fuse_side = |t: TableId, cols: &[usize]| -> Vec<Option<i64>> {
+                    let mut keys = vec![None; tables[t].num_rows()];
+                    for &r in &filtered[t] {
+                        keys[r as usize] =
+                            fused_join_key(cols.iter().map(|&c| tables[t].column(c)), r as usize);
+                    }
+                    keys
+                };
+                let keys_a = fuse_side(ta, &cols_a);
+                let keys_b = fuse_side(tb, &cols_b);
+                let index_of = |keys: &[Option<i64>], filt: &[RowId]| {
+                    let filtered_keys: Vec<Option<i64>> =
+                        filt.iter().map(|&r| keys[r as usize]).collect();
+                    HashIndex::from_keys(&filtered_keys)
+                };
+                let idx_a = index_of(&keys_a, &filtered[ta]);
+                let idx_b = index_of(&keys_b, &filtered[tb]);
+                composites.push(CompositeKeyGroup {
+                    tables: (ta, tb),
+                    cols: (cols_a, cols_b),
+                    preds,
+                    keys: (keys_a, keys_b),
+                    indexes: (idx_a, idx_b),
+                });
+            }
+        }
+
         PreparedQuery {
             tables,
             filtered,
             cards,
             join_preds,
             indexes,
+            composites,
             preprocess_time: start.elapsed(),
         }
     }
@@ -163,9 +301,20 @@ impl PreparedQuery {
         self.filtered[t][pos as usize]
     }
 
-    /// Approximate bytes held by the hash indexes.
+    /// Approximate bytes held by the hash indexes (single-column and
+    /// composite, including the fused key vectors).
     pub fn index_bytes(&self) -> usize {
-        self.indexes.values().map(HashIndex::approx_bytes).sum()
+        let single: usize = self.indexes.values().map(HashIndex::approx_bytes).sum();
+        let composite: usize = self
+            .composites
+            .iter()
+            .map(|g| {
+                g.indexes.0.approx_bytes()
+                    + g.indexes.1.approx_bytes()
+                    + (g.keys.0.len() + g.keys.1.len()) * std::mem::size_of::<Option<i64>>()
+            })
+            .sum();
+        single + composite
     }
 
     /// The per-position applicable predicates and jump index for one join
@@ -182,28 +331,84 @@ impl PreparedQuery {
         for (i, &t) in order.iter().enumerate() {
             let mut with_t = joined;
             with_t.insert(t);
-            let mut applicable = Vec::new();
+            let applicable: Vec<usize> = self
+                .join_preds
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| {
+                    let ts = p.tables();
+                    ts.contains(t) && ts.is_subset_of(with_t)
+                })
+                .map(|(pi, _)| pi)
+                .collect();
             let mut jump = None;
-            for (pi, p) in self.join_preds.iter().enumerate() {
-                let ts = p.tables();
-                if ts.contains(t) && ts.is_subset_of(with_t) {
-                    applicable.push(pi);
-                    if i > 0 && jump.is_none() {
-                        if let Some((a, b)) = p.expr().as_equi_join() {
+            if i > 0 {
+                // Composite jumps first: a fused multi-column key
+                // enumerates only rows matching *all* conjuncts of the
+                // group — but only when the pair is genuinely more
+                // selective than its best single component. When one
+                // component alone partitions the table just as finely
+                // (a near-unique id), the single-column jump wins: it
+                // keeps exact keys, predicate elision, and the codegen
+                // tier, which fused (hashed) keys forfeit.
+                for (gi, g) in self.composites.iter().enumerate() {
+                    let src_is_a = if g.tables.0 == t && joined.contains(g.tables.1) {
+                        false // src = b side
+                    } else if g.tables.1 == t && joined.contains(g.tables.0) {
+                        true // src = a side
+                    } else {
+                        continue;
+                    };
+                    let sides = g.sides(src_is_a);
+                    let best_single = sides
+                        .index_cols
+                        .iter()
+                        .filter_map(|&c| self.indexes.get(&(t, c)).map(HashIndex::distinct_keys))
+                        .max()
+                        .unwrap_or(0);
+                    if sides.index.distinct_keys() <= best_single {
+                        continue; // a single component is as selective
+                    }
+                    // The group's conjuncts all connect exactly {a, b},
+                    // so they become applicable precisely here.
+                    let preds: Vec<usize> = g
+                        .preds
+                        .iter()
+                        .filter_map(|pi| applicable.iter().position(|x| x == pi))
+                        .collect();
+                    if preds.len() == g.preds.len() && !preds.is_empty() {
+                        jump = Some(JumpSpec::Composite {
+                            group: gi,
+                            src_is_a,
+                            preds,
+                        });
+                        break;
+                    }
+                }
+                // Otherwise the first applicable single-column equality
+                // with an index drives the jump, as before.
+                if jump.is_none() {
+                    for (k, &pi) in applicable.iter().enumerate() {
+                        if let Some((a, b)) = self.join_preds[pi].expr().as_equi_join() {
                             let (tc, oc) = if a.table == t { (a, b) } else { (b, a) };
                             if tc.table == t
                                 && joined.contains(oc.table)
                                 && self.indexes.contains_key(&(t, tc.column))
+                                // Key-convention guard: an Int = Float
+                                // equality is true under numeric widening
+                                // while the key conventions differ — a
+                                // key-driven jump would skip real matches.
+                                && self.tables[t]
+                                    .column(tc.column)
+                                    .join_key_compatible(self.tables[oc.table].column(oc.column))
                             {
-                                jump = Some(JumpSpec {
+                                jump = Some(JumpSpec::Single {
                                     index_col: tc.column,
                                     src_table: oc.table,
                                     src_col: oc.column,
-                                    // The equi conjunct was just pushed:
-                                    // its index in this position's
-                                    // applicable/preds list.
-                                    pred: applicable.len() - 1,
+                                    pred: k,
                                 });
+                                break;
                             }
                         }
                     }
@@ -236,13 +441,38 @@ impl PreparedQuery {
                     .iter()
                     .map(|&pi| self.join_preds[pi].bind(&self.tables))
                     .collect();
-                let jump = p.jump.map(|j| {
-                    let src = self.tables[j.src_table].column(j.src_col);
-                    BoundJump {
-                        index: &self.indexes[&(t, j.index_col)],
-                        src_table: j.src_table,
-                        key: KeyCol::bind(src),
-                        pred: j.pred,
+                let jump = p.jump.as_ref().map(|j| match j {
+                    JumpSpec::Single {
+                        index_col,
+                        src_table,
+                        src_col,
+                        pred,
+                    } => {
+                        let src = self.tables[*src_table].column(*src_col);
+                        BoundJump {
+                            index: &self.indexes[&(t, *index_col)],
+                            src_table: *src_table,
+                            key: KeyCol::bind(src),
+                            pred: *pred,
+                        }
+                    }
+                    JumpSpec::Composite {
+                        group,
+                        src_is_a,
+                        preds,
+                    } => {
+                        // The index lives on this position's table; the
+                        // key vector on the earlier (source) side.
+                        let sides = self.composites[*group].sides(*src_is_a);
+                        BoundJump {
+                            index: sides.index,
+                            src_table: sides.src_table,
+                            key: KeyCol::Fused(sides.src_keys),
+                            // Fused keys are hashes: no conjunct is ever
+                            // implied, so this drives no elision (the
+                            // kernel key maps Fused to JumpKind::Other).
+                            pred: preds[0],
+                        }
                     }
                 });
                 BoundPosition {
@@ -262,10 +492,15 @@ impl PreparedQuery {
 /// key column's physical representation.
 #[derive(Debug, Clone, Copy)]
 pub enum KeyCol<'a> {
-    /// Non-nullable integer column: the key is the value itself.
+    /// Non-nullable i64-backed column (`Int`, `Date`, `Interval`): the
+    /// key is the exact value itself.
     Int(&'a [i64]),
     /// Non-nullable float column: the key is the value's bit pattern.
     Float(&'a [f64]),
+    /// Fused composite key vector precomputed per base row (see
+    /// [`CompositeKeyGroup`]); `None` entries are NULL components. Keys
+    /// are hashes, so the driving conjuncts are always re-verified.
+    Fused(&'a [Option<i64>]),
     /// Strings and nullable columns: fall back to [`Column::join_key`].
     Other(&'a Column),
 }
@@ -276,8 +511,8 @@ impl<'a> KeyCol<'a> {
         if col.nullable() {
             return KeyCol::Other(col);
         }
-        if let Some(ints) = col.ints() {
-            KeyCol::Int(ints)
+        if let Some(i64s) = col.i64s() {
+            KeyCol::Int(i64s)
         } else if let Some(floats) = col.floats() {
             KeyCol::Float(floats)
         } else {
@@ -290,7 +525,8 @@ impl<'a> KeyCol<'a> {
     pub fn key(&self, row: RowId) -> Option<i64> {
         match self {
             KeyCol::Int(v) => Some(v[row as usize]),
-            KeyCol::Float(v) => Some(v[row as usize].to_bits() as i64),
+            KeyCol::Float(v) => Some(skinner_storage::f64_key(v[row as usize])),
+            KeyCol::Fused(v) => v[row as usize],
             KeyCol::Other(col) => col.join_key(row as usize),
         }
     }
@@ -354,7 +590,9 @@ impl<'a> OrderPlan<'a> {
                     Some(j) => match j.key {
                         KeyCol::Int(_) => JumpKind::Int,
                         KeyCol::Float(_) => JumpKind::Float,
-                        KeyCol::Other(_) => JumpKind::Other,
+                        // Fused composite keys are hashed like string
+                        // keys: the codegen tier takes its fallback.
+                        KeyCol::Fused(_) | KeyCol::Other(_) => JumpKind::Other,
                     },
                 };
                 let elided = kind == JumpKind::Int
@@ -409,7 +647,9 @@ impl<'a> OrderPlan<'a> {
                             },
                             false,
                         ),
-                        KeyCol::Other(_) => unreachable!("unsupported shape passed resolution"),
+                        KeyCol::Fused(_) | KeyCol::Other(_) => {
+                            unreachable!("unsupported shape passed resolution")
+                        }
                     },
                 };
                 let preds = match (&p.jump, elided) {
@@ -439,17 +679,49 @@ impl<'a> OrderPlan<'a> {
 /// Equality-predicate jump at one join-order position (§4.5: "jump
 /// directly to the next highest tuple index that satisfies at least all
 /// applicable equality predicates"), as logical indices.
-#[derive(Debug, Clone, Copy)]
-pub struct JumpSpec {
-    /// Indexed column of the position's table.
-    pub index_col: usize,
-    /// Earlier table providing the key.
-    pub src_table: TableId,
-    /// Key column in the earlier table.
-    pub src_col: usize,
-    /// Index of the driving equality conjunct within this position's
-    /// applicable-predicate list.
-    pub pred: usize,
+#[derive(Debug, Clone)]
+pub enum JumpSpec {
+    /// One equality conjunct drives the jump through a single-column
+    /// hash index.
+    Single {
+        /// Indexed column of the position's table.
+        index_col: usize,
+        /// Earlier table providing the key.
+        src_table: TableId,
+        /// Key column in the earlier table.
+        src_col: usize,
+        /// Index of the driving equality conjunct within this position's
+        /// applicable-predicate list.
+        pred: usize,
+    },
+    /// A composite key group drives the jump: the fused multi-column key
+    /// of the earlier table probes the composite index of this
+    /// position's table, satisfying *all* of the group's conjuncts at
+    /// once (modulo hash collisions, which the re-verified predicates
+    /// reject).
+    Composite {
+        /// Index into [`PreparedQuery::composites`].
+        group: usize,
+        /// True when the earlier (key-providing) table is the group's
+        /// `a` side, i.e. this position's table is side `b`.
+        src_is_a: bool,
+        /// Indices of the group's conjuncts within this position's
+        /// applicable-predicate list.
+        preds: Vec<usize>,
+    },
+}
+
+impl JumpSpec {
+    /// The earlier table providing the jump key, given the prepared
+    /// query the spec was planned against.
+    pub fn src_table(&self, pq: &PreparedQuery) -> TableId {
+        match self {
+            JumpSpec::Single { src_table, .. } => *src_table,
+            JumpSpec::Composite {
+                group, src_is_a, ..
+            } => pq.composites[*group].sides(*src_is_a).src_table,
+        }
+    }
 }
 
 /// Per-position logical plan for one join order (indices into the
@@ -563,14 +835,23 @@ mod tests {
         let spec = p.plan_spec(&[0, 1]);
         assert!(spec.positions[0].applicable.is_empty());
         assert_eq!(spec.positions[1].applicable, vec![0]);
-        let jump = spec.positions[1].jump.expect("jump expected");
-        assert_eq!(jump.index_col, 0);
-        assert_eq!(jump.src_table, 0);
-        assert_eq!(jump.src_col, 0);
+        let jump = spec.positions[1].jump.clone().expect("jump expected");
+        let JumpSpec::Single {
+            index_col,
+            src_table,
+            src_col,
+            ..
+        } = jump
+        else {
+            panic!("expected single-column jump");
+        };
+        assert_eq!(index_col, 0);
+        assert_eq!(src_table, 0);
+        assert_eq!(src_col, 0);
         // reversed order jumps through a's index
         let spec = p.plan_spec(&[1, 0]);
-        let jump = spec.positions[1].jump.expect("jump expected");
-        assert_eq!(jump.src_table, 1);
+        let jump = spec.positions[1].jump.as_ref().expect("jump expected");
+        assert_eq!(jump.src_table(&p), 1);
     }
 
     #[test]
@@ -600,6 +881,244 @@ mod tests {
         let p2 = PreparedQuery::new(&q, false, 1);
         let plan2 = p2.plan_order(&[0, 1]);
         assert!(plan2.positions[1].jump.is_none());
+    }
+
+    fn composite_catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        // l1 and l2 share a two-column key (x, y); single components
+        // collide heavily (x repeats, y repeats) but pairs are selective.
+        cat.register(
+            Table::new(
+                "l1",
+                Schema::new([
+                    ColumnDef::new("x", ValueType::Int),
+                    ColumnDef::new("y", ValueType::Int),
+                    ColumnDef::new("v", ValueType::Int),
+                ]),
+                vec![
+                    Column::from_ints(vec![1, 1, 2, 2]),
+                    Column::from_ints(vec![10, 20, 10, 20]),
+                    Column::from_ints(vec![0, 1, 2, 3]),
+                ],
+            )
+            .unwrap(),
+        );
+        cat.register(
+            Table::new(
+                "l2",
+                Schema::new([
+                    ColumnDef::new("x", ValueType::Int),
+                    ColumnDef::new("y", ValueType::Int),
+                ]),
+                vec![
+                    Column::from_ints(vec![1, 2, 1, 1]),
+                    Column::from_ints(vec![10, 20, 20, 10]),
+                ],
+            )
+            .unwrap(),
+        );
+        cat
+    }
+
+    fn composite_query(cat: &Catalog) -> Query {
+        let mut qb = QueryBuilder::new(cat);
+        qb.table("l1").unwrap();
+        qb.table("l2").unwrap();
+        let j1 = qb.col("l1.x").unwrap().eq(qb.col("l2.x").unwrap());
+        let j2 = qb.col("l1.y").unwrap().eq(qb.col("l2.y").unwrap());
+        qb.filter(j1);
+        qb.filter(j2);
+        qb.select_col("l1.v").unwrap();
+        qb.build().unwrap()
+    }
+
+    #[test]
+    fn composite_group_prepared_and_planned() {
+        let cat = composite_catalog();
+        let q = composite_query(&cat);
+        let p = PreparedQuery::new(&q, true, 1);
+        assert_eq!(p.composites.len(), 1);
+        let g = &p.composites[0];
+        assert_eq!(g.tables, (0, 1));
+        assert_eq!(g.cols, (vec![0, 1], vec![0, 1]));
+        assert_eq!(g.preds.len(), 2);
+        // l1 row 0 = (1, 10) matches l2 filtered positions 0 and 3.
+        let key = g.keys.0[0].expect("non-null fused key");
+        assert_eq!(g.indexes.1.probe(key), &[0, 3]);
+        // l1's (2, 10) pair (row 2) matches nothing in l2, though each
+        // component occurs there — the fused key must separate them.
+        let key = g.keys.0[2].expect("non-null fused key");
+        assert_eq!(g.indexes.1.probe(key), &[] as &[u32]);
+
+        // Both directions plan a composite jump at position 1.
+        for order in [[0usize, 1], [1usize, 0]] {
+            let spec = p.plan_spec(&order);
+            match spec.positions[1].jump.as_ref().expect("jump") {
+                JumpSpec::Composite { group, preds, .. } => {
+                    assert_eq!(*group, 0);
+                    assert_eq!(preds.len(), 2);
+                }
+                other => panic!("expected composite jump, got {other:?}"),
+            }
+            // The bound plan carries the fused key source and composite
+            // index — and the shape must NOT compile (codegen falls back
+            // for hashed keys).
+            let plan = p.plan_order(&order);
+            let bound = plan.positions[1].jump.as_ref().expect("bound jump");
+            assert!(matches!(bound.key, KeyCol::Fused(_)));
+            assert!(!plan.kernel_key().supported());
+            assert!(plan.compile_kernel(None).is_none());
+        }
+
+        // Without indexes there is no composite machinery at all.
+        let p2 = PreparedQuery::new(&q, false, 1);
+        assert!(p2.composites.is_empty());
+        assert!(p2.plan_spec(&[0, 1]).positions[1].jump.is_none());
+        // index_bytes accounts for the composite structures.
+        assert!(p.index_bytes() > p2.index_bytes());
+    }
+
+    #[test]
+    fn unique_single_component_outranks_composite() {
+        // (id, grp) group where id alone is unique: the composite fused
+        // key partitions no finer than id, so the planner must keep the
+        // single-column Int jump — exact keys, elision, codegen tier.
+        let mut cat = Catalog::new();
+        cat.register(
+            Table::new(
+                "u1",
+                Schema::new([
+                    ColumnDef::new("id", ValueType::Int),
+                    ColumnDef::new("grp", ValueType::Int),
+                ]),
+                vec![
+                    Column::from_ints(vec![1, 2, 3, 4]),
+                    Column::from_ints(vec![0, 0, 1, 1]),
+                ],
+            )
+            .unwrap(),
+        );
+        cat.register(
+            Table::new(
+                "u2",
+                Schema::new([
+                    ColumnDef::new("id", ValueType::Int),
+                    ColumnDef::new("grp", ValueType::Int),
+                ]),
+                vec![
+                    Column::from_ints(vec![3, 1, 2]),
+                    Column::from_ints(vec![1, 0, 0]),
+                ],
+            )
+            .unwrap(),
+        );
+        let mut qb = QueryBuilder::new(&cat);
+        qb.table("u1").unwrap();
+        qb.table("u2").unwrap();
+        let j1 = qb.col("u1.id").unwrap().eq(qb.col("u2.id").unwrap());
+        let j2 = qb.col("u1.grp").unwrap().eq(qb.col("u2.grp").unwrap());
+        qb.filter(j1);
+        qb.filter(j2);
+        qb.select_col("u1.id").unwrap();
+        let q = qb.build().unwrap();
+        let p = PreparedQuery::new(&q, true, 1);
+        assert_eq!(p.composites.len(), 1, "the group itself still exists");
+        let plan = p.plan_order(&[0, 1]);
+        let jump = plan.positions[1].jump.as_ref().expect("jump");
+        assert!(
+            matches!(jump.key, KeyCol::Int(_)),
+            "unique component must keep the exact single-column jump"
+        );
+        assert!(
+            plan.kernel_key().supported(),
+            "single jump keeps the codegen tier"
+        );
+    }
+
+    #[test]
+    fn cross_type_int_float_join_gets_no_jump() {
+        // `2 = 2.0` is true under numeric widening, but Int and Float
+        // key conventions differ (value vs bit pattern) — a key-driven
+        // jump would skip the match. The planner must refuse the jump
+        // (and any composite group containing such a pair) and fall
+        // back to scan + predicate.
+        let mut cat = Catalog::new();
+        cat.register(
+            Table::new(
+                "ia",
+                Schema::new([
+                    ColumnDef::new("k", ValueType::Int),
+                    ColumnDef::new("k2", ValueType::Int),
+                ]),
+                vec![
+                    Column::from_ints(vec![1, 2, 3]),
+                    Column::from_ints(vec![7, 8, 9]),
+                ],
+            )
+            .unwrap(),
+        );
+        cat.register(
+            Table::new(
+                "fb",
+                Schema::new([
+                    ColumnDef::new("k", ValueType::Float),
+                    ColumnDef::new("k2", ValueType::Int),
+                ]),
+                vec![
+                    Column::from_floats(vec![2.0, 3.0, 9.5]),
+                    Column::from_ints(vec![8, 9, 7]),
+                ],
+            )
+            .unwrap(),
+        );
+        let mut qb = QueryBuilder::new(&cat);
+        qb.table("ia").unwrap();
+        qb.table("fb").unwrap();
+        let j = qb.col("ia.k").unwrap().eq(qb.col("fb.k").unwrap());
+        qb.filter(j);
+        qb.select_col("ia.k").unwrap();
+        let q = qb.build().unwrap();
+        let p = PreparedQuery::new(&q, true, 1);
+        for order in [[0usize, 1], [1usize, 0]] {
+            assert!(
+                p.plan_spec(&order).positions[1].jump.is_none(),
+                "cross-convention pair must not drive a jump"
+            );
+        }
+        // A mixed composite group keeps only its sound pairs: here the
+        // Int=Float pair drops out, leaving one pair — no group.
+        let mut qb = QueryBuilder::new(&cat);
+        qb.table("ia").unwrap();
+        qb.table("fb").unwrap();
+        let j1 = qb.col("ia.k").unwrap().eq(qb.col("fb.k").unwrap());
+        let j2 = qb.col("ia.k2").unwrap().eq(qb.col("fb.k2").unwrap());
+        qb.filter(j1);
+        qb.filter(j2);
+        qb.select_col("ia.k").unwrap();
+        let q2 = qb.build().unwrap();
+        assert_eq!(q2.composite_key_groups().len(), 1, "structurally a group");
+        let p2 = PreparedQuery::new(&q2, true, 1);
+        assert!(p2.composites.is_empty(), "unsound pair must not fuse");
+        // The surviving Int=Int conjunct still drives a single jump.
+        assert!(matches!(
+            p2.plan_spec(&[0, 1]).positions[1].jump,
+            Some(JumpSpec::Single { .. })
+        ));
+    }
+
+    #[test]
+    fn single_column_joins_unaffected_by_composite_detection() {
+        // A query with one equality conjunct per pair must keep its
+        // single-column jump exactly as before.
+        let cat = catalog();
+        let q = query(&cat);
+        let p = PreparedQuery::new(&q, true, 1);
+        assert!(p.composites.is_empty());
+        let spec = p.plan_spec(&[0, 1]);
+        assert!(matches!(
+            spec.positions[1].jump,
+            Some(JumpSpec::Single { .. })
+        ));
     }
 
     #[test]

@@ -135,9 +135,10 @@ pub struct RunOptions<'a> {
     /// Wall-clock deadline, checked at every slice boundary.
     pub deadline: Option<Instant>,
     /// Stop once this many distinct join tuples exist (LIMIT pushdown —
-    /// callers must check `Query::join_limit` eligibility first). The
-    /// sequential kernel suspends mid-slice on reaching the target;
-    /// partitioned slices stop at the next slice boundary.
+    /// callers must check `Query::join_limit` eligibility first). Both
+    /// the sequential kernel and partitioned chunk workers suspend
+    /// mid-slice on reaching the target (workers share one slice-wide
+    /// emission counter).
     pub target_rows: Option<u64>,
     /// Capture a [`LearnedState`] in the outcome for the learning cache.
     pub capture_learning: bool,

@@ -89,6 +89,67 @@ pub struct CompiledPred {
     has_udf: bool,
 }
 
+/// Fold literal-only *arithmetic* subtrees into their values: a binary
+/// `+ - * / %` (or unary negation) whose operands folded to literals is
+/// evaluated now, once, instead of per tuple. Arithmetic evaluation is
+/// context-free and deterministic (division by zero folds to NULL, same
+/// as at runtime), so semantics are unchanged. Comparisons and logic are
+/// left alone — their three-valued edge cases stay in one place, the
+/// interpreter.
+fn fold_consts(e: Expr) -> Expr {
+    match e {
+        Expr::Binary { op, left, right } => {
+            let left = Box::new(fold_consts(*left));
+            let right = Box::new(fold_consts(*right));
+            let arithmetic = matches!(
+                op,
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod
+            );
+            if arithmetic {
+                if let (Expr::Literal(_), Expr::Literal(_)) = (left.as_ref(), right.as_ref()) {
+                    let folded = Expr::Binary { op, left, right };
+                    let v = folded.eval(&|_: crate::ColRef| Value::Null);
+                    return Expr::Literal(v);
+                }
+            }
+            Expr::Binary { op, left, right }
+        }
+        Expr::Unary { op, expr } => {
+            let expr = Box::new(fold_consts(*expr));
+            if op == crate::expr::UnOp::Neg {
+                if let Expr::Literal(_) = expr.as_ref() {
+                    let folded = Expr::Unary { op, expr };
+                    let v = folded.eval(&|_: crate::ColRef| Value::Null);
+                    return Expr::Literal(v);
+                }
+            }
+            Expr::Unary { op, expr }
+        }
+        Expr::InList { expr, list } => Expr::InList {
+            expr: Box::new(fold_consts(*expr)),
+            list,
+        },
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
+            expr: Box::new(fold_consts(*expr)),
+            pattern,
+            negated,
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(fold_consts(*expr)),
+            negated,
+        },
+        Expr::Udf { udf, args } => Expr::Udf {
+            udf,
+            args: args.into_iter().map(fold_consts).collect(),
+        },
+        other => other,
+    }
+}
+
 fn cmp_matches(op: BinOp, ord: Ordering) -> bool {
     match op {
         BinOp::Eq => ord == Ordering::Equal,
@@ -102,12 +163,16 @@ fn cmp_matches(op: BinOp, ord: Ordering) -> bool {
 }
 
 impl CompiledPred {
-    /// Compile `expr` for evaluation against `tables`.
+    /// Compile `expr` for evaluation against `tables`. Literal-only
+    /// arithmetic subtrees are folded first (`DATE '…' + INTERVAL '…'`
+    /// becomes one date constant), so date-arithmetic comparisons reach
+    /// the same typed fast paths as plain constants.
     pub fn compile(expr: &Expr, tables: &[TableRef]) -> CompiledPred {
-        let fast = Self::try_fast(expr, tables).unwrap_or(Fast::Generic);
+        let folded = fold_consts(expr.clone());
+        let fast = Self::try_fast(&folded, tables).unwrap_or(Fast::Generic);
         CompiledPred {
             fast,
-            expr: expr.clone(),
+            expr: folded,
             tables: expr.tables(),
             has_udf: expr.contains_udf(),
         }
@@ -130,12 +195,20 @@ impl CompiledPred {
                             return None; // generic path handles 3VL
                         }
                         match (col.value_type(), v) {
-                            (ValueType::Int, Value::Int(k)) => Some(Fast::IntCmpConst {
-                                t: c.table,
-                                c: c.column,
-                                op,
-                                k: *k,
-                            }),
+                            // Date/Interval constants reuse the i64 fast
+                            // path: days are exact 64-bit payloads, and
+                            // the type lattice was already enforced by
+                            // this (column type, literal type) match.
+                            (ValueType::Int, Value::Int(k))
+                            | (ValueType::Date, Value::Date(k))
+                            | (ValueType::Interval, Value::Interval(k)) => {
+                                Some(Fast::IntCmpConst {
+                                    t: c.table,
+                                    c: c.column,
+                                    op,
+                                    k: *k,
+                                })
+                            }
                             (ValueType::Float, Value::Float(k)) => Some(Fast::FloatCmpConst {
                                 t: c.table,
                                 c: c.column,
@@ -167,7 +240,16 @@ impl CompiledPred {
                         if ca.nullable() || cb.nullable() {
                             return None;
                         }
-                        if ca.value_type() == ValueType::Int && cb.value_type() == ValueType::Int {
+                        // Same-type i64-backed pairs (Int=Int, Date=Date,
+                        // Interval=Interval) compare exactly on the raw
+                        // payload; mixed pairs stay generic (the lattice
+                        // makes them NULL, which the interpreter handles).
+                        let same_i64 = ca.value_type() == cb.value_type()
+                            && matches!(
+                                ca.value_type(),
+                                ValueType::Int | ValueType::Date | ValueType::Interval
+                            );
+                        if same_i64 {
                             Some(Fast::IntCmpInt {
                                 t1: a.table,
                                 c1: a.column,
@@ -272,7 +354,7 @@ impl CompiledPred {
     pub fn bind<'a>(&'a self, tables: &'a [TableRef]) -> BoundPred<'a> {
         match &self.fast {
             Fast::IntCmpConst { t, c, op, k } => BoundPred::IntCmpConst {
-                col: tables[*t].column(*c).ints().expect("INT fast path"),
+                col: tables[*t].column(*c).i64s().expect("i64 fast path"),
                 t: *t,
                 mask: op_mask(*op),
                 k: *k,
@@ -295,14 +377,14 @@ impl CompiledPred {
                 negated: *negated,
             },
             Fast::IntCmpInt { t1, c1, op, t2, c2 } => BoundPred::IntCmpInt {
-                a: tables[*t1].column(*c1).ints().expect("INT fast path"),
+                a: tables[*t1].column(*c1).i64s().expect("i64 fast path"),
                 ta: *t1,
-                b: tables[*t2].column(*c2).ints().expect("INT fast path"),
+                b: tables[*t2].column(*c2).i64s().expect("i64 fast path"),
                 tb: *t2,
                 mask: op_mask(*op),
             },
             Fast::IntInList { t, c, set } => BoundPred::IntInList {
-                col: tables[*t].column(*c).ints().expect("INT fast path"),
+                col: tables[*t].column(*c).i64s().expect("i64 fast path"),
                 t: *t,
                 set,
             },
@@ -590,6 +672,89 @@ mod tests {
         assert!(p.is_fast());
         assert!(!p.eval(&[0, 0], &ts));
         assert!(p.eval(&[1, 0], &ts));
+    }
+
+    fn date_tables() -> Vec<TableRef> {
+        vec![
+            Arc::new(
+                Table::new(
+                    "o",
+                    Schema::new([ColumnDef::new("day", ValueType::Date)]),
+                    vec![Column::from_dates(vec![100, 150, 220])],
+                )
+                .unwrap(),
+            ),
+            Arc::new(
+                Table::new(
+                    "s",
+                    Schema::new([ColumnDef::new("day", ValueType::Date)]),
+                    vec![Column::from_dates(vec![150, 100, 150])],
+                )
+                .unwrap(),
+            ),
+        ]
+    }
+
+    #[test]
+    fn date_const_and_date_arithmetic_fast_paths() {
+        let ts = date_tables();
+        // Plain date constant.
+        let p = CompiledPred::compile(&Expr::col(0, 0).lt(Expr::Literal(Value::Date(151))), &ts);
+        assert!(p.is_fast());
+        assert!(p.eval(&[0, 0], &ts));
+        assert!(p.eval(&[1, 0], &ts));
+        assert!(!p.eval(&[2, 0], &ts));
+        // DATE + INTERVAL folds to a date constant and stays fast.
+        let arith = Expr::col(0, 0)
+            .lt(Expr::Literal(Value::Date(120)).add(Expr::Literal(Value::Interval(31))));
+        let p = CompiledPred::compile(&arith, &ts);
+        assert!(p.is_fast(), "folded date arithmetic must hit a fast path");
+        assert!(p.eval(&[0, 0], &ts));
+        assert!(p.eval(&[1, 0], &ts)); // 150 < 151
+        assert!(!p.eval(&[2, 0], &ts));
+        // Date = Date across tables is the exact i64 path (elidable).
+        let j = CompiledPred::compile(&Expr::col(0, 0).eq(Expr::col(1, 0)), &ts);
+        assert!(j.is_fast());
+        assert!(j.bind(&ts).is_exact_int_eq());
+        assert!(j.eval(&[1, 0], &ts)); // 150 = 150
+        assert!(!j.eval(&[0, 0], &ts));
+        // Mixed Date vs Int literal stays generic (lattice: always NULL).
+        let mixed = CompiledPred::compile(&Expr::col(0, 0).lt(Expr::lit(999)), &ts);
+        assert!(!mixed.is_fast());
+        assert!(!mixed.eval(&[0, 0], &ts));
+        // Bound evaluation matches compiled evaluation on every row pair.
+        for e in [
+            Expr::col(0, 0).lt(Expr::Literal(Value::Date(151))),
+            Expr::col(0, 0).eq(Expr::col(1, 0)),
+            arith,
+        ] {
+            let p = CompiledPred::compile(&e, &ts);
+            let b = p.bind(&ts);
+            for a in 0..3u32 {
+                for c in 0..3u32 {
+                    assert_eq!(b.eval(&[a, c]), p.eval(&[a, c], &ts), "{e:?} [{a},{c}]");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn const_fold_preserves_division_by_zero() {
+        let ts = tables();
+        // (4 / 0) folds to NULL; the comparison is then NULL → false.
+        let div = Expr::Binary {
+            op: BinOp::Div,
+            left: Box::new(Expr::lit(4)),
+            right: Box::new(Expr::lit(0)),
+        };
+        let e = Expr::col(0, 0).lt(div);
+        let p = CompiledPred::compile(&e, &ts);
+        assert!(!p.eval(&[0, 0], &ts));
+        let ctx = TupleContext {
+            rows: &[0, 0],
+            tables: &ts,
+        };
+        assert_eq!(p.eval(&[0, 0], &ts), e.eval_predicate(&ctx));
     }
 
     #[test]

@@ -542,6 +542,7 @@ impl Expr {
                     UnOp::Neg => match v {
                         Value::Int(i) => Value::Int(-i),
                         Value::Float(f) => Value::Float(-f),
+                        Value::Interval(d) => Value::Interval(-d),
                         _ => Value::Null,
                     },
                 }
@@ -594,6 +595,48 @@ fn eval_binary(op: BinOp, l: &Value, r: &Value) -> Value {
                 _ => unreachable!(),
             }),
         };
+    }
+    // Temporal arithmetic (the date/interval lattice): dates shift by
+    // intervals, date differences are intervals, intervals add among
+    // themselves and scale by integers. Anything else temporal is NULL.
+    match (l, r) {
+        (Value::Date(a), Value::Interval(b)) => {
+            return match op {
+                BinOp::Add => Value::Date(a.wrapping_add(*b)),
+                BinOp::Sub => Value::Date(a.wrapping_sub(*b)),
+                _ => Value::Null,
+            }
+        }
+        (Value::Interval(a), Value::Date(b)) => {
+            return match op {
+                BinOp::Add => Value::Date(b.wrapping_add(*a)),
+                _ => Value::Null,
+            }
+        }
+        (Value::Date(a), Value::Date(b)) => {
+            return match op {
+                BinOp::Sub => Value::Interval(a.wrapping_sub(*b)),
+                _ => Value::Null,
+            }
+        }
+        (Value::Interval(a), Value::Interval(b)) => {
+            return match op {
+                BinOp::Add => Value::Interval(a.wrapping_add(*b)),
+                BinOp::Sub => Value::Interval(a.wrapping_sub(*b)),
+                _ => Value::Null,
+            }
+        }
+        (Value::Interval(a), Value::Int(b)) | (Value::Int(b), Value::Interval(a)) => {
+            return match op {
+                BinOp::Mul => Value::Interval(a.wrapping_mul(*b)),
+                _ => Value::Null,
+            }
+        }
+        (Value::Date(_), _)
+        | (_, Value::Date(_))
+        | (Value::Interval(_), _)
+        | (_, Value::Interval(_)) => return Value::Null,
+        _ => {}
     }
     // Arithmetic: int op int stays int (except /), otherwise widen to f64.
     match (l, r) {
@@ -751,6 +794,37 @@ mod tests {
         let s = e.tables();
         assert_eq!(s.len(), 3);
         assert!(s.contains(0) && s.contains(1) && s.contains(3));
+    }
+
+    #[test]
+    fn date_interval_arithmetic() {
+        let d = |days: i64| Expr::Literal(Value::Date(days));
+        let iv = |days: i64| Expr::Literal(Value::Interval(days));
+        let empty = ctx(vec![]);
+        assert_eq!(d(100).add(iv(30)).eval(&empty), Value::Date(130));
+        assert_eq!(d(100).sub(iv(30)).eval(&empty), Value::Date(70));
+        assert_eq!(iv(30).add(d(100)).eval(&empty), Value::Date(130));
+        assert_eq!(d(130).sub(d(100)).eval(&empty), Value::Interval(30));
+        assert_eq!(iv(30).add(iv(12)).eval(&empty), Value::Interval(42));
+        assert_eq!(iv(30).mul(Expr::lit(3)).eval(&empty), Value::Interval(90));
+        assert_eq!(Expr::lit(3).mul(iv(30)).eval(&empty), Value::Interval(90));
+        // Off-lattice combinations are NULL, not panics.
+        assert_eq!(d(100).add(d(1)).eval(&empty), Value::Null);
+        assert_eq!(d(100).add(Expr::lit(1)).eval(&empty), Value::Null);
+        assert_eq!(d(100).mul(iv(2)).eval(&empty), Value::Null);
+        assert_eq!(iv(5).add(Expr::lit(0.5)).eval(&empty), Value::Null);
+        // Comparisons go through sql_cmp: date < date works, date < int
+        // is NULL (filtered by predicates).
+        assert!(d(1).lt(d(2)).eval_predicate(&empty));
+        assert!(!d(1).lt(Expr::lit(2)).eval_predicate(&empty));
+        // A date shifted by an interval compares as a date.
+        assert!(d(100).lt(d(80).add(iv(30))).eval_predicate(&empty));
+        // Negated interval.
+        let neg = Expr::Unary {
+            op: UnOp::Neg,
+            expr: Box::new(iv(7)),
+        };
+        assert_eq!(neg.eval(&empty), Value::Interval(-7));
     }
 
     #[test]

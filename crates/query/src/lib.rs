@@ -42,7 +42,7 @@ pub use error::QueryError;
 pub use expr::{BinOp, ColRef, Expr, RowContext, TableSet, UnOp};
 pub use join_graph::JoinGraph;
 pub use parser::parse;
-pub use query::{Agg, AggFunc, OrderKey, Query, SelectItem, TableBinding};
+pub use query::{Agg, AggFunc, CompositeGroup, OrderKey, Query, SelectItem, TableBinding};
 pub use template::TemplateKey;
 pub use udf::{Udf, UdfRegistry};
 

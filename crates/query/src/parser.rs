@@ -701,6 +701,35 @@ impl<'a> Parser<'a> {
         self.parse_primary()
     }
 
+    /// Parse a `DATE 'YYYY-MM-DD'` or `INTERVAL 'n' DAY[S]` literal when
+    /// the keyword `name` was just consumed and a string literal follows
+    /// (a column named `date` is otherwise unaffected).
+    fn try_temporal_literal(&mut self, name: &str) -> Result<Option<Value>, QueryError> {
+        let follows_str = matches!(self.peek(), Some(Tok::Str(_)));
+        if name.eq_ignore_ascii_case("DATE") && follows_str {
+            let Some(Tok::Str(s)) = self.next() else {
+                unreachable!("peeked string");
+            };
+            let days = skinner_storage::parse_date(&s)
+                .ok_or_else(|| self.err(format!("bad DATE literal: '{s}'")))?;
+            return Ok(Some(Value::Date(days)));
+        }
+        if name.eq_ignore_ascii_case("INTERVAL") && follows_str {
+            let Some(Tok::Str(s)) = self.next() else {
+                unreachable!("peeked string");
+            };
+            let days: i64 = s
+                .trim()
+                .parse()
+                .map_err(|_| self.err(format!("bad INTERVAL day count: '{s}'")))?;
+            if !(self.eat_kw("DAY") || self.eat_kw("DAYS")) {
+                return Err(self.err("expected DAY after INTERVAL literal"));
+            }
+            return Ok(Some(Value::Interval(days)));
+        }
+        Ok(None)
+    }
+
     fn parse_literal(&mut self) -> Result<Value, QueryError> {
         match self.next() {
             Some(Tok::Int(i)) => Ok(Value::Int(i)),
@@ -711,6 +740,13 @@ impl<'a> Parser<'a> {
                 Some(Tok::Float(f)) => Ok(Value::Float(-f)),
                 _ => Err(self.err("expected number after -")),
             },
+            Some(Tok::Ident(name)) => {
+                if let Some(v) = self.try_temporal_literal(&name)? {
+                    return Ok(v);
+                }
+                self.pos -= 1;
+                Err(self.err("expected literal"))
+            }
             _ => {
                 self.pos -= 1;
                 Err(self.err("expected literal"))
@@ -731,6 +767,9 @@ impl<'a> Parser<'a> {
             Some(Tok::Ident(name)) => {
                 if name.eq_ignore_ascii_case("NULL") {
                     return Ok(Expr::Literal(Value::Null));
+                }
+                if let Some(v) = self.try_temporal_literal(&name)? {
+                    return Ok(Expr::Literal(v));
                 }
                 if name.eq_ignore_ascii_case("TRUE") {
                     return Ok(Expr::Literal(Value::Int(1)));
@@ -1026,5 +1065,111 @@ mod tests {
     fn missing_table() {
         let err = parse("SELECT x.id FROM nope x", &catalog(), &UdfRegistry::new());
         assert!(err.is_err());
+    }
+
+    fn date_catalog() -> Catalog {
+        use skinner_storage::days_from_ymd;
+        let mut c = Catalog::new();
+        c.register(
+            Table::new(
+                "releases",
+                Schema::new([
+                    ColumnDef::new("id", ValueType::Int),
+                    ColumnDef::new("day", ValueType::Date),
+                ]),
+                vec![
+                    Column::from_ints(vec![1, 2, 3]),
+                    Column::from_dates(vec![
+                        days_from_ymd(1995, 1, 1),
+                        days_from_ymd(1995, 6, 1),
+                        days_from_ymd(1996, 1, 1),
+                    ]),
+                ],
+            )
+            .unwrap(),
+        );
+        c
+    }
+
+    #[test]
+    fn date_and_interval_literals() {
+        use skinner_storage::days_from_ymd;
+        let q = parse(
+            "SELECT r.id FROM releases r \
+             WHERE r.day >= DATE '1995-03-15' \
+             AND r.day < DATE '1995-03-15' + INTERVAL '90' DAY",
+            &date_catalog(),
+            &UdfRegistry::new(),
+        )
+        .unwrap();
+        assert_eq!(q.predicates.len(), 2);
+        // First conjunct carries the parsed date constant.
+        let found = q.predicates.iter().any(|p| {
+            let mut hit = false;
+            fn walk(e: &Expr, days: i64, hit: &mut bool) {
+                match e {
+                    Expr::Literal(Value::Date(d)) if *d == days => *hit = true,
+                    Expr::Binary { left, right, .. } => {
+                        walk(left, days, hit);
+                        walk(right, days, hit);
+                    }
+                    _ => {}
+                }
+            }
+            walk(p, days_from_ymd(1995, 3, 15), &mut hit);
+            hit
+        });
+        assert!(found, "DATE literal not parsed into a Date value");
+
+        // IN-list dates go through parse_literal.
+        let q = parse(
+            "SELECT r.id FROM releases r WHERE r.day IN (DATE '1995-01-01', DATE '1996-01-01')",
+            &date_catalog(),
+            &UdfRegistry::new(),
+        )
+        .unwrap();
+        assert_eq!(q.predicates.len(), 1);
+
+        // Plural DAYS accepted; bad dates and missing DAY are errors.
+        assert!(parse(
+            "SELECT r.id FROM releases r WHERE r.day < DATE '1995-01-01' + INTERVAL '2' DAYS",
+            &date_catalog(),
+            &UdfRegistry::new(),
+        )
+        .is_ok());
+        assert!(parse(
+            "SELECT r.id FROM releases r WHERE r.day < DATE '1995-02-30'",
+            &date_catalog(),
+            &UdfRegistry::new(),
+        )
+        .is_err());
+        assert!(parse(
+            "SELECT r.id FROM releases r WHERE r.day < DATE '1995-01-01' + INTERVAL '2'",
+            &date_catalog(),
+            &UdfRegistry::new(),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn date_keyword_does_not_shadow_columns() {
+        // A column literally named "date" must still resolve when not
+        // followed by a string literal.
+        let mut c = Catalog::new();
+        c.register(
+            Table::new(
+                "t",
+                Schema::new([ColumnDef::new("date", ValueType::Int)]),
+                vec![Column::from_ints(vec![1, 2])],
+            )
+            .unwrap(),
+        );
+        let q = parse(
+            "SELECT t.date FROM t WHERE date > 1",
+            &c,
+            &UdfRegistry::new(),
+        )
+        .unwrap();
+        assert_eq!(q.predicates.len(), 1);
     }
 }

@@ -79,6 +79,12 @@ pub struct OrderKey {
     pub asc: bool,
 }
 
+/// One composite-key group as returned by
+/// [`Query::composite_key_groups`]: the connected table pair (`a < b`)
+/// and the distinct paired `(a-column, b-column)` component pairs in
+/// canonical ascending order.
+pub type CompositeGroup = ((TableId, TableId), Vec<(usize, usize)>);
+
 /// A fully resolved query: SPJ core plus post-processing clauses.
 ///
 /// `predicates` is the conjunctive normal form of the WHERE clause — each
@@ -129,6 +135,39 @@ impl Query {
     pub fn equi_join_pairs(&self) -> Vec<(crate::ColRef, crate::ColRef)> {
         self.join_predicates()
             .filter_map(Expr::as_equi_join)
+            .collect()
+    }
+
+    /// Composite (multi-column) equi-join key groups: for every pair of
+    /// tables connected by **two or more** single-column equality
+    /// conjuncts, the paired component columns in canonical order.
+    ///
+    /// Each entry is `((a, b), pairs)` with `a < b` (table ids) and
+    /// `pairs` the distinct `(a-column, b-column)` pairs sorted
+    /// ascending — the order both sides must fuse their components in
+    /// for composite hash keys to agree (see
+    /// [`fused_join_key`](skinner_storage::fused_join_key)). Groups are
+    /// returned sorted by table pair, so the result is deterministic
+    /// regardless of conjunct order in the WHERE clause.
+    pub fn composite_key_groups(&self) -> Vec<CompositeGroup> {
+        let mut groups: std::collections::BTreeMap<(TableId, TableId), Vec<(usize, usize)>> =
+            std::collections::BTreeMap::new();
+        for (ca, cb) in self.equi_join_pairs() {
+            let ((ta, cola), (tb, colb)) = if ca.table < cb.table {
+                ((ca.table, ca.column), (cb.table, cb.column))
+            } else {
+                ((cb.table, cb.column), (ca.table, ca.column))
+            };
+            debug_assert_ne!(ta, tb);
+            groups.entry((ta, tb)).or_default().push((cola, colb));
+        }
+        groups
+            .into_iter()
+            .filter_map(|(tables, mut pairs)| {
+                pairs.sort_unstable();
+                pairs.dedup();
+                (pairs.len() >= 2).then_some((tables, pairs))
+            })
             .collect()
     }
 
@@ -284,6 +323,26 @@ mod tests {
         assert_eq!(q.unary_predicates(1).count(), 0);
         assert_eq!(q.join_predicates().count(), 1);
         assert_eq!(q.equi_join_pairs().len(), 1);
+    }
+
+    #[test]
+    fn composite_groups_detected_and_canonical() {
+        let mut q = two_table_query();
+        assert!(
+            q.composite_key_groups().is_empty(),
+            "one conjunct: no group"
+        );
+        // Add a second equality on the same pair, written in the
+        // opposite table order — the group must still come out with
+        // table 0 first and pairs sorted.
+        q.predicates.push(Expr::col(1, 1).eq(Expr::col(0, 1)));
+        let groups = q.composite_key_groups();
+        assert_eq!(groups, vec![((0, 1), vec![(0, 0), (1, 1)])]);
+        // Duplicate conjuncts collapse; a group needs two *distinct*
+        // column pairs.
+        let mut dup = two_table_query();
+        dup.predicates.push(Expr::col(0, 0).eq(Expr::col(1, 0)));
+        assert!(dup.composite_key_groups().is_empty());
     }
 
     #[test]

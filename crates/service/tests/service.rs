@@ -223,3 +223,145 @@ fn warm_answers_survive_catalog_invalidation() {
     // And the template re-warms against the new catalog version.
     assert!(session.execute(&q).expect("re-warm").stats.cache_hit);
 }
+
+/// Two link tables sharing a composite `(a, b)` key: the engine joins
+/// them through a fused composite index (see
+/// `skinner_engine::prepare::CompositeKeyGroup`).
+fn composite_catalog(seed: u64) -> Catalog {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut cat = Catalog::new();
+    let mut mk = |name: &str, n: usize| {
+        let a: Vec<i64> = (0..n).map(|_| rng.gen_range(0..12)).collect();
+        let b: Vec<i64> = (0..n).map(|_| rng.gen_range(0..12)).collect();
+        let v: Vec<i64> = (0..n).map(|i| i as i64).collect();
+        Table::new(
+            name,
+            Schema::new([
+                ColumnDef::new("a", ValueType::Int),
+                ColumnDef::new("b", ValueType::Int),
+                ColumnDef::new("v", ValueType::Int),
+            ]),
+            vec![
+                Column::from_ints(a),
+                Column::from_ints(b),
+                Column::from_ints(v),
+            ],
+        )
+        .unwrap()
+    };
+    let l1 = mk("l1", 300);
+    let l2 = mk("l2", 400);
+    let l3 = mk("l3", 150);
+    cat.register(l1);
+    cat.register(l2);
+    cat.register(l3);
+    cat
+}
+
+fn composite_service(seed: u64) -> Arc<QueryService> {
+    QueryService::new(
+        composite_catalog(seed),
+        skinner_query::UdfRegistry::new(),
+        ServiceConfig {
+            engine: SkinnerCConfig {
+                budget: 200,
+                threads: env_threads(),
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+}
+
+#[test]
+fn composite_template_warm_survives_catalog_invalidation() {
+    // A composite-key template: l1 ⋈ l2 on (a, b), l2 ⋈ l3 on a. After
+    // a catalog update to ONE table of the template, the cached learning
+    // must be invalidated and the warm-path answer must equal a cold
+    // service's answer over the new catalog byte for byte.
+    let sql = "SELECT l1.v AS v, COUNT(*) AS n FROM l1, l2, l3 \
+               WHERE l1.a = l2.a AND l1.b = l2.b AND l2.a = l3.a AND l3.v < 60 \
+               GROUP BY l1.v ORDER BY v";
+
+    let svc = composite_service(91);
+    let mut session = svc.session();
+    let cold = session.execute(sql).expect("cold");
+    assert!(!cold.stats.cache_hit);
+    let warm = session.execute(sql).expect("warm");
+    assert!(warm.stats.cache_hit, "composite template must cache");
+    assert!(
+        warm.table.same_rows(&cold.table),
+        "warm composite answer differs from cold"
+    );
+
+    // Replace l2 (a table inside the composite group). Same schema,
+    // different rows.
+    let new_l2 = {
+        let a: Vec<i64> = (0..350).map(|i| i % 7).collect();
+        let b: Vec<i64> = (0..350).map(|i| (i / 2) % 9).collect();
+        let v: Vec<i64> = (0..350).collect();
+        Table::new(
+            "l2",
+            Schema::new([
+                ColumnDef::new("a", ValueType::Int),
+                ColumnDef::new("b", ValueType::Int),
+                ColumnDef::new("v", ValueType::Int),
+            ]),
+            vec![
+                Column::from_ints(a),
+                Column::from_ints(b),
+                Column::from_ints(v),
+            ],
+        )
+        .unwrap()
+    };
+    svc.register_table(new_l2.clone());
+
+    let after = session.execute(sql).expect("after update");
+    assert!(
+        !after.stats.cache_hit,
+        "stale composite learning served across a catalog update"
+    );
+
+    // Cold oracle over the updated catalog — byte-for-byte equality
+    // (canonical rows; the GROUP BY/ORDER BY pins row order anyway).
+    let mut oracle_cat = composite_catalog(91);
+    oracle_cat.register(new_l2);
+    let oracle_svc = QueryService::new(
+        oracle_cat,
+        skinner_query::UdfRegistry::new(),
+        ServiceConfig {
+            engine: SkinnerCConfig {
+                budget: 200,
+                threads: env_threads(),
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let expected = oracle_svc.session().execute(sql).expect("oracle");
+    assert!(
+        after.table.same_rows(&expected.table),
+        "post-invalidation composite answer differs from cold oracle"
+    );
+
+    // Re-warms against the new catalog version, still byte-for-byte.
+    let rewarm = session.execute(sql).expect("re-warm");
+    assert!(rewarm.stats.cache_hit);
+    assert!(rewarm.table.same_rows(&expected.table));
+
+    // Updating a table OUTSIDE the template must keep the entry warm.
+    let unrelated = Table::new(
+        "zz_unrelated",
+        Schema::new([ColumnDef::new("x", ValueType::Int)]),
+        vec![Column::from_ints(vec![1, 2, 3])],
+    )
+    .unwrap();
+    svc.register_table(unrelated);
+    assert!(
+        session.execute(sql).expect("still warm").stats.cache_hit,
+        "unrelated catalog update must not invalidate the composite template"
+    );
+}

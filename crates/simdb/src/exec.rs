@@ -168,7 +168,7 @@ struct StepPlan {
     applicable: Vec<usize>,
 }
 
-fn plan_steps(_query: &Query, order: &[TableId], preds: &[CompiledPred]) -> Vec<StepPlan> {
+fn plan_steps(query: &Query, order: &[TableId], preds: &[CompiledPred]) -> Vec<StepPlan> {
     use skinner_query::TableSet;
     let mut joined = TableSet::EMPTY;
     let mut steps = Vec::with_capacity(order.len());
@@ -187,7 +187,18 @@ fn plan_steps(_query: &Query, order: &[TableId], preds: &[CompiledPred]) -> Vec<
                 if i > 0 {
                     if let Some((a, b)) = p.expr().as_equi_join() {
                         let (tc, oc) = if a.table == t { (a, b) } else { (b, a) };
-                        if tc.table == t && joined.contains(oc.table) {
+                        // Key-convention guard (see
+                        // `Column::join_key_compatible`): an Int = Float
+                        // equality is true under numeric widening while
+                        // the join-key conventions differ, so hashing it
+                        // would drop matches; keep it a residual check.
+                        if tc.table == t
+                            && joined.contains(oc.table)
+                            && query.tables[t]
+                                .table
+                                .column(tc.column)
+                                .join_key_compatible(query.tables[oc.table].table.column(oc.column))
+                        {
                             hash_keys.push((tc.column, oc.table, oc.column));
                         }
                     }

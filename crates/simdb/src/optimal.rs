@@ -68,7 +68,14 @@ fn extend(ctx: &mut Ctx<'_>, inter: &Inter, t: TableId, limit: u64) -> Option<In
             applicable.push(p);
             if let Some((a, b)) = p.expr().as_equi_join() {
                 let (tc, oc) = if a.table == t { (a, b) } else { (b, a) };
-                if tc.table == t && joined.contains(oc.table) {
+                // Same key-convention guard as the executor's planner:
+                // Int = Float widening is true with unequal keys.
+                if tc.table == t
+                    && joined.contains(oc.table)
+                    && ctx.tables[t]
+                        .column(tc.column)
+                        .join_key_compatible(ctx.tables[oc.table].column(oc.column))
+                {
                     hash_keys.push((tc.column, oc.table, oc.column));
                 }
             }

@@ -43,7 +43,13 @@ pub fn analyze(table: &Table) -> TableStats {
             let mut min = f64::INFINITY;
             let mut max = f64::NEG_INFINITY;
             let mut nulls = 0u64;
-            let numeric = matches!(col.value_type(), ValueType::Int | ValueType::Float);
+            // Date/Interval day counts participate in min/max range
+            // statistics like integers (the estimator only needs an
+            // ordered numeric domain).
+            let numeric = matches!(
+                col.value_type(),
+                ValueType::Int | ValueType::Float | ValueType::Date | ValueType::Interval
+            );
             for r in 0..col.len() {
                 match col.join_key(r) {
                     None => nulls += 1,
@@ -51,7 +57,9 @@ pub fn analyze(table: &Table) -> TableStats {
                         distinct.insert(k);
                         if numeric {
                             let v = match col.value_type() {
-                                ValueType::Int => col.int(r) as f64,
+                                ValueType::Int | ValueType::Date | ValueType::Interval => {
+                                    col.int(r) as f64
+                                }
                                 ValueType::Float => col.float(r),
                                 ValueType::Str => unreachable!(),
                             };

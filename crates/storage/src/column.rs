@@ -65,7 +65,15 @@ impl StrDict {
 enum ColumnData {
     Int(Vec<i64>),
     Float(Vec<f64>),
-    Str { codes: Vec<u32>, dict: StrDict },
+    Str {
+        codes: Vec<u32>,
+        dict: StrDict,
+    },
+    /// Days since 1970-01-01 (same physical layout as `Int`; the type
+    /// tag keeps the date lattice — dates only compare/join with dates).
+    Date(Vec<i64>),
+    /// Day spans (same physical layout as `Int`).
+    Interval(Vec<i64>),
 }
 
 /// A single table column: typed data plus an optional validity bitmap
@@ -80,6 +88,17 @@ fn str_key(s: &str) -> i64 {
     let mut h = crate::hash::FxHasher::default();
     h.write(s.as_bytes());
     h.finish() as i64
+}
+
+/// The 64-bit join key of a float value: its bit pattern, with `-0.0`
+/// normalized to `0.0` first. SQL equality says `-0.0 = 0.0`, so the two
+/// must produce equal keys or key-driven probes would skip real matches.
+/// (NaN keys need no normalization: NaN never equals anything, so any
+/// candidate a NaN key surfaces is rejected by the re-verified
+/// predicate.)
+#[inline]
+pub fn f64_key(x: f64) -> i64 {
+    (if x == 0.0 { 0.0f64 } else { x }).to_bits() as i64
 }
 
 impl Column {
@@ -109,10 +128,27 @@ impl Column {
         }
     }
 
+    /// Build a date column from day counts (no NULLs; see
+    /// [`days_from_ymd`](crate::value::days_from_ymd)).
+    pub fn from_dates(v: Vec<i64>) -> Column {
+        Column {
+            data: ColumnData::Date(v),
+            validity: None,
+        }
+    }
+
+    /// Build an interval column from day spans (no NULLs).
+    pub fn from_intervals(v: Vec<i64>) -> Column {
+        Column {
+            data: ColumnData::Interval(v),
+            validity: None,
+        }
+    }
+
     /// Number of rows.
     pub fn len(&self) -> usize {
         match &self.data {
-            ColumnData::Int(v) => v.len(),
+            ColumnData::Int(v) | ColumnData::Date(v) | ColumnData::Interval(v) => v.len(),
             ColumnData::Float(v) => v.len(),
             ColumnData::Str { codes, .. } => codes.len(),
         }
@@ -129,6 +165,8 @@ impl Column {
             ColumnData::Int(_) => ValueType::Int,
             ColumnData::Float(_) => ValueType::Float,
             ColumnData::Str { .. } => ValueType::Str,
+            ColumnData::Date(_) => ValueType::Date,
+            ColumnData::Interval(_) => ValueType::Interval,
         }
     }
 
@@ -146,14 +184,16 @@ impl Column {
         self.validity.is_some()
     }
 
-    /// Typed access: integer at row `i`. Panics on type mismatch; NULL
-    /// rows return an unspecified placeholder (callers check
-    /// [`Column::is_null`] first where it matters).
+    /// Typed access: the `i64` payload at row `i` of an i64-backed column
+    /// (`Int`, `Date`, `Interval` — dates/intervals yield their day
+    /// counts). Panics on Float/Str columns; NULL rows return an
+    /// unspecified placeholder (callers check [`Column::is_null`] first
+    /// where it matters).
     #[inline]
     pub fn int(&self, i: usize) -> i64 {
         match &self.data {
-            ColumnData::Int(v) => v[i],
-            _ => panic!("column is not INT"),
+            ColumnData::Int(v) | ColumnData::Date(v) | ColumnData::Interval(v) => v[i],
+            _ => panic!("column is not i64-backed"),
         }
     }
 
@@ -183,10 +223,32 @@ impl Column {
         }
     }
 
-    /// Raw integer slice (fast path for vectorized operators).
+    /// Raw integer slice (fast path for vectorized operators). `None`
+    /// for temporal columns — use [`Column::i64s`] when the i64 payload
+    /// is wanted regardless of the logical type.
     pub fn ints(&self) -> Option<&[i64]> {
         match &self.data {
             ColumnData::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Raw `i64` payload of any i64-backed column (`Int`, `Date`,
+    /// `Interval`). Dates and intervals are exact 64-bit values, so
+    /// everything keyed on this slice — hash-index jumps, the compiled
+    /// kernels' posting cursors, predicate elision — is as sound for
+    /// temporal columns as for plain integers.
+    pub fn i64s(&self) -> Option<&[i64]> {
+        match &self.data {
+            ColumnData::Int(v) | ColumnData::Date(v) | ColumnData::Interval(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Raw day-count slice of a date column.
+    pub fn date_days(&self) -> Option<&[i64]> {
+        match &self.data {
+            ColumnData::Date(v) => Some(v),
             _ => None,
         }
     }
@@ -216,7 +278,26 @@ impl Column {
             ColumnData::Int(v) => Value::Int(v[i]),
             ColumnData::Float(v) => Value::Float(v[i]),
             ColumnData::Str { codes, dict } => Value::Str(dict.resolve(codes[i]).clone()),
+            ColumnData::Date(v) => Value::Date(v[i]),
+            ColumnData::Interval(v) => Value::Interval(v[i]),
         }
+    }
+
+    /// True when an equality between this column and `other` may be
+    /// accelerated by comparing join keys (hash joins, index jumps).
+    /// Requires identical value types: a true predicate then implies
+    /// equal keys, so no valid match is ever skipped.
+    ///
+    /// The load-bearing exclusion is `Int` vs `Float`: SQL equality
+    /// widens numerically (`2 = 2.0` is true) while the key conventions
+    /// differ (value vs bit pattern), so key-based acceleration would
+    /// silently drop matches. Mixed pairs whose equality is *never*
+    /// true under the type lattice (e.g. `Date` vs `Int`, number vs
+    /// string) are excluded too — a jump there would be vacuously sound
+    /// but pure wasted work (the probe can only ever feed candidates to
+    /// an always-false predicate).
+    pub fn join_key_compatible(&self, other: &Column) -> bool {
+        self.value_type() == other.value_type()
     }
 
     /// 64-bit equality join key for row `i` (see module docs; string keys
@@ -228,8 +309,8 @@ impl Column {
             return None;
         }
         Some(match &self.data {
-            ColumnData::Int(v) => v[i],
-            ColumnData::Float(v) => v[i].to_bits() as i64,
+            ColumnData::Int(v) | ColumnData::Date(v) | ColumnData::Interval(v) => v[i],
+            ColumnData::Float(v) => f64_key(v[i]),
             ColumnData::Str { codes, dict } => str_key(dict.resolve(codes[i])),
         })
     }
@@ -240,9 +321,11 @@ impl Column {
         match (&self.data, v) {
             (_, Value::Null) => None,
             (ColumnData::Int(_), Value::Int(x)) => Some(*x),
-            (ColumnData::Float(_), Value::Float(x)) => Some(x.to_bits() as i64),
-            (ColumnData::Float(_), Value::Int(x)) => Some((*x as f64).to_bits() as i64),
+            (ColumnData::Float(_), Value::Float(x)) => Some(f64_key(*x)),
+            (ColumnData::Float(_), Value::Int(x)) => Some(f64_key(*x as f64)),
             (ColumnData::Str { .. }, Value::Str(s)) => Some(str_key(s)),
+            (ColumnData::Date(_), Value::Date(d)) => Some(*d),
+            (ColumnData::Interval(_), Value::Interval(d)) => Some(*d),
             _ => None,
         }
     }
@@ -275,9 +358,30 @@ impl Column {
                 codes: positions.iter().map(|&p| codes[p as usize]).collect(),
                 dict: dict.clone(),
             },
+            ColumnData::Date(v) => {
+                ColumnData::Date(positions.iter().map(|&p| v[p as usize]).collect())
+            }
+            ColumnData::Interval(v) => {
+                ColumnData::Interval(positions.iter().map(|&p| v[p as usize]).collect())
+            }
         };
         Column { data, validity }
     }
+}
+
+/// Fused composite join key of `row` across `cols`: `None` when any
+/// component is NULL (NULL never matches an equality conjunct), otherwise
+/// an FxHash combine of the component join keys. Composite keys are
+/// *hashes* — like string keys they may collide, so every consumer
+/// re-verifies the underlying equality predicates after a probe. The two
+/// sides of a composite join group must fuse their columns in the same
+/// paired order for equal tuples to produce equal keys.
+pub fn fused_join_key<'a>(cols: impl IntoIterator<Item = &'a Column>, row: usize) -> Option<i64> {
+    let mut h = crate::hash::FxHasher::default();
+    for col in cols {
+        h.write_i64(col.join_key(row)?);
+    }
+    Some(h.finish() as i64)
 }
 
 /// Incremental column construction from dynamically typed values.
@@ -309,7 +413,9 @@ impl ColumnBuilder {
     /// Append a value; NULL and type-mismatched values become NULL.
     pub fn push(&mut self, v: &Value) {
         match (self.ty, v) {
-            (ValueType::Int, Value::Int(x)) => self.ints.push(*x),
+            (ValueType::Int, Value::Int(x))
+            | (ValueType::Date, Value::Date(x))
+            | (ValueType::Interval, Value::Interval(x)) => self.ints.push(*x),
             (ValueType::Float, Value::Float(x)) => self.floats.push(*x),
             (ValueType::Float, Value::Int(x)) => self.floats.push(*x as f64),
             (ValueType::Str, Value::Str(s)) => {
@@ -319,7 +425,7 @@ impl ColumnBuilder {
             _ => {
                 self.nulls.push(self.len);
                 match self.ty {
-                    ValueType::Int => self.ints.push(0),
+                    ValueType::Int | ValueType::Date | ValueType::Interval => self.ints.push(0),
                     ValueType::Float => self.floats.push(0.0),
                     ValueType::Str => {
                         let c = self.dict.intern("");
@@ -340,6 +446,8 @@ impl ColumnBuilder {
                 codes: self.codes,
                 dict: self.dict,
             },
+            ValueType::Date => ColumnData::Date(self.ints),
+            ValueType::Interval => ColumnData::Interval(self.ints),
         };
         let validity = if self.nulls.is_empty() {
             None
@@ -423,6 +531,68 @@ mod tests {
         let c = b.finish();
         assert_eq!(c.float(0), 2.0);
         assert_eq!(c.float(1), 0.5);
+    }
+
+    #[test]
+    fn date_column_roundtrip_and_keys() {
+        use crate::value::days_from_ymd;
+        let days: Vec<i64> = [(2019, 3, 4), (2020, 2, 29), (1969, 12, 31)]
+            .iter()
+            .map(|&(y, m, d)| days_from_ymd(y, m, d))
+            .collect();
+        let c = Column::from_dates(days.clone());
+        assert_eq!(c.value_type(), ValueType::Date);
+        assert_eq!(c.get(0), Value::Date(days[0]));
+        assert_eq!(c.int(1), days[1]);
+        assert_eq!(c.i64s(), Some(days.as_slice()));
+        assert_eq!(c.date_days(), Some(days.as_slice()));
+        assert_eq!(c.ints(), None, "dates are not plain ints");
+        // Join keys are the exact day counts.
+        assert_eq!(c.join_key(2), Some(days[2]));
+        assert_eq!(c.join_key_of_value(&Value::Date(days[0])), Some(days[0]));
+        // The lattice holds at the key-translation layer too: an Int
+        // literal has no key in a Date column.
+        assert_eq!(c.join_key_of_value(&Value::Int(days[0])), None);
+        // Builder path with NULLs.
+        let mut b = ColumnBuilder::new(ValueType::Date);
+        b.push(&Value::Date(days[0]));
+        b.push(&Value::Null);
+        let d = b.finish();
+        assert!(d.is_null(1));
+        assert_eq!(d.join_key(1), None);
+        assert_eq!(d.get(0), Value::Date(days[0]));
+        // Intervals share the representation but not the type.
+        let iv = Column::from_intervals(vec![90, 30]);
+        assert_eq!(iv.value_type(), ValueType::Interval);
+        assert_eq!(iv.get(0), Value::Interval(90));
+    }
+
+    #[test]
+    fn fused_keys_consistent_across_tables() {
+        // Equal (k1, k2) component values must fuse to equal keys even
+        // when they live in different columns/tables.
+        let a1 = Column::from_ints(vec![1, 2, 3]);
+        let a2 = Column::from_ints(vec![10, 20, 30]);
+        let b1 = Column::from_ints(vec![3, 1]);
+        let b2 = Column::from_ints(vec![30, 10]);
+        let ka = fused_join_key([&a1, &a2], 2);
+        let kb = fused_join_key([&b1, &b2], 0);
+        assert!(ka.is_some());
+        assert_eq!(ka, kb);
+        assert_ne!(ka, fused_join_key([&b1, &b2], 1));
+        // Component order matters (the paired fuse order is canonical).
+        assert_ne!(fused_join_key([&a1, &a2], 0), fused_join_key([&a2, &a1], 0));
+        // A NULL component kills the key.
+        let mut nb = ColumnBuilder::new(ValueType::Int);
+        nb.push(&Value::Null);
+        let n = nb.finish();
+        assert_eq!(fused_join_key([&a1, &n], 0), None);
+        // Mixed-type components fuse fine (string hash + int).
+        let s = Column::from_strs(["x", "y"]);
+        let s2 = Column::from_strs(["y", "x"]);
+        let i1 = Column::from_ints(vec![7, 8]);
+        let i2 = Column::from_ints(vec![8, 7]);
+        assert_eq!(fused_join_key([&s, &i1], 1), fused_join_key([&s2, &i2], 0));
     }
 
     #[test]

@@ -46,7 +46,21 @@ impl HashIndex {
                 None => col.join_key(i),
             })
             .collect();
+        HashIndex::from_keys(&keys)
+    }
 
+    /// Build from precomputed per-entry keys (`None` = not indexed).
+    /// Entry `i` of `keys` becomes posting `i`; postings per key come out
+    /// sorted ascending because entries are visited in order.
+    ///
+    /// This is also the *composite-key* build path: the engine fuses
+    /// multi-column keys once per row
+    /// ([`fused_join_key`](crate::column::fused_join_key)) and indexes
+    /// the fused keys of its filtered rows directly. Fused keys are
+    /// hashes, so consumers re-verify the underlying equality conjuncts
+    /// after a probe — collisions cost extra checks, never wrong
+    /// results.
+    pub fn from_keys(keys: &[Option<i64>]) -> HashIndex {
         // Pass 1: count entries per key (len field doubles as counter).
         let mut spans: FxHashMap<i64, (u32, u32)> = FxHashMap::default();
         let mut total = 0u32;
@@ -125,7 +139,7 @@ impl HashIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::column::ColumnBuilder;
+    use crate::column::{fused_join_key, ColumnBuilder};
     use crate::value::{Value, ValueType};
 
     #[test]
@@ -177,6 +191,63 @@ mod tests {
         let col = Column::from_strs(["x", "y", "x"]);
         let idx = HashIndex::build(&col, None);
         let key = col.join_key(0).unwrap();
+        assert_eq!(idx.probe(key), &[0, 2]);
+    }
+
+    /// Composite build as the engine does it: fuse per-row keys, index
+    /// the fused keys of the (possibly filtered) rows with `from_keys`.
+    fn composite_index(cols: &[&Column], positions: Option<&[u32]>) -> HashIndex {
+        let n = positions.map_or(cols[0].len(), <[u32]>::len);
+        let keys: Vec<Option<i64>> = (0..n)
+            .map(|i| {
+                let row = match positions {
+                    Some(rows) => rows[i] as usize,
+                    None => i,
+                };
+                fused_join_key(cols.iter().copied(), row)
+            })
+            .collect();
+        HashIndex::from_keys(&keys)
+    }
+
+    #[test]
+    fn composite_from_keys_and_probe() {
+        // (k1, k2) pairs; rows 0 and 3 collide on the pair, row 1 shares
+        // only k1 and row 2 only k2 — the composite key must separate
+        // them where a single-column index could not.
+        let k1 = Column::from_ints(vec![1, 1, 9, 1]);
+        let k2 = Column::from_ints(vec![5, 6, 5, 5]);
+        let idx = composite_index(&[&k1, &k2], None);
+        let key = fused_join_key([&k1, &k2], 0).unwrap();
+        assert_eq!(idx.probe(key), &[0, 3]);
+        assert_eq!(idx.next_ge(key, 1), Some(3));
+        assert_eq!(idx.next_ge(key, 4), None);
+        assert_eq!(idx.distinct_keys(), 3);
+        assert_eq!(idx.len(), 4);
+    }
+
+    #[test]
+    fn composite_over_filtered_positions_skips_nulls() {
+        let k1 = Column::from_ints(vec![1, 2, 1, 1]);
+        let mut b = ColumnBuilder::new(ValueType::Int);
+        for v in [Value::Int(5), Value::Int(5), Value::Null, Value::Int(5)] {
+            b.push(&v);
+        }
+        let k2 = b.finish();
+        // Filtered space keeps base rows 0, 2, 3 → positions 0, 1, 2;
+        // base row 2 has a NULL component and must not be indexed.
+        let idx = composite_index(&[&k1, &k2], Some(&[0, 2, 3]));
+        let key = fused_join_key([&k1, &k2], 0).unwrap();
+        assert_eq!(idx.probe(key), &[0, 2]);
+        assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn composite_dates_participate() {
+        let d = Column::from_dates(vec![100, 200, 100]);
+        let k = Column::from_ints(vec![1, 1, 1]);
+        let idx = composite_index(&[&d, &k], None);
+        let key = fused_join_key([&d, &k], 0).unwrap();
         assert_eq!(idx.probe(key), &[0, 2]);
     }
 }

@@ -5,6 +5,14 @@ use std::fmt;
 use std::sync::Arc;
 
 /// The type of a column or scalar value.
+///
+/// The temporal types form a small lattice on top of a single physical
+/// representation: a [`Date`](ValueType::Date) is a day count since
+/// 1970-01-01 and an [`Interval`](ValueType::Interval) is a day span,
+/// both stored as `i64`. Dates compare and join only with dates,
+/// intervals only with intervals; arithmetic mixes them
+/// (`Date - Date → Interval`, `Date ± Interval → Date`,
+/// `Interval ± Interval → Interval`, `Interval × Int → Interval`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ValueType {
     /// 64-bit signed integer.
@@ -13,6 +21,10 @@ pub enum ValueType {
     Float,
     /// Dictionary-encoded UTF-8 string.
     Str,
+    /// Calendar date (days since 1970-01-01, proleptic Gregorian).
+    Date,
+    /// Day interval (a span of whole days).
+    Interval,
 }
 
 impl fmt::Display for ValueType {
@@ -21,8 +33,53 @@ impl fmt::Display for ValueType {
             ValueType::Int => write!(f, "INT"),
             ValueType::Float => write!(f, "FLOAT"),
             ValueType::Str => write!(f, "TEXT"),
+            ValueType::Date => write!(f, "DATE"),
+            ValueType::Interval => write!(f, "INTERVAL"),
         }
     }
+}
+
+/// Days since 1970-01-01 for a proleptic-Gregorian `(year, month, day)`
+/// (Howard Hinnant's `days_from_civil`). Months are 1..=12, days 1..=31;
+/// out-of-range inputs wrap arithmetically rather than erroring (callers
+/// validate at parse time via [`parse_date`]).
+pub fn days_from_ymd(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = (m as i64 + 9) % 12; // Mar=0 .. Feb=11
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe - 719468
+}
+
+/// Inverse of [`days_from_ymd`]: `(year, month, day)` for a day count.
+pub fn ymd_from_days(days: i64) -> (i64, u32, u32) {
+    let z = days + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Parse an ISO `YYYY-MM-DD` date into a day count, validating the
+/// calendar (month 1..=12, day within the month's length).
+pub fn parse_date(s: &str) -> Option<i64> {
+    let mut it = s.splitn(3, '-');
+    let y: i64 = it.next()?.parse().ok()?;
+    let m: u32 = it.next()?.parse().ok()?;
+    let d: u32 = it.next()?.parse().ok()?;
+    if !(1..=12).contains(&m) || d == 0 {
+        return None;
+    }
+    let days = days_from_ymd(y, m, d);
+    // Round-trip check rejects out-of-range days (e.g. Feb 30).
+    (ymd_from_days(days) == (y, m, d)).then_some(days)
 }
 
 /// A dynamically typed scalar value.
@@ -42,12 +99,21 @@ pub enum Value {
     /// UTF-8 string (shared; rows referencing the same dictionary entry
     /// share one allocation).
     Str(Arc<str>),
+    /// Calendar date as days since 1970-01-01.
+    Date(i64),
+    /// Interval as a span of whole days.
+    Interval(i64),
 }
 
 impl Value {
     /// Build a string value.
     pub fn str(s: impl AsRef<str>) -> Value {
         Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Build a date from a proleptic-Gregorian `(year, month, day)`.
+    pub fn date(y: i64, m: u32, d: u32) -> Value {
+        Value::Date(days_from_ymd(y, m, d))
     }
 
     /// The value's type, or `None` for NULL.
@@ -57,6 +123,8 @@ impl Value {
             Value::Int(_) => Some(ValueType::Int),
             Value::Float(_) => Some(ValueType::Float),
             Value::Str(_) => Some(ValueType::Str),
+            Value::Date(_) => Some(ValueType::Date),
+            Value::Interval(_) => Some(ValueType::Interval),
         }
     }
 
@@ -91,6 +159,22 @@ impl Value {
         }
     }
 
+    /// Day count, if this is a `Date`.
+    pub fn as_date_days(&self) -> Option<i64> {
+        match self {
+            Value::Date(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// Day span, if this is an `Interval`.
+    pub fn as_interval_days(&self) -> Option<i64> {
+        match self {
+            Value::Interval(d) => Some(*d),
+            _ => None,
+        }
+    }
+
     /// SQL truthiness: NULL and zero are false.
     pub fn is_truthy(&self) -> bool {
         match self {
@@ -98,6 +182,8 @@ impl Value {
             Value::Int(i) => *i != 0,
             Value::Float(f) => *f != 0.0,
             Value::Str(s) => !s.is_empty(),
+            Value::Date(_) => true,
+            Value::Interval(d) => *d != 0,
         }
     }
 
@@ -107,13 +193,21 @@ impl Value {
     }
 
     /// Three-valued-logic comparison. Numeric types compare numerically
-    /// (Int vs Float widens); strings compare lexicographically; mixed
-    /// string/number comparisons yield `None` (treated as NULL).
+    /// (Int vs Float widens); strings compare lexicographically; dates
+    /// compare only with dates and intervals only with intervals; any
+    /// other mixed comparison yields `None` (treated as NULL).
     pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
         match (self, other) {
             (Value::Null, _) | (_, Value::Null) => None,
             (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
             (Value::Str(a), Value::Str(b)) => Some(a.as_ref().cmp(b.as_ref())),
+            (Value::Date(a), Value::Date(b)) | (Value::Interval(a), Value::Interval(b)) => {
+                Some(a.cmp(b))
+            }
+            (Value::Date(_), _)
+            | (_, Value::Date(_))
+            | (Value::Interval(_), _)
+            | (_, Value::Interval(_)) => None,
             (a, b) => {
                 let (x, y) = (a.as_f64()?, b.as_f64()?);
                 x.partial_cmp(&y)
@@ -129,6 +223,11 @@ impl fmt::Display for Value {
             Value::Int(i) => write!(f, "{i}"),
             Value::Float(x) => write!(f, "{x}"),
             Value::Str(s) => write!(f, "{s}"),
+            Value::Date(days) => {
+                let (y, m, d) = ymd_from_days(*days);
+                write!(f, "{y:04}-{m:02}-{d:02}")
+            }
+            Value::Interval(d) => write!(f, "{d} days"),
         }
     }
 }
@@ -178,6 +277,7 @@ impl PartialEq for Value {
             (Value::Int(a), Value::Int(b)) => a == b,
             (Value::Float(a), Value::Float(b)) => a == b || (a.is_nan() && b.is_nan()),
             (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Date(a), Value::Date(b)) | (Value::Interval(a), Value::Interval(b)) => a == b,
             (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => *a as f64 == *b,
             _ => false,
         }
@@ -248,5 +348,65 @@ mod tests {
         assert_eq!(Value::Float(f64::NAN), Value::Float(f64::NAN));
         assert_eq!(Value::Int(3), Value::Float(3.0));
         assert_ne!(Value::Int(3), Value::str("3"));
+    }
+
+    #[test]
+    fn civil_date_roundtrip() {
+        assert_eq!(days_from_ymd(1970, 1, 1), 0);
+        assert_eq!(days_from_ymd(1970, 1, 2), 1);
+        assert_eq!(days_from_ymd(1969, 12, 31), -1);
+        assert_eq!(days_from_ymd(2000, 3, 1), 11017);
+        for days in [-1_000_000, -1, 0, 1, 59, 60, 365, 11017, 1_000_000] {
+            let (y, m, d) = ymd_from_days(days);
+            assert_eq!(days_from_ymd(y, m, d), days, "roundtrip {days}");
+        }
+        // Leap-year rules: 2000 is a leap year, 1900 is not.
+        assert_eq!(
+            days_from_ymd(2000, 3, 1) - days_from_ymd(2000, 2, 28),
+            2,
+            "2000 has Feb 29"
+        );
+        assert_eq!(
+            days_from_ymd(1900, 3, 1) - days_from_ymd(1900, 2, 28),
+            1,
+            "1900 has no Feb 29"
+        );
+    }
+
+    #[test]
+    fn parse_date_validates() {
+        assert_eq!(parse_date("1970-01-01"), Some(0));
+        assert_eq!(parse_date("2019-03-04"), Some(days_from_ymd(2019, 3, 4)));
+        assert_eq!(parse_date("2019-02-29"), None); // not a leap year
+        assert_eq!(parse_date("2020-02-29"), Some(days_from_ymd(2020, 2, 29)));
+        assert_eq!(parse_date("2019-13-01"), None);
+        assert_eq!(parse_date("2019-00-01"), None);
+        assert_eq!(parse_date("2019-01-00"), None);
+        assert_eq!(parse_date("garbage"), None);
+    }
+
+    #[test]
+    fn date_interval_lattice() {
+        let a = Value::date(2019, 3, 4);
+        let b = Value::date(2019, 3, 14);
+        assert_eq!(a.sql_cmp(&b), Some(Ordering::Less));
+        assert_eq!(a.sql_eq(&a.clone()), Some(true));
+        // Dates never compare with numbers or strings.
+        assert_eq!(a.sql_cmp(&Value::Int(17959)), None);
+        assert_eq!(a.sql_cmp(&Value::str("2019-03-04")), None);
+        // Intervals compare only with intervals.
+        assert_eq!(
+            Value::Interval(3).sql_cmp(&Value::Interval(10)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(Value::Interval(3).sql_cmp(&Value::Int(3)), None);
+        assert_eq!(a.sql_cmp(&Value::Interval(3)), None);
+        // Display.
+        assert_eq!(a.to_string(), "2019-03-04");
+        assert_eq!(Value::Interval(90).to_string(), "90 days");
+        // Type tags.
+        assert_eq!(a.value_type(), Some(ValueType::Date));
+        assert_eq!(Value::Interval(1).value_type(), Some(ValueType::Interval));
+        assert_eq!(ValueType::Date.to_string(), "DATE");
     }
 }

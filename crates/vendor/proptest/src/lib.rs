@@ -30,9 +30,23 @@ impl ProptestConfig {
 }
 
 impl Default for ProptestConfig {
+    /// Like the real proptest, the default case count honors the
+    /// `PROPTEST_CASES` environment variable (nightly CI raises it to
+    /// e.g. 256), falling back to 64. Explicit
+    /// [`with_cases`](ProptestConfig::with_cases) configs are untouched.
     fn default() -> Self {
-        ProptestConfig { cases: 64 }
+        ProptestConfig {
+            cases: env_cases(64),
+        }
     }
+}
+
+/// The `PROPTEST_CASES` environment override, or `default`.
+pub fn env_cases(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
 }
 
 /// A generator of pseudo-random values (shim of `proptest::Strategy`;
@@ -146,7 +160,7 @@ pub fn entry_seed() -> u64 {
 /// Commonly used items (shim of `proptest::prelude`).
 pub mod prelude {
     pub use crate::{any, prop_assert, prop_assert_eq, prop_assume, proptest};
-    pub use crate::{ProptestConfig, Strategy};
+    pub use crate::{env_cases, ProptestConfig, Strategy};
 }
 
 /// Assert inside a property test body.

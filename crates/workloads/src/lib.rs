@@ -25,12 +25,17 @@
 //!   high-cardinality string dictionaries, and non-nullable **Float**
 //!   join keys exercising the engine's `KeyCol::Float` jumps and the
 //!   codegen tier's `FloatEq` posting cursors.
+//! * [`correlated`] — JOB-shaped link tables with **composite**
+//!   `(movie_id, person_id)` join keys (the engine's fused `KeyCol::
+//!   Fused` jumps; the codegen tier takes its fallback) and `DATE`
+//!   columns with TPC-H-style date-range predicates.
 //!
 //! All generators are seeded and deterministic.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod correlated;
 pub mod job;
 pub mod nulls;
 pub mod torture;

@@ -1,0 +1,423 @@
+//! Randomized differential fuzz harness over the full type/key surface.
+//!
+//! A generator draws arbitrary small schemas — mixed Int / Float / Str /
+//! Date columns, nullable or not — chained by equality joins whose keys
+//! are **one or two columns wide** (two-column keys exercise the
+//! composite fused-key machinery end to end), plus a random unary
+//! filter. Every case is executed by every kernel tier and compared:
+//!
+//! * the generic reference kernel (one shot) is the oracle,
+//! * the plan-bound kernel runs in small slices, sequential **and**
+//!   offset-range partitioned,
+//! * the codegen tier runs where its shape compiles and demonstrably
+//!   falls back where it must (composite/fused, string or nullable
+//!   keys) — "codegen-or-fallback" in the assertions below,
+//! * the full Skinner-C engine (heavy order switching) is checked
+//!   against the vectorized column engine.
+//!
+//! Case counts honor `PROPTEST_CASES` (the nightly CI profile runs 256;
+//! the default is 64). On failure the vendored proptest shim prints no
+//! shrink — re-run with `PROPTEST_SEED` to replay.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use skinnerdb::engine::multiway::{ContinueResult, ResultSet};
+use skinnerdb::engine::{MultiwayJoin, PreparedQuery, SkinnerC, SkinnerCConfig};
+use skinnerdb::prelude::*;
+use skinnerdb::query::{JoinGraph, TableSet};
+use skinnerdb::storage::{days_from_ymd, ColumnBuilder};
+
+/// Component types a join key column can take.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum KeyType {
+    Int,
+    Float,
+    Str,
+    Date,
+}
+
+impl KeyType {
+    fn pick(rng: &mut SmallRng) -> KeyType {
+        [KeyType::Int, KeyType::Float, KeyType::Str, KeyType::Date][rng.gen_range(0..4)]
+    }
+
+    fn value_type(self) -> ValueType {
+        match self {
+            KeyType::Int => ValueType::Int,
+            KeyType::Float => ValueType::Float,
+            KeyType::Str => ValueType::Str,
+            KeyType::Date => ValueType::Date,
+        }
+    }
+
+    /// A key value for logical id `v` (small spaces ⇒ real join hits).
+    /// Floats are exact binary fractions so bit-pattern keys coincide
+    /// with IEEE equality; dates are days near an epoch.
+    fn value(self, v: i64) -> Value {
+        match self {
+            KeyType::Int => Value::Int(v),
+            KeyType::Float => Value::Float(v as f64 * 0.25),
+            KeyType::Str => Value::str(format!("key-{v}")),
+            KeyType::Date => Value::Date(days_from_ymd(2001, 6, 1) + v),
+        }
+    }
+}
+
+/// One chain edge: the paired key columns joining table `t` to `t+1`.
+#[derive(Debug, Clone)]
+struct Edge {
+    /// 1 or 2 key components; each holds the (left-table, right-table)
+    /// column types — usually equal, occasionally mixed.
+    types: Vec<(KeyType, KeyType)>,
+}
+
+/// Build one key (or value) column of `n` rows: ids drawn from
+/// `0..space`, each row NULL with probability `null_pct`%.
+fn gen_column(
+    rng: &mut SmallRng,
+    ty: KeyType,
+    n: usize,
+    space: i64,
+    null_pct: u32,
+) -> skinnerdb::storage::Column {
+    let mut b = ColumnBuilder::new(ty.value_type());
+    for _ in 0..n {
+        if rng.gen_range(0..100) < null_pct {
+            b.push(&Value::Null);
+        } else {
+            b.push(&ty.value(rng.gen_range(0..space)));
+        }
+    }
+    b.finish()
+}
+
+/// A generated case: catalog + chain query over 2..=4 tables with 1–2
+/// column join keys of mixed types and one random unary filter.
+fn arb_fuzz_case() -> impl Strategy<Value = (Catalog, Query)> {
+    (any::<u64>(),).prop_map(|(seed,)| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let m = rng.gen_range(2..5usize);
+        let base_rows = rng.gen_range(4..22usize);
+        let space = rng.gen_range(2..6i64);
+        // Nullable keys push shapes onto the KeyCol::Other fallback;
+        // keep the probability mixed so both paths appear.
+        let null_pct = [0, 0, 10, 30][rng.gen_range(0..4)];
+
+        // One edge per adjacent pair, each 1 or 2 components wide. Each
+        // component usually joins identically-typed columns, but ~1 in 5
+        // components pairs *different* types on the two sides —
+        // covering the cross-type surface (Int = Float is true under
+        // numeric widening, so key-based acceleration must be refused
+        // there; Date vs Int and number vs string are NULL under the
+        // lattice).
+        let edges: Vec<Edge> = (0..m - 1)
+            .map(|_| Edge {
+                types: (0..rng.gen_range(1..3usize))
+                    .map(|_| {
+                        let left = KeyType::pick(&mut rng);
+                        let right = if rng.gen_range(0..5) == 0 {
+                            KeyType::pick(&mut rng)
+                        } else {
+                            left
+                        };
+                        (left, right)
+                    })
+                    .collect(),
+            })
+            .collect();
+
+        let mut cat = Catalog::new();
+        for t in 0..m {
+            let n = base_rows + rng.gen_range(0..8);
+            let mut defs = Vec::new();
+            let mut cols = Vec::new();
+            // Left-edge key columns (joining to table t-1): the edge's
+            // right-side types.
+            if t > 0 {
+                for (i, &(_, kt)) in edges[t - 1].types.iter().enumerate() {
+                    defs.push(ColumnDef::new(format!("lk{i}"), kt.value_type()));
+                    cols.push(gen_column(&mut rng, kt, n, space, null_pct));
+                }
+            }
+            // Right-edge key columns (joining to table t+1): the edge's
+            // left-side types.
+            if t < m - 1 {
+                for (i, &(kt, _)) in edges[t].types.iter().enumerate() {
+                    defs.push(ColumnDef::new(format!("rk{i}"), kt.value_type()));
+                    cols.push(gen_column(&mut rng, kt, n, space, null_pct));
+                }
+            }
+            // A value column for filters and projection.
+            defs.push(ColumnDef::new("v", ValueType::Int));
+            cols.push(gen_column(&mut rng, KeyType::Int, n, 20, 10));
+            cat.register(Table::new(format!("t{t}"), Schema::new(defs), cols).expect("table"));
+        }
+
+        let mut qb = QueryBuilder::new(&cat);
+        for t in 0..m {
+            qb.table(&format!("t{t}")).expect("table");
+        }
+        for (t, edge) in edges.iter().enumerate() {
+            for i in 0..edge.types.len() {
+                let j = qb
+                    .col(&format!("t{t}.rk{i}"))
+                    .expect("col")
+                    .eq(qb.col(&format!("t{}.lk{i}", t + 1)).expect("col"));
+                qb.filter(j);
+            }
+        }
+        // One random unary filter.
+        let ft = rng.gen_range(0..m);
+        let unary = match rng.gen_range(0..3) {
+            0 => qb
+                .col(&format!("t{ft}.v"))
+                .expect("col")
+                .lt(Expr::lit(rng.gen_range(1..20i64))),
+            1 => Expr::IsNull {
+                expr: Box::new(qb.col(&format!("t{ft}.v")).expect("col")),
+                negated: true,
+            },
+            _ => {
+                // A typed comparison on one of the table's key columns,
+                // when it has any (fall back to v otherwise).
+                let name = if ft > 0 {
+                    format!("t{ft}.lk0")
+                } else if ft < m - 1 {
+                    format!("t{ft}.rk0")
+                } else {
+                    format!("t{ft}.v")
+                };
+                let col = qb.col(&name).expect("col");
+                if name.ends_with('v') {
+                    col.lt(Expr::lit(rng.gen_range(1..20i64)))
+                } else {
+                    let kt = if ft > 0 {
+                        edges[ft - 1].types[0].1
+                    } else {
+                        edges[ft].types[0].0
+                    };
+                    match kt {
+                        KeyType::Str => col.like(format!("key-{}%", rng.gen_range(0..space))),
+                        other => col.le(Expr::Literal(other.value(rng.gen_range(0..space)))),
+                    }
+                }
+            }
+        };
+        qb.filter(unary);
+        qb.select_col("t0.v").expect("select");
+        (cat.clone(), qb.build().expect("fuzz query"))
+    })
+}
+
+/// A random valid (connected) join order for the query.
+fn random_valid_order(q: &Query, seed: u64) -> Vec<usize> {
+    let graph = JoinGraph::from_query(q);
+    let m = q.num_tables();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut order = Vec::with_capacity(m);
+    let mut chosen = TableSet::EMPTY;
+    while order.len() < m {
+        let elig: Vec<usize> = graph.eligible_next(chosen).iter().collect();
+        let t = elig[rng.gen_range(0..elig.len())];
+        order.push(t);
+        chosen.insert(t);
+    }
+    order
+}
+
+fn sorted_tuples(rs: &ResultSet) -> Vec<Vec<u32>> {
+    let mut out: Vec<Vec<u32>> = rs.iter().map(|t| t.to_vec()).collect();
+    out.sort();
+    out
+}
+
+proptest! {
+    // Default 64 cases; `PROPTEST_CASES=256` is the nightly CI profile.
+    #![proptest_config(ProptestConfig::default())]
+
+    #[test]
+    fn fuzz_kernels_agree_across_tiers(
+        (_cat, q) in arb_fuzz_case(),
+        oseed in any::<u64>(),
+        budget in 3u64..48,
+        threads in 2usize..5,
+    ) {
+        let m = q.num_tables();
+        let order = random_valid_order(&q, oseed);
+        let budget = budget.max(4 * m as u64);
+
+        for indexes in [true, false] {
+            let pq = PreparedQuery::new(&q, indexes, 1);
+            let spec = pq.plan_spec(&order);
+            let plan = pq.plan_order(&order);
+            let offsets = vec![0u32; m];
+
+            // Oracle: generic reference kernel, one shot.
+            let mut join = MultiwayJoin::new(&pq);
+            let mut state = offsets.clone();
+            let mut rs_generic = ResultSet::new();
+            join.continue_join_generic(
+                &order, &spec, &offsets, &mut state, u64::MAX, &mut rs_generic,
+            );
+            let oracle = sorted_tuples(&rs_generic);
+
+            // Plan-bound kernel, sliced, sequential and partitioned.
+            let run_bound = |workers: usize| -> Vec<Vec<u32>> {
+                let mut join = MultiwayJoin::with_threads(&pq, workers);
+                let mut state = offsets.clone();
+                let mut rs = ResultSet::new();
+                let mut slices = 0u64;
+                loop {
+                    slices += 1;
+                    assert!(slices < 5_000_000, "no termination");
+                    let (res, _) = join.continue_join(
+                        &order, &plan, &offsets, &mut state, budget, &mut rs,
+                    );
+                    if res == ContinueResult::Exhausted {
+                        break;
+                    }
+                }
+                sorted_tuples(&rs)
+            };
+            prop_assert_eq!(
+                &run_bound(1), &oracle,
+                "plan-bound/generic divergence: order {:?} indexes {}", order, indexes
+            );
+            prop_assert_eq!(
+                &run_bound(threads), &oracle,
+                "partitioned/generic divergence: order {:?} indexes {} threads {}",
+                order, indexes, threads
+            );
+
+            // Codegen-or-fallback: when the shape compiles, the compiled
+            // kernel must agree too (sequential and partitioned); when
+            // it does not — composite fused keys, string or nullable
+            // keys — the fallback already ran above.
+            if let Some(kernel) = plan.compile_kernel(None) {
+                let run_compiled = |workers: usize| -> Vec<Vec<u32>> {
+                    let mut join = MultiwayJoin::with_threads(&pq, workers);
+                    let mut state = offsets.clone();
+                    let mut rs = ResultSet::new();
+                    let mut slices = 0u64;
+                    loop {
+                        slices += 1;
+                        assert!(slices < 5_000_000, "no termination");
+                        let (res, _) = join.continue_join_compiled(
+                            &kernel, &offsets, &mut state, budget, &mut rs,
+                        );
+                        if res == ContinueResult::Exhausted {
+                            break;
+                        }
+                    }
+                    sorted_tuples(&rs)
+                };
+                prop_assert_eq!(
+                    &run_compiled(1), &oracle,
+                    "codegen/generic divergence: order {:?} indexes {}", order, indexes
+                );
+                prop_assert_eq!(
+                    &run_compiled(threads), &oracle,
+                    "partitioned codegen/generic divergence: order {:?} indexes {} threads {}",
+                    order, indexes, threads
+                );
+            } else if indexes {
+                // Unsupported indexed shapes must be *structurally*
+                // unsupported — a fused/Other/array jump — never a
+                // silent refusal of a compilable chain.
+                let unsupported = !plan.kernel_key().supported();
+                prop_assert!(unsupported, "kernel refused a supported shape");
+            }
+        }
+    }
+
+    #[test]
+    fn fuzz_engine_matches_column_oracle((_cat, q) in arb_fuzz_case()) {
+        // End to end: Skinner-C under heavy order switching (tiny
+        // slices) against the vectorized column engine, composite keys,
+        // dates, NULLs and all.
+        let truth = ColEngine::new()
+            .execute(&q, &ExecOptions { count_only: true, ..Default::default() })
+            .result_count;
+        let out = SkinnerC::new(SkinnerCConfig {
+            budget: 16,
+            threads: std::env::var("SKINNER_TEST_THREADS")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(1),
+            ..Default::default()
+        })
+        .run(&q);
+        prop_assert_eq!(out.result_count, truth);
+    }
+
+    #[test]
+    fn fuzz_composite_cases_take_fallback_and_agree(seed in any::<u64>()) {
+        // The correlated-workload generator (always 2-column composite
+        // keys + dates): every plan that binds a fused composite jump
+        // must refuse to compile (the codegen tier's fallback), and the
+        // engine answer must match the column oracle. Plans where the
+        // selectivity heuristic kept a single-column jump instead may
+        // legitimately compile.
+        let (_cat, q) = skinnerdb::workloads::correlated::generate_case(seed);
+        let m = q.num_tables();
+        let pq = PreparedQuery::new(&q, true, 1);
+        // Chain queries: enumerate every valid order via the join graph.
+        let graph = JoinGraph::from_query(&q);
+        let mut orders: Vec<Vec<usize>> = Vec::new();
+        fn rec(
+            graph: &JoinGraph,
+            m: usize,
+            prefix: &mut Vec<usize>,
+            out: &mut Vec<Vec<usize>>,
+        ) {
+            if prefix.len() == m {
+                out.push(prefix.clone());
+                return;
+            }
+            let chosen: TableSet = prefix.iter().copied().collect();
+            for t in graph.eligible_next(chosen).iter() {
+                prefix.push(t);
+                rec(graph, m, prefix, out);
+                prefix.pop();
+            }
+        }
+        rec(&graph, m, &mut Vec::new(), &mut orders);
+        let mut all_fused = true;
+        for order in &orders {
+            let plan = pq.plan_order(order);
+            let fused = plan.positions.iter().any(|p| {
+                matches!(
+                    p.jump.as_ref().map(|j| &j.key),
+                    Some(skinnerdb::engine::prepare::KeyCol::Fused(_))
+                )
+            });
+            if fused {
+                prop_assert!(
+                    plan.compile_kernel(None).is_none(),
+                    "fused composite jumps must not compile (order {:?})",
+                    order
+                );
+            } else {
+                all_fused = false;
+            }
+        }
+
+        let truth = ColEngine::new()
+            .execute(&q, &ExecOptions { count_only: true, ..Default::default() })
+            .result_count;
+        let out = SkinnerC::new(SkinnerCConfig {
+            budget: 16,
+            ..Default::default()
+        })
+        .run(&q);
+        prop_assert_eq!(out.result_count, truth);
+        if all_fused && out.metrics.slices > 0 {
+            prop_assert!(
+                out.metrics.fallback_orders > 0,
+                "all-fused plans must register as codegen fallbacks"
+            );
+            prop_assert_eq!(out.metrics.codegen_slices, 0);
+        }
+    }
+}
