@@ -8,9 +8,15 @@
 //!    JOB-like query set returns results identical to serial execution,
 //!    sharing one core budget (admission + intra-query partitioning).
 //!
+//! 3. **Crash-safe persistence**: the learning cache survives a
+//!    restart. A service populates the cache, saves it (atomic,
+//!    checksummed), and a *fresh* service that loads the file serves its
+//!    very first repeat of each template warm — versus a cold restart
+//!    that re-learns from scratch.
+//!
 //! Results are printed as tables and recorded into `BENCH_service.json`
-//! (sections `service_learning` and `service_concurrency`) via
-//! `upsert_bench_json`.
+//! (sections `service_learning`, `service_concurrency`, and
+//! `service_persistence`) via `upsert_bench_json`.
 //!
 //! Knobs: `SKINNER_SCALE` (default 0.03), `SKINNER_SEED`,
 //! `SKINNER_THREADS` / `--threads N` (service core budget, default 4).
@@ -172,7 +178,106 @@ fn main() {
          the exploration a warm start avoids)"
     );
 
-    // ---- 2. Concurrency: 4 sessions vs serial ------------------------
+    // ---- 2. Persistence: warm restart vs cold restart ----------------
+    // Populate a service's cache with the same heavy templates, persist
+    // it, and compare two "restarts" (fresh services over the same
+    // catalog): one loading the persisted cache, one starting cold.
+    let cache_path = std::env::temp_dir().join(format!(
+        "skinner-exp-service-cache-{}.bin",
+        std::process::id()
+    ));
+    let populate = make_learning_service(threads);
+    {
+        let mut session = populate.session();
+        for &qi in &largest {
+            execute_query(&mut session, &wl.queries[qi].query);
+        }
+    }
+    let saved = populate
+        .save_learning_cache(&cache_path)
+        .expect("persist learning cache");
+    let file_bytes = std::fs::metadata(&cache_path).map_or(0, |m| m.len());
+
+    let warm_restart = make_learning_service(threads);
+    let load_start = Instant::now();
+    let report = warm_restart
+        .load_learning_cache(&cache_path)
+        .expect("load learning cache");
+    let load_wall = load_start.elapsed();
+    assert_eq!(report.corrupt, 0, "clean file reported corruption");
+    let cold_restart = make_learning_service(threads);
+
+    let mut rows = Vec::new();
+    let mut persistence_json = String::from("{\n");
+    persistence_json.push_str(&format!(
+        "    \"workload\": \"JOB-like scale={scale} seed={seed}\",\n    \
+         \"entries_saved\": {saved},\n    \"entries_loaded\": {},\n    \
+         \"file_bytes\": {file_bytes},\n    \"load_wall_us\": {},\n    \"templates\": {{\n",
+        report.loaded,
+        load_wall.as_micros(),
+    ));
+    let mut warm_session = warm_restart.session();
+    let mut cold_session = cold_restart.session();
+    for (li, &qi) in largest.iter().enumerate() {
+        let nq = &wl.queries[qi];
+        let cold_started = Instant::now();
+        let cold = execute_query(&mut cold_session, &nq.query);
+        let cold_wall = cold_started.elapsed();
+        let warm_started = Instant::now();
+        let warm = execute_query(&mut warm_session, &nq.query);
+        let warm_wall = warm_started.elapsed();
+        // The acceptance bar: the restarted service's FIRST execution of
+        // a persisted template is already a cache hit — and identical.
+        assert!(
+            warm.stats.cache_hit,
+            "{}: persisted entry not served on restart",
+            nq.id
+        );
+        assert!(
+            warm.table.same_rows(&cold.table),
+            "{}: warm-restart result differs from cold restart",
+            nq.id
+        );
+        rows.push(vec![
+            nq.id.clone(),
+            format!("{}", cold.stats.slices),
+            format!("{}", warm.stats.slices),
+            fmt_duration(cold_wall),
+            fmt_duration(warm_wall),
+            format!("{}", warm.stats.warm_start),
+        ]);
+        persistence_json.push_str(&format!(
+            "      \"{}\": {{ \"cold_restart_slices\": {}, \"warm_restart_slices\": {}, \
+             \"cold_restart_wall_us\": {}, \"warm_restart_wall_us\": {} }}{}\n",
+            nq.id,
+            cold.stats.slices,
+            warm.stats.slices,
+            cold_wall.as_micros(),
+            warm_wall.as_micros(),
+            if li + 1 < largest.len() { "," } else { "" },
+        ));
+    }
+    persistence_json.push_str("    }\n  }");
+    print_table(
+        "Persistence: restart warm (persisted cache) vs restart cold, first run per template",
+        &[
+            "template",
+            "cold-restart slices",
+            "warm-restart slices",
+            "cold wall",
+            "warm wall",
+            "warm start",
+        ],
+        &rows,
+    );
+    println!(
+        "  ({saved} entries persisted in {file_bytes} bytes; {} loaded in {})",
+        report.loaded,
+        fmt_duration(load_wall),
+    );
+    std::fs::remove_file(&cache_path).ok();
+
+    // ---- 3. Concurrency: 4 sessions vs serial ------------------------
     const SESSIONS: usize = 4;
     // Serial baseline: every query once, one session.
     let serial_svc = make_service(wl.catalog.clone(), threads);
@@ -262,6 +367,8 @@ fn main() {
 
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_service.json");
     upsert_bench_json(&path, "service_learning", &learning_json).expect("write BENCH_service.json");
+    upsert_bench_json(&path, "service_persistence", &persistence_json)
+        .expect("write BENCH_service.json");
     upsert_bench_json(&path, "service_concurrency", &concurrency_json)
         .expect("write BENCH_service.json");
     println!("\nrecorded → {}", path.display());

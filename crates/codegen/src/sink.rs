@@ -49,4 +49,13 @@ pub trait ResultSink {
     fn remaining_capacity(&self) -> Option<u64> {
         None
     }
+
+    /// Bytes of result storage this sink currently holds (arena +
+    /// dedup structures for materializing sinks, shard buffers for
+    /// worker sinks). Drivers enforcing a memory budget read this at
+    /// slice boundaries; sinks that don't materialize report 0.
+    #[inline]
+    fn approx_bytes(&self) -> usize {
+        0
+    }
 }

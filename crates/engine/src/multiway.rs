@@ -60,6 +60,11 @@ impl ResultSink for ResultSet {
     fn insert(&mut self, tuple: &[RowId]) -> bool {
         ResultSet::insert(self, tuple)
     }
+
+    #[inline]
+    fn approx_bytes(&self) -> usize {
+        ResultSet::approx_bytes(self, self.stride)
+    }
 }
 
 /// A sink that only counts insert attempts — for kernel micro-benchmarks
@@ -123,6 +128,11 @@ impl ResultSink for LimitSink<'_> {
     fn remaining_capacity(&self) -> Option<u64> {
         Some(self.target.saturating_sub(self.inner.len() as u64))
     }
+
+    #[inline]
+    fn approx_bytes(&self) -> usize {
+        ResultSink::approx_bytes(self.inner)
+    }
 }
 
 /// Per-worker sink of the partitioned join: appends tuples to a flat
@@ -161,6 +171,11 @@ impl ResultSink for ShardSink<'_> {
             Some((counter, target)) => counter.load(std::sync::atomic::Ordering::Relaxed) >= target,
             None => false,
         }
+    }
+
+    #[inline]
+    fn approx_bytes(&self) -> usize {
+        self.out.capacity() * std::mem::size_of::<RowId>()
     }
 }
 
@@ -532,6 +547,11 @@ impl<'a> MultiwayJoin<'a> {
                 let run_chunk = &run_chunk;
                 let emitted = &emitted;
                 scope.spawn(move || {
+                    // Fault-injection site: a panic here unwinds the
+                    // scope (which joins the other workers first) and
+                    // propagates to the slice driver — exactly the path
+                    // the service's panic isolation must cover.
+                    crate::failpoints::fire("partition.chunk");
                     let mut sink = ShardSink {
                         out,
                         quota: target.map(|t| (emitted, t)),

@@ -115,6 +115,12 @@ pub enum StopReason {
     /// [`RunOptions::deadline`] passed between slices. The result is
     /// partial and must be discarded.
     DeadlineExceeded,
+    /// [`RunOptions::max_result_bytes`] was exceeded at a slice
+    /// boundary. The result is a valid distinct prefix of the join —
+    /// usable when a LIMIT made a prefix acceptable, otherwise the
+    /// caller should fail the query cleanly instead of letting the
+    /// arena grow until the OS kills the process.
+    MemoryExceeded,
 }
 
 /// Per-run controls beyond the engine configuration: cross-execution
@@ -140,6 +146,12 @@ pub struct RunOptions<'a> {
     /// mid-slice on reaching the target (workers share one slice-wide
     /// emission counter).
     pub target_rows: Option<u64>,
+    /// Cap on result-materialization bytes (flat tuple arena + dedup
+    /// table), checked at every slice boundary like `cancel` and
+    /// `deadline`. Exceeding it stops the run with
+    /// [`StopReason::MemoryExceeded`]; the tuples produced so far are a
+    /// valid distinct prefix. `None` (the default) is unbounded.
+    pub max_result_bytes: Option<usize>,
     /// Capture a [`LearnedState`] in the outcome for the learning cache.
     pub capture_learning: bool,
     /// Cross-query kernel cache (see `skinner-codegen`): memoizes
@@ -334,6 +346,14 @@ impl SkinnerC {
                     break;
                 }
             }
+            // Fault-injection sites (no-ops unless a test armed them):
+            // `engine.slice` panics mid-run; `engine.cancel` acts as a
+            // client cancellation raised at this slice boundary.
+            crate::failpoints::fire("engine.slice");
+            if crate::failpoints::check("engine.cancel") == Some(crate::failpoints::Fault::Cancel) {
+                stop = StopReason::Cancelled;
+                break;
+            }
 
             metrics.slices += 1;
             let order = match cfg.policy {
@@ -401,6 +421,20 @@ impl SkinnerC {
                 if let Some(target) = opts.target_rows {
                     if results.len() as u64 >= target {
                         stop = StopReason::RowTarget;
+                        finished = true;
+                    }
+                }
+            }
+
+            // Memory budget, checked after the LIMIT test so a run that
+            // reaches its row target in the same slice reports the
+            // stronger outcome. Like cancellation, a trip leaves a valid
+            // distinct prefix; one slice can overshoot the cap by at
+            // most its own emissions, which the step budget bounds.
+            if !finished {
+                if let Some(cap) = opts.max_result_bytes {
+                    if ResultSink::approx_bytes(&results) > cap {
+                        stop = StopReason::MemoryExceeded;
                         finished = true;
                     }
                 }
@@ -919,6 +953,51 @@ mod tests {
         );
         assert_eq!(out.stop, StopReason::Completed);
         assert_eq!(out.result_count, expected);
+    }
+
+    #[test]
+    fn memory_budget_stops_with_valid_prefix() {
+        let cat = fk_catalog(64);
+        let q = chain_query(&cat, 3);
+        let full = SkinnerC::new(SkinnerCConfig {
+            budget: 50,
+            ..Default::default()
+        })
+        .run(&q);
+        assert!(full.metrics.result_bytes > 64);
+        // A cap far below the full arena must trip at a slice boundary.
+        let capped = SkinnerC::new(SkinnerCConfig {
+            budget: 50,
+            ..Default::default()
+        })
+        .run_with(
+            &q,
+            &RunOptions {
+                max_result_bytes: Some(64),
+                ..Default::default()
+            },
+        );
+        assert_eq!(capped.stop, StopReason::MemoryExceeded);
+        assert!(capped.result_count < full.result_count);
+        // Every produced tuple is a member of the full result.
+        let all: std::collections::HashSet<&[u32]> = full.tuples.chunks_exact(3).collect();
+        for t in capped.tuples.chunks_exact(3) {
+            assert!(all.contains(t), "tuple {t:?} not in the full result");
+        }
+        // A generous cap never fires.
+        let roomy = SkinnerC::new(SkinnerCConfig {
+            budget: 50,
+            ..Default::default()
+        })
+        .run_with(
+            &q,
+            &RunOptions {
+                max_result_bytes: Some(full.metrics.result_bytes * 4 + (1 << 20)),
+                ..Default::default()
+            },
+        );
+        assert_eq!(roomy.stop, StopReason::Completed);
+        assert_eq!(roomy.result_count, full.result_count);
     }
 
     #[test]

@@ -55,6 +55,15 @@ impl TemplateKey {
         }
     }
 
+    /// Reconstruct a key from a stored canonical form (the learning
+    /// cache's persistence format round-trips keys as their canonical
+    /// strings). The string is trusted as-is: a mangled form simply
+    /// names a template no live query will ever hash to, so the worst a
+    /// corrupt record can do is occupy a cache slot until eviction.
+    pub fn from_canonical(canonical: String) -> TemplateKey {
+        TemplateKey { canonical }
+    }
+
     /// The canonical normalized form (for logs and cache dumps).
     pub fn canonical(&self) -> &str {
         &self.canonical

@@ -2,16 +2,21 @@
 //!
 //! ```text
 //! skinner-repl [--job SCALE] [--seed N] [--threads N] [--serve SOCKET]
+//!              [--cache FILE] [--persist-secs N]
 //! ```
 //!
 //! * Default mode: an interactive SQL shell (or a script runner when
 //!   stdin is piped) over the synthetic JOB-like IMDB catalog.
-//!   Commands: `\tables`, `\stats`, `\cache`, `\quit`.
+//!   Commands: `\tables`, `\stats`, `\cache`, `\quit`, `\shutdown`.
 //! * `--serve SOCKET`: bind a Unix domain socket and speak the line
 //!   protocol (one SQL statement per line; responses terminated by a
 //!   `;; ok N rows` / `;; err MESSAGE` line) — the script-facing mode.
 //! * `--threads N`: the service's total core budget, shared between
 //!   concurrent connections and intra-query join partitioning.
+//! * `--cache FILE`: crash-safe learning-cache persistence — loaded at
+//!   startup (warm start), flushed every `--persist-secs N` (default
+//!   30) in serve mode and at exit in both modes, so learned join
+//!   orders survive restarts.
 //!
 //! ```sh
 //! echo 'SELECT COUNT(*) AS n FROM title t' | skinner-repl
@@ -34,8 +39,9 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
             "skinner-repl [--job SCALE] [--seed N] [--threads N] [--serve SOCKET]\n\
+             \x20            [--cache FILE] [--persist-secs N]\n\
              Interactive SQL shell / line-protocol server over a synthetic IMDB catalog.\n\
-             Commands: \\tables \\stats \\cache \\quit"
+             Commands: \\tables \\stats \\cache \\quit \\shutdown"
         );
         return;
     }
@@ -55,11 +61,22 @@ fn main() {
         .unwrap_or(1)
         .max(1);
 
+    let cache = arg_value(&args, "--cache").map(std::path::PathBuf::from);
+    let persist_secs: u64 = arg_value(&args, "--persist-secs")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30)
+        .max(1);
+
     let service = repl::demo_service(scale, seed, threads);
 
     if let Some(path) = arg_value(&args, "--serve") {
         eprintln!("skinner-repl serving line protocol on {path} (threads={threads})");
-        if let Err(e) = repl::serve_unix(service, std::path::Path::new(&path)) {
+        let opts = repl::ServeOptions {
+            cache_path: cache,
+            persist_interval: std::time::Duration::from_secs(persist_secs),
+            ..Default::default()
+        };
+        if let Err(e) = repl::serve_unix_with(service, std::path::Path::new(&path), opts) {
             eprintln!("serve error: {e}");
             std::process::exit(1);
         }
@@ -68,12 +85,28 @@ fn main() {
 
     println!(
         "SkinnerDB SQL shell over a synthetic IMDB (scale={scale}, threads={threads}; \
-         \\tables \\stats \\cache \\quit)"
+         \\tables \\stats \\cache \\quit \\shutdown)"
     );
+    if let Some(cache) = &cache {
+        match service.load_learning_cache(cache) {
+            Ok(report) => eprintln!(
+                "learning cache warm start: {} loaded, {} corrupt, {} stale",
+                report.loaded, report.corrupt, report.stale
+            ),
+            Err(e) => eprintln!("learning cache load failed: {e}"),
+        }
+    }
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout();
     if let Err(e) = repl::run_shell(&service, BufReader::new(stdin.lock()), &mut stdout, true) {
         eprintln!("shell error: {e}");
         std::process::exit(1);
+    }
+    if let Some(cache) = &cache {
+        match service.save_learning_cache_with_retry(cache, 3, std::time::Duration::from_millis(50))
+        {
+            Ok(n) => eprintln!("persisted {n} learning-cache entries"),
+            Err(e) => eprintln!("learning cache save failed: {e}"),
+        }
     }
 }

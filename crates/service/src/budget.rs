@@ -18,7 +18,7 @@
 
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 #[derive(Debug)]
@@ -81,6 +81,22 @@ impl CoreBudget {
         self.total
     }
 
+    /// Unused permits right now (introspection/tests; racy by nature).
+    pub fn available(&self) -> usize {
+        self.lock_state().available
+    }
+
+    /// Lock the state, recovering from poisoning. The accounting is
+    /// transactional — every mutation below completes while the guard is
+    /// held or not at all (no panics between related updates except the
+    /// deliberate `budget.acquire` failpoint, which fires before any
+    /// mutation) — so a poisoned guard's state is still consistent and
+    /// panicking every later acquire would turn one crashed query into a
+    /// dead service.
+    fn lock_state(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Block (FIFO) until at least one permit is free, then take a
     /// proportional share of the free permits. The grant returns its
     /// permits when dropped.
@@ -100,7 +116,11 @@ impl CoreBudget {
         deadline: Option<Instant>,
         cancel: Option<&AtomicBool>,
     ) -> Result<CoreGrant<'_>, AdmissionError> {
-        let mut st = self.state.lock().expect("budget lock");
+        let mut st = self.lock_state();
+        // Fault-injection site: panics *while the budget lock is held*
+        // and before any state mutation — the poison-recovery and
+        // panic-isolation paths must keep the service serving.
+        skinner_engine::failpoints::fire("budget.acquire");
         let ticket = st.next_ticket;
         st.next_ticket += 1;
         loop {
@@ -123,7 +143,7 @@ impl CoreBudget {
                     }
                     self.cv
                         .wait_timeout(st, deadline - now)
-                        .expect("budget lock")
+                        .unwrap_or_else(PoisonError::into_inner)
                         .0
                 }
                 // No deadline but a cancel flag: poll it. Cancellation
@@ -132,10 +152,10 @@ impl CoreBudget {
                 None if cancel.is_some() => {
                     self.cv
                         .wait_timeout(st, Duration::from_millis(20))
-                        .expect("budget lock")
+                        .unwrap_or_else(PoisonError::into_inner)
                         .0
                 }
-                None => self.cv.wait(st).expect("budget lock"),
+                None => self.cv.wait(st).unwrap_or_else(PoisonError::into_inner),
             };
         }
         let queued_behind = (ticket + 1..st.next_ticket)
@@ -169,7 +189,7 @@ impl CoreBudget {
     }
 
     fn release(&self, n: usize) {
-        let mut st = self.state.lock().expect("budget lock");
+        let mut st = self.lock_state();
         st.available += n;
         debug_assert!(st.available <= self.total);
         drop(st);
@@ -283,6 +303,37 @@ mod tests {
         drop(holder);
         // The budget is healthy afterwards.
         assert_eq!(b.acquire().threads(), 1);
+    }
+
+    #[test]
+    fn panicking_holder_releases_grant() {
+        let b = Arc::new(CoreBudget::new(3));
+        let b2 = b.clone();
+        let r = std::thread::spawn(move || {
+            let _g = b2.acquire();
+            panic!("query died mid-execution");
+        })
+        .join();
+        assert!(r.is_err());
+        assert_eq!(b.available(), 3, "panicked holder leaked its grant");
+        assert_eq!(b.acquire().threads(), 3);
+    }
+
+    #[test]
+    fn poisoned_budget_lock_recovers() {
+        // Panic *inside* acquire while the state mutex is held (the
+        // `budget.acquire` failpoint fires under the lock): the mutex is
+        // poisoned, and every later acquire must recover rather than
+        // propagate the poison forever.
+        skinner_engine::failpoints::config_for_current_thread("budget.acquire", "panic");
+        let b = CoreBudget::new(2);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = b.acquire();
+        }));
+        assert!(r.is_err(), "failpoint must panic");
+        let g = b.acquire();
+        assert_eq!(g.threads(), 2);
+        assert_eq!(b.total(), 2);
     }
 
     #[test]

@@ -36,7 +36,7 @@ use skinner_engine::LearnedState;
 use skinner_query::TemplateKey;
 use skinner_storage::FxHashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// Versions of the tables a cached template touches, in FROM order:
 /// `(table name, per-table catalog version)` pairs. Equality of the
@@ -139,12 +139,20 @@ impl LearningCache {
         self.clock.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// Lock the map, recovering from poisoning: every mutation keeps
+    /// `total_bytes` in sync within one critical section, so state under
+    /// a poisoned guard is still consistent — and a service that caught
+    /// a query panic must keep its cache, not lose it to the poison bit.
+    fn lock_inner(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Learned state for `key` if present and learned against exactly
     /// the table versions in `deps`; entries with mismatched versions
     /// are dropped (counted as both an invalidation and a miss).
     pub fn lookup(&self, key: &TemplateKey, deps: &[(String, u64)]) -> Option<LearnedState> {
         let tick = self.tick();
-        let mut inner = self.inner.lock().expect("cache lock");
+        let mut inner = self.lock_inner();
         match inner.map.get_mut(key) {
             Some(e) if e.deps == deps => {
                 e.executions += 1;
@@ -173,10 +181,34 @@ impl LearningCache {
     /// racing an older snapshot in is harmless — whichever lands last
     /// wins and both are valid priors.
     pub fn store(&self, key: TemplateKey, deps: TableDeps, learning: LearnedState) {
+        self.stores.fetch_add(1, Ordering::Relaxed);
+        self.insert_entry(key, deps, learning);
+    }
+
+    /// [`store`](Self::store) without counting toward the `stores`
+    /// statistic — used when re-seeding from a persisted snapshot, so
+    /// restart warm-up does not masquerade as execution activity.
+    pub fn seed(&self, key: TemplateKey, deps: TableDeps, learning: LearnedState) {
+        self.insert_entry(key, deps, learning);
+    }
+
+    /// A point-in-time copy of every entry, least-recently-used first —
+    /// re-seeding a fresh cache in this order reproduces the LRU
+    /// ordering (the persistence layer round-trips exactly this).
+    pub fn export(&self) -> Vec<(TemplateKey, TableDeps, LearnedState)> {
+        let inner = self.lock_inner();
+        let mut entries: Vec<(&TemplateKey, &Entry)> = inner.map.iter().collect();
+        entries.sort_by_key(|(_, e)| e.last_used);
+        entries
+            .into_iter()
+            .map(|(k, e)| (k.clone(), e.deps.clone(), e.learning.clone()))
+            .collect()
+    }
+
+    fn insert_entry(&self, key: TemplateKey, deps: TableDeps, learning: LearnedState) {
         let tick = self.tick();
         let bytes = entry_bytes(&key, &deps, &learning);
-        let mut inner = self.inner.lock().expect("cache lock");
-        self.stores.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.lock_inner();
         let executions = inner.map.get(&key).map_or(0, |e| e.executions);
         if let Some(old) = inner.map.insert(
             key.clone(),
@@ -220,7 +252,7 @@ impl LearningCache {
     /// not linger until its template happens to be looked up again).
     /// Entries over unrelated tables are untouched.
     pub fn invalidate_table(&self, table: &str) {
-        let mut inner = self.inner.lock().expect("cache lock");
+        let mut inner = self.lock_inner();
         let before = inner.map.len();
         let mut freed = 0usize;
         inner.map.retain(|_, e| {
@@ -238,7 +270,7 @@ impl LearningCache {
 
     /// Number of live entries.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("cache lock").map.len()
+        self.lock_inner().map.len()
     }
 
     /// True if no entries are cached.
@@ -248,7 +280,7 @@ impl LearningCache {
 
     /// Drop every entry (e.g. after a bulk catalog reload).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().expect("cache lock");
+        let mut inner = self.lock_inner();
         inner.map.clear();
         inner.total_bytes = 0;
     }
@@ -277,7 +309,7 @@ impl LearningCache {
     /// Approximate heap bytes held by cached entries (maintained
     /// incrementally; this is the quantity the byte bound limits).
     pub fn approx_bytes(&self) -> usize {
-        self.inner.lock().expect("cache lock").total_bytes
+        self.lock_inner().total_bytes
     }
 }
 

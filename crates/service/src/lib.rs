@@ -60,11 +60,13 @@
 
 pub mod budget;
 pub mod cache;
+pub mod persist;
 pub mod repl;
 pub mod service;
 
 pub use budget::{CoreBudget, CoreGrant};
 pub use cache::{CacheStats, LearningCache};
+pub use persist::{CachePersister, LoadReport};
 pub use service::{
     CancelToken, ExecuteOptions, QueryService, ServiceConfig, ServiceError, ServiceStats, Session,
 };

@@ -1,0 +1,672 @@
+//! Crash-safe persistence of the learning cache.
+//!
+//! SkinnerDB's accumulated learning — the per-template UCT snapshots
+//! and planned join orders — is only an asset if it survives restarts.
+//! This module serializes the [`LearningCache`](crate::cache::LearningCache) to a single file in a
+//! hand-rolled, length-prefixed binary format with a per-record
+//! checksum, and loads it back on startup so a restarted service starts
+//! warm.
+//!
+//! # Format
+//!
+//! ```text
+//! header : magic "SKLC" | format version u32
+//! record : payload len u32 | FxHasher checksum of payload u64 | payload
+//! payload: template canonical string
+//!          table deps        (name, version)*
+//!          best order        table ids
+//!          planned orders    id lists
+//!          snapshot          rounds + nodes (visits, reward bits,
+//!                            actions, children; u64::MAX = unexpanded)
+//! ```
+//!
+//! All integers are little-endian; strings are u32-length-prefixed
+//! UTF-8.
+//!
+//! # Crash safety
+//!
+//! Writes are atomic: the file is assembled in a `.tmp` sibling, fsynced,
+//! and renamed over the target (then the directory is fsynced), so a
+//! crash — even mid-write — leaves either the old file or the new one,
+//! never a torn mix. The *loader* still defends in depth: a record with
+//! a bad checksum or an undecodable payload is skipped (the length
+//! prefix keeps framing intact), a truncated tail stops the scan, and a
+//! foreign magic/version yields an empty load — corruption costs some
+//! warm starts, never availability or correctness.
+//!
+//! Fault-injection sites: `persist.read`, `persist.write`,
+//! `persist.fsync`, `persist.rename` (see
+//! [`skinner_engine::failpoints`]).
+
+use crate::cache::TableDeps;
+use crate::service::QueryService;
+use skinner_engine::failpoints;
+use skinner_engine::LearnedState;
+use skinner_query::{TableId, TemplateKey};
+use skinner_storage::hash::FxHasher;
+use skinner_uct::{SnapshotNode, TreeSnapshot};
+use std::fs::{File, OpenOptions};
+use std::hash::Hasher;
+use std::io::{self, Read, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// File magic: "SKinner Learning Cache".
+const MAGIC: [u8; 4] = *b"SKLC";
+/// Format version; bump on any wire change (old files then load empty).
+const FORMAT_VERSION: u32 = 1;
+/// Upper bound on a single record's payload (corrupt length prefixes
+/// must not trigger absurd allocations).
+const MAX_RECORD_BYTES: usize = 64 << 20;
+
+/// One persisted cache entry.
+#[derive(Debug, Clone)]
+pub struct PersistRecord {
+    /// The template key (round-tripped via its canonical string).
+    pub key: TemplateKey,
+    /// Per-table versions the learning was captured against.
+    pub deps: TableDeps,
+    /// The learned state itself.
+    pub learning: LearnedState,
+}
+
+/// What a load pass observed (all the degraded paths are counted, so
+/// operators can tell "clean start" from "survived corruption").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Records decoded and seeded into the cache.
+    pub loaded: usize,
+    /// Records skipped: checksum mismatch or undecodable payload.
+    pub corrupt: usize,
+    /// Records skipped because their table versions (or the tables
+    /// themselves) no longer match the live catalog.
+    pub stale: usize,
+    /// True if the file ended mid-record (torn tail after a crash).
+    pub truncated: bool,
+    /// True if the file had a foreign magic or format version (nothing
+    /// was loaded from it).
+    pub format_mismatch: bool,
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_ids(out: &mut Vec<u8>, ids: &[TableId]) {
+    put_u32(out, ids.len() as u32);
+    for &id in ids {
+        put_u64(out, id as u64);
+    }
+}
+
+fn encode_record(key: &TemplateKey, deps: &TableDeps, learning: &LearnedState) -> Vec<u8> {
+    let mut p = Vec::with_capacity(256);
+    put_str(&mut p, key.canonical());
+    put_u32(&mut p, deps.len() as u32);
+    for (name, version) in deps {
+        put_str(&mut p, name);
+        put_u64(&mut p, *version);
+    }
+    put_ids(&mut p, &learning.best_order);
+    put_u32(&mut p, learning.planned_orders.len() as u32);
+    for order in &learning.planned_orders {
+        put_ids(&mut p, order);
+    }
+    let (nodes, rounds) = learning.snapshot.to_parts();
+    put_u64(&mut p, rounds);
+    put_u32(&mut p, nodes.len() as u32);
+    for n in &nodes {
+        put_u64(&mut p, n.visits);
+        put_u64(&mut p, n.reward_sum.to_bits());
+        put_u32(&mut p, n.actions.len() as u32);
+        for &a in &n.actions {
+            put_u64(&mut p, a as u64);
+        }
+        for &c in &n.children {
+            put_u64(&mut p, c as u64);
+        }
+    }
+    p
+}
+
+fn checksum(payload: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(payload);
+    h.finish()
+}
+
+// ---------------------------------------------------------------------
+// Decoding (bounds-checked cursor; any overrun = corrupt record)
+// ---------------------------------------------------------------------
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        let b = self.take(4)?;
+        Some(u32::from_le_bytes(b.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let b = self.take(8)?;
+        Some(u64::from_le_bytes(b.try_into().ok()?))
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+
+    fn ids(&mut self) -> Option<Vec<TableId>> {
+        let n = self.u32()? as usize;
+        // Each id is 8 bytes; a count the buffer cannot hold is corrupt.
+        if n > (self.buf.len() - self.pos) / 8 {
+            return None;
+        }
+        let mut ids = Vec::with_capacity(n);
+        for _ in 0..n {
+            ids.push(usize::try_from(self.u64()?).ok()?);
+        }
+        Some(ids)
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn decode_record(payload: &[u8]) -> Option<PersistRecord> {
+    let mut c = Cursor::new(payload);
+    let key = TemplateKey::from_canonical(c.str()?);
+    let n_deps = c.u32()? as usize;
+    let mut deps = Vec::with_capacity(n_deps.min(1024));
+    for _ in 0..n_deps {
+        let name = c.str()?;
+        let version = c.u64()?;
+        deps.push((name, version));
+    }
+    let best_order = c.ids()?;
+    let n_orders = c.u32()? as usize;
+    let mut planned_orders = Vec::with_capacity(n_orders.min(1024));
+    for _ in 0..n_orders {
+        planned_orders.push(c.ids()?);
+    }
+    let rounds = c.u64()?;
+    let n_nodes = c.u32()? as usize;
+    // visits + reward + action count = 20 bytes minimum per node.
+    if n_nodes > (payload.len() - c.pos) / 20 {
+        return None;
+    }
+    let mut nodes = Vec::with_capacity(n_nodes);
+    for _ in 0..n_nodes {
+        let visits = c.u64()?;
+        let reward_sum = f64::from_bits(c.u64()?);
+        let n_actions = c.u32()? as usize;
+        if n_actions > (payload.len() - c.pos) / 16 {
+            return None;
+        }
+        let mut actions = Vec::with_capacity(n_actions);
+        for _ in 0..n_actions {
+            actions.push(usize::try_from(c.u64()?).ok()?);
+        }
+        let mut children = Vec::with_capacity(n_actions);
+        for _ in 0..n_actions {
+            let raw = c.u64()?;
+            children.push(if raw == u64::MAX {
+                usize::MAX
+            } else {
+                usize::try_from(raw).ok()?
+            });
+        }
+        nodes.push(SnapshotNode {
+            visits,
+            reward_sum,
+            actions,
+            children,
+        });
+    }
+    if !c.done() {
+        // Trailing garbage inside a checksummed record: treat as corrupt
+        // rather than silently ignoring bytes.
+        return None;
+    }
+    // `from_parts` re-validates structure, so a record that passes its
+    // checksum but encodes a malformed tree is still rejected here.
+    let snapshot = TreeSnapshot::from_parts(nodes, rounds)?;
+    Some(PersistRecord {
+        key,
+        deps,
+        learning: LearnedState {
+            snapshot,
+            best_order,
+            planned_orders,
+        },
+    })
+}
+
+// ---------------------------------------------------------------------
+// File I/O
+// ---------------------------------------------------------------------
+
+/// Serialize `entries` to `path` atomically: assemble in `path.tmp`,
+/// fsync, rename over `path`, fsync the directory. Returns the record
+/// count written. A crash at any point leaves the previous file (or no
+/// file) intact.
+pub fn save_entries(
+    path: &Path,
+    entries: &[(TemplateKey, TableDeps, LearnedState)],
+) -> io::Result<usize> {
+    let tmp = tmp_path(path);
+    let mut buf = Vec::with_capacity(4096);
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    for (key, deps, learning) in entries {
+        let payload = encode_record(key, deps, learning);
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&checksum(&payload).to_le_bytes());
+        buf.extend_from_slice(&payload);
+    }
+
+    let mut f = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(&tmp)?;
+    failpoints::io_check("persist.write")?;
+    f.write_all(&buf)?;
+    failpoints::io_check("persist.fsync")?;
+    f.sync_all()?;
+    drop(f);
+    failpoints::io_check("persist.rename")?;
+    std::fs::rename(&tmp, path)?;
+    // Make the rename itself durable. Directory fsync is advisory on
+    // some filesystems; failure here cannot un-rename, so best-effort.
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(entries.len())
+}
+
+/// [`save_entries`] with bounded retry and exponential backoff — the
+/// treatment for transient I/O errors (the persister must not give up
+/// on the first `EIO`, nor retry forever). `attempts` is clamped ≥ 1;
+/// the delay doubles after each failure starting from `backoff`.
+pub fn save_entries_with_retry(
+    path: &Path,
+    entries: &[(TemplateKey, TableDeps, LearnedState)],
+    attempts: u32,
+    backoff: Duration,
+) -> io::Result<usize> {
+    let attempts = attempts.max(1);
+    let mut delay = backoff;
+    let mut last = None;
+    for i in 0..attempts {
+        match save_entries(path, entries) {
+            Ok(n) => return Ok(n),
+            Err(e) => {
+                last = Some(e);
+                if i + 1 < attempts {
+                    std::thread::sleep(delay);
+                    delay = delay.saturating_mul(2);
+                }
+            }
+        }
+    }
+    Err(last.unwrap_or_else(|| io::Error::other("unreachable: no attempt ran")))
+}
+
+/// Read every decodable record from `path`. Degradation, not failure:
+/// corrupt records are skipped, a torn tail stops the scan, a foreign
+/// header loads nothing — all reported in the [`LoadReport`]. Only an
+/// I/O error opening/reading the file itself is an `Err`; a missing
+/// file is `Ok` with an empty load (fresh start).
+pub fn load_entries(path: &Path) -> io::Result<(Vec<PersistRecord>, LoadReport)> {
+    let mut report = LoadReport::default();
+    failpoints::io_check("persist.read")?;
+    let mut buf = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut buf)?;
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok((Vec::new(), report)),
+        Err(e) => return Err(e),
+    }
+
+    if buf.len() < 8 || buf[..4] != MAGIC || buf[4..8] != FORMAT_VERSION.to_le_bytes() {
+        report.format_mismatch = true;
+        return Ok((Vec::new(), report));
+    }
+
+    let mut records = Vec::new();
+    let mut pos = 8usize;
+    while pos < buf.len() {
+        // Frame: len u32 | checksum u64 | payload.
+        if pos + 12 > buf.len() {
+            report.truncated = true;
+            break;
+        }
+        let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
+        let want = u64::from_le_bytes(buf[pos + 4..pos + 12].try_into().unwrap());
+        if len > MAX_RECORD_BYTES || pos + 12 + len > buf.len() {
+            // A corrupt length cannot be resynced past; a too-long
+            // length is indistinguishable from a torn tail.
+            report.truncated = true;
+            break;
+        }
+        let payload = &buf[pos + 12..pos + 12 + len];
+        pos += 12 + len;
+        if checksum(payload) != want {
+            report.corrupt += 1;
+            continue;
+        }
+        match decode_record(payload) {
+            Some(r) => {
+                records.push(r);
+                report.loaded += 1;
+            }
+            None => report.corrupt += 1,
+        }
+    }
+    Ok((records, report))
+}
+
+fn tmp_path(path: &Path) -> std::path::PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+// ---------------------------------------------------------------------
+// Service integration
+// ---------------------------------------------------------------------
+
+impl QueryService {
+    /// Persist the learning cache to `path` (atomic write; see module
+    /// docs). Returns the number of entries written.
+    pub fn save_learning_cache(&self, path: &Path) -> io::Result<usize> {
+        save_entries(path, &self.learning_cache().export())
+    }
+
+    /// [`save_learning_cache`](Self::save_learning_cache) with bounded
+    /// retry + exponential backoff for transient I/O errors.
+    pub fn save_learning_cache_with_retry(
+        &self,
+        path: &Path,
+        attempts: u32,
+        backoff: Duration,
+    ) -> io::Result<usize> {
+        save_entries_with_retry(path, &self.learning_cache().export(), attempts, backoff)
+    }
+
+    /// Warm-start the learning cache from `path`. Records whose table
+    /// versions no longer match the live catalog (or whose tables are
+    /// gone) are skipped as `stale`; corrupt/truncated data degrades per
+    /// the module docs. Entries are seeded without counting as stores.
+    pub fn load_learning_cache(&self, path: &Path) -> io::Result<LoadReport> {
+        let (records, mut report) = load_entries(path)?;
+        for r in records {
+            if !self.deps_are_current(&r.deps) {
+                report.loaded -= 1;
+                report.stale += 1;
+                continue;
+            }
+            self.learning_cache().seed(r.key, r.deps, r.learning);
+        }
+        Ok(report)
+    }
+}
+
+/// Background persister: periodically flushes the service's learning
+/// cache to disk (atomic + retried), and once more on
+/// [`shutdown`](CachePersister::shutdown). Dropping without `shutdown`
+/// stops the thread and makes a best-effort final flush.
+#[derive(Debug)]
+pub struct CachePersister {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+    service: Arc<QueryService>,
+    path: std::path::PathBuf,
+}
+
+impl CachePersister {
+    /// Flush every `interval` until shutdown. Flush errors are reported
+    /// to stderr and retried at the next tick — a sick disk must not
+    /// take the query path down.
+    pub fn start(
+        service: Arc<QueryService>,
+        path: impl Into<std::path::PathBuf>,
+        interval: Duration,
+    ) -> CachePersister {
+        let path = path.into();
+        let stop = Arc::new(AtomicBool::new(false));
+        let (svc, p, st) = (service.clone(), path.clone(), stop.clone());
+        let handle = std::thread::spawn(move || {
+            let tick = Duration::from_millis(50).min(interval);
+            let mut since_flush = Duration::ZERO;
+            while !st.load(Ordering::Relaxed) {
+                std::thread::sleep(tick);
+                since_flush += tick;
+                if since_flush >= interval {
+                    since_flush = Duration::ZERO;
+                    if let Err(e) =
+                        svc.save_learning_cache_with_retry(&p, 3, Duration::from_millis(50))
+                    {
+                        eprintln!("skinner: periodic cache flush failed: {e}");
+                    }
+                }
+            }
+        });
+        CachePersister {
+            stop,
+            handle: Some(handle),
+            service,
+            path,
+        }
+    }
+
+    /// Stop the background thread and write a final flush (retried).
+    /// Returns the entry count of the final flush.
+    pub fn shutdown(mut self) -> io::Result<usize> {
+        self.halt();
+        self.service
+            .save_learning_cache_with_retry(&self.path, 3, Duration::from_millis(50))
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for CachePersister {
+    fn drop(&mut self) {
+        if self.handle.is_some() {
+            self.halt();
+            if let Err(e) = self.service.save_learning_cache_with_retry(
+                &self.path,
+                3,
+                Duration::from_millis(50),
+            ) {
+                eprintln!("skinner: final cache flush failed: {e}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skinner_uct::{SearchSpace, UctConfig, UctTree};
+
+    struct Perms {
+        n: usize,
+    }
+
+    impl SearchSpace for Perms {
+        type Action = usize;
+        fn actions(&self, path: &[usize]) -> Vec<usize> {
+            (0..self.n).filter(|t| !path.contains(t)).collect()
+        }
+        fn depth(&self) -> usize {
+            self.n
+        }
+    }
+
+    fn learned(seed_rounds: usize) -> LearnedState {
+        let mut tree = UctTree::new(Perms { n: 3 }, UctConfig::default());
+        for _ in 0..seed_rounds {
+            let p = tree.choose();
+            let r = if p[0] == 1 { 0.9 } else { 0.2 };
+            tree.update(&p, r);
+        }
+        LearnedState {
+            best_order: tree.best_path(),
+            snapshot: tree.snapshot(),
+            planned_orders: vec![vec![0, 1, 2], vec![1, 0, 2]],
+        }
+    }
+
+    fn entry(name: &str, rounds: usize) -> (TemplateKey, TableDeps, LearnedState) {
+        (
+            TemplateKey::from_canonical(format!("[{name}]|{name}.x=?")),
+            vec![(name.to_string(), 3)],
+            learned(rounds),
+        )
+    }
+
+    #[test]
+    fn record_round_trips() {
+        let (key, deps, learning) = entry("t", 50);
+        let payload = encode_record(&key, &deps, &learning);
+        let r = decode_record(&payload).expect("decode");
+        assert_eq!(r.key, key);
+        assert_eq!(r.deps, deps);
+        assert_eq!(r.learning.best_order, learning.best_order);
+        assert_eq!(r.learning.planned_orders, learning.planned_orders);
+        assert_eq!(r.learning.snapshot.rounds(), learning.snapshot.rounds());
+        assert_eq!(
+            r.learning.snapshot.num_nodes(),
+            learning.snapshot.num_nodes()
+        );
+        assert_eq!(
+            r.learning.snapshot.to_parts().0,
+            learning.snapshot.to_parts().0
+        );
+    }
+
+    #[test]
+    fn file_round_trips_and_missing_file_is_fresh() {
+        let dir = std::env::temp_dir().join("skinner_persist_rt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.bin");
+        let entries = vec![entry("a", 30), entry("b", 60)];
+        assert_eq!(save_entries(&path, &entries).unwrap(), 2);
+        let (records, report) = load_entries(&path).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(
+            report,
+            LoadReport {
+                loaded: 2,
+                ..Default::default()
+            }
+        );
+        // Atomic write leaves no temp file behind.
+        assert!(!tmp_path(&path).exists());
+
+        let (none, fresh) = load_entries(&dir.join("absent.bin")).unwrap();
+        assert!(none.is_empty());
+        assert_eq!(fresh, LoadReport::default());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_record_is_skipped_others_survive() {
+        let dir = std::env::temp_dir().join("skinner_persist_corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.bin");
+        let entries = vec![entry("a", 30), entry("b", 60), entry("c", 90)];
+        save_entries(&path, &entries).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one byte inside the SECOND record's payload: its checksum
+        // fails, records one and three still load.
+        let first_len = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        let second_payload_at = 8 + 12 + first_len + 12;
+        bytes[second_payload_at + 5] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let (records, report) = load_entries(&path).unwrap();
+        assert_eq!(report.loaded, 2);
+        assert_eq!(report.corrupt, 1);
+        assert!(!report.truncated);
+        let names: Vec<&str> = records.iter().map(|r| r.key.canonical()).collect();
+        assert_eq!(names, vec!["[a]|a.x=?", "[c]|c.x=?"]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_keeps_complete_prefix() {
+        let dir = std::env::temp_dir().join("skinner_persist_torn");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.bin");
+        save_entries(&path, &[entry("a", 30), entry("b", 60)]).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        // Cut mid-way through the second record (simulated torn write).
+        let first_len = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        let cut = 8 + 12 + first_len + 15;
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        let (records, report) = load_entries(&path).unwrap();
+        assert_eq!(report.loaded, 1);
+        assert!(report.truncated);
+        assert_eq!(records[0].key.canonical(), "[a]|a.x=?");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn foreign_header_loads_nothing() {
+        let dir = std::env::temp_dir().join("skinner_persist_magic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.bin");
+        std::fs::write(&path, b"NOPE\x01\x00\x00\x00rest").unwrap();
+        let (records, report) = load_entries(&path).unwrap();
+        assert!(records.is_empty());
+        assert!(report.format_mismatch);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -25,10 +25,13 @@
 //! prefixed with one `\`, which clients strip. The terminator is
 //! therefore unspoofable by result values.
 
+use crate::persist::CachePersister;
 use crate::service::{QueryService, ServiceError, Session};
 use skinner_core::{QueryResult, RunStats};
 use std::io::{BufRead, BufReader, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Outcome of handling one input line.
 pub enum Response {
@@ -40,6 +43,9 @@ pub enum Response {
     Error(String),
     /// The client asked to end the session.
     Quit,
+    /// The client asked the whole server to shut down gracefully
+    /// (flushing the persisted learning cache before exit).
+    Shutdown,
     /// Blank input; nothing to do.
     Empty,
 }
@@ -50,6 +56,7 @@ pub fn handle_line(session: &mut Session, line: &str) -> Response {
     match line {
         "" => Response::Empty,
         "\\quit" | "\\q" | "exit" => Response::Quit,
+        "\\shutdown" => Response::Shutdown,
         "\\tables" => {
             let catalog = session.service().catalog();
             let mut lines = Vec::new();
@@ -84,6 +91,10 @@ pub fn handle_line(session: &mut Session, line: &str) -> Response {
                 format!("warm starts: {}", st.warm_starts),
                 format!("limit pushdowns: {}", st.limit_pushdowns),
                 format!("cancelled: {}, timed out: {}", st.cancelled, st.timed_out),
+                format!(
+                    "memory exceeded: {}, panicked: {}, in flight: {}",
+                    st.memory_exceeded, st.panicked, st.in_flight
+                ),
             ])
         }
         "\\cache" => {
@@ -140,7 +151,7 @@ pub fn run_shell(
     for line in input.lines() {
         let line = line?;
         match handle_line(&mut session, &line) {
-            Response::Quit => break,
+            Response::Quit | Response::Shutdown => break,
             Response::Empty => {}
             Response::Message(lines) => {
                 for l in lines {
@@ -205,6 +216,7 @@ pub fn write_protocol_response(out: &mut impl Write, response: &Response) -> std
     match response {
         Response::Empty => writeln!(out, ";; ok 0 rows")?,
         Response::Quit => writeln!(out, ";; bye")?,
+        Response::Shutdown => writeln!(out, ";; bye shutdown")?,
         Response::Message(lines) => {
             for l in lines {
                 writeln!(out, "{}", protocol_line([l.clone()]))?;
@@ -224,43 +236,145 @@ pub fn write_protocol_response(out: &mut impl Write, response: &Response) -> std
 }
 
 /// Serve the line protocol to one connected client (one session per
-/// connection). Returns when the client disconnects or sends `\quit`.
+/// connection). Returns when the client disconnects or sends `\quit`
+/// (`Ok(false)`), or requests a server shutdown via `\shutdown`
+/// (`Ok(true)`).
 pub fn serve_connection(
     service: &Arc<QueryService>,
     reader: impl BufRead,
     mut writer: impl Write,
-) -> std::io::Result<()> {
+) -> std::io::Result<bool> {
     let mut session = service.session();
     for line in reader.lines() {
         let line = line?;
         let response = handle_line(&mut session, &line);
         write_protocol_response(&mut writer, &response)?;
-        if matches!(response, Response::Quit) {
-            break;
+        match response {
+            Response::Quit => return Ok(false),
+            Response::Shutdown => return Ok(true),
+            _ => {}
+        }
+    }
+    Ok(false)
+}
+
+/// Knobs for [`serve_unix_with`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Learning-cache persistence file: loaded (warm start) before the
+    /// socket binds, flushed periodically and once more at shutdown.
+    /// `None` disables persistence.
+    pub cache_path: Option<std::path::PathBuf>,
+    /// Background flush interval when `cache_path` is set.
+    pub persist_interval: Duration,
+    /// Externally visible shutdown flag; raising it (or a client's
+    /// `\shutdown`) drains the accept loop and flushes the cache.
+    pub shutdown: Arc<AtomicBool>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            cache_path: None,
+            persist_interval: Duration::from_secs(30),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        }
+    }
+}
+
+/// Accept loop for `--serve`: line protocol over a Unix domain socket,
+/// one thread (and one service session) per connection; concurrency
+/// across connections is bounded by the service's core budget, not by
+/// the thread count. Blocks until `\quit`-proof: a failed accept or an
+/// unclonable socket is logged and dropped, never fatal. Returns when
+/// `opts.shutdown` is raised or a client sends `\shutdown`, after a
+/// final learning-cache flush (when persistence is configured).
+#[cfg(unix)]
+pub fn serve_unix_with(
+    service: Arc<QueryService>,
+    path: &std::path::Path,
+    opts: ServeOptions,
+) -> std::io::Result<()> {
+    use std::os::unix::net::UnixListener;
+
+    if let Some(cache) = &opts.cache_path {
+        match service.load_learning_cache(cache) {
+            Ok(report) => eprintln!(
+                "skinner-repl: learning cache warm start: {} loaded, {} corrupt, {} stale{}",
+                report.loaded,
+                report.corrupt,
+                report.stale,
+                if report.truncated {
+                    " (truncated tail)"
+                } else {
+                    ""
+                }
+            ),
+            Err(e) => eprintln!("skinner-repl: learning cache load failed: {e}"),
+        }
+    }
+    let persister = opts
+        .cache_path
+        .as_ref()
+        .map(|cache| CachePersister::start(service.clone(), cache.clone(), opts.persist_interval));
+
+    // A stale socket file from a previous run would fail the bind.
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    // Nonblocking so the loop can observe the shutdown flag between
+    // accepts instead of parking in `accept` forever.
+    listener.set_nonblocking(true)?;
+    let shutdown = opts.shutdown;
+    while !shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                // The accepted socket may inherit the listener's
+                // nonblocking mode; the per-connection loop wants
+                // ordinary blocking reads.
+                let _ = stream.set_nonblocking(false);
+                let service = service.clone();
+                let shutdown = shutdown.clone();
+                std::thread::spawn(move || {
+                    let reader = match stream.try_clone() {
+                        Ok(r) => BufReader::new(r),
+                        Err(e) => {
+                            eprintln!("skinner-repl: dropping connection (clone failed): {e}");
+                            return;
+                        }
+                    };
+                    match serve_connection(&service, reader, stream) {
+                        Ok(true) => shutdown.store(true, Ordering::Relaxed),
+                        Ok(false) => {}
+                        Err(e) => eprintln!("skinner-repl: connection error: {e}"),
+                    }
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => {
+                // One bad accept (EMFILE, ECONNABORTED, ...) must not
+                // take the server down; log and keep listening.
+                eprintln!("skinner-repl: accept error: {e}");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+    let _ = std::fs::remove_file(path);
+    if let Some(p) = persister {
+        match p.shutdown() {
+            Ok(n) => eprintln!("skinner-repl: persisted {n} learning-cache entries"),
+            Err(e) => eprintln!("skinner-repl: final cache flush failed: {e}"),
         }
     }
     Ok(())
 }
 
-/// Accept loop for `--serve`: line protocol over a Unix domain socket,
-/// one thread (and one service session) per connection. Blocks forever;
-/// concurrency across connections is bounded by the service's core
-/// budget, not by the thread count.
+/// [`serve_unix_with`] with default options: no persistence, runs until
+/// a client sends `\shutdown` (kept for API compatibility and tests).
 #[cfg(unix)]
 pub fn serve_unix(service: Arc<QueryService>, path: &std::path::Path) -> std::io::Result<()> {
-    use std::os::unix::net::UnixListener;
-    // A stale socket file from a previous run would fail the bind.
-    let _ = std::fs::remove_file(path);
-    let listener = UnixListener::bind(path)?;
-    for stream in listener.incoming() {
-        let stream = stream?;
-        let service = service.clone();
-        std::thread::spawn(move || {
-            let reader = BufReader::new(stream.try_clone().expect("socket clone"));
-            let _ = serve_connection(&service, reader, stream);
-        });
-    }
-    Ok(())
+    serve_unix_with(service, path, ServeOptions::default())
 }
 
 /// A ready-made demo service over the synthetic JOB-like catalog (what
@@ -393,5 +507,50 @@ mod tests {
         }
         assert_eq!(lines, vec!["n", "3", ";; ok 1 rows"]);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn shutdown_command_drains_server_and_flushes_cache() {
+        use std::io::Write;
+        use std::os::unix::net::UnixStream;
+        let dir =
+            std::env::temp_dir().join(format!("skinner-repl-shutdown-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let sock = dir.join("repl.sock");
+        let cache = dir.join("cache.bin");
+        let svc = service();
+        let opts = ServeOptions {
+            cache_path: Some(cache.clone()),
+            persist_interval: Duration::from_secs(3600),
+            ..Default::default()
+        };
+        let (s, p) = (svc.clone(), sock.clone());
+        let server = std::thread::spawn(move || serve_unix_with(s, &p, opts));
+        let mut stream = None;
+        for _ in 0..200 {
+            match UnixStream::connect(&sock) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+        let mut stream = stream.expect("connect");
+        // Run a query (populates the learning cache), then shut down.
+        writeln!(stream, "SELECT COUNT(*) AS n FROM t").expect("send");
+        writeln!(stream, "\\shutdown").expect("send");
+        server
+            .join()
+            .expect("server thread")
+            .expect("serve_unix_with");
+        // Shutdown flushed the cache and removed the socket file.
+        assert!(cache.exists(), "cache not persisted on shutdown");
+        assert!(!sock.exists(), "socket file left behind");
+        let (records, report) = crate::persist::load_entries(&cache).unwrap();
+        assert_eq!(report.corrupt, 0);
+        assert!(!records.is_empty(), "no learning persisted");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

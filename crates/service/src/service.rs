@@ -17,8 +17,9 @@ use skinner_engine::{
 use skinner_query::{parse, Query, QueryError, TemplateKey, UdfRegistry};
 use skinner_storage::table::TableRef;
 use skinner_storage::{Catalog, FxHashMap, Table, Value};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
 
 /// Service configuration.
@@ -43,6 +44,14 @@ pub struct ServiceConfig {
     /// templates, so a byte budget can be enforced independently of the
     /// entry count.
     pub cache_max_bytes: Option<usize>,
+    /// Default per-query cap on result-materialization bytes (the
+    /// engine's flat tuple arena + dedup table), `None` = unbounded.
+    /// Exceeding it degrades gracefully: a LIMIT-pushdown query keeps
+    /// its streamed prefix (flagged via `RunStats::stop`), any other
+    /// query fails with [`ServiceError::MemoryExceeded`] instead of
+    /// growing until the OS kills the process. Individual executions
+    /// may override it ([`ExecuteOptions::max_result_bytes`]).
+    pub max_result_bytes: Option<usize>,
 }
 
 impl Default for ServiceConfig {
@@ -53,6 +62,7 @@ impl Default for ServiceConfig {
             learning_cache: true,
             cache_capacity: DEFAULT_CACHE_CAPACITY,
             cache_max_bytes: None,
+            max_result_bytes: None,
         }
     }
 }
@@ -66,6 +76,15 @@ pub enum ServiceError {
     Cancelled,
     /// The per-query timeout elapsed (queueing included).
     TimedOut,
+    /// The result-materialization byte budget was exceeded and the
+    /// query shape offers no usable prefix (see
+    /// [`ServiceConfig::max_result_bytes`]).
+    MemoryExceeded,
+    /// The execution panicked. The panic was caught at the service
+    /// boundary — budget grants, locks and counters were released/
+    /// recovered — and the service keeps serving; the payload message
+    /// is preserved for diagnostics.
+    Internal(String),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -74,6 +93,8 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Parse(e) => write!(f, "{e}"),
             ServiceError::Cancelled => write!(f, "query cancelled"),
             ServiceError::TimedOut => write!(f, "query timed out"),
+            ServiceError::MemoryExceeded => write!(f, "result memory budget exceeded"),
+            ServiceError::Internal(msg) => write!(f, "internal execution error: {msg}"),
         }
     }
 }
@@ -120,6 +141,9 @@ pub struct ExecuteOptions {
     pub timeout: Option<Duration>,
     /// Cancellation handle.
     pub cancel: Option<CancelToken>,
+    /// Override the service default result-byte budget
+    /// ([`ServiceConfig::max_result_bytes`]) for this execution.
+    pub max_result_bytes: Option<usize>,
 }
 
 /// Monotonic service-wide counters.
@@ -135,6 +159,15 @@ pub struct ServiceStats {
     pub cancelled: u64,
     /// Executions that hit their timeout.
     pub timed_out: u64,
+    /// Executions whose result-byte budget tripped (both the clean
+    /// failures and the LIMIT prefixes that were kept).
+    pub memory_exceeded: u64,
+    /// Query executions that panicked and were isolated at the service
+    /// boundary ([`ServiceError::Internal`]).
+    pub panicked: u64,
+    /// Queries currently executing (gauge, not monotonic — maintained
+    /// by an RAII guard, so it stays accurate across panics).
+    pub in_flight: u64,
     /// Learning-cache counters.
     pub cache: CacheStats,
     /// Kernel-shape cache counters (codegen tier, see `skinner-codegen`).
@@ -182,7 +215,28 @@ pub struct QueryService {
     limit_pushdowns: AtomicU64,
     cancelled: AtomicU64,
     timed_out: AtomicU64,
+    memory_exceeded: AtomicU64,
+    panicked: AtomicU64,
+    in_flight: AtomicU64,
     next_session: AtomicU64,
+}
+
+/// RAII in-flight gauge: decrements on drop, so the count stays right
+/// even when the guarded execution panics (the unwind drops it before
+/// `catch_unwind` converts the panic to [`ServiceError::Internal`]).
+struct InFlightGuard<'a>(&'a AtomicU64);
+
+impl<'a> InFlightGuard<'a> {
+    fn enter(counter: &'a AtomicU64) -> InFlightGuard<'a> {
+        counter.fetch_add(1, Ordering::Relaxed);
+        InFlightGuard(counter)
+    }
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 impl QueryService {
@@ -205,8 +259,52 @@ impl QueryService {
             limit_pushdowns: AtomicU64::new(0),
             cancelled: AtomicU64::new(0),
             timed_out: AtomicU64::new(0),
+            memory_exceeded: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
             next_session: AtomicU64::new(0),
         })
+    }
+
+    /// Read-lock the catalog state, recovering from poisoning. Catalog
+    /// reads never observe a half-applied mutation even after a poison:
+    /// [`register_table`](Self::register_table) is the only writer and
+    /// its updates are individually consistent, so recovery is the
+    /// availability-preserving choice (a single caught query panic must
+    /// not turn every later catalog access into a panic).
+    fn catalog_read(&self) -> RwLockReadGuard<'_, CatalogState> {
+        self.catalog.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn catalog_write(&self) -> RwLockWriteGuard<'_, CatalogState> {
+        self.catalog.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Run `f` with panic isolation: a panic anywhere in the per-query
+    /// path unwinds cleanly — the budget grant (RAII), the in-flight
+    /// gauge (RAII) and any poisoned locks (recovered on next access)
+    /// are all released — and surfaces as [`ServiceError::Internal`]
+    /// while the service keeps serving.
+    fn isolated<T>(&self, f: impl FnOnce() -> Result<T, ServiceError>) -> Result<T, ServiceError> {
+        let _in_flight = InFlightGuard::enter(&self.in_flight);
+        // `AssertUnwindSafe`: the closure touches `&self` state guarded
+        // by locks; the lock helpers recover poisoning and every guarded
+        // mutation is transactional (see `catalog_read`), so observing
+        // post-panic state is safe.
+        match catch_unwind(AssertUnwindSafe(f)) {
+            Ok(result) => result,
+            Err(payload) => {
+                self.panicked.fetch_add(1, Ordering::Relaxed);
+                let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "query execution panicked".to_string()
+                };
+                Err(ServiceError::Internal(msg))
+            }
+        }
     }
 
     /// Service with default configuration and no UDFs.
@@ -231,12 +329,12 @@ impl QueryService {
     /// A point-in-time copy of the catalog (table data is shared, not
     /// copied — tables are `Arc`s).
     pub fn catalog(&self) -> Catalog {
-        self.catalog.read().expect("catalog lock").catalog.clone()
+        self.catalog_read().catalog.clone()
     }
 
     /// Current catalog version (bumped by every mutation).
     pub fn catalog_version(&self) -> u64 {
-        self.catalog.read().expect("catalog lock").version
+        self.catalog_read().version
     }
 
     /// Register (or replace) a table. Bumps the global catalog version
@@ -251,7 +349,7 @@ impl QueryService {
     pub fn register_table(&self, table: Table) {
         let name = table.name().to_string();
         {
-            let mut st = self.catalog.write().expect("catalog lock");
+            let mut st = self.catalog_write();
             st.catalog.register(table);
             st.version += 1;
             let version = st.version;
@@ -268,6 +366,9 @@ impl QueryService {
             limit_pushdowns: self.limit_pushdowns.load(Ordering::Relaxed),
             cancelled: self.cancelled.load(Ordering::Relaxed),
             timed_out: self.timed_out.load(Ordering::Relaxed),
+            memory_exceeded: self.memory_exceeded.load(Ordering::Relaxed),
+            panicked: self.panicked.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
             cache: self.cache.stats(),
             kernels: self.kernels.stats(),
         }
@@ -276,6 +377,12 @@ impl QueryService {
     /// The learning cache (introspection: entry count, bytes).
     pub fn learning_cache(&self) -> &LearningCache {
         &self.cache
+    }
+
+    /// The shared core budget (introspection: total/available permits —
+    /// fault tests assert no grant leaks across panics).
+    pub fn core_budget(&self) -> &CoreBudget {
+        &self.budget
     }
 
     /// The kernel-shape cache shared across every execution
@@ -292,7 +399,7 @@ impl QueryService {
         // Parse under a read lock; the query holds `Arc`s to its tables,
         // so execution is snapshot-consistent even if the catalog mutates
         // concurrently.
-        let st = self.catalog.read().expect("catalog lock");
+        let st = self.catalog_read();
         let query = parse(sql, &st.catalog, &self.udfs)?;
         let deps = st.deps_of(&query);
         Ok((query, deps, start))
@@ -304,7 +411,7 @@ impl QueryService {
     /// tagging its learned state with the current version would poison
     /// warm starts over the new data.
     fn query_is_current(&self, query: &Query) -> (bool, TableDeps) {
-        let st = self.catalog.read().expect("catalog lock");
+        let st = self.catalog_read();
         let current = query.tables.iter().all(|b| {
             st.catalog
                 .get(b.table.name())
@@ -314,8 +421,22 @@ impl QueryService {
     }
 
     fn execute_inner(&self, sql: &str, opts: &ExecuteOptions) -> Result<QueryResult, ServiceError> {
-        let (query, deps, start) = self.parse_sql(sql)?;
-        self.execute_query(&query, &deps, opts, start, true)
+        self.isolated(|| {
+            let (query, deps, start) = self.parse_sql(sql)?;
+            self.execute_query(&query, &deps, opts, start, true)
+        })
+    }
+
+    /// Are `deps` exactly the per-table versions currently registered
+    /// (and every named table still present)? The persistence loader
+    /// uses this to skip records whose tables changed — or vanished —
+    /// between save and load.
+    pub(crate) fn deps_are_current(&self, deps: &TableDeps) -> bool {
+        let st = self.catalog_read();
+        deps.iter().all(|(name, version)| {
+            st.catalog.get(name).is_ok()
+                && st.table_versions.get(name).copied().unwrap_or(0) == *version
+        })
     }
 
     /// Run the join phase of `query` through admission, the learning
@@ -370,6 +491,7 @@ impl QueryService {
             cancel,
             deadline,
             target_rows: query.join_limit(),
+            max_result_bytes: opts.max_result_bytes.or(self.config.max_result_bytes),
             capture_learning: use_learning,
             kernel_cache: Some(&self.kernels),
         };
@@ -388,6 +510,9 @@ impl QueryService {
             StopReason::RowTarget => {
                 self.limit_pushdowns.fetch_add(1, Ordering::Relaxed);
             }
+            StopReason::MemoryExceeded => {
+                self.memory_exceeded.fetch_add(1, Ordering::Relaxed);
+            }
             StopReason::Completed => {}
         }
 
@@ -395,8 +520,20 @@ impl QueryService {
         if warm_start {
             self.warm_starts.fetch_add(1, Ordering::Relaxed);
         }
+        // The learning from an interrupted run is still valid (the tree
+        // state is sound at every slice boundary), so even a
+        // memory-exceeded run warms its template — a retry with a bigger
+        // budget converges faster.
         if let (Some(key), Some(learning)) = (key, out.learning.take()) {
             self.cache.store(key, deps.clone(), learning);
+        }
+
+        // Graceful degradation: a LIMIT-pushdown query keeps the
+        // distinct prefix it streamed (flagged via `stop`); any other
+        // shape needs the complete join result, so a budget trip is a
+        // clean failure.
+        if out.stop == StopReason::MemoryExceeded && query.join_limit().is_none() {
+            return Err(ServiceError::MemoryExceeded);
         }
 
         let stats = RunStats {
@@ -491,9 +628,11 @@ impl Session {
         opts: &ExecuteOptions,
     ) -> Result<QueryResult, ServiceError> {
         self.queries += 1;
-        let (current, deps) = self.service.query_is_current(query);
-        self.service
-            .execute_query(query, &deps, opts, Instant::now(), current)
+        let service = &self.service;
+        service.isolated(|| {
+            let (current, deps) = service.query_is_current(query);
+            service.execute_query(query, &deps, opts, Instant::now(), current)
+        })
     }
 
     /// Execute `sql`, delivering result rows through `on_row` one at a
@@ -512,38 +651,39 @@ impl Session {
         mut on_row: impl FnMut(&[Value]) -> bool,
     ) -> Result<RunStats, ServiceError> {
         self.queries += 1;
-        let (query, deps, start) = self.service.parse_sql(sql)?;
-        // 1:1 shape ⇔ the LIMIT-pushdown eligibility conditions (with or
-        // without an actual LIMIT).
-        let streamable = !query.has_aggregates()
-            && query.group_by.is_empty()
-            && query.order_by.is_empty()
-            && !query.distinct;
-        if !streamable {
-            let result = self
-                .service
-                .execute_query(&query, &deps, opts, start, true)?;
-            for row in &result.table.rows {
-                if !on_row(row) {
+        let service = &self.service;
+        service.isolated(move || {
+            let (query, deps, start) = service.parse_sql(sql)?;
+            // 1:1 shape ⇔ the LIMIT-pushdown eligibility conditions
+            // (with or without an actual LIMIT).
+            let streamable = !query.has_aggregates()
+                && query.group_by.is_empty()
+                && query.order_by.is_empty()
+                && !query.distinct;
+            if !streamable {
+                let result = service.execute_query(&query, &deps, opts, start, true)?;
+                for row in &result.table.rows {
+                    if !on_row(row) {
+                        break;
+                    }
+                }
+                return Ok(result.stats);
+            }
+            let (out, mut stats) = service.run_query(&query, &deps, opts, start, true)?;
+            let post_start = Instant::now();
+            let tables: Vec<TableRef> = query.tables.iter().map(|b| b.table.clone()).collect();
+            let m = out.num_tables.max(1);
+            let limit = query.limit.unwrap_or(usize::MAX);
+            for tup in out.tuples.chunks_exact(m).take(limit) {
+                let row = project_tuple(&query, tup, &tables);
+                if !on_row(&row) {
                     break;
                 }
             }
-            return Ok(result.stats);
-        }
-        let (out, mut stats) = self.service.run_query(&query, &deps, opts, start, true)?;
-        let post_start = Instant::now();
-        let tables: Vec<TableRef> = query.tables.iter().map(|b| b.table.clone()).collect();
-        let m = out.num_tables.max(1);
-        let limit = query.limit.unwrap_or(usize::MAX);
-        for tup in out.tuples.chunks_exact(m).take(limit) {
-            let row = project_tuple(&query, tup, &tables);
-            if !on_row(&row) {
-                break;
-            }
-        }
-        stats.postprocess = post_start.elapsed();
-        stats.total = start.elapsed();
-        Ok(stats)
+            stats.postprocess = post_start.elapsed();
+            stats.total = start.elapsed();
+            Ok(stats)
+        })
     }
 }
 

@@ -365,3 +365,87 @@ fn composite_template_warm_survives_catalog_invalidation() {
         "unrelated catalog update must not invalidate the composite template"
     );
 }
+
+#[test]
+fn memory_budget_fails_cleanly_without_limit() {
+    use skinner_service::{ExecuteOptions, ServiceError};
+    let svc = service(71);
+    let mut session = svc.session();
+    let sql = sql(1, 100); // multi-table GROUP BY: no LIMIT pushdown
+    let opts = ExecuteOptions {
+        max_result_bytes: Some(64), // absurdly small: must trip
+        ..Default::default()
+    };
+    let err = session.execute_with(&sql, &opts).expect_err("budget trips");
+    assert!(matches!(err, ServiceError::MemoryExceeded), "{err:?}");
+    assert_eq!(svc.stats().memory_exceeded, 1);
+    // No leaks: the same session answers the uncapped query correctly.
+    assert_eq!(svc.stats().in_flight, 0);
+    let clean = session.execute(&sql).expect("uncapped run");
+    let oracle = service(71).session().execute(&sql).expect("oracle");
+    assert!(clean.table.same_rows(&oracle.table));
+}
+
+#[test]
+fn memory_budget_keeps_streamed_prefix_under_limit() {
+    use skinner_engine::StopReason;
+    use skinner_service::ExecuteOptions;
+    let svc = service(73);
+    // LIMIT pushdown active (plain projection): a tripped byte budget
+    // keeps the already-delivered prefix instead of failing.
+    let sql = "SELECT r.v AS v FROM r, s WHERE r.k = s.k LIMIT 5000";
+    let full = service(73)
+        .session()
+        .execute("SELECT r.v AS v FROM r, s WHERE r.k = s.k")
+        .expect("full result");
+    let opts = ExecuteOptions {
+        max_result_bytes: Some(256),
+        ..Default::default()
+    };
+    let capped = svc
+        .session()
+        .execute_with(sql, &opts)
+        .expect("prefix kept, not an error");
+    assert_eq!(capped.stats.stop, Some(StopReason::MemoryExceeded));
+    assert!(
+        (capped.table.num_rows() as u64) < full.table.num_rows() as u64,
+        "cap did not bite"
+    );
+    assert!(capped.table.num_rows() > 0, "prefix empty");
+    // Every prefix row is a row of the full result.
+    for row in &capped.table.rows {
+        assert!(full.table.rows.contains(row), "phantom row {row:?}");
+    }
+    assert_eq!(svc.stats().memory_exceeded, 1);
+}
+
+#[test]
+fn service_default_memory_budget_applies() {
+    use skinner_service::ServiceError;
+    let svc = QueryService::new(
+        catalog(79),
+        skinner_query::UdfRegistry::new(),
+        ServiceConfig {
+            engine: SkinnerCConfig {
+                budget: 200,
+                threads: env_threads(),
+                ..Default::default()
+            },
+            max_result_bytes: Some(64),
+            ..Default::default()
+        },
+    );
+    let err = svc
+        .session()
+        .execute(&sql(1, 100))
+        .expect_err("service-wide cap trips");
+    assert!(matches!(err, ServiceError::MemoryExceeded), "{err:?}");
+    // A per-query override can raise the cap back up.
+    let opts = skinner_service::ExecuteOptions {
+        max_result_bytes: Some(usize::MAX),
+        ..Default::default()
+    };
+    svc.session()
+        .execute_with(&sql(1, 100), &opts)
+        .expect("override lifts the cap");
+}

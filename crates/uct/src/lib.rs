@@ -22,4 +22,4 @@ pub mod join;
 pub mod tree;
 
 pub use join::JoinOrderSpace;
-pub use tree::{SearchSpace, TreeSnapshot, UctConfig, UctTree};
+pub use tree::{SearchSpace, SnapshotNode, TreeSnapshot, UctConfig, UctTree};

@@ -61,6 +61,22 @@ pub struct TreeSnapshot<A> {
     rounds: u64,
 }
 
+/// Plain-data view of one snapshot node, the unit of the snapshot
+/// (de)serialization surface ([`TreeSnapshot::to_parts`] /
+/// [`TreeSnapshot::from_parts`]). Field order is the wire order used by
+/// the service's learning-cache persistence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotNode<A> {
+    /// Times this node was visited by `update`.
+    pub visits: u64,
+    /// Sum of observed rewards at this node.
+    pub reward_sum: f64,
+    /// Available actions, one per child slot.
+    pub actions: Vec<A>,
+    /// Child node indices, `usize::MAX` for unexpanded slots.
+    pub children: Vec<usize>,
+}
+
 impl<A> TreeSnapshot<A> {
     /// Number of materialized nodes captured.
     pub fn num_nodes(&self) -> usize {
@@ -83,6 +99,48 @@ impl<A> TreeSnapshot<A> {
                         + n.children.len() * std::mem::size_of::<usize>()
                 })
                 .sum::<usize>()
+    }
+
+    /// Decompose into plain-data nodes plus the round count, for
+    /// serialization (the learning-cache persistence of
+    /// `skinner-service`). `usize::MAX` children in the output mark
+    /// unexpanded slots, mirroring the internal representation.
+    pub fn to_parts(&self) -> (Vec<SnapshotNode<A>>, u64)
+    where
+        A: Clone,
+    {
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|n| SnapshotNode {
+                visits: n.visits,
+                reward_sum: n.reward_sum,
+                actions: n.actions.clone(),
+                children: n.children.clone(),
+            })
+            .collect();
+        (nodes, self.rounds)
+    }
+
+    /// Rebuild a snapshot from [`to_parts`](Self::to_parts) data.
+    /// Returns `None` unless the reassembled tree is structurally sound
+    /// (action/child arity matches, child indices in bounds) — the
+    /// defense that lets the persistence loader reject a corrupt or
+    /// hand-mangled record instead of panicking later inside `choose`.
+    pub fn from_parts(nodes: Vec<SnapshotNode<A>>, rounds: u64) -> Option<Self> {
+        let snap = TreeSnapshot {
+            nodes: nodes
+                .into_iter()
+                .map(|n| Node {
+                    visits: n.visits,
+                    reward_sum: n.reward_sum,
+                    actions: n.actions,
+                    children: n.children,
+                })
+                .collect(),
+            rounds,
+        };
+        snap.well_formed().then_some(snap)
     }
 
     /// Structural sanity: every child index in range, child slots match
@@ -405,6 +463,38 @@ mod tests {
         // The best arm must dominate the later choices.
         assert!(wins > 1200, "best arm chosen only {wins}/2000 times");
         assert_eq!(tree.best_path(), vec![3]);
+    }
+
+    #[test]
+    fn snapshot_parts_round_trip() {
+        let mut tree = UctTree::new(Perms { n: 4 }, UctConfig::default());
+        for _ in 0..300 {
+            let p = tree.choose();
+            let r = if p[0] == 2 { 0.8 } else { 0.2 };
+            tree.update(&p, r);
+        }
+        let snap = tree.snapshot();
+        let (nodes, rounds) = snap.to_parts();
+        assert_eq!(rounds, snap.rounds());
+        assert_eq!(nodes.len(), snap.num_nodes());
+        let rebuilt = TreeSnapshot::from_parts(nodes.clone(), rounds)
+            .expect("round-tripped snapshot must be well-formed");
+        // A tree warm-started from the rebuilt snapshot behaves like one
+        // warm-started from the original: same best path, same node set.
+        let mut a = UctTree::with_snapshot(Perms { n: 4 }, UctConfig::default(), &snap);
+        let mut b = UctTree::with_snapshot(Perms { n: 4 }, UctConfig::default(), &rebuilt);
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        assert_eq!(a.rounds(), b.rounds());
+        assert_eq!(a.best_path(), b.best_path());
+
+        // Corruption defenses: out-of-range child, arity mismatch, empty.
+        let mut bad = nodes.clone();
+        bad[0].children[0] = bad.len() + 7;
+        assert!(TreeSnapshot::from_parts(bad, rounds).is_none());
+        let mut bad = nodes;
+        bad[0].children.pop();
+        assert!(TreeSnapshot::from_parts(bad, rounds).is_none());
+        assert!(TreeSnapshot::<usize>::from_parts(vec![], 0).is_none());
     }
 
     #[test]
