@@ -13,7 +13,16 @@
 //!
 //! Run with `cargo bench --bench join_parallel`. Results are merged into
 //! `BENCH_join.json` (repo root) under the `join_parallel` key, next to
-//! the `join_inner_loop` numbers.
+//! the `join_inner_loop` numbers. When the thread counts exceed the
+//! host's available parallelism the section gains a `"warning"` field —
+//! multi-thread numbers measured on such a host are overhead
+//! measurements, not speedups, and must not be quoted against the
+//! acceptance bar.
+//!
+//! Partitioned slices run their chunk morsels on the persistent
+//! worker pool; each configuration executes one untimed warm-up slice
+//! first so pool-thread spawning never pollutes a measured iteration
+//! (`ExecMetrics.thread_spawns` is 0 from then on).
 
 use criterion::{BenchmarkId, Criterion};
 use skinner_bench::upsert_bench_json;
@@ -85,6 +94,14 @@ fn bench_parallel_slices(c: &mut Criterion) {
             &threads,
             |b, &threads| {
                 let mut join = MultiwayJoin::with_threads(&pq, threads);
+                // Untimed warm-up: the first partitioned slice may spawn
+                // the shared pool's workers; every measured slice after
+                // it reuses them (zero spawns).
+                {
+                    let mut state = offsets.clone();
+                    let mut rs = ResultSet::new();
+                    join.continue_join(&order, &plan, &offsets, &mut state, STEPS, &mut rs);
+                }
                 b.iter(|| {
                     let mut state = offsets.clone();
                     let mut rs = ResultSet::new();
@@ -131,8 +148,24 @@ fn main() {
     let sp2 = base / get("join_parallel/slice/2t");
     let sp4 = base / get("join_parallel/slice/4t");
     section.push_str(&format!(
-        "    \"speedup_vs_sequential\": {{ \"2_threads\": {sp2:.2}, \"4_threads\": {sp4:.2} }}\n  }}"
+        "    \"speedup_vs_sequential\": {{ \"2_threads\": {sp2:.2}, \"4_threads\": {sp4:.2} }}"
     ));
+    // Honest recording: speedups measured with more worker threads than
+    // the host has cores are meaningless (workers time-slice one core),
+    // so flag them rather than letting the bare numbers mislead.
+    let max_threads = *THREADS.iter().max().unwrap();
+    if max_threads > cores {
+        section.push_str(&format!(
+            ",\n    \"warning\": \"measured with up to {max_threads} worker threads on a \
+             {cores}-core host; thread counts above host_cores cannot speed up, so the \
+             multi-thread entries are scheduling-overhead measurements, not speedups\""
+        ));
+        println!(
+            "WARNING: {max_threads} worker threads > {cores} host cores — \
+             multi-thread numbers are overhead measurements, not speedups"
+        );
+    }
+    section.push_str("\n  }");
     println!("slice speedup vs sequential: 2t {sp2:.2}x, 4t {sp4:.2}x (host cores: {cores})");
     let path = std::path::Path::new(concat!(
         env!("CARGO_MANIFEST_DIR"),

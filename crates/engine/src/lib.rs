@@ -32,11 +32,13 @@
 //! byte-for-byte identical results.
 //!
 //! Beyond the paper's implementation, the join phase can run each slice
-//! across multiple worker threads by offset-range partitioning of the
-//! left-most table ([`partition`]): workers execute disjoint chunks of
-//! the driver range and their cursors fold back into one slice cursor,
-//! so the learned-order semantics — and the regret analysis — are
-//! unchanged by the worker count.
+//! across multiple workers by offset-range partitioning of the
+//! left-most table ([`partition`]): the remaining driver range splits
+//! into disjoint chunk morsels executed on a persistent work-stealing
+//! [`WorkerPool`] (no threads are spawned per slice), and the per-chunk
+//! cursors fold back into one slice cursor, so the learned-order
+//! semantics — and the regret analysis — are unchanged by the worker
+//! count, the pool size, and the steal order.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -64,3 +66,6 @@ pub use skinner_c::{
 pub use skinner_codegen::{
     CompiledKernel, JumpKind, KernelCache, KernelCacheStats, KernelClass, KernelKey,
 };
+// The persistent morsel pool and its schedule-perturbation test layer,
+// re-exported so drivers and test harnesses need no direct dependency.
+pub use skinner_pool::{schedule, WorkerPool};

@@ -48,10 +48,12 @@ use skinner_codegen::CompiledKernel;
 // The sink protocol moved to `skinner-codegen` (every execution tier
 // speaks it); re-exported here under the historical paths.
 pub use skinner_codegen::{ContinueResult, ResultSink};
+use skinner_pool::WorkerPool;
 use skinner_query::TableId;
 use skinner_storage::hash::FxHasher;
 use skinner_storage::RowId;
 use std::hash::Hasher;
+use std::sync::Arc;
 
 const EMPTY_SLOT: u32 = u32::MAX;
 
@@ -328,8 +330,12 @@ pub struct MultiwayJoin<'a> {
     rows: Vec<RowId>,
     /// Worker threads for the partitioned join path; 1 = sequential.
     threads: usize,
-    /// Per-worker scratch (rows / cursor / result shard), lazily sized
-    /// and reused across slices.
+    /// The persistent morsel pool executing partitioned slices; `None`
+    /// when sequential (`threads <= 1`), so a single-threaded join never
+    /// touches the pool.
+    pool: Option<Arc<WorkerPool>>,
+    /// Per-morsel owned task state (rows / cursor / chunk bound / result
+    /// shard), lazily sized and reused across slices.
     scratch: Vec<WorkerScratch>,
     /// Kernel invocations so far: one per sequential slice, one per
     /// chunk of a partitioned slice (metrics accounting).
@@ -342,26 +348,56 @@ impl<'a> MultiwayJoin<'a> {
         MultiwayJoin::with_threads(pq, 1)
     }
 
-    /// Bind to a prepared query with `threads` join workers.
+    /// Bind to a prepared query with a fan-out of `threads` morsels per
+    /// slice, executed on the process-wide shared
+    /// [`WorkerPool`].
     ///
     /// With `threads > 1`, [`continue_join`](MultiwayJoin::continue_join)
     /// splits each slice's remaining left-most range into contiguous
-    /// offset chunks and runs one kernel per chunk on scoped worker
-    /// threads (see [`crate::partition`]). `threads <= 1` is exactly the
-    /// sequential kernel.
+    /// offset chunks (morsels) and runs one kernel per chunk on the
+    /// persistent pool (see [`crate::partition`]) — no threads are
+    /// spawned per slice. `threads <= 1` is exactly the sequential
+    /// kernel, with no pool involvement at all.
     pub fn with_threads(pq: &'a PreparedQuery, threads: usize) -> MultiwayJoin<'a> {
+        MultiwayJoin::with_pool(pq, threads, None)
+    }
+
+    /// [`with_threads`](MultiwayJoin::with_threads), but running morsels
+    /// on a specific pool (the service wires its budget-sized pool here;
+    /// tests wire differently-sized pools to prove schedule
+    /// independence). `None` falls back to the shared global pool.
+    ///
+    /// `threads` fixes the chunk *fan-out* per slice; the pool's worker
+    /// count is independent — results (tuples and folded cursors) are
+    /// identical for any pool size and any steal order, because each
+    /// morsel is deterministic given its chunk bounds and budget.
+    pub fn with_pool(
+        pq: &'a PreparedQuery,
+        threads: usize,
+        pool: Option<Arc<WorkerPool>>,
+    ) -> MultiwayJoin<'a> {
+        let threads = threads.max(1);
         MultiwayJoin {
             pq,
             rows: vec![0; pq.num_tables()],
-            threads: threads.max(1),
+            threads,
+            pool: (threads > 1).then(|| pool.unwrap_or_else(WorkerPool::global)),
             scratch: Vec::new(),
             chunks_run: 0,
         }
     }
 
-    /// The configured worker-thread count.
+    /// The configured morsel fan-out per slice.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Total OS threads ever spawned by the attached pool (0 when
+    /// sequential). The slice driver records the per-run delta as
+    /// `ExecMetrics::thread_spawns`: zero after warm-up proves pool
+    /// reuse.
+    pub fn pool_spawned(&self) -> u64 {
+        self.pool.as_ref().map_or(0, |p| p.spawned())
     }
 
     /// Kernel invocations so far: one per sequential slice, one per chunk
@@ -485,10 +521,17 @@ impl<'a> MultiwayJoin<'a> {
     }
 
     /// The parallel slice, shared by the plan-bound and compiled tiers:
-    /// one `run_chunk` invocation per offset chunk on scoped worker
-    /// threads, then a deterministic merge + cursor fold. `run_chunk`
-    /// executes one chunk's kernel `(state, chunk_budget, hi, rows,
-    /// shard)` with the left-most coordinate bounded by `hi`.
+    /// one `run_chunk` invocation per offset chunk (morsel) on the
+    /// persistent worker pool, then a deterministic merge + cursor fold.
+    /// `run_chunk` executes one chunk's kernel `(state, chunk_budget,
+    /// hi, rows, shard)` with the left-most coordinate bounded by `hi`.
+    ///
+    /// Each morsel's state is owned by its [`WorkerScratch`] (cursor,
+    /// chunk bound, shard, outcome slot), so any pool worker may execute
+    /// any morsel in any steal order; the merge below runs on this
+    /// thread in chunk order, after every morsel has completed, which is
+    /// what keeps results and folded cursors independent of the
+    /// schedule.
     #[allow(clippy::too_many_arguments)]
     fn continue_join_partitioned<R, K>(
         &mut self,
@@ -524,42 +567,41 @@ impl<'a> MultiwayJoin<'a> {
         let target = results.remaining_capacity();
         let emitted = std::sync::atomic::AtomicU64::new(0);
 
-        std::thread::scope(|scope| {
-            for (k, (ws, &(lo, hi))) in scratch.iter_mut().zip(&spec.chunks).enumerate() {
-                ws.reset(m);
-                if k == 0 {
-                    // The first chunk resumes the restored cursor exactly
-                    // (its deep coordinates may be mid-range).
-                    ws.state.copy_from_slice(state);
-                } else {
-                    // Later chunks start fresh: left-most at the chunk's
-                    // lower bound, deeper coordinates at the offset
-                    // floors.
-                    ws.state.copy_from_slice(offsets);
-                    ws.state[t0] = lo;
-                }
-                let WorkerScratch {
-                    rows,
-                    state,
-                    out,
-                    outcome,
-                } = ws;
-                let run_chunk = &run_chunk;
-                let emitted = &emitted;
-                scope.spawn(move || {
-                    // Fault-injection site: a panic here unwinds the
-                    // scope (which joins the other workers first) and
-                    // propagates to the slice driver — exactly the path
-                    // the service's panic isolation must cover.
-                    crate::failpoints::fire("partition.chunk");
-                    let mut sink = ShardSink {
-                        out,
-                        quota: target.map(|t| (emitted, t)),
-                    };
-                    let (result, steps) = run_chunk(state, chunk_budget, hi, rows, &mut sink);
-                    *outcome = Some(ChunkOutcome { result, steps });
-                });
+        for (k, (ws, &(lo, hi))) in scratch.iter_mut().zip(&spec.chunks).enumerate() {
+            ws.reset(m);
+            ws.hi = hi;
+            if k == 0 {
+                // The first chunk resumes the restored cursor exactly
+                // (its deep coordinates may be mid-range).
+                ws.state.copy_from_slice(state);
+            } else {
+                // Later chunks start fresh: left-most at the chunk's
+                // lower bound, deeper coordinates at the offset
+                // floors.
+                ws.state.copy_from_slice(offsets);
+                ws.state[t0] = lo;
             }
+        }
+        let pool = self
+            .pool
+            .as_ref()
+            .expect("partitioned slice without a pool")
+            .clone();
+        let emitted = &emitted;
+        pool.run_batch_mut(scratch, |_k, ws| {
+            // Fault-injection site: a panic here is caught by the pool,
+            // re-raised on this (submitting) thread after the sibling
+            // morsels complete, and propagates to the slice driver —
+            // exactly the path the service's panic isolation must
+            // cover. The hosting pool worker is retired and replaced.
+            crate::failpoints::fire("partition.chunk");
+            let mut sink = ShardSink {
+                out: &mut ws.out,
+                quota: target.map(|t| (emitted, t)),
+            };
+            let (result, steps) =
+                run_chunk(&mut ws.state, chunk_budget, ws.hi, &mut ws.rows, &mut sink);
+            ws.outcome = Some(ChunkOutcome { result, steps });
         });
 
         // Merge shards in chunk order — chunks are ascending in the

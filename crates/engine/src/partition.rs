@@ -4,11 +4,18 @@
 //! filter thread per table, Table 2); the join phase is single-threaded.
 //! This module parallelizes *each time slice* without disturbing the
 //! learned-order semantics: the left-most table's remaining filtered-row
-//! range is split into contiguous offset chunks, and one worker runs the
-//! specialized [`OrderPlan`](crate::prepare::OrderPlan) kernel per chunk.
-//! The UCT policy still sees one slice, one reward, one cursor — the
-//! "partition the driver, keep the policy" separation adaptive systems
-//! like eddies rely on.
+//! range is split into contiguous offset chunks — *morsels* — and each
+//! morsel runs the specialized
+//! [`OrderPlan`](crate::prepare::OrderPlan) kernel on the persistent
+//! worker pool (`skinner_pool::WorkerPool`; no threads are spawned per
+//! slice). The UCT policy still sees one slice, one reward, one
+//! cursor — the "partition the driver, keep the policy" separation
+//! adaptive systems like eddies rely on.
+//!
+//! Each morsel's task state is **owned**: a [`WorkerScratch`] carries
+//! the private cursor, row buffer, result shard, chunk bound, and
+//! outcome slot, so a morsel is self-contained regardless of which pool
+//! worker executes it or in what order morsels are stolen.
 //!
 //! # Why partitioning the left-most range is safe
 //!
@@ -103,15 +110,20 @@ pub struct ChunkOutcome {
     pub steps: u64,
 }
 
-/// Per-worker scratch reused across slices, so the parallel path
-/// allocates nothing per slice in the steady state (beyond OS thread
-/// spawns, which `std::thread::scope` requires).
+/// One morsel's owned task state, reused across slices so the parallel
+/// path allocates nothing per slice in the steady state. Everything a
+/// pool worker needs to run the chunk (cursor, chunk bound, row buffer,
+/// result shard, outcome slot) lives here — nothing is borrowed from
+/// any particular worker thread, which is what lets morsels migrate
+/// freely between pool workers under work stealing.
 #[derive(Debug, Default)]
 pub struct WorkerScratch {
-    /// Current base row per table (the worker's private `rows` buffer).
+    /// Current base row per table (the morsel's private `rows` buffer).
     pub rows: Vec<RowId>,
-    /// The worker's private cursor, indexed by table id.
+    /// The morsel's private cursor, indexed by table id.
     pub state: Vec<u32>,
+    /// Exclusive upper bound of the chunk in the left-most coordinate.
+    pub hi: u32,
     /// Flat result shard: `stride` row ids per tuple, in emit order.
     /// No dedup needed — chunks are disjoint in the left-most coordinate.
     pub out: Vec<RowId>,
@@ -124,6 +136,7 @@ impl WorkerScratch {
     pub fn reset(&mut self, m: usize) {
         self.rows.resize(m, 0);
         self.state.resize(m, 0);
+        self.hi = 0;
         self.out.clear();
         self.outcome = None;
     }
@@ -205,6 +218,7 @@ mod tests {
         WorkerScratch {
             rows: Vec::new(),
             state: state.to_vec(),
+            hi: 0,
             out: Vec::new(),
             outcome: Some(ChunkOutcome { result, steps }),
         }

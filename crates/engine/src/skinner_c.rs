@@ -159,6 +159,12 @@ pub struct RunOptions<'a> {
     /// pre-bound orders of a warm service-layer template — skip
     /// kernel-construction analysis. `None` resolves shapes locally.
     pub kernel_cache: Option<&'a KernelCache>,
+    /// Worker pool executing partitioned-slice morsels. The service
+    /// wires its budget-sized pool here so every query shares one set
+    /// of persistent threads; `None` uses the process-wide global pool.
+    /// Irrelevant when `threads <= 1` (the sequential path never
+    /// touches a pool).
+    pub pool: Option<std::sync::Arc<skinner_pool::WorkerPool>>,
 }
 
 /// Learned join-order state captured from one execution, reusable by a
@@ -305,7 +311,10 @@ impl SkinnerC {
         let mut tracker = ProgressTracker::new(m);
         let mut offsets = vec![0u32; m];
         let mut results = ResultSet::new();
-        let mut join = MultiwayJoin::with_threads(&pq, cfg.threads);
+        let mut join = MultiwayJoin::with_pool(&pq, cfg.threads, opts.pool.clone());
+        // Pool-reuse accounting: the per-run delta of pool thread spawns
+        // must be 0 after the pool's one-time warm-up.
+        let spawns_before = join.pool_spawned();
         // Per-order execution state: the bound plan plus, when the
         // codegen tier is on and the shape is supported, the compiled
         // kernel (tier three). Bound once per order, reused across every
@@ -444,6 +453,7 @@ impl SkinnerC {
         metrics.join_time = join_start.elapsed();
         metrics.join_chunks = join.chunks_run();
         metrics.join_threads = cfg.threads.max(1);
+        metrics.thread_spawns = join.pool_spawned() - spawns_before;
         metrics.uct_nodes = tree.num_nodes();
         metrics.uct_bytes = tree.approx_bytes();
         metrics.tracker_nodes = tracker.num_nodes();
@@ -716,6 +726,45 @@ mod tests {
             out.metrics.join_chunks,
             out.metrics.slices
         );
+    }
+
+    #[test]
+    fn pool_reuse_means_zero_spawns_after_warmup() {
+        // The acceptance criterion for the persistent pool: after the
+        // pool's one-time warm-up, a run executes thousands of
+        // partitioned slices with zero OS thread spawns.
+        let cat = fk_catalog(64);
+        let q = chain_query(&cat, 4);
+        let pool = skinner_pool::WorkerPool::new(4);
+        let run = |pool: &std::sync::Arc<skinner_pool::WorkerPool>| {
+            SkinnerC::new(SkinnerCConfig {
+                budget: 200,
+                threads: 4,
+                ..Default::default()
+            })
+            .run_with(
+                &q,
+                &RunOptions {
+                    pool: Some(pool.clone()),
+                    ..Default::default()
+                },
+            )
+        };
+        let warm = run(&pool);
+        // The private pool spawned its 4 workers at construction, before
+        // the first run — even run one sees zero per-slice spawns.
+        assert_eq!(warm.metrics.thread_spawns, 0, "warm-up run spawned");
+        let steady = run(&pool);
+        assert!(steady.metrics.slices > 0);
+        assert!(
+            steady.metrics.join_chunks > steady.metrics.slices,
+            "expected partitioned fan-out"
+        );
+        assert_eq!(
+            steady.metrics.thread_spawns, 0,
+            "steady-state run must reuse pooled workers"
+        );
+        assert_eq!(pool.spawned(), 4, "only the construction-time spawns");
     }
 
     #[test]

@@ -116,6 +116,22 @@ impl CoreBudget {
         deadline: Option<Instant>,
         cancel: Option<&AtomicBool>,
     ) -> Result<CoreGrant<'_>, AdmissionError> {
+        self.acquire_limited(usize::MAX, deadline, cancel)
+    }
+
+    /// [`acquire_with`](CoreBudget::acquire_with) capped at
+    /// `max_workers` permits — the pool-admission half of adaptive core
+    /// grants. A grant is `min(proportional share, max_workers)`, so a
+    /// query that knows it cannot use fan-out (a cached warm template
+    /// whose best order converged, a single-table query) takes one
+    /// permit and leaves the rest of the pool to cold queries, instead
+    /// of hoarding an idle service's whole budget.
+    pub fn acquire_limited(
+        &self,
+        max_workers: usize,
+        deadline: Option<Instant>,
+        cancel: Option<&AtomicBool>,
+    ) -> Result<CoreGrant<'_>, AdmissionError> {
         let mut st = self.lock_state();
         // Fault-injection site: panics *while the budget lock is held*
         // and before any state mutation — the poison-recovery and
@@ -161,7 +177,9 @@ impl CoreBudget {
         let queued_behind = (ticket + 1..st.next_ticket)
             .filter(|t| !st.abandoned.contains(t))
             .count();
-        let threads = (st.available / (1 + queued_behind)).max(1);
+        let threads = (st.available / (1 + queued_behind))
+            .max(1)
+            .min(max_workers.max(1));
         st.available -= threads;
         st.now_serving += 1;
         st.skip_abandoned();
@@ -334,6 +352,25 @@ mod tests {
         let g = b.acquire();
         assert_eq!(g.threads(), 2);
         assert_eq!(b.total(), 2);
+    }
+
+    #[test]
+    fn limited_grant_leaves_permits_for_others() {
+        let b = CoreBudget::new(4);
+        // A warm query on an idle service takes 1 permit, not all 4.
+        let g = b
+            .acquire_limited(1, None, None)
+            .expect("uncontended acquire");
+        assert_eq!(g.threads(), 1);
+        assert_eq!(b.available(), 3);
+        // A cold query admitted concurrently still gets the rest.
+        let g2 = b.acquire_limited(usize::MAX, None, None).expect("acquire");
+        assert_eq!(g2.threads(), 3);
+        drop(g);
+        drop(g2);
+        assert_eq!(b.available(), 4);
+        // A zero cap clamps to one permit rather than granting nothing.
+        assert_eq!(b.acquire_limited(0, None, None).unwrap().threads(), 1);
     }
 
     #[test]

@@ -12,7 +12,8 @@ use crate::budget::{AdmissionError, CoreBudget};
 use crate::cache::{CacheStats, LearningCache, TableDeps, DEFAULT_CACHE_CAPACITY};
 use skinner_core::{postprocess, project_tuple, QueryResult, RunStats};
 use skinner_engine::{
-    KernelCache, KernelCacheStats, RunOptions, SkinnerC, SkinnerCConfig, SkinnerOutcome, StopReason,
+    KernelCache, KernelCacheStats, RunOptions, SkinnerC, SkinnerCConfig, SkinnerOutcome,
+    StopReason, WorkerPool,
 };
 use skinner_query::{parse, Query, QueryError, TemplateKey, UdfRegistry};
 use skinner_storage::table::TableRef;
@@ -210,6 +211,11 @@ pub struct QueryService {
     cache: LearningCache,
     kernels: KernelCache,
     budget: CoreBudget,
+    /// The persistent morsel pool shared by every query this service
+    /// runs: sized to the core budget, so `CoreBudget` admission (how
+    /// many morsels a query may fan out per slice) and pool capacity
+    /// (how many run at once) describe the same resource.
+    pool: Arc<WorkerPool>,
     queries: AtomicU64,
     warm_starts: AtomicU64,
     limit_pushdowns: AtomicU64,
@@ -243,6 +249,7 @@ impl QueryService {
     /// Service over `catalog` with `udfs` resolving UDF calls.
     pub fn new(catalog: Catalog, udfs: UdfRegistry, config: ServiceConfig) -> Arc<QueryService> {
         let budget = CoreBudget::new(config.engine.threads);
+        let pool = WorkerPool::new(budget.total());
         Arc::new(QueryService {
             config,
             catalog: RwLock::new(CatalogState {
@@ -254,6 +261,7 @@ impl QueryService {
             cache: LearningCache::with_limits(config.cache_capacity, config.cache_max_bytes),
             kernels: KernelCache::new(),
             budget,
+            pool,
             queries: AtomicU64::new(0),
             warm_starts: AtomicU64::new(0),
             limit_pushdowns: AtomicU64::new(0),
@@ -391,6 +399,14 @@ impl QueryService {
         &self.kernels
     }
 
+    /// The persistent morsel pool executing every partitioned slice
+    /// (introspection: worker counts, spawn/replacement totals — the
+    /// stress tests assert the pool recovers full strength after
+    /// injected morsel panics).
+    pub fn worker_pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+
     /// Parse `sql` against the current catalog, returning the query, the
     /// per-table versions it was bound at, and the execution start
     /// instant.
@@ -465,10 +481,20 @@ impl QueryService {
             .map(|t| start + t);
         let cancel = opts.cancel.as_ref().map(CancelToken::flag);
 
-        // Admission: FIFO over the shared core budget. The grant decides
-        // this query's worker count and covers the join phase (post-
-        // processing is single-threaded and runs off-budget).
-        let grant = match self.budget.acquire_with(deadline, cancel) {
+        // Admission: FIFO over the shared core budget, which doubles as
+        // pool admission — the grant decides this query's morsel fan-out
+        // on the shared worker pool and covers the join phase (post-
+        // processing is single-threaded and runs off-budget). Adaptive
+        // sizing: a warm template whose learned best order is cached
+        // converges in a handful of slices and gains little from
+        // fan-out, so it takes one permit and leaves the pool's
+        // parallelism to cold queries (a cold 6-table join on an idle
+        // service still gets the whole pool).
+        let max_workers = match &cached {
+            Some(_) => 1,
+            None => usize::MAX,
+        };
+        let grant = match self.budget.acquire_limited(max_workers, deadline, cancel) {
             Ok(grant) => grant,
             Err(AdmissionError::Cancelled) => {
                 self.cancelled.fetch_add(1, Ordering::Relaxed);
@@ -494,6 +520,7 @@ impl QueryService {
             max_result_bytes: opts.max_result_bytes.or(self.config.max_result_bytes),
             capture_learning: use_learning,
             kernel_cache: Some(&self.kernels),
+            pool: Some(self.pool.clone()),
         };
         let mut out = SkinnerC::new(engine_cfg).run_with(query, &run_opts);
         drop(grant);

@@ -15,6 +15,14 @@
 //! * the full Skinner-C engine (heavy order switching) is checked
 //!   against the vectorized column engine.
 //!
+//! The partitioned runs also drive the **pool/schedule surface**: each
+//! case randomizes the worker-pool size (1/2/4/8 workers, all distinct
+//! from the chunk fan-out) and a steal-schedule perturbation seed
+//! (`skinner_pool::schedule`), asserting that result tuples AND every
+//! intermediate suspend/resume cursor are byte-identical across all
+//! pool configurations — the cursor-folding invariant under arbitrary
+//! steal orders.
+//!
 //! Case counts honor `PROPTEST_CASES` (the nightly CI profile runs 256;
 //! the default is 64). On failure the vendored proptest shim prints no
 //! shrink — re-run with `PROPTEST_SEED` to replay.
@@ -23,10 +31,30 @@ use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use skinnerdb::engine::multiway::{ContinueResult, ResultSet};
-use skinnerdb::engine::{MultiwayJoin, PreparedQuery, SkinnerC, SkinnerCConfig};
+use skinnerdb::engine::{
+    schedule, MultiwayJoin, PreparedQuery, SkinnerC, SkinnerCConfig, WorkerPool,
+};
 use skinnerdb::prelude::*;
 use skinnerdb::query::{JoinGraph, TableSet};
 use skinnerdb::storage::{days_from_ymd, ColumnBuilder};
+use std::sync::{Arc, OnceLock};
+
+/// Shared pools of 1/2/4/8 workers, created once per test binary —
+/// per-case pool construction would spawn thousands of threads for
+/// nothing, and sharing them across cases is exactly the production
+/// shape (one pool, many queries).
+fn shared_pool(workers: usize) -> Arc<WorkerPool> {
+    static POOLS: OnceLock<Vec<Arc<WorkerPool>>> = OnceLock::new();
+    let pools = POOLS.get_or_init(|| POOL_SIZES.iter().map(|&w| WorkerPool::new(w)).collect());
+    pools[POOL_SIZES
+        .iter()
+        .position(|&w| w == workers)
+        .expect("known size")]
+    .clone()
+}
+
+/// The pool configurations every partitioned case must agree across.
+const POOL_SIZES: [usize; 4] = [1, 2, 4, 8];
 
 /// Component types a join key column can take.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -328,6 +356,87 @@ proptest! {
                 let unsupported = !plan.kernel_key().supported();
                 prop_assert!(unsupported, "kernel refused a supported shape");
             }
+        }
+    }
+
+    #[test]
+    fn fuzz_pool_sizes_and_steal_schedules_agree(
+        (_cat, q) in arb_fuzz_case(),
+        oseed in any::<u64>(),
+        budget in 3u64..48,
+        threads in 2usize..5,
+        sched_seed in any::<u64>(),
+        indexes in any::<bool>(),
+    ) {
+        // The pool/schedule differential: with the chunk fan-out held
+        // fixed (`threads` chunks per slice), the number of pool workers
+        // and the steal order are pure scheduling choices — every morsel
+        // owns its cursor and shard, and the submitter merges shards and
+        // folds cursors in chunk order after the batch completes. So the
+        // result tuples (in arena order, unsorted) and EVERY
+        // intermediate suspend/resume cursor must be byte-identical
+        // across pool sizes 1/2/4/8, under a seeded adversarial
+        // yield/steal schedule. No LIMIT is involved (the shared-quota
+        // counter is the one deliberately schedule-dependent path).
+        let m = q.num_tables();
+        let order = random_valid_order(&q, oseed);
+        let budget = budget.max(4 * m as u64);
+        let pq = PreparedQuery::new(&q, indexes, 1);
+        let spec = pq.plan_spec(&order);
+        let plan = pq.plan_order(&order);
+        let offsets = vec![0u32; m];
+
+        // Oracle tuples (set equality only; cursor traces are compared
+        // exactly between pool configurations below).
+        let mut join = MultiwayJoin::new(&pq);
+        let mut state = offsets.clone();
+        let mut rs_generic = ResultSet::new();
+        join.continue_join_generic(&order, &spec, &offsets, &mut state, u64::MAX, &mut rs_generic);
+        let oracle = sorted_tuples(&rs_generic);
+
+        // One run per pool size: identical fan-out, identical budget,
+        // same perturbation seed arming the yield/steal schedule.
+        #[allow(clippy::type_complexity)]
+        let run_on_pool = |workers: usize| -> (Vec<Vec<u32>>, Vec<(Vec<u32>, ContinueResult, u64)>) {
+            schedule::set_seed(sched_seed);
+            let mut join = MultiwayJoin::with_pool(&pq, threads, Some(shared_pool(workers)));
+            let mut state = offsets.clone();
+            let mut rs = ResultSet::new();
+            let mut trace = Vec::new();
+            let mut slices = 0u64;
+            loop {
+                slices += 1;
+                assert!(slices < 5_000_000, "no termination");
+                let (res, steps) =
+                    join.continue_join(&order, &plan, &offsets, &mut state, budget, &mut rs);
+                trace.push((state.clone(), res, steps));
+                if res == ContinueResult::Exhausted {
+                    break;
+                }
+            }
+            schedule::clear();
+            (rs.iter().map(|t| t.to_vec()).collect(), trace)
+        };
+
+        let (ref_tuples, ref_trace) = run_on_pool(POOL_SIZES[0]);
+        let mut sorted_ref = ref_tuples.clone();
+        sorted_ref.sort();
+        prop_assert_eq!(
+            &sorted_ref, &oracle,
+            "partitioned/generic divergence: order {:?} threads {}", order, threads
+        );
+        for &workers in &POOL_SIZES[1..] {
+            let (tuples, trace) = run_on_pool(workers);
+            prop_assert_eq!(
+                &tuples, &ref_tuples,
+                "tuple arenas diverged between pool sizes {} and {} (threads {}, seed {})",
+                POOL_SIZES[0], workers, threads, sched_seed
+            );
+            prop_assert_eq!(
+                &trace, &ref_trace,
+                "cursor traces diverged between pool sizes {} and {} (threads {}, seed {})",
+                POOL_SIZES[0], workers, threads, sched_seed
+            );
         }
     }
 

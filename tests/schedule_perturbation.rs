@@ -1,0 +1,195 @@
+//! Schedule-perturbation harness: the loom-in-spirit leg of the pool
+//! correctness argument.
+//!
+//! `skinner_pool::schedule` injects seeded yields/sleeps at worker-loop
+//! decision points and seeds the push-slot / steal-victim choices, so a
+//! fixed seed reshapes which worker runs which morsel and in what
+//! interleaving — an *adversarial* schedule, repeatable across runs.
+//! These tests drive the engine across ≥3 fixed adversarial seeds and
+//! every pool size (1/2/4/8 workers, chunk fan-out held fixed) and
+//! assert the full outcome is byte-identical:
+//!
+//! * the flat tuple arena, in emission order (NOT set-compared — the
+//!   submitter merges chunk shards in chunk order, so even tuple order
+//!   must be schedule-independent),
+//! * every intermediate suspend/resume cursor of the multiway join,
+//! * slice and step counts, the learned final order, and the distinct
+//!   result count of a full Skinner-C run.
+//!
+//! CI additionally exports `SKINNER_SCHED_SEED` to run the *entire*
+//! differential suite under each fixed seed; when that variable is set
+//! here, it replaces the built-in seed list so the CI leg pins exactly
+//! one schedule per invocation.
+
+use skinnerdb::engine::multiway::{ContinueResult, ResultSet};
+use skinnerdb::engine::{
+    schedule, MultiwayJoin, PreparedQuery, RunOptions, SkinnerC, SkinnerCConfig, StopReason,
+    WorkerPool,
+};
+use skinnerdb::prelude::*;
+use std::sync::{Arc, OnceLock};
+
+/// Pool configurations every case must agree across. The chunk fan-out
+/// (`threads` in the engine config) stays fixed, so these differ only
+/// in scheduling freedom: 1 worker serializes all morsels, 8 workers
+/// maximize concurrent steals.
+const POOL_SIZES: [usize; 4] = [1, 2, 4, 8];
+
+/// Three fixed adversarial seeds (plus whatever `SKINNER_SCHED_SEED`
+/// pins in CI). Chosen arbitrarily but FIXED: failures must replay.
+const DEFAULT_SEEDS: [u64; 3] = [0x5EED_0001, 0xDEAD_BEEF_CAFE, 0x0BAD_5CED_0003];
+
+fn seeds() -> Vec<u64> {
+    match std::env::var("SKINNER_SCHED_SEED") {
+        Ok(s) => vec![s.parse().expect("SKINNER_SCHED_SEED must be a u64")],
+        Err(_) => DEFAULT_SEEDS.to_vec(),
+    }
+}
+
+fn shared_pool(workers: usize) -> Arc<WorkerPool> {
+    static POOLS: OnceLock<Vec<Arc<WorkerPool>>> = OnceLock::new();
+    let pools = POOLS.get_or_init(|| POOL_SIZES.iter().map(|&w| WorkerPool::new(w)).collect());
+    pools[POOL_SIZES
+        .iter()
+        .position(|&w| w == workers)
+        .expect("known size")]
+    .clone()
+}
+
+/// Deterministic mixed-shape cases: composite fused keys + dates
+/// (fallback tier), NULL-heavy keys, and a wide star — one apiece from
+/// each workload generator, fixed seeds.
+fn cases() -> Vec<(&'static str, Catalog, Query)> {
+    let (c1, q1) = skinnerdb::workloads::correlated::generate_case(11);
+    let (c2, q2) = skinnerdb::workloads::nulls::generate_case(23);
+    let (c3, q3) = skinnerdb::workloads::wide::generate_case(37);
+    vec![("correlated", c1, q1), ("nulls", c2, q2), ("wide", c3, q3)]
+}
+
+/// A fixed valid join order for the multiway-level trace test: table
+/// ids in FROM order are always chain/star-valid for these workloads.
+fn from_order(q: &Query) -> Vec<usize> {
+    (0..q.num_tables()).collect()
+}
+
+#[test]
+fn multiway_cursor_traces_identical_across_pools_and_seeds() {
+    for (name, _cat, q) in cases() {
+        let m = q.num_tables();
+        let pq = PreparedQuery::new(&q, true, 1);
+        let order = from_order(&q);
+        let plan = pq.plan_order(&order);
+        let offsets = vec![0u32; m];
+        let budget = 24u64.max(4 * m as u64);
+        let fanout = 4;
+
+        for seed in seeds() {
+            // (tuples in arena order, per-slice (cursor, result, steps)).
+            let run = |workers: usize| {
+                schedule::set_seed(seed);
+                let mut join = MultiwayJoin::with_pool(&pq, fanout, Some(shared_pool(workers)));
+                let mut state = offsets.clone();
+                let mut rs = ResultSet::new();
+                let mut trace = Vec::new();
+                loop {
+                    let (res, steps) =
+                        join.continue_join(&order, &plan, &offsets, &mut state, budget, &mut rs);
+                    trace.push((state.clone(), res, steps));
+                    if res == ContinueResult::Exhausted {
+                        break;
+                    }
+                }
+                schedule::clear();
+                // Vacuity guard: the partitioned path must actually run
+                // (more kernel invocations than slices ⇒ some slice had
+                // ≥ 2 chunk morsels on the pool).
+                assert!(
+                    join.chunks_run() > trace.len() as u64,
+                    "[{name}] slices never partitioned — perturbation test is vacuous"
+                );
+                let tuples: Vec<Vec<u32>> = rs.iter().map(|t| t.to_vec()).collect();
+                (tuples, trace)
+            };
+
+            let reference = run(POOL_SIZES[0]);
+            for &workers in &POOL_SIZES[1..] {
+                let got = run(workers);
+                assert_eq!(
+                    got.0, reference.0,
+                    "[{name}] tuple arena diverged: pool {workers} vs {} (seed {seed:#x})",
+                    POOL_SIZES[0]
+                );
+                assert_eq!(
+                    got.1, reference.1,
+                    "[{name}] cursor trace diverged: pool {workers} vs {} (seed {seed:#x})",
+                    POOL_SIZES[0]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_outcomes_identical_across_pools_and_seeds() {
+    for (name, _cat, q) in cases() {
+        // Column-engine truth for the distinct count, independent of
+        // any pool machinery.
+        let truth = ColEngine::new()
+            .execute(
+                &q,
+                &ExecOptions {
+                    count_only: true,
+                    ..Default::default()
+                },
+            )
+            .result_count;
+
+        for seed in seeds() {
+            let run = |workers: usize| {
+                schedule::set_seed(seed);
+                let engine = SkinnerC::new(SkinnerCConfig {
+                    budget: 24,
+                    threads: 4,
+                    ..Default::default()
+                });
+                let out = engine.run_with(
+                    &q,
+                    &RunOptions {
+                        pool: Some(shared_pool(workers)),
+                        ..Default::default()
+                    },
+                );
+                schedule::clear();
+                out
+            };
+
+            let reference = run(POOL_SIZES[0]);
+            assert_eq!(reference.stop, StopReason::Completed);
+            assert_eq!(
+                reference.result_count, truth,
+                "[{name}] engine vs column oracle"
+            );
+            assert!(
+                reference.metrics.join_chunks > reference.metrics.slices,
+                "[{name}] slices never partitioned — perturbation test is vacuous"
+            );
+            for &workers in &POOL_SIZES[1..] {
+                let got = run(workers);
+                assert_eq!(
+                    got.tuples, reference.tuples,
+                    "[{name}] tuple arena diverged: pool {workers} (seed {seed:#x})"
+                );
+                assert_eq!(got.result_count, reference.result_count);
+                assert_eq!(
+                    got.final_order, reference.final_order,
+                    "[{name}] learned order diverged: pool {workers} (seed {seed:#x})"
+                );
+                assert_eq!(
+                    (got.metrics.slices, got.metrics.steps),
+                    (reference.metrics.slices, reference.metrics.steps),
+                    "[{name}] slice/step counts diverged: pool {workers} (seed {seed:#x})"
+                );
+            }
+        }
+    }
+}
