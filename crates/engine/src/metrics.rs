@@ -24,12 +24,16 @@ pub struct ExecMetrics {
     pub join_chunks: u64,
     /// Configured join worker threads (1 = sequential, as in the paper).
     pub join_threads: usize,
-    /// OS threads spawned by the worker pool during this run. The pool
-    /// is persistent, so after its one-time warm-up this is 0 for every
-    /// run — partitioned slices reuse pooled workers instead of
-    /// spawning per slice. Non-zero values mean pool warm-up (first
-    /// parallel run in the process) or replacement of a worker that
-    /// hosted a panicking morsel.
+    /// OS threads spawned by the worker pool during this run, net of
+    /// panic-driven worker replacements (which a run that completes
+    /// normally never caused — its own panic would have aborted it).
+    /// The pool is persistent, so after its one-time warm-up this is 0
+    /// for every run — partitioned slices reuse pooled workers instead
+    /// of spawning per slice; non-zero means pool warm-up (first
+    /// parallel run on that pool). On a pool shared across concurrent
+    /// queries the attribution is approximate: a racing query's
+    /// warm-up spawns land in whichever run's delta observes them.
+    /// Exact for a private pool and in steady state.
     pub thread_spawns: u64,
     /// UCT nodes adopted from a prior execution's snapshot at run start
     /// (0 = cold start; see `RunOptions::prior`).

@@ -313,8 +313,12 @@ impl SkinnerC {
         let mut results = ResultSet::new();
         let mut join = MultiwayJoin::with_pool(&pq, cfg.threads, opts.pool.clone());
         // Pool-reuse accounting: the per-run delta of pool thread spawns
-        // must be 0 after the pool's one-time warm-up.
+        // must be 0 after the pool's one-time warm-up. Both counters are
+        // snapshotted so panic-driven worker replacements — which on a
+        // shared pool may belong to a *concurrent* query — can be netted
+        // out of this run's delta.
         let spawns_before = join.pool_spawned();
+        let replaced_before = join.pool_replaced();
         // Per-order execution state: the bound plan plus, when the
         // codegen tier is on and the shape is supported, the compiled
         // kernel (tier three). Bound once per order, reused across every
@@ -453,7 +457,15 @@ impl SkinnerC {
         metrics.join_time = join_start.elapsed();
         metrics.join_chunks = join.chunks_run();
         metrics.join_threads = cfg.threads.max(1);
-        metrics.thread_spawns = join.pool_spawned() - spawns_before;
+        // Net out panic-driven replacements: a run that reaches this
+        // point hosted no panicking morsel of its own (a panic would
+        // have unwound past us), so any replacement spawns observed on
+        // a shared pool were another query's and must not be billed
+        // here. The metric remains approximate under concurrency — a
+        // racing query's pool warm-up is indistinguishable from ours —
+        // but is exact for a private pool and in steady state.
+        metrics.thread_spawns = (join.pool_spawned() - spawns_before)
+            .saturating_sub(join.pool_replaced() - replaced_before);
         metrics.uct_nodes = tree.num_nodes();
         metrics.uct_bytes = tree.approx_bytes();
         metrics.tracker_nodes = tracker.num_nodes();

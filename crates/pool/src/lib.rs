@@ -186,14 +186,31 @@ impl Inner {
 
     fn dec_pending(&self) {
         let mut s = self.lock_sync();
-        s.pending = s.pending.saturating_sub(1);
+        // Underflow here would mean a task became visible in a deque
+        // before `push_batch` accounted for it — the lost decrement
+        // would leave `pending` permanently positive and every idle
+        // worker busy-spinning. Fail loudly instead.
+        s.pending = s
+            .pending
+            .checked_sub(1)
+            .expect("pool pending underflow: task popped before it was accounted");
     }
 
     /// Push a whole batch of tasks, distributing across deques, and
     /// wake the workers.
     fn push_batch(&self, tasks: Vec<RawTask>) {
         let n = self.queues.len();
-        let count = tasks.len();
+        // Account for the tasks BEFORE any becomes visible in a deque:
+        // a worker that popped one first would drive `pending` below
+        // zero and the lost decrement would corrupt the idle/wait
+        // protocol. The transient over-count is benign — a worker that
+        // wakes before the pushes land finds nothing, re-checks under
+        // the sync lock, and retries until the deques catch up (a
+        // window bounded by this loop).
+        {
+            let mut s = self.lock_sync();
+            s.pending += tasks.len();
+        }
         for task in tasks {
             let q = match schedule::pick(n) {
                 Some(victim) => victim,
@@ -201,9 +218,6 @@ impl Inner {
             };
             self.lock_queue(q).push_back(task);
         }
-        let mut s = self.lock_sync();
-        s.pending += count;
-        drop(s);
         self.cv.notify_all();
     }
 
@@ -271,13 +285,19 @@ fn worker_loop(inner: Arc<Inner>, idx: usize) {
             if panicked {
                 // Retire this worker and bring up a replacement: the
                 // pool always returns to full strength, and a fresh
-                // stack hosts the next morsel.
+                // stack hosts the next morsel. The shutdown check and
+                // the replacement's handle registration happen under
+                // the same sync lock `Drop` holds to set `shutdown`,
+                // so a replacement either lands in `handles` before
+                // Drop drains them (and is joined) or is never spawned
+                // — no handle can leak past Drop's join-all.
                 inner.task_panics.fetch_add(1, Ordering::Relaxed);
-                let shutdown = inner.lock_sync().shutdown;
-                if !shutdown {
+                let s = inner.lock_sync();
+                if !s.shutdown {
                     inner.replaced.fetch_add(1, Ordering::Relaxed);
                     spawn_worker(&inner, idx);
                 }
+                drop(s);
                 return;
             }
             continue;

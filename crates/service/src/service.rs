@@ -12,8 +12,8 @@ use crate::budget::{AdmissionError, CoreBudget};
 use crate::cache::{CacheStats, LearningCache, TableDeps, DEFAULT_CACHE_CAPACITY};
 use skinner_core::{postprocess, project_tuple, QueryResult, RunStats};
 use skinner_engine::{
-    KernelCache, KernelCacheStats, RunOptions, SkinnerC, SkinnerCConfig, SkinnerOutcome,
-    StopReason, WorkerPool,
+    KernelCache, KernelCacheStats, LearnedState, RunOptions, SkinnerC, SkinnerCConfig,
+    SkinnerOutcome, StopReason, WorkerPool,
 };
 use skinner_query::{parse, Query, QueryError, TemplateKey, UdfRegistry};
 use skinner_storage::table::TableRef;
@@ -200,6 +200,29 @@ impl CatalogState {
             })
             .collect()
     }
+}
+
+/// Root visit share above which a cached template's learning counts as
+/// converged for admission sizing (see [`learning_converged`]). UCB1
+/// keeps a trickle of exploration forever, so even a fully settled
+/// learner rarely exceeds ~0.9; 0.75 means three quarters of all root
+/// visits went to a single first table.
+const CONVERGED_ROOT_SHARE: f64 = 0.75;
+
+/// Minimum learned rounds before the root share is trusted: a tree
+/// with a handful of visits can show a lopsided share by noise alone.
+const CONVERGED_MIN_ROUNDS: u64 = 64;
+
+/// Has this cached learning actually converged on a join order?
+/// Admission uses this to decide whether a warm template forfeits pool
+/// fan-out (it will finish in a few slices anyway) or keeps it (warm
+/// start helps, but substantial exploration/work remains).
+fn learning_converged(learning: &LearnedState) -> bool {
+    learning.snapshot.rounds() >= CONVERGED_MIN_ROUNDS
+        && learning
+            .snapshot
+            .root_best_share()
+            .is_some_and(|share| share >= CONVERGED_ROOT_SHARE)
 }
 
 /// The concurrent query service (see module docs).
@@ -485,14 +508,18 @@ impl QueryService {
         // pool admission — the grant decides this query's morsel fan-out
         // on the shared worker pool and covers the join phase (post-
         // processing is single-threaded and runs off-budget). Adaptive
-        // sizing: a warm template whose learned best order is cached
-        // converges in a handful of slices and gains little from
-        // fan-out, so it takes one permit and leaves the pool's
-        // parallelism to cold queries (a cold 6-table join on an idle
-        // service still gets the whole pool).
+        // sizing: a warm template whose cached learning has *converged*
+        // (root visit mass concentrated on one order) settles in a
+        // handful of slices and gains little from fan-out, so it takes
+        // one permit and leaves the pool's parallelism to cold queries.
+        // Mere cache presence is not enough: a warm but unconverged
+        // template (interrupted run, still-exploring learner, lots of
+        // remaining work) keeps full fan-out — capping on presence
+        // alone would strip every warm long-running multi-table join
+        // of all parallelism for the life of the cache entry.
         let max_workers = match &cached {
-            Some(_) => 1,
-            None => usize::MAX,
+            Some(c) if learning_converged(c) => 1,
+            _ => usize::MAX,
         };
         let grant = match self.budget.acquire_limited(max_workers, deadline, cancel) {
             Ok(grant) => grant,
@@ -750,6 +777,52 @@ mod tests {
         assert_eq!(r.table.rows[0][0], Value::Int(64 * 4));
         assert_eq!(svc.stats().queries, 1);
         assert_eq!(s.queries(), 1);
+    }
+
+    #[test]
+    fn warm_admission_requires_convergence() {
+        use skinner_uct::{SnapshotNode, TreeSnapshot};
+        // Depth-1 tree: root with two materialized children splitting
+        // the root's visit mass as given.
+        let snap = |visits: [u64; 2], rounds: u64| {
+            TreeSnapshot::from_parts(
+                vec![
+                    SnapshotNode {
+                        visits: visits.iter().sum(),
+                        reward_sum: 0.0,
+                        actions: vec![0usize, 1],
+                        children: vec![1, 2],
+                    },
+                    SnapshotNode {
+                        visits: visits[0],
+                        reward_sum: 0.0,
+                        actions: vec![],
+                        children: vec![],
+                    },
+                    SnapshotNode {
+                        visits: visits[1],
+                        reward_sum: 0.0,
+                        actions: vec![],
+                        children: vec![],
+                    },
+                ],
+                rounds,
+            )
+            .unwrap()
+        };
+        let learned = |snapshot| LearnedState {
+            snapshot,
+            best_order: vec![0, 1],
+            planned_orders: vec![],
+        };
+        // Converged: many rounds, 90% of root visits on one child —
+        // this warm template forfeits fan-out (1-permit grant).
+        assert!(learning_converged(&learned(snap([90, 10], 100))));
+        // Warm but still exploring: cache presence alone must NOT cap
+        // the grant, or a long-running warm join loses all parallelism.
+        assert!(!learning_converged(&learned(snap([60, 40], 100))));
+        // Too few rounds to trust even a lopsided share.
+        assert!(!learning_converged(&learned(snap([9, 1], 10))));
     }
 
     #[test]

@@ -101,6 +101,31 @@ impl<A> TreeSnapshot<A> {
                 .sum::<usize>()
     }
 
+    /// Fraction of the root's child visits concentrated on its
+    /// most-visited child, in `(0, 1]` — a cheap convergence signal.
+    /// Near `1.0` the learner has settled on one first table (and, by
+    /// UCB1's exploitation bias, almost certainly one full order);
+    /// near `1/arity` it is still exploring. `None` when the root is
+    /// absent or no child has been materialized/visited yet.
+    ///
+    /// The service layer gates adaptive admission on this: a cached
+    /// template only forfeits fan-out once its learning has actually
+    /// converged, not merely because a cache entry exists.
+    pub fn root_best_share(&self) -> Option<f64> {
+        let root = self.nodes.first()?;
+        let mut total = 0u64;
+        let mut best = 0u64;
+        for &c in &root.children {
+            if c == UNEXPANDED {
+                continue;
+            }
+            let v = self.nodes.get(c)?.visits;
+            total += v;
+            best = best.max(v);
+        }
+        (total > 0).then(|| best as f64 / total as f64)
+    }
+
     /// Decompose into plain-data nodes plus the round count, for
     /// serialization (the learning-cache persistence of
     /// `skinner-service`). `usize::MAX` children in the output mark
@@ -495,6 +520,55 @@ mod tests {
         bad[0].children.pop();
         assert!(TreeSnapshot::from_parts(bad, rounds).is_none());
         assert!(TreeSnapshot::<usize>::from_parts(vec![], 0).is_none());
+    }
+
+    #[test]
+    fn root_best_share_tracks_convergence() {
+        // Hand-built: root with 3 arms, two materialized children with
+        // a 90/10 visit split — share is 0.9 regardless of the
+        // unexpanded third slot.
+        let nodes = vec![
+            SnapshotNode {
+                visits: 100,
+                reward_sum: 50.0,
+                actions: vec![0usize, 1, 2],
+                children: vec![1, 2, UNEXPANDED],
+            },
+            SnapshotNode {
+                visits: 90,
+                reward_sum: 60.0,
+                actions: vec![],
+                children: vec![],
+            },
+            SnapshotNode {
+                visits: 10,
+                reward_sum: 2.0,
+                actions: vec![],
+                children: vec![],
+            },
+        ];
+        let snap = TreeSnapshot::from_parts(nodes, 100).unwrap();
+        assert_eq!(snap.root_best_share(), Some(0.9));
+
+        // A fresh tree (root only, nothing visited) has no signal.
+        let cold = UctTree::new(Bandit { arms: 4 }, UctConfig::default()).snapshot();
+        assert_eq!(cold.root_best_share(), None);
+
+        // A genuinely converged bandit concentrates its root share; a
+        // uniform-reward one stays spread across the arms.
+        let mut lopsided = UctTree::new(Bandit { arms: 4 }, UctConfig::default());
+        let mut uniform = UctTree::new(Bandit { arms: 4 }, UctConfig::default());
+        for _ in 0..2000 {
+            let p = lopsided.choose();
+            let r = if p[0] == 1 { 0.9 } else { 0.1 };
+            lopsided.update(&p, r);
+            let p = uniform.choose();
+            uniform.update(&p, 0.5);
+        }
+        let hot = lopsided.snapshot().root_best_share().unwrap();
+        let flat = uniform.snapshot().root_best_share().unwrap();
+        assert!(hot > 0.75, "converged share {hot} should dominate");
+        assert!(flat < 0.75, "exploring share {flat} should stay spread");
     }
 
     #[test]
