@@ -60,13 +60,16 @@
 
 pub mod budget;
 pub mod cache;
+pub mod listener;
 pub mod persist;
 pub mod repl;
 pub mod service;
 
 pub use budget::{CoreBudget, CoreGrant};
 pub use cache::{CacheStats, LearningCache};
+pub use listener::{serve_accept_loop, Acceptor, ShutdownFlag};
 pub use persist::{CachePersister, LoadReport};
 pub use service::{
-    CancelToken, ExecuteOptions, QueryService, ServiceConfig, ServiceError, ServiceStats, Session,
+    CancelToken, ConnectionGuard, ExecuteOptions, QueryService, ServiceConfig, ServiceError,
+    ServiceStats, Session,
 };

@@ -25,11 +25,11 @@
 //! prefixed with one `\`, which clients strip. The terminator is
 //! therefore unspoofable by result values.
 
+use crate::listener::{serve_accept_loop, ShutdownFlag};
 use crate::persist::CachePersister;
 use crate::service::{QueryService, ServiceError, Session};
 use skinner_core::{QueryResult, RunStats};
 use std::io::{BufRead, BufReader, Write};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -93,7 +93,11 @@ pub fn handle_line(session: &mut Session, line: &str) -> Response {
                 format!("cancelled: {}, timed out: {}", st.cancelled, st.timed_out),
                 format!(
                     "memory exceeded: {}, panicked: {}, in flight: {}",
-                    st.memory_exceeded, st.panicked, st.in_flight
+                    st.memory_exceeded, st.panicked, st.queries_in_flight
+                ),
+                format!(
+                    "connections: {} open, {} rejected",
+                    st.connections_open, st.connections_rejected
                 ),
             ])
         }
@@ -242,12 +246,48 @@ pub fn write_protocol_response(out: &mut impl Write, response: &Response) -> std
 pub fn serve_connection(
     service: &Arc<QueryService>,
     reader: impl BufRead,
+    writer: impl Write,
+) -> std::io::Result<bool> {
+    serve_connection_until(service, reader, writer, None)
+}
+
+/// [`serve_connection`], draining on `shutdown`: when the flag is
+/// raised the loop finishes the request it is reading (timeout-bounded
+/// reads return `WouldBlock`, under which the partial line is kept and
+/// re-polled) and exits instead of waiting for more input. `None`
+/// serves until EOF/`\quit` exactly like [`serve_connection`].
+pub fn serve_connection_until(
+    service: &Arc<QueryService>,
+    mut reader: impl BufRead,
     mut writer: impl Write,
+    shutdown: Option<&ShutdownFlag>,
 ) -> std::io::Result<bool> {
     let mut session = service.session();
-    for line in reader.lines() {
-        let line = line?;
+    let mut line = String::new();
+    loop {
+        // `read_line` only returns Ok on a complete line (or EOF); a
+        // timeout mid-line keeps the bytes read so far in `line` and
+        // the next call appends the rest — so shutdown polling never
+        // tears a request.
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(false),
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shutdown.is_some_and(ShutdownFlag::is_raised) {
+                    return Ok(false);
+                }
+                continue;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
         let response = handle_line(&mut session, &line);
+        line.clear();
         write_protocol_response(&mut writer, &response)?;
         match response {
             Response::Quit => return Ok(false),
@@ -255,7 +295,6 @@ pub fn serve_connection(
             _ => {}
         }
     }
-    Ok(false)
 }
 
 /// Knobs for [`serve_unix_with`].
@@ -267,9 +306,9 @@ pub struct ServeOptions {
     pub cache_path: Option<std::path::PathBuf>,
     /// Background flush interval when `cache_path` is set.
     pub persist_interval: Duration,
-    /// Externally visible shutdown flag; raising it (or a client's
+    /// Externally visible shutdown signal; raising it (or a client's
     /// `\shutdown`) drains the accept loop and flushes the cache.
-    pub shutdown: Arc<AtomicBool>,
+    pub shutdown: ShutdownFlag,
 }
 
 impl Default for ServeOptions {
@@ -277,16 +316,40 @@ impl Default for ServeOptions {
         ServeOptions {
             cache_path: None,
             persist_interval: Duration::from_secs(30),
-            shutdown: Arc::new(AtomicBool::new(false)),
+            shutdown: ShutdownFlag::new(),
         }
     }
 }
 
+/// Removes the bound socket file when dropped, so *every* exit path —
+/// clean `\shutdown` drain, an accept-loop error, a panic unwinding
+/// through the server — cleans up, not just the happy path. (A SIGKILL
+/// still leaks the file; the next bind removes stale leftovers.)
+#[cfg(unix)]
+struct SocketFileGuard(std::path::PathBuf);
+
+#[cfg(unix)]
+impl Drop for SocketFileGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// How long a draining Unix connection may go without input before it
+/// re-checks the shutdown flag (bounds shutdown latency for idle
+/// clients).
+#[cfg(unix)]
+const UNIX_READ_POLL: Duration = Duration::from_millis(100);
+
 /// Accept loop for `--serve`: line protocol over a Unix domain socket,
 /// one thread (and one service session) per connection; concurrency
 /// across connections is bounded by the service's core budget, not by
-/// the thread count. Blocks until `\quit`-proof: a failed accept or an
-/// unclonable socket is logged and dropped, never fatal. Returns when
+/// the thread count. Built on the shared
+/// [`serve_accept_loop`] core:
+/// failed accepts are logged and dropped (never fatal), the idle loop
+/// parks on the shutdown flag's condvar (near-zero idle CPU, immediate
+/// wake on shutdown), and shutdown *drains* — every connection thread
+/// is joined after it finishes its in-flight request. Returns when
 /// `opts.shutdown` is raised or a client sends `\shutdown`, after a
 /// final learning-cache flush (when persistence is configured).
 #[cfg(unix)]
@@ -321,46 +384,35 @@ pub fn serve_unix_with(
     // A stale socket file from a previous run would fail the bind.
     let _ = std::fs::remove_file(path);
     let listener = UnixListener::bind(path)?;
-    // Nonblocking so the loop can observe the shutdown flag between
-    // accepts instead of parking in `accept` forever.
-    listener.set_nonblocking(true)?;
+    // Guard, not a trailing remove_file: early exits (bind-adjacent
+    // errors, panics, SIGTERM-style teardown that unwinds) must clean
+    // the socket file up too.
+    let _socket_guard = SocketFileGuard(path.to_path_buf());
     let shutdown = opts.shutdown;
-    while !shutdown.load(Ordering::Relaxed) {
-        match listener.accept() {
-            Ok((stream, _addr)) => {
-                // The accepted socket may inherit the listener's
-                // nonblocking mode; the per-connection loop wants
-                // ordinary blocking reads.
-                let _ = stream.set_nonblocking(false);
-                let service = service.clone();
-                let shutdown = shutdown.clone();
-                std::thread::spawn(move || {
-                    let reader = match stream.try_clone() {
-                        Ok(r) => BufReader::new(r),
-                        Err(e) => {
-                            eprintln!("skinner-repl: dropping connection (clone failed): {e}");
-                            return;
-                        }
-                    };
-                    match serve_connection(&service, reader, stream) {
-                        Ok(true) => shutdown.store(true, Ordering::Relaxed),
-                        Ok(false) => {}
-                        Err(e) => eprintln!("skinner-repl: connection error: {e}"),
-                    }
-                });
+    serve_accept_loop(&listener, &shutdown, "skinner-repl", |stream| {
+        // The accepted socket inherits the listener's nonblocking mode;
+        // the per-connection loop wants timeout-bounded blocking reads
+        // (so it can poll the shutdown flag without busy-waiting).
+        let _ = stream.set_nonblocking(false);
+        let _ = stream.set_read_timeout(Some(UNIX_READ_POLL));
+        let service = service.clone();
+        let shutdown = shutdown.clone();
+        Some(std::thread::spawn(move || {
+            let _conn = service.connection_opened();
+            let reader = match stream.try_clone() {
+                Ok(r) => BufReader::new(r),
+                Err(e) => {
+                    eprintln!("skinner-repl: dropping connection (clone failed): {e}");
+                    return;
+                }
+            };
+            match serve_connection_until(&service, reader, stream, Some(&shutdown)) {
+                Ok(true) => shutdown.raise(),
+                Ok(false) => {}
+                Err(e) => eprintln!("skinner-repl: connection error: {e}"),
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(20));
-            }
-            Err(e) => {
-                // One bad accept (EMFILE, ECONNABORTED, ...) must not
-                // take the server down; log and keep listening.
-                eprintln!("skinner-repl: accept error: {e}");
-                std::thread::sleep(Duration::from_millis(20));
-            }
-        }
-    }
-    let _ = std::fs::remove_file(path);
+        }))
+    })?;
     if let Some(p) = persister {
         match p.shutdown() {
             Ok(n) => eprintln!("skinner-repl: persisted {n} learning-cache entries"),

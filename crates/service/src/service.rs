@@ -168,7 +168,15 @@ pub struct ServiceStats {
     pub panicked: u64,
     /// Queries currently executing (gauge, not monotonic — maintained
     /// by an RAII guard, so it stays accurate across panics).
-    pub in_flight: u64,
+    pub queries_in_flight: u64,
+    /// Client connections currently open across every serving front end
+    /// (gauge, RAII-maintained via
+    /// [`QueryService::connection_opened`]).
+    pub connections_open: u64,
+    /// Connections refused by admission (the front end's connection cap
+    /// was reached and the client was answered with a Busy frame, then
+    /// closed — counted via [`QueryService::connection_rejected`]).
+    pub connections_rejected: u64,
     /// Learning-cache counters.
     pub cache: CacheStats,
     /// Kernel-shape cache counters (codegen tier, see `skinner-codegen`).
@@ -247,6 +255,8 @@ pub struct QueryService {
     memory_exceeded: AtomicU64,
     panicked: AtomicU64,
     in_flight: AtomicU64,
+    connections_open: AtomicU64,
+    connections_rejected: AtomicU64,
     next_session: AtomicU64,
 }
 
@@ -265,6 +275,24 @@ impl<'a> InFlightGuard<'a> {
 impl Drop for InFlightGuard<'_> {
     fn drop(&mut self) {
         self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// RAII handle for one open client connection: created by
+/// [`QueryService::connection_opened`], decrements the
+/// `connections_open` gauge on drop — so the gauge stays accurate no
+/// matter how the connection handler exits (clean goodbye, protocol
+/// error, I/O failure, panic unwind).
+#[derive(Debug)]
+pub struct ConnectionGuard {
+    service: Arc<QueryService>,
+}
+
+impl Drop for ConnectionGuard {
+    fn drop(&mut self) {
+        self.service
+            .connections_open
+            .fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -293,6 +321,8 @@ impl QueryService {
             memory_exceeded: AtomicU64::new(0),
             panicked: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
+            connections_open: AtomicU64::new(0),
+            connections_rejected: AtomicU64::new(0),
             next_session: AtomicU64::new(0),
         })
     }
@@ -399,10 +429,30 @@ impl QueryService {
             timed_out: self.timed_out.load(Ordering::Relaxed),
             memory_exceeded: self.memory_exceeded.load(Ordering::Relaxed),
             panicked: self.panicked.load(Ordering::Relaxed),
-            in_flight: self.in_flight.load(Ordering::Relaxed),
+            queries_in_flight: self.in_flight.load(Ordering::Relaxed),
+            connections_open: self.connections_open.load(Ordering::Relaxed),
+            connections_rejected: self.connections_rejected.load(Ordering::Relaxed),
             cache: self.cache.stats(),
             kernels: self.kernels.stats(),
         }
+    }
+
+    /// Record one accepted client connection; the gauge drops back when
+    /// the returned guard does. Every serving front end (Unix repl, TCP
+    /// binary protocol) calls this as its connection handler starts, so
+    /// `\stats` and the wire Stats frame report one consistent number.
+    pub fn connection_opened(self: &Arc<Self>) -> ConnectionGuard {
+        self.connections_open.fetch_add(1, Ordering::Relaxed);
+        ConnectionGuard {
+            service: self.clone(),
+        }
+    }
+
+    /// Count one connection refused by admission (connection cap hit;
+    /// the client was told so with a typed Busy frame, not silently
+    /// dropped).
+    pub fn connection_rejected(&self) {
+        self.connections_rejected.fetch_add(1, Ordering::Relaxed);
     }
 
     /// The learning cache (introspection: entry count, bytes).
@@ -702,12 +752,30 @@ impl Session {
         &mut self,
         sql: &str,
         opts: &ExecuteOptions,
+        on_row: impl FnMut(&[Value]) -> bool,
+    ) -> Result<RunStats, ServiceError> {
+        self.execute_streaming_with_schema(sql, opts, |_cols| {}, on_row)
+    }
+
+    /// [`execute_streaming`](Session::execute_streaming), but `on_schema`
+    /// receives the output column names (the SELECT list) after the
+    /// query parses and before the first row is delivered — what a wire
+    /// protocol needs to frame a result header ahead of streamed rows.
+    /// `on_schema` is *not* called when parsing fails (the error carries
+    /// the diagnosis) but *is* called even when zero rows follow.
+    pub fn execute_streaming_with_schema(
+        &mut self,
+        sql: &str,
+        opts: &ExecuteOptions,
+        on_schema: impl FnOnce(&[String]),
         mut on_row: impl FnMut(&[Value]) -> bool,
     ) -> Result<RunStats, ServiceError> {
         self.queries += 1;
         let service = &self.service;
         service.isolated(move || {
             let (query, deps, start) = service.parse_sql(sql)?;
+            let columns: Vec<String> = query.select.iter().map(|s| s.name().to_string()).collect();
+            on_schema(&columns);
             // 1:1 shape ⇔ the LIMIT-pushdown eligibility conditions
             // (with or without an actual LIMIT).
             let streamable = !query.has_aggregates()

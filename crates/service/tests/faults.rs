@@ -86,7 +86,7 @@ fn assert_recovered(svc: &Arc<QueryService>, expected: &skinner_core::ResultTabl
         svc.core_budget().total(),
         "core budget leaked permits across the fault"
     );
-    assert_eq!(svc.stats().in_flight, 0, "in-flight gauge leaked");
+    assert_eq!(svc.stats().queries_in_flight, 0, "in-flight gauge leaked");
     let after = svc.session().execute(SQL).expect("post-fault query").table;
     assert_eq!(&after, expected, "post-fault answer diverged");
 }

@@ -92,7 +92,7 @@ fn assert_recovered(svc: &Arc<QueryService>, expected: &skinner_core::ResultTabl
         svc.core_budget().total(),
         "core budget leaked permits across the storm"
     );
-    assert_eq!(svc.stats().in_flight, 0, "in-flight gauge leaked");
+    assert_eq!(svc.stats().queries_in_flight, 0, "in-flight gauge leaked");
     let after = svc.session().execute(SQL).expect("post-storm query").table;
     assert_eq!(&after, expected, "post-storm answer diverged");
 }

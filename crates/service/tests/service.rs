@@ -380,7 +380,7 @@ fn memory_budget_fails_cleanly_without_limit() {
     assert!(matches!(err, ServiceError::MemoryExceeded), "{err:?}");
     assert_eq!(svc.stats().memory_exceeded, 1);
     // No leaks: the same session answers the uncapped query correctly.
-    assert_eq!(svc.stats().in_flight, 0);
+    assert_eq!(svc.stats().queries_in_flight, 0);
     let clean = session.execute(&sql).expect("uncapped run");
     let oracle = service(71).session().execute(&sql).expect("oracle");
     assert!(clean.table.same_rows(&oracle.table));

@@ -1,0 +1,105 @@
+//! Unix-socket server lifecycle: the socket file must be gone after
+//! *every* exit path (it is removed by a drop guard, not by happy-path
+//! code), and the externally raised shutdown flag must drain the accept
+//! loop.
+
+#![cfg(unix)]
+
+use skinner_engine::SkinnerCConfig;
+use skinner_service::repl::{serve_unix_with, ServeOptions};
+use skinner_service::{QueryService, ServiceConfig, ShutdownFlag};
+use skinner_storage::{Catalog, Column, ColumnDef, Schema, Table, ValueType};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn service() -> Arc<QueryService> {
+    let mut cat = Catalog::new();
+    let k: Vec<i64> = (0..64).map(|i| (i % 8) as i64).collect();
+    let v: Vec<i64> = (0..64).map(|i| i as i64).collect();
+    cat.register(
+        Table::new(
+            "r",
+            Schema::new([
+                ColumnDef::new("k", ValueType::Int),
+                ColumnDef::new("v", ValueType::Int),
+            ]),
+            vec![Column::from_ints(k), Column::from_ints(v)],
+        )
+        .unwrap(),
+    );
+    QueryService::new(
+        cat,
+        skinner_query::UdfRegistry::new(),
+        ServiceConfig {
+            engine: SkinnerCConfig {
+                budget: 100,
+                threads: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+}
+
+fn wait_for(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let end = Instant::now() + deadline;
+    while Instant::now() < end {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    cond()
+}
+
+#[test]
+fn shutdown_flag_drains_and_removes_socket_file() {
+    let path = std::env::temp_dir().join(format!(
+        "skinner-unix-serve-{}-{:?}.sock",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_file(&path);
+
+    let shutdown = ShutdownFlag::new();
+    let opts = ServeOptions {
+        shutdown: shutdown.clone(),
+        ..Default::default()
+    };
+    let svc = service();
+    let server = {
+        let path = path.clone();
+        std::thread::spawn(move || serve_unix_with(svc, &path, opts))
+    };
+
+    assert!(
+        wait_for(Duration::from_secs(10), || path.exists()),
+        "socket file never appeared"
+    );
+
+    // A real client round-trip proves the server is actually serving
+    // before we tear it down (not just that the file exists).
+    let stream = UnixStream::connect(&path).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    writeln!(writer, "SELECT COUNT(*) AS n FROM r").unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("response line");
+    assert!(!line.trim().is_empty(), "server answered nothing");
+    drop(writer);
+    drop(reader);
+
+    shutdown.raise();
+    let result = server.join().expect("server thread panicked");
+    result.expect("serve_unix_with failed");
+    assert!(
+        !path.exists(),
+        "socket file leaked after shutdown: {}",
+        path.display()
+    );
+}
