@@ -14,9 +14,16 @@
 //!    very first repeat of each template warm — versus a cold restart
 //!    that re-learns from scratch.
 //!
+//! 4. **Knowledge priors**: a service trained on the JOB-like workload
+//!    exports its knowledge store; a fresh service that imports it runs
+//!    four *held-out* templates (FROM sets no training template uses)
+//!    prior-seeded, converging in fewer slices than a cold service —
+//!    with byte-identical results.
+//!
 //! Results are printed as tables and recorded into `BENCH_service.json`
-//! (sections `service_learning`, `service_concurrency`, and
-//! `service_persistence`) via `upsert_bench_json`.
+//! (sections `service_learning`, `service_concurrency`,
+//! `service_persistence`, and `knowledge_priors`) via
+//! `upsert_bench_json`.
 //!
 //! Knobs: `SKINNER_SCALE` (default 0.03), `SKINNER_SEED`,
 //! `SKINNER_THREADS` / `--threads N` (service core budget, default 4).
@@ -26,7 +33,7 @@ use skinner_bench::{
 };
 use skinner_core::ResultTable;
 use skinner_engine::SkinnerCConfig;
-use skinner_service::{QueryService, ServiceConfig};
+use skinner_service::{ExecuteOptions, QueryService, ServiceConfig};
 use skinner_workloads::job;
 use std::path::Path;
 use std::sync::Arc;
@@ -277,7 +284,122 @@ fn main() {
     );
     std::fs::remove_file(&cache_path).ok();
 
-    // ---- 3. Concurrency: 4 sessions vs serial ------------------------
+    // ---- 3. Knowledge priors: held-out templates, cold vs seeded -----
+    // Train a service on the full JOB-like workload, export its
+    // knowledge store, and import it into fresh services that run four
+    // *held-out* templates — FROM sets no training template uses, so the
+    // exact-template learning cache can never help. The knowledge
+    // store's coarse fingerprints (per-table selectivities, per-edge
+    // directed rewards) still match, so the first-ever execution runs
+    // prior-seeded; a cold fresh service is the baseline.
+    let trainer = make_learning_service(threads);
+    {
+        // Train with prior seeding off: each template's observations
+        // then come from its own unaided exploration. With seeding on,
+        // query k's recorded rewards are steered by the priors of
+        // queries 1..k-1, so an early mis-ranking compounds through the
+        // rest of the training set instead of being averaged out.
+        let train_opts = ExecuteOptions {
+            disable_priors: true,
+            ..Default::default()
+        };
+        let mut session = trainer.session();
+        for nq in &wl.queries {
+            session
+                .execute_query_with(&nq.query, &train_opts)
+                .expect("training query");
+        }
+    }
+    let knowledge_file = std::env::temp_dir().join(format!(
+        "skinner-exp-service-knowledge-{}.bin",
+        std::process::id()
+    ));
+    trainer
+        .save_knowledge(&knowledge_file)
+        .expect("persist knowledge store");
+    let (ktables, kedges) = trainer.knowledge().len();
+
+    let held_out = held_out_queries(&wl.catalog);
+    let mut rows = Vec::new();
+    let mut improved = 0usize;
+    let mut knowledge_json = String::from("{\n");
+    knowledge_json.push_str(&format!(
+        "    \"workload\": \"JOB-like scale={scale} seed={seed}\",\n    \
+         \"trained_queries\": {},\n    \"table_entries\": {ktables},\n    \
+         \"edge_entries\": {kedges},\n    \"templates\": {{\n",
+        wl.queries.len(),
+    ));
+    for (hi, (name, query)) in held_out.iter().enumerate() {
+        // Fresh service per run so nothing carries over between
+        // held-out templates (each run records its own observations).
+        let cold_svc = make_learning_service(threads);
+        let cold = execute_query(&mut cold_svc.session(), query);
+        assert!(!cold.stats.prior_seeded, "{name}: empty store seeded");
+
+        let seeded_svc = make_learning_service(threads);
+        seeded_svc
+            .load_knowledge(&knowledge_file)
+            .expect("import knowledge store");
+        let seeded = execute_query(&mut seeded_svc.session(), query);
+        assert!(
+            seeded.stats.prior_seeded,
+            "{name}: held-out template did not prior-seed"
+        );
+        assert!(
+            !seeded.stats.warm_start,
+            "{name}: held-out template cannot warm-start"
+        );
+        assert!(
+            seeded.table.same_rows(&cold.table),
+            "{name}: prior-seeded result differs from cold"
+        );
+        if seeded.stats.slices < cold.stats.slices {
+            improved += 1;
+        }
+        rows.push(vec![
+            name.to_string(),
+            format!("{}", query.num_tables()),
+            format!("{}", cold.stats.slices),
+            format!("{}", seeded.stats.slices),
+            format!("{}", seeded.stats.slices < cold.stats.slices),
+        ]);
+        knowledge_json.push_str(&format!(
+            "      \"{name}\": {{ \"tables\": {}, \"cold_slices\": {}, \
+             \"seeded_slices\": {} }}{}\n",
+            query.num_tables(),
+            cold.stats.slices,
+            seeded.stats.slices,
+            if hi + 1 < held_out.len() { "," } else { "" },
+        ));
+    }
+    knowledge_json.push_str(&format!(
+        "    }},\n    \"improved\": {improved},\n    \"held_out\": {}\n  }}",
+        held_out.len(),
+    ));
+    print_table(
+        "Knowledge priors: held-out templates (never executed), cold vs prior-seeded first run",
+        &[
+            "template",
+            "tables",
+            "cold slices",
+            "seeded slices",
+            "improved",
+        ],
+        &rows,
+    );
+    println!(
+        "  ({ktables} table + {kedges} edge entries transferred; {improved}/{} held-out \
+         templates improved)",
+        held_out.len()
+    );
+    assert!(
+        improved * 4 >= held_out.len() * 3,
+        "knowledge priors regressed: only {improved}/{} held-out templates improved",
+        held_out.len()
+    );
+    std::fs::remove_file(&knowledge_file).ok();
+
+    // ---- 4. Concurrency: 4 sessions vs serial ------------------------
     const SESSIONS: usize = 4;
     // Serial baseline: every query once, one session.
     let serial_svc = make_service(wl.catalog.clone(), threads);
@@ -371,7 +493,142 @@ fn main() {
         .expect("write BENCH_service.json");
     upsert_bench_json(&path, "service_concurrency", &concurrency_json)
         .expect("write BENCH_service.json");
+    upsert_bench_json(&path, "knowledge_priors", &knowledge_json)
+        .expect("write BENCH_service.json");
     println!("\nrecorded → {}", path.display());
+}
+
+/// Four held-out templates: join shapes the 33 training templates never
+/// use (novel FROM sets), built from tables and join edges they *do*
+/// use — the transfer case the knowledge store exists for.
+fn held_out_queries(
+    catalog: &skinner_storage::Catalog,
+) -> Vec<(&'static str, skinner_query::Query)> {
+    use skinner_query::{AggFunc, Expr, QueryBuilder};
+    let mut out = Vec::new();
+
+    // Companies + info branches together (trained shapes keep them in
+    // separate templates).
+    let mut qb = QueryBuilder::new(catalog);
+    for (t, a) in [
+        ("title", "t"),
+        ("movie_companies", "mc"),
+        ("company_name", "cn"),
+        ("movie_info", "mi"),
+        ("info_type", "it"),
+    ] {
+        qb.table_as(t, a).unwrap();
+    }
+    for (a, b) in [
+        ("t.id", "mc.movie_id"),
+        ("mc.company_id", "cn.id"),
+        ("t.id", "mi.movie_id"),
+        ("mi.info_type_id", "it.id"),
+    ] {
+        let j = qb.col(a).unwrap().eq(qb.col(b).unwrap());
+        qb.filter(j);
+    }
+    let f = qb.col("cn.country_code").unwrap().eq(Expr::lit("us"));
+    qb.filter(f);
+    let f = qb.col("t.kind_id").unwrap().eq(Expr::lit(2i64));
+    qb.filter(f);
+    let f = qb.col("mi.info_val").unwrap().lt(Expr::lit(340i64));
+    qb.filter(f);
+    let y = qb.col("t.production_year").unwrap();
+    qb.select_agg(AggFunc::Min, Some(y), "min_year");
+    out.push(("held-companies-info", qb.build().expect("held-out query")));
+
+    // Cast chain + keywords, without the company branch.
+    let mut qb = QueryBuilder::new(catalog);
+    for (t, a) in [
+        ("title", "t"),
+        ("cast_info", "ci"),
+        ("name", "n"),
+        ("movie_keyword", "mk"),
+        ("keyword", "k"),
+    ] {
+        qb.table_as(t, a).unwrap();
+    }
+    for (a, b) in [
+        ("t.id", "ci.movie_id"),
+        ("ci.person_id", "n.id"),
+        ("t.id", "mk.movie_id"),
+        ("mk.keyword_id", "k.id"),
+    ] {
+        let j = qb.col(a).unwrap().eq(qb.col(b).unwrap());
+        qb.filter(j);
+    }
+    let f = qb.col("n.gender").unwrap().eq(Expr::lit("f"));
+    qb.filter(f);
+    let f = qb.col("ci.role_id").unwrap().le(Expr::lit(0i64));
+    qb.filter(f);
+    let f = qb.col("k.bucket").unwrap().eq(Expr::lit(7i64));
+    qb.filter(f);
+    let f = qb.col("t.votes").unwrap().gt(Expr::lit(60i64));
+    qb.filter(f);
+    let y = qb.col("t.production_year").unwrap();
+    qb.select_agg(AggFunc::Min, Some(y), "min_year");
+    out.push(("held-cast-keywords", qb.build().expect("held-out query")));
+
+    // Both info fact tables, no info_type dimension.
+    let mut qb = QueryBuilder::new(catalog);
+    for (t, a) in [
+        ("title", "t"),
+        ("movie_info", "mi"),
+        ("movie_info_idx", "mx"),
+    ] {
+        qb.table_as(t, a).unwrap();
+    }
+    for (a, b) in [
+        ("t.id", "mi.movie_id"),
+        ("t.id", "mx.movie_id"),
+        ("mi.movie_id", "mx.movie_id"),
+    ] {
+        let j = qb.col(a).unwrap().eq(qb.col(b).unwrap());
+        qb.filter(j);
+    }
+    let f = qb.col("mi.info_val").unwrap().lt(Expr::lit(120i64));
+    qb.filter(f);
+    let f = qb.col("t.votes").unwrap().gt(Expr::lit(100i64));
+    qb.filter(f);
+    let v = qb.col("mx.info_val").unwrap();
+    qb.select_agg(AggFunc::Min, Some(v), "min_val");
+    out.push(("held-info-branches", qb.build().expect("held-out query")));
+
+    // The 6-way cast template minus its keyword branch.
+    let mut qb = QueryBuilder::new(catalog);
+    for (t, a) in [
+        ("title", "t"),
+        ("cast_info", "ci"),
+        ("name", "n"),
+        ("movie_companies", "mc"),
+        ("company_name", "cn"),
+    ] {
+        qb.table_as(t, a).unwrap();
+    }
+    for (a, b) in [
+        ("t.id", "ci.movie_id"),
+        ("ci.person_id", "n.id"),
+        ("t.id", "mc.movie_id"),
+        ("mc.company_id", "cn.id"),
+        ("ci.movie_id", "mc.movie_id"),
+    ] {
+        let j = qb.col(a).unwrap().eq(qb.col(b).unwrap());
+        qb.filter(j);
+    }
+    let f = qb.col("n.gender").unwrap().eq(Expr::lit("f"));
+    qb.filter(f);
+    let f = qb.col("ci.role_id").unwrap().le(Expr::lit(0i64));
+    qb.filter(f);
+    let f = qb.col("t.votes").unwrap().gt(Expr::lit(60i64));
+    qb.filter(f);
+    let f = qb.col("mc.company_type_id").unwrap().eq(Expr::lit(1i64));
+    qb.filter(f);
+    let y = qb.col("t.production_year").unwrap();
+    qb.select_agg(AggFunc::Min, Some(y), "min_year");
+    out.push(("held-cast-companies", qb.build().expect("held-out query")));
+
+    out
 }
 
 /// Execute a pre-built query through a session (the service's SQL entry

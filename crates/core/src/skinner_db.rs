@@ -54,6 +54,10 @@ pub struct RunStats {
     /// The execution warm-started from cached learned state (UCT tree
     /// snapshot + pre-bound orders) instead of exploring from scratch.
     pub warm_start: bool,
+    /// The execution had no exact-template cache entry but its cold UCT
+    /// tree was seeded with cross-query knowledge priors (mutually
+    /// exclusive with `warm_start`).
+    pub prior_seeded: bool,
     /// Detailed Skinner-C metrics (C only).
     pub metrics: Option<ExecMetrics>,
 }

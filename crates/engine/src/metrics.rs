@@ -38,6 +38,21 @@ pub struct ExecMetrics {
     /// UCT nodes adopted from a prior execution's snapshot at run start
     /// (0 = cold start; see `RunOptions::prior`).
     pub warm_start_nodes: usize,
+    /// UCT nodes materialized from cross-query knowledge priors at run
+    /// start (see `RunOptions::arm_priors`). Mutually exclusive with
+    /// `warm_start_nodes`: an exact-template snapshot always wins over
+    /// coarse priors, so at most one of the two is non-zero.
+    pub prior_seeded_nodes: usize,
+    /// Per-table `(filtered_rows, base_rows)` observed after
+    /// pre-processing, indexed by `TableId` — the selectivity
+    /// observations the knowledge store learns from.
+    pub table_cards: Vec<(u64, u64)>,
+    /// Directed join-edge reward statistics: for every equi-joined table
+    /// pair `(a, b)` of the query, the slices whose chosen order placed
+    /// `a` before `b` accumulate `(reward_sum, count)` under key
+    /// `(a, b)` (and vice versa under `(b, a)`), so the knowledge store
+    /// can compare the two precedence directions of each edge.
+    pub edge_rewards: FxHashMap<(TableId, TableId), (f64, u64)>,
     /// Join orders compiled to the codegen tier (specialized kernels).
     pub codegen_orders: usize,
     /// Join orders that fell back to the plan-bound kernel because no

@@ -23,7 +23,7 @@ use rand::{Rng, SeedableRng};
 use skinner_codegen::{CompiledKernel, KernelCache};
 use skinner_query::{Query, TableId};
 use skinner_storage::{FxHashMap, RowId};
-use skinner_uct::{JoinOrderSpace, SearchSpace, TreeSnapshot, UctConfig, UctTree};
+use skinner_uct::{ArmPriors, JoinOrderSpace, SearchSpace, TreeSnapshot, UctConfig, UctTree};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
@@ -133,6 +133,13 @@ pub struct RunOptions<'a> {
     /// template (see `skinner_query::TemplateKey`). Ignored when the
     /// snapshot does not match this query's join-order space.
     pub prior: Option<&'a TreeSnapshot<TableId>>,
+    /// Seed a *cold* UCT tree with cross-query knowledge priors
+    /// (optimistic arm initialization, see `skinner_uct::ArmPriors`).
+    /// Only consulted when `prior` is absent — an exact-template
+    /// snapshot always beats coarse cross-template knowledge. Priors
+    /// shift exploration order without pruning, so results are
+    /// identical to a cold run's.
+    pub arm_priors: Option<&'a ArmPriors<TableId>>,
     /// Join orders to pre-bind into the plan cache (the orders a prior
     /// execution materialized). Non-permutations are skipped.
     pub planned_orders: &'a [Vec<TableId>],
@@ -276,6 +283,11 @@ impl SkinnerC {
         let mut metrics = ExecMetrics {
             preprocess_time: pq.preprocess_time,
             index_bytes: pq.index_bytes(),
+            // Selectivity observations for the knowledge store: how many
+            // rows of each table survived its unary predicates.
+            table_cards: (0..m)
+                .map(|t| (pq.cards[t] as u64, query.tables[t].table.num_rows() as u64))
+                .collect(),
             ..Default::default()
         };
 
@@ -297,14 +309,20 @@ impl SkinnerC {
             exploration: cfg.exploration,
             seed: cfg.seed,
         };
-        let mut tree = match opts.prior {
-            Some(snapshot) => UctTree::with_snapshot(space.clone(), uct_config, snapshot),
-            None => UctTree::new(space.clone(), uct_config),
+        let mut tree = match (opts.prior, opts.arm_priors) {
+            (Some(snapshot), _) => UctTree::with_snapshot(space.clone(), uct_config, snapshot),
+            (None, Some(priors)) => UctTree::with_priors(space.clone(), uct_config, priors),
+            (None, None) => UctTree::new(space.clone(), uct_config),
         };
         // > 1 means the prior was actually adopted (a mismatched
-        // snapshot falls back to the cold single-node tree).
+        // snapshot — or an empty/invalid prior table — falls back to
+        // the cold single-node tree).
         metrics.warm_start_nodes = match opts.prior {
             Some(_) if tree.num_nodes() > 1 => tree.num_nodes(),
+            _ => 0,
+        };
+        metrics.prior_seeded_nodes = match (opts.prior, opts.arm_priors) {
+            (None, Some(_)) if tree.num_nodes() > 1 => tree.num_nodes() - 1,
             _ => 0,
         };
         let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x9e3779b97f4a7c15);
@@ -336,6 +354,24 @@ impl SkinnerC {
         // Scratch cursors owned by the run loop, reused across slices.
         let mut state = vec![0u32; m];
         let mut before = vec![0u32; m];
+
+        // Equi-joined table pairs (canonical a < b) for directed
+        // precedence-reward capture; `pos` is per-slice scratch mapping
+        // table → position in the chosen order.
+        let mut edge_pairs: Vec<(TableId, TableId)> = query
+            .equi_join_pairs()
+            .iter()
+            .map(|(ca, cb)| {
+                if ca.table < cb.table {
+                    (ca.table, cb.table)
+                } else {
+                    (cb.table, ca.table)
+                }
+            })
+            .collect();
+        edge_pairs.sort_unstable();
+        edge_pairs.dedup();
+        let mut pos = vec![0usize; m];
 
         // A budget below the walk-down depth could live-lock (the re-walk
         // repeats without advancing); clamp well above it.
@@ -420,6 +456,18 @@ impl SkinnerC {
             if cfg.policy == OrderPolicy::Uct {
                 let r = reward(cfg.reward, &order, &before, &state, &pq.cards);
                 tree.update(&order, r);
+                // Knowledge capture: credit this slice's (clamped) reward
+                // to the precedence direction each join edge ran under.
+                let rc = r.clamp(0.0, 1.0);
+                for (i, &t) in order.iter().enumerate() {
+                    pos[t] = i;
+                }
+                for &(a, b) in &edge_pairs {
+                    let key = if pos[a] < pos[b] { (a, b) } else { (b, a) };
+                    let e = metrics.edge_rewards.entry(key).or_insert((0.0, 0));
+                    e.0 += rc;
+                    e.1 += 1;
+                }
             }
             tracker.backup(&order, &state);
             *metrics.order_selections.entry(order).or_insert(0) += 1;
@@ -1186,6 +1234,95 @@ mod tests {
         // Learning keeps accumulating across executions.
         let relearned = warm.learning.expect("learning captured");
         assert!(relearned.snapshot.rounds() > learned.snapshot.rounds());
+    }
+
+    #[test]
+    fn prior_seeded_run_matches_cold_and_converges_faster() {
+        use skinner_uct::{ArmPriors, PriorEntry};
+        let (_cat, q) = skewed_catalog();
+        let expected = ground_truth(&q);
+        let cfg = SkinnerCConfig {
+            budget: 200,
+            ..Default::default()
+        };
+        let cold = SkinnerC::new(cfg).run(&q);
+        assert_eq!(cold.result_count, expected);
+        // Cold runs carry the observations the knowledge store learns
+        // from: per-table cardinalities and directed edge rewards.
+        assert_eq!(cold.metrics.table_cards.len(), 3);
+        assert!(cold
+            .metrics
+            .table_cards
+            .iter()
+            .all(|&(f, b)| f <= b && b > 0));
+        assert!(!cold.metrics.edge_rewards.is_empty());
+        // Each slice credits one direction of each of the 2 join edges.
+        let total: u64 = cold.metrics.edge_rewards.values().map(|&(_, n)| n).sum();
+        assert_eq!(total, 2 * cold.metrics.slices);
+
+        // Knowledge-style priors: sel (id 2) first is the good order.
+        let priors = ArmPriors {
+            entries: vec![
+                PriorEntry {
+                    prefix: vec![2],
+                    estimate: 0.9,
+                },
+                PriorEntry {
+                    prefix: vec![1],
+                    estimate: 0.1,
+                },
+                PriorEntry {
+                    prefix: vec![0],
+                    estimate: 0.05,
+                },
+            ],
+            weight: 16,
+        };
+        let seeded = SkinnerC::new(cfg).run_with(
+            &q,
+            &RunOptions {
+                arm_priors: Some(&priors),
+                ..Default::default()
+            },
+        );
+        assert_eq!(seeded.result_count, expected, "seeded result differs");
+        assert!(seeded.metrics.prior_seeded_nodes > 0);
+        assert_eq!(seeded.metrics.warm_start_nodes, 0);
+        // Identical tuples modulo row order: priors shift exploration
+        // order only, they never change what the join produces.
+        let mut a: Vec<&[u32]> = cold.tuples.chunks_exact(1).collect();
+        let mut b: Vec<&[u32]> = seeded.tuples.chunks_exact(1).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert!(
+            seeded.metrics.slices < cold.metrics.slices,
+            "priors should converge in fewer slices (seeded {} vs cold {})",
+            seeded.metrics.slices,
+            cold.metrics.slices
+        );
+
+        // An exact-template snapshot beats coarse priors when both are
+        // offered; the run counts as a warm start, not a seeded one.
+        let cap = SkinnerC::new(cfg).run_with(
+            &q,
+            &RunOptions {
+                capture_learning: true,
+                ..Default::default()
+            },
+        );
+        let learned = cap.learning.expect("learning captured");
+        let both = SkinnerC::new(cfg).run_with(
+            &q,
+            &RunOptions {
+                prior: Some(&learned.snapshot),
+                arm_priors: Some(&priors),
+                ..Default::default()
+            },
+        );
+        assert_eq!(both.result_count, expected);
+        assert!(both.metrics.warm_start_nodes > 0);
+        assert_eq!(both.metrics.prior_seeded_nodes, 0);
     }
 
     #[test]

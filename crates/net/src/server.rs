@@ -595,6 +595,7 @@ fn wire_stats(state: &ServerState) -> WireStats {
         counters: vec![
             ("queries".into(), st.queries),
             ("warm_starts".into(), st.warm_starts),
+            ("prior_seeded".into(), st.prior_seeded),
             ("limit_pushdowns".into(), st.limit_pushdowns),
             ("cancelled".into(), st.cancelled),
             ("timed_out".into(), st.timed_out),
@@ -605,6 +606,9 @@ fn wire_stats(state: &ServerState) -> WireStats {
             ("connections_rejected".into(), st.connections_rejected),
             ("cache_hits".into(), st.cache.hits),
             ("cache_misses".into(), st.cache.misses),
+            ("cache_stale_hits".into(), st.cache.stale_hits),
+            ("knowledge_records".into(), st.knowledge.records),
+            ("knowledge_seeded".into(), st.knowledge.seeded),
             ("core_total".into(), budget.total() as u64),
             ("core_available".into(), budget.available() as u64),
             ("pool_workers".into(), pool.workers() as u64),

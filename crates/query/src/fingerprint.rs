@@ -1,0 +1,299 @@
+//! Coarse cross-template knowledge fingerprints.
+//!
+//! [`TemplateKey`](crate::TemplateKey) identifies a whole query template —
+//! the FROM list in order plus every predicate shape — which is exactly
+//! right for reusing a *complete* learned state (UCT tree + bound plans),
+//! and exactly wrong for transferring knowledge to a query that has never
+//! run before. The knowledge store needs keys that recur across
+//! templates, so it can say "whenever `title` was filtered like this, 2%
+//! of rows survived" or "placing `movie_companies` before `company_name`
+//! on this key earned reward 0.4 on average" regardless of which query
+//! taught it that.
+//!
+//! Two fingerprint families, both keyed by catalog *table names* and
+//! table-local *column indices* (never [`TableId`]s,
+//! which are FROM-list positions and differ between templates):
+//!
+//! * [`table_fingerprint`] — one table plus the shapes of its unary
+//!   predicates (constants stripped, shapes sorted). Two queries filtering
+//!   the same table the same way share it even if everything else about
+//!   them differs.
+//! * [`join_edges`] — one per joined table pair: both table names, the
+//!   fused key-column lists on each side, and the key kind (`single`
+//!   column or `fused` composite). Canonically ordered so the fingerprint
+//!   is direction-free; direction is reported separately as the query's
+//!   local [`TableId`]s.
+
+use crate::expr::Expr;
+use crate::query::Query;
+use crate::TableId;
+use std::collections::BTreeMap;
+
+/// Fingerprint of one query table together with its unary predicate
+/// shapes: `tbl:NAME|shape&shape&...` with constants stripped and shapes
+/// sorted. Column references render table-locally (`c2`), so the
+/// fingerprint is identical no matter where the table sits in the FROM
+/// list.
+pub fn table_fingerprint(query: &Query, t: TableId) -> String {
+    let mut shapes: Vec<String> = query.unary_predicates(t).map(local_shape).collect();
+    shapes.sort_unstable();
+    format!("tbl:{}|{}", query.tables[t].table.name(), shapes.join("&"))
+}
+
+/// One equi-joined table pair of a query, with its cross-template
+/// fingerprint and the query-local ids of both sides.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinEdge {
+    /// FROM-list id of the side listed first in the fingerprint.
+    pub a: TableId,
+    /// FROM-list id of the side listed second in the fingerprint.
+    pub b: TableId,
+    /// Canonical direction-free fingerprint:
+    /// `edge:NAME(c0,c1)~NAME(c0,c2)|single-or-fused`.
+    pub fingerprint: String,
+}
+
+/// All equi-joined table pairs of `query`, each with its fingerprint.
+///
+/// Pairs connected by several single-column equalities fuse into one
+/// edge whose column lists are the paired key components in canonical
+/// order (mirroring
+/// [`composite_key_groups`](crate::Query::composite_key_groups)); the
+/// `fused` suffix separates their statistics from single-key joins over
+/// the same tables, which execute on a different kernel path. Sides are
+/// ordered by `(name, columns)`, so the fingerprint is identical however
+/// the two tables are ordered in the FROM list.
+pub fn join_edges(query: &Query) -> Vec<JoinEdge> {
+    // Group key-column pairs per table-id pair, canonical (a < b) like
+    // composite_key_groups, then order sides by name for the fingerprint.
+    let mut groups: BTreeMap<(TableId, TableId), Vec<(usize, usize)>> = BTreeMap::new();
+    for (ca, cb) in query.equi_join_pairs() {
+        let ((ta, cola), (tb, colb)) = if ca.table < cb.table {
+            ((ca.table, ca.column), (cb.table, cb.column))
+        } else {
+            ((cb.table, cb.column), (ca.table, ca.column))
+        };
+        groups.entry((ta, tb)).or_default().push((cola, colb));
+    }
+    groups
+        .into_iter()
+        .map(|((ta, tb), mut pairs)| {
+            pairs.sort_unstable();
+            pairs.dedup();
+            let na = query.tables[ta].table.name();
+            let nb = query.tables[tb].table.name();
+            let cols_a: Vec<usize> = pairs.iter().map(|p| p.0).collect();
+            let cols_b: Vec<usize> = pairs.iter().map(|p| p.1).collect();
+            let kind = if pairs.len() >= 2 { "fused" } else { "single" };
+            // Direction-free side order: by (name, key columns).
+            let ((a, na, ca), (b, nb, cb)) = if (na, &cols_a) <= (nb, &cols_b) {
+                ((ta, na, cols_a.clone()), (tb, nb, cols_b.clone()))
+            } else {
+                ((tb, nb, cols_b.clone()), (ta, na, cols_a.clone()))
+            };
+            JoinEdge {
+                a,
+                b,
+                fingerprint: format!(
+                    "edge:{na}({})~{nb}({})|{kind}",
+                    join_cols(&ca),
+                    join_cols(&cb)
+                ),
+            }
+        })
+        .collect()
+}
+
+fn join_cols(cols: &[usize]) -> String {
+    cols.iter()
+        .map(|c| format!("c{c}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Render the structural shape of a unary predicate with table-local
+/// column references and constants stripped (the cross-template analogue
+/// of the [`TemplateKey`](crate::TemplateKey) shape renderer, minus the
+/// FROM-list table position).
+fn local_shape(e: &Expr) -> String {
+    let mut out = String::new();
+    render_local(e, &mut out);
+    out
+}
+
+fn render_local(e: &Expr, out: &mut String) {
+    match e {
+        Expr::Literal(_) => out.push('?'),
+        Expr::Col(c) => {
+            out.push('c');
+            out.push_str(&c.column.to_string());
+        }
+        Expr::Binary { op, left, right } => {
+            out.push('(');
+            render_local(left, out);
+            out.push_str(&format!("{op:?}"));
+            render_local(right, out);
+            out.push(')');
+        }
+        Expr::Unary { op, expr } => {
+            out.push_str(&format!("{op:?}("));
+            render_local(expr, out);
+            out.push(')');
+        }
+        Expr::Udf { udf, args } => {
+            out.push_str(&udf.name);
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render_local(a, out);
+            }
+            out.push(')');
+        }
+        Expr::InList { expr, .. } => {
+            render_local(expr, out);
+            out.push_str(" in(?)");
+        }
+        Expr::Like { expr, negated, .. } => {
+            render_local(expr, out);
+            out.push_str(if *negated { " !like ?" } else { " like ?" });
+        }
+        Expr::IsNull { expr, negated } => {
+            render_local(expr, out);
+            out.push_str(if *negated { " notnull" } else { " isnull" });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::QueryBuilder;
+    use skinner_storage::{Catalog, Column, ColumnDef, Schema, Table, ValueType};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        for name in ["a", "b", "c"] {
+            cat.register(
+                Table::new(
+                    name,
+                    Schema::new([
+                        ColumnDef::new("k", ValueType::Int),
+                        ColumnDef::new("v", ValueType::Int),
+                    ]),
+                    vec![
+                        Column::from_ints(vec![1, 2, 3]),
+                        Column::from_ints(vec![10, 20, 30]),
+                    ],
+                )
+                .unwrap(),
+            );
+        }
+        cat
+    }
+
+    /// a ⋈ b with a filter on a; table order and the constant vary.
+    fn query(cat: &Catalog, threshold: i64, swap_from: bool) -> Query {
+        let mut qb = QueryBuilder::new(cat);
+        if swap_from {
+            qb.table("b").unwrap();
+            qb.table("a").unwrap();
+        } else {
+            qb.table("a").unwrap();
+            qb.table("b").unwrap();
+        }
+        let j = qb.col("a.k").unwrap().eq(qb.col("b.k").unwrap());
+        let f = qb.col("a.v").unwrap().lt(Expr::lit(threshold));
+        qb.filter(j);
+        qb.filter(f);
+        qb.select_col("a.v").unwrap();
+        qb.build().unwrap()
+    }
+
+    fn table_id(q: &Query, name: &str) -> TableId {
+        (0..q.num_tables())
+            .find(|&t| q.tables[t].table.name() == name)
+            .unwrap()
+    }
+
+    #[test]
+    fn table_fingerprint_survives_constants_and_from_order() {
+        let cat = catalog();
+        let q1 = query(&cat, 5, false);
+        let q2 = query(&cat, 9_999, true);
+        let f1 = table_fingerprint(&q1, table_id(&q1, "a"));
+        let f2 = table_fingerprint(&q2, table_id(&q2, "a"));
+        assert_eq!(f1, f2, "constants and FROM order must not split");
+        assert!(f1.starts_with("tbl:a|"), "{f1}");
+        assert!(!f1.contains("9999"));
+        // A different predicate shape splits.
+        let mut qb = QueryBuilder::new(&cat);
+        qb.table("a").unwrap();
+        qb.table("b").unwrap();
+        let j = qb.col("a.k").unwrap().eq(qb.col("b.k").unwrap());
+        let f = qb.col("a.v").unwrap().gt(Expr::lit(5));
+        qb.filter(j);
+        qb.filter(f);
+        qb.select_col("a.v").unwrap();
+        let q3 = qb.build().unwrap();
+        assert_ne!(f1, table_fingerprint(&q3, table_id(&q3, "a")));
+    }
+
+    #[test]
+    fn join_edge_fingerprint_is_direction_free() {
+        let cat = catalog();
+        let q1 = query(&cat, 5, false);
+        let q2 = query(&cat, 7, true);
+        let e1 = join_edges(&q1);
+        let e2 = join_edges(&q2);
+        assert_eq!(e1.len(), 1);
+        assert_eq!(e1[0].fingerprint, e2[0].fingerprint);
+        // Local ids follow the FROM list; side `a` is table name "a".
+        assert_eq!(e1[0].a, table_id(&q1, "a"));
+        assert_eq!(e2[0].a, table_id(&q2, "a"));
+        assert!(
+            e1[0].fingerprint.ends_with("|single"),
+            "{}",
+            e1[0].fingerprint
+        );
+    }
+
+    #[test]
+    fn composite_edges_fuse_and_are_marked() {
+        let cat = catalog();
+        let mut qb = QueryBuilder::new(&cat);
+        qb.table("a").unwrap();
+        qb.table("b").unwrap();
+        let j1 = qb.col("a.k").unwrap().eq(qb.col("b.k").unwrap());
+        let j2 = qb.col("a.v").unwrap().eq(qb.col("b.v").unwrap());
+        qb.filter(j1);
+        qb.filter(j2);
+        qb.select_col("a.v").unwrap();
+        let q = qb.build().unwrap();
+        let edges = join_edges(&q);
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].fingerprint, "edge:a(c0,c1)~b(c0,c1)|fused");
+    }
+
+    #[test]
+    fn edges_generalize_to_a_superset_query() {
+        // The a⋈b edge of the 2-way query recurs verbatim in a 3-way
+        // query that joins c on top — the transfer property the
+        // knowledge store relies on.
+        let cat = catalog();
+        let small = query(&cat, 5, false);
+        let mut qb = QueryBuilder::new(&cat);
+        qb.table("c").unwrap();
+        qb.table("a").unwrap();
+        qb.table("b").unwrap();
+        let j1 = qb.col("a.k").unwrap().eq(qb.col("b.k").unwrap());
+        let j2 = qb.col("c.v").unwrap().eq(qb.col("a.v").unwrap());
+        qb.filter(j1);
+        qb.filter(j2);
+        qb.select_col("a.v").unwrap();
+        let big = qb.build().unwrap();
+        let small_fp = &join_edges(&small)[0].fingerprint;
+        assert!(join_edges(&big).iter().any(|e| &e.fingerprint == small_fp));
+    }
+}

@@ -30,6 +30,7 @@ pub mod builder;
 pub mod compile;
 pub mod error;
 pub mod expr;
+pub mod fingerprint;
 pub mod join_graph;
 pub mod parser;
 pub mod query;
@@ -40,6 +41,7 @@ pub use builder::QueryBuilder;
 pub use compile::{compile_predicates, BoundPred, CompiledPred, TupleContext};
 pub use error::QueryError;
 pub use expr::{BinOp, ColRef, Expr, RowContext, TableSet, UnOp};
+pub use fingerprint::{join_edges, table_fingerprint, JoinEdge};
 pub use join_graph::JoinGraph;
 pub use parser::parse;
 pub use query::{Agg, AggFunc, CompositeGroup, OrderKey, Query, SelectItem, TableBinding};

@@ -95,6 +95,13 @@ fn main() {
             ),
             Err(e) => eprintln!("learning cache load failed: {e}"),
         }
+        match service.load_knowledge(&skinner_service::knowledge_path(cache)) {
+            Ok(report) => eprintln!(
+                "knowledge warm start: {} loaded, {} corrupt, {} stale",
+                report.loaded, report.corrupt, report.stale
+            ),
+            Err(e) => eprintln!("knowledge load failed: {e}"),
+        }
     }
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout();
@@ -107,6 +114,10 @@ fn main() {
         {
             Ok(n) => eprintln!("persisted {n} learning-cache entries"),
             Err(e) => eprintln!("learning cache save failed: {e}"),
+        }
+        match service.save_knowledge(&skinner_service::knowledge_path(cache)) {
+            Ok(n) => eprintln!("persisted {n} knowledge entries"),
+            Err(e) => eprintln!("knowledge save failed: {e}"),
         }
     }
 }

@@ -63,6 +63,12 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups with no entry for the template.
     pub misses: u64,
+    /// Lookups that *found* the template but had to drop it because its
+    /// table versions were stale (also counted under `misses` and
+    /// `invalidated`). A warm workload with a high `stale_hits` share is
+    /// churning its tables out from under its templates — previously
+    /// indistinguishable from never having seen the template at all.
+    pub stale_hits: u64,
     /// Entries dropped because a touched table changed under them.
     pub invalidated: u64,
     /// Stores (first sighting or refresh after an execution).
@@ -95,6 +101,7 @@ pub struct LearningCache {
     clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    stale_hits: AtomicU64,
     invalidated: AtomicU64,
     stores: AtomicU64,
     evicted: AtomicU64,
@@ -129,6 +136,7 @@ impl LearningCache {
             clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            stale_hits: AtomicU64::new(0),
             invalidated: AtomicU64::new(0),
             stores: AtomicU64::new(0),
             evicted: AtomicU64::new(0),
@@ -163,6 +171,7 @@ impl LearningCache {
             Some(_) => {
                 let e = inner.map.remove(key).expect("entry present");
                 inner.total_bytes -= e.bytes;
+                self.stale_hits.fetch_add(1, Ordering::Relaxed);
                 self.invalidated.fetch_add(1, Ordering::Relaxed);
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
@@ -300,6 +309,7 @@ impl LearningCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            stale_hits: self.stale_hits.load(Ordering::Relaxed),
             invalidated: self.invalidated.load(Ordering::Relaxed),
             stores: self.stores.load(Ordering::Relaxed),
             evicted: self.evicted.load(Ordering::Relaxed),
@@ -385,8 +395,15 @@ mod tests {
         let s = cache.stats();
         assert_eq!(s.hits, 1);
         assert_eq!(s.misses, 2);
+        assert_eq!(
+            s.stale_hits, 1,
+            "a stale-deps eviction-on-lookup must be distinguishable \
+             from a plain miss"
+        );
         assert_eq!(s.invalidated, 1);
         assert_eq!(s.stores, 1);
+        // The first lookup never saw the template: a plain miss only.
+        assert_eq!(s.misses - s.stale_hits, 1);
     }
 
     #[test]

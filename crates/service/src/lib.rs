@@ -26,6 +26,13 @@
 //!   `BENCH_service.json`). Catalog mutations bump a version that
 //!   invalidates stale entries — warm answers are always byte-for-byte
 //!   equal to cold ones.
+//! * Knowledge priors — when the exact-template cache misses, the
+//!   service consults a cross-query
+//!   [`KnowledgeStore`](skinner_knowledge::KnowledgeStore) of observed
+//!   selectivities and join-edge rewards (keyed by coarse fingerprints
+//!   that recur across templates) and seeds the cold UCT tree with
+//!   optimistic arm priors: first-ever runs of *new* templates converge
+//!   faster, with results provably identical to cold runs.
 //! * Streaming delivery — `LIMIT` queries push their row target into
 //!   the join phase (the engine's limit-aware `ResultSink` stops the
 //!   slice loop once enough deduped rows exist), and
@@ -68,7 +75,7 @@ pub mod service;
 pub use budget::{CoreBudget, CoreGrant};
 pub use cache::{CacheStats, LearningCache};
 pub use listener::{serve_accept_loop, Acceptor, ShutdownFlag};
-pub use persist::{CachePersister, LoadReport};
+pub use persist::{knowledge_path, CachePersister, LoadReport};
 pub use service::{
     CancelToken, ConnectionGuard, ExecuteOptions, QueryService, ServiceConfig, ServiceError,
     ServiceStats, Session,

@@ -450,10 +450,42 @@ impl QueryService {
         }
         Ok(report)
     }
+
+    /// Persist the knowledge store to `path` (atomic write with its own
+    /// magic/format, see [`skinner_knowledge::persist`]). Returns the
+    /// number of entries written.
+    pub fn save_knowledge(&self, path: &Path) -> io::Result<usize> {
+        skinner_knowledge::persist::save(&self.knowledge(), path)
+    }
+
+    /// Warm-start the knowledge store from `path`, keeping only entries
+    /// whose catalog versions still match the live catalog (others are
+    /// reported `stale`); corruption degrades exactly like the learning
+    /// cache's loader.
+    pub fn load_knowledge(
+        &self,
+        path: &Path,
+    ) -> io::Result<skinner_knowledge::KnowledgeLoadReport> {
+        let mut store = self.knowledge();
+        skinner_knowledge::persist::load_with(&mut store, path, |name, version| {
+            self.table_is_current(name, version)
+        })
+    }
+}
+
+/// The knowledge store's on-disk sibling of a learning-cache file:
+/// `<cache path>.knowledge`. Keeping the two formats in separate files
+/// lets each keep its own magic, version and corruption domain while
+/// operators still manage a single `--cache` location.
+pub fn knowledge_path(cache_path: &Path) -> std::path::PathBuf {
+    let mut name = cache_path.file_name().unwrap_or_default().to_os_string();
+    name.push(".knowledge");
+    cache_path.with_file_name(name)
 }
 
 /// Background persister: periodically flushes the service's learning
-/// cache to disk (atomic + retried), and once more on
+/// cache to disk (atomic + retried) — and the knowledge store to the
+/// [`knowledge_path`] sibling — and once more on
 /// [`shutdown`](CachePersister::shutdown). Dropping without `shutdown`
 /// stops the thread and makes a best-effort final flush.
 #[derive(Debug)]
@@ -489,6 +521,9 @@ impl CachePersister {
                     {
                         eprintln!("skinner: periodic cache flush failed: {e}");
                     }
+                    if let Err(e) = svc.save_knowledge(&knowledge_path(&p)) {
+                        eprintln!("skinner: periodic knowledge flush failed: {e}");
+                    }
                 }
             }
         });
@@ -501,9 +536,14 @@ impl CachePersister {
     }
 
     /// Stop the background thread and write a final flush (retried).
-    /// Returns the entry count of the final flush.
+    /// Returns the entry count of the final learning-cache flush; the
+    /// knowledge store flushes alongside (a knowledge flush error is
+    /// reported but does not fail the cache flush).
     pub fn shutdown(mut self) -> io::Result<usize> {
         self.halt();
+        if let Err(e) = self.service.save_knowledge(&knowledge_path(&self.path)) {
+            eprintln!("skinner: final knowledge flush failed: {e}");
+        }
         self.service
             .save_learning_cache_with_retry(&self.path, 3, Duration::from_millis(50))
     }
@@ -526,6 +566,9 @@ impl Drop for CachePersister {
                 Duration::from_millis(50),
             ) {
                 eprintln!("skinner: final cache flush failed: {e}");
+            }
+            if let Err(e) = self.service.save_knowledge(&knowledge_path(&self.path)) {
+                eprintln!("skinner: final knowledge flush failed: {e}");
             }
         }
     }

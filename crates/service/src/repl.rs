@@ -81,14 +81,24 @@ pub fn handle_line(session: &mut Session, line: &str) -> Response {
             Response::Message(vec![
                 format!("queries: {}", st.queries),
                 format!(
-                    "learning cache: {} hits, {} misses, {} invalidated",
-                    st.cache.hits, st.cache.misses, st.cache.invalidated
+                    "learning cache: {} hits, {} misses ({} stale), {} invalidated",
+                    st.cache.hits, st.cache.misses, st.cache.stale_hits, st.cache.invalidated
+                ),
+                format!(
+                    "knowledge: {} records, {} seeded, {} without priors, {} invalidated",
+                    st.knowledge.records,
+                    st.knowledge.seeded,
+                    st.knowledge.no_priors,
+                    st.knowledge.invalidated
                 ),
                 format!(
                     "kernel cache: {} hits, {} misses",
                     st.kernels.hits, st.kernels.misses
                 ),
-                format!("warm starts: {}", st.warm_starts),
+                format!(
+                    "warm starts: {}, prior-seeded: {}",
+                    st.warm_starts, st.prior_seeded
+                ),
                 format!("limit pushdowns: {}", st.limit_pushdowns),
                 format!("cancelled: {}, timed out: {}", st.cancelled, st.timed_out),
                 format!(
@@ -103,11 +113,22 @@ pub fn handle_line(session: &mut Session, line: &str) -> Response {
         }
         "\\cache" => {
             let cache = session.service().learning_cache();
-            Response::Message(vec![format!(
-                "{} templates cached (~{} bytes of learned state)",
-                cache.len(),
-                cache.approx_bytes()
-            )])
+            let (ktables, kedges, kbytes) = {
+                let k = session.service().knowledge();
+                let (t, e) = k.len();
+                (t, e, k.approx_bytes())
+            };
+            Response::Message(vec![
+                format!(
+                    "{} templates cached (~{} bytes of learned state)",
+                    cache.len(),
+                    cache.approx_bytes()
+                ),
+                format!(
+                    "knowledge: {ktables} table entries, {kedges} edge entries \
+                     (~{kbytes} bytes)"
+                ),
+            ])
         }
         sql => match session.execute(sql) {
             Ok(result) => Response::Result(Box::new(result)),
@@ -121,6 +142,9 @@ fn stats_suffix(stats: &RunStats) -> String {
     let mut flags = Vec::new();
     if stats.warm_start {
         flags.push("warm");
+    }
+    if stats.prior_seeded {
+        flags.push("prior-seeded");
     }
     if matches!(stats.stop, Some(skinner_engine::StopReason::RowTarget)) {
         flags.push("limit-pushdown");
@@ -375,6 +399,13 @@ pub fn serve_unix_with(
             ),
             Err(e) => eprintln!("skinner-repl: learning cache load failed: {e}"),
         }
+        match service.load_knowledge(&crate::persist::knowledge_path(cache)) {
+            Ok(report) => eprintln!(
+                "skinner-repl: knowledge warm start: {} loaded, {} corrupt, {} stale",
+                report.loaded, report.corrupt, report.stale
+            ),
+            Err(e) => eprintln!("skinner-repl: knowledge load failed: {e}"),
+        }
     }
     let persister = opts
         .cache_path
@@ -418,6 +449,10 @@ pub fn serve_unix_with(
             Ok(n) => eprintln!("skinner-repl: persisted {n} learning-cache entries"),
             Err(e) => eprintln!("skinner-repl: final cache flush failed: {e}"),
         }
+        let (tables, edges) = service.knowledge().len();
+        eprintln!(
+            "skinner-repl: persisted knowledge: {tables} table entries, {edges} edge entries"
+        );
     }
     Ok(())
 }

@@ -15,12 +15,13 @@ use skinner_engine::{
     KernelCache, KernelCacheStats, LearnedState, RunOptions, SkinnerC, SkinnerCConfig,
     SkinnerOutcome, StopReason, WorkerPool,
 };
+use skinner_knowledge::{observe, KnowledgeConfig, KnowledgeStats, KnowledgeStore};
 use skinner_query::{parse, Query, QueryError, TemplateKey, UdfRegistry};
 use skinner_storage::table::TableRef;
 use skinner_storage::{Catalog, FxHashMap, Table, Value};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
 
 /// Service configuration.
@@ -53,6 +54,11 @@ pub struct ServiceConfig {
     /// growing until the OS kills the process. Individual executions
     /// may override it ([`ExecuteOptions::max_result_bytes`]).
     pub max_result_bytes: Option<usize>,
+    /// Seed cold UCT trees with cross-query knowledge priors (on by
+    /// default; requires `learning_cache`). Priors only shift the
+    /// learner's exploration order — results are identical either way —
+    /// so disabling this reproduces fully cold first runs per template.
+    pub knowledge_priors: bool,
 }
 
 impl Default for ServiceConfig {
@@ -64,6 +70,7 @@ impl Default for ServiceConfig {
             cache_capacity: DEFAULT_CACHE_CAPACITY,
             cache_max_bytes: None,
             max_result_bytes: None,
+            knowledge_priors: true,
         }
     }
 }
@@ -145,6 +152,10 @@ pub struct ExecuteOptions {
     /// Override the service default result-byte budget
     /// ([`ServiceConfig::max_result_bytes`]) for this execution.
     pub max_result_bytes: Option<usize>,
+    /// Skip knowledge-prior seeding for this execution even when
+    /// [`ServiceConfig::knowledge_priors`] is on (results are identical
+    /// either way; this forces the fully cold exploration path).
+    pub disable_priors: bool,
 }
 
 /// Monotonic service-wide counters.
@@ -154,6 +165,10 @@ pub struct ServiceStats {
     pub queries: u64,
     /// Executions warm-started from the learning cache.
     pub warm_starts: u64,
+    /// Executions with no exact-template entry whose cold tree was
+    /// seeded with cross-query knowledge priors instead (mutually
+    /// exclusive with `warm_starts` per execution).
+    pub prior_seeded: u64,
     /// Executions whose join phase stopped early via LIMIT pushdown.
     pub limit_pushdowns: u64,
     /// Executions cancelled via a [`CancelToken`].
@@ -179,6 +194,9 @@ pub struct ServiceStats {
     pub connections_rejected: u64,
     /// Learning-cache counters.
     pub cache: CacheStats,
+    /// Knowledge-store counters (cross-query priors, see
+    /// `skinner-knowledge`).
+    pub knowledge: KnowledgeStats,
     /// Kernel-shape cache counters (codegen tier, see `skinner-codegen`).
     pub kernels: KernelCacheStats,
 }
@@ -240,6 +258,10 @@ pub struct QueryService {
     catalog: RwLock<CatalogState>,
     udfs: UdfRegistry,
     cache: LearningCache,
+    /// Cross-query knowledge (coarse fingerprints → selectivity/edge
+    /// statistics), seeding cold trees when the exact-template cache
+    /// misses. Mutex, not RwLock: both seeding and recording mutate.
+    knowledge: Mutex<KnowledgeStore>,
     kernels: KernelCache,
     budget: CoreBudget,
     /// The persistent morsel pool shared by every query this service
@@ -249,6 +271,7 @@ pub struct QueryService {
     pool: Arc<WorkerPool>,
     queries: AtomicU64,
     warm_starts: AtomicU64,
+    prior_seeded: AtomicU64,
     limit_pushdowns: AtomicU64,
     cancelled: AtomicU64,
     timed_out: AtomicU64,
@@ -310,11 +333,13 @@ impl QueryService {
             }),
             udfs,
             cache: LearningCache::with_limits(config.cache_capacity, config.cache_max_bytes),
+            knowledge: Mutex::new(KnowledgeStore::new(KnowledgeConfig::default())),
             kernels: KernelCache::new(),
             budget,
             pool,
             queries: AtomicU64::new(0),
             warm_starts: AtomicU64::new(0),
+            prior_seeded: AtomicU64::new(0),
             limit_pushdowns: AtomicU64::new(0),
             cancelled: AtomicU64::new(0),
             timed_out: AtomicU64::new(0),
@@ -417,6 +442,10 @@ impl QueryService {
             st.table_versions.insert(name.clone(), version);
         }
         self.cache.invalidate_table(&name);
+        // The knowledge store is versioned the same way: everything
+        // learned from the replaced table's data is dropped eagerly,
+        // knowledge about unrelated tables survives.
+        self.knowledge().invalidate_table(&name);
     }
 
     /// Service-wide counters.
@@ -424,6 +453,7 @@ impl QueryService {
         ServiceStats {
             queries: self.queries.load(Ordering::Relaxed),
             warm_starts: self.warm_starts.load(Ordering::Relaxed),
+            prior_seeded: self.prior_seeded.load(Ordering::Relaxed),
             limit_pushdowns: self.limit_pushdowns.load(Ordering::Relaxed),
             cancelled: self.cancelled.load(Ordering::Relaxed),
             timed_out: self.timed_out.load(Ordering::Relaxed),
@@ -433,6 +463,7 @@ impl QueryService {
             connections_open: self.connections_open.load(Ordering::Relaxed),
             connections_rejected: self.connections_rejected.load(Ordering::Relaxed),
             cache: self.cache.stats(),
+            knowledge: self.knowledge().stats(),
             kernels: self.kernels.stats(),
         }
     }
@@ -458,6 +489,15 @@ impl QueryService {
     /// The learning cache (introspection: entry count, bytes).
     pub fn learning_cache(&self) -> &LearningCache {
         &self.cache
+    }
+
+    /// Lock the knowledge store, recovering from poisoning (its
+    /// mutations are individually consistent, so post-panic state is
+    /// safe to keep serving — matching the catalog/cache policy).
+    pub fn knowledge(&self) -> MutexGuard<'_, KnowledgeStore> {
+        self.knowledge
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 
     /// The shared core budget (introspection: total/available permits —
@@ -528,6 +568,13 @@ impl QueryService {
         })
     }
 
+    /// Single-table version of [`deps_are_current`](Self::deps_are_current)
+    /// (the knowledge loader filters per entry dependency).
+    pub(crate) fn table_is_current(&self, name: &str, version: u64) -> bool {
+        let st = self.catalog_read();
+        st.catalog.get(name).is_ok() && st.table_versions.get(name).copied().unwrap_or(0) == version
+    }
+
     /// Run the join phase of `query` through admission, the learning
     /// cache (when `use_learning`), and the engine's per-run controls.
     /// Returns the raw outcome plus `RunStats` with everything except
@@ -544,6 +591,19 @@ impl QueryService {
         let use_learning = use_learning && self.config.learning_cache;
         let key = use_learning.then(|| TemplateKey::of(query));
         let cached = key.as_ref().and_then(|key| self.cache.lookup(key, deps));
+
+        // No exact-template entry: ask the knowledge store for coarse
+        // cross-query priors (an exact snapshot always wins — the
+        // engine ignores `arm_priors` when a `prior` is present).
+        let priors = if cached.is_none()
+            && use_learning
+            && self.config.knowledge_priors
+            && !opts.disable_priors
+        {
+            self.knowledge().seed(query, deps)
+        } else {
+            None
+        };
 
         // Deadline covers queueing: a query stuck behind a long queue
         // fails fast rather than running past its budget — both the
@@ -587,6 +647,7 @@ impl QueryService {
 
         let run_opts = RunOptions {
             prior: cached.as_ref().map(|c| &c.snapshot),
+            arm_priors: priors.as_ref(),
             planned_orders: cached
                 .as_ref()
                 .map(|c| c.planned_orders.as_slice())
@@ -624,12 +685,29 @@ impl QueryService {
         if warm_start {
             self.warm_starts.fetch_add(1, Ordering::Relaxed);
         }
+        let prior_seeded = out.metrics.prior_seeded_nodes > 0;
+        if prior_seeded {
+            self.prior_seeded.fetch_add(1, Ordering::Relaxed);
+        }
         // The learning from an interrupted run is still valid (the tree
         // state is sound at every slice boundary), so even a
         // memory-exceeded run warms its template — a retry with a bigger
         // budget converges faster.
         if let (Some(key), Some(learning)) = (key, out.learning.take()) {
             self.cache.store(key, deps.clone(), learning);
+        }
+        // Feed the knowledge store: selectivity and edge-reward
+        // observations generalize across templates, so learned runs
+        // contribute (interrupted ones included — per-slice edge
+        // rewards are valid at any boundary). Warm-started runs are
+        // excluded: they replay a converged tree, so virtually every
+        // slice executes one order and the recorded edge shares collapse
+        // to 0/1 — zero-exploration evidence that drowns out the
+        // balanced shares cold runs contribute and flips rankings on
+        // templates the store has never seen.
+        if use_learning && self.config.knowledge_priors && !warm_start {
+            let obs = observe(query, deps, &out.metrics);
+            self.knowledge().record(&obs);
         }
 
         // Graceful degradation: a LIMIT-pushdown query keeps the
@@ -648,6 +726,7 @@ impl QueryService {
             stop: Some(out.stop),
             cache_hit: cached.is_some(),
             warm_start,
+            prior_seeded,
             metrics: Some(out.metrics.clone()),
             ..Default::default()
         };
@@ -974,6 +1053,128 @@ mod tests {
         let warm = s.execute(sql).expect("warm");
         assert!(warm.stats.cache_hit, "per-table invalidation too coarse");
         assert_eq!(svc.stats().cache.invalidated, 0);
+    }
+
+    #[test]
+    fn knowledge_priors_seed_new_templates() {
+        let svc = QueryService::over(catalog());
+        let mut s = svc.session();
+        // Train on one template: records a⋈b edge rewards + table
+        // selectivities into the knowledge store.
+        s.execute("SELECT COUNT(*) AS n FROM a, b WHERE a.k = b.k AND a.v < 60")
+            .expect("train");
+        assert!(svc.stats().knowledge.records > 0);
+        assert!(!svc.knowledge().is_empty());
+
+        // A *held-out* template (different predicate shape → cache
+        // miss) over the same join edge is prior-seeded, and its answer
+        // matches the prior-free run of the same SQL exactly.
+        let sql = "SELECT COUNT(*) AS n FROM a, b WHERE a.k = b.k AND b.v < 100";
+        let seeded = s.execute(sql).expect("seeded");
+        assert!(!seeded.stats.cache_hit);
+        assert!(seeded.stats.prior_seeded, "held-out template must seed");
+        assert!(!seeded.stats.warm_start);
+        assert_eq!(svc.stats().prior_seeded, 1);
+
+        // The exact template repeats: the snapshot wins over priors.
+        let warm = s
+            .execute("SELECT COUNT(*) AS n FROM a, b WHERE a.k = b.k AND b.v < 99")
+            .expect("warm");
+        assert!(warm.stats.warm_start);
+        assert!(!warm.stats.prior_seeded);
+        assert_eq!(svc.stats().prior_seeded, 1, "warm start must not seed");
+        assert_eq!(warm.table.rows[0][0], seeded.table.rows[0][0]);
+
+        // Per-execution opt-out forces the fully cold path.
+        let cold_svc = QueryService::over(catalog());
+        let mut cs = cold_svc.session();
+        cs.execute("SELECT COUNT(*) AS n FROM a, b WHERE a.k = b.k AND a.v < 60")
+            .expect("train");
+        let cold = cs
+            .execute_with(
+                sql,
+                &ExecuteOptions {
+                    disable_priors: true,
+                    ..Default::default()
+                },
+            )
+            .expect("cold");
+        assert!(!cold.stats.prior_seeded);
+        assert_eq!(cold.table.rows[0][0], seeded.table.rows[0][0]);
+    }
+
+    #[test]
+    fn knowledge_priors_config_off_disables_seeding() {
+        let svc = QueryService::new(
+            catalog(),
+            UdfRegistry::new(),
+            ServiceConfig {
+                knowledge_priors: false,
+                ..Default::default()
+            },
+        );
+        let mut s = svc.session();
+        s.execute("SELECT COUNT(*) AS n FROM a, b WHERE a.k = b.k AND a.v < 60")
+            .expect("first");
+        assert!(svc.knowledge().is_empty(), "recording must be off too");
+        let r = s
+            .execute("SELECT COUNT(*) AS n FROM a, b WHERE a.k = b.k AND b.v < 100")
+            .expect("second");
+        assert!(!r.stats.prior_seeded);
+        assert_eq!(svc.stats().prior_seeded, 0);
+    }
+
+    #[test]
+    fn register_table_invalidates_knowledge() {
+        let svc = QueryService::over(catalog());
+        let mut s = svc.session();
+        s.execute("SELECT COUNT(*) AS n FROM a, b WHERE a.k = b.k AND a.v < 60")
+            .expect("train");
+        assert!(!svc.knowledge().is_empty());
+        // Replacing `b` drops the a~b edge and b's selectivity entry;
+        // a's selectivity entry survives.
+        svc.register_table(
+            Table::new(
+                "b",
+                Schema::new([
+                    ColumnDef::new("k", ValueType::Int),
+                    ColumnDef::new("v", ValueType::Int),
+                ]),
+                vec![Column::from_ints(vec![0]), Column::from_ints(vec![0])],
+            )
+            .unwrap(),
+        );
+        let st = svc.stats().knowledge;
+        assert!(st.invalidated > 0);
+        let (tables, edges) = svc.knowledge().len();
+        assert_eq!(edges, 0, "edge over replaced table must drop");
+        assert_eq!(tables, 1, "unrelated table entry must survive");
+    }
+
+    #[test]
+    fn knowledge_persists_across_services() {
+        let dir = std::env::temp_dir().join("skinner_svc_knowledge_rt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("knowledge.bin");
+        let trained = QueryService::over(catalog());
+        let mut s = trained.session();
+        s.execute("SELECT COUNT(*) AS n FROM a, b WHERE a.k = b.k AND a.v < 60")
+            .expect("train");
+        let n = trained.save_knowledge(&path).expect("save");
+        assert!(n > 0);
+
+        // A fresh service (same catalog → same table versions) restores
+        // the knowledge and prior-seeds a held-out template first try.
+        let restored = QueryService::over(catalog());
+        let report = restored.load_knowledge(&path).expect("load");
+        assert_eq!(report.loaded, n);
+        assert_eq!(report.stale, 0);
+        let mut s2 = restored.session();
+        let r = s2
+            .execute("SELECT COUNT(*) AS n FROM a, b WHERE a.k = b.k AND b.v < 100")
+            .expect("held-out");
+        assert!(r.stats.prior_seeded, "restored knowledge must seed");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -14,6 +14,11 @@
 //! The paper sets `w = sqrt(2)` for Skinner-G/H (sufficient for the regret
 //! bound) and `w = 1e-6` for Skinner-C, whose fine-grained reward signal
 //! needs little forced exploration.
+//!
+//! Cold trees can additionally be seeded with cross-query knowledge via
+//! [`UctTree::with_priors`] + [`ArmPriors`]: optimistic initialization of
+//! arm estimates that shifts exploration order without ever pruning an
+//! arm, so the regret-bound exploration guarantee is preserved.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,4 +27,6 @@ pub mod join;
 pub mod tree;
 
 pub use join::JoinOrderSpace;
-pub use tree::{SearchSpace, SnapshotNode, TreeSnapshot, UctConfig, UctTree};
+pub use tree::{
+    ArmPriors, PriorEntry, SearchSpace, SnapshotNode, TreeSnapshot, UctConfig, UctTree,
+};

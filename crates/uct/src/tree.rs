@@ -181,6 +181,35 @@ impl<A> TreeSnapshot<A> {
     }
 }
 
+/// One cross-query prior: an estimated mean reward for the arm reached
+/// by following `prefix` from the root (`[t]` seeds a root arm,
+/// `[t, u]` seeds arm `u` of the node reached via `t`, and so on).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PriorEntry<A> {
+    /// Action path from the root to the seeded arm; never empty.
+    pub prefix: Vec<A>,
+    /// Estimated mean reward of that arm, clamped to `[0, 1]` at
+    /// injection time like every observed reward.
+    pub estimate: f64,
+}
+
+/// Cross-query priors for [`UctTree::with_priors`]: a table of arm
+/// estimates plus the virtual visit count each seeded arm starts with.
+///
+/// Plain data by design — the knowledge store serializes prior tables
+/// the same way the learning cache serializes [`TreeSnapshot`]s, and
+/// these public fields are that (de)serialization surface.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ArmPriors<A> {
+    /// Seeded arms. Entries whose prefixes name unknown actions (or
+    /// whose parent arm is not itself seeded) are ignored.
+    pub entries: Vec<PriorEntry<A>>,
+    /// Virtual visits given to every arm of a seeded node. Small values
+    /// (2–4) mean one or two real slices already outvote a wrong prior;
+    /// `0` disables seeding entirely.
+    pub weight: u64,
+}
+
 /// The UCT search tree (paper §4.1).
 ///
 /// `choose` walks the materialized tree with the UCB1 rule, then extends
@@ -229,6 +258,108 @@ impl<S: SearchSpace> UctTree<S> {
         if snapshot.well_formed() && snapshot.nodes[0].actions == tree.nodes[0].actions {
             tree.nodes = snapshot.nodes.clone();
             tree.rounds = snapshot.rounds;
+        }
+        tree
+    }
+
+    /// Create a tree over `space` seeded with cross-query priors via
+    /// *optimistic initialization*: every arm of a seeded node is
+    /// materialized with `priors.weight` virtual visits — arms named by
+    /// a prior get their estimated mean, the rest get the *best* seeded
+    /// estimate at that node, so unknown arms start tied with the most
+    /// promising known one instead of being starved.
+    ///
+    /// This shifts exploration *order* only and never prunes: every arm
+    /// keeps a positive visit count (so UCB1's log term guarantees it
+    /// is revisited), every permutation stays reachable, and the round
+    /// count stays `0` (a merely prior-seeded tree never reads as
+    /// converged). Malformed entries — empty prefixes, unknown actions,
+    /// prefixes under unseeded parents — are skipped; with `weight == 0`
+    /// or no valid entries the tree is exactly cold.
+    pub fn with_priors(space: S, config: UctConfig, priors: &ArmPriors<S::Action>) -> Self {
+        let mut tree = UctTree::new(space, config);
+        if priors.weight == 0 || priors.entries.is_empty() {
+            return tree;
+        }
+        // Group seeded arms by parent prefix; seed shallow nodes first
+        // so a parent's child node exists before its own arms seed.
+        type SeededArms<A> = Vec<(Vec<A>, Vec<(A, f64)>)>;
+        let mut by_parent: SeededArms<S::Action> = Vec::new();
+        for e in &priors.entries {
+            let Some((&arm, parent)) = e.prefix.split_last() else {
+                continue;
+            };
+            let est = e.estimate.clamp(0.0, 1.0);
+            match by_parent.iter_mut().find(|(p, _)| p == parent) {
+                Some((_, arms)) => arms.push((arm, est)),
+                None => by_parent.push((parent.to_vec(), vec![(arm, est)])),
+            }
+        }
+        by_parent.sort_by_key(|(p, _)| p.len());
+        for (parent, arms) in by_parent {
+            // Walk to the parent node; every hop must already be
+            // materialized (it is, whenever the parent arm was seeded).
+            let mut node = 0usize;
+            let mut reachable = true;
+            for a in &parent {
+                let Some(slot) = tree.nodes[node].actions.iter().position(|x| x == a) else {
+                    reachable = false;
+                    break;
+                };
+                let child = tree.nodes[node].children[slot];
+                if child == UNEXPANDED {
+                    reachable = false;
+                    break;
+                }
+                node = child;
+            }
+            if !reachable {
+                continue;
+            }
+            let known: Vec<(usize, f64)> = arms
+                .iter()
+                .filter_map(|&(a, est)| {
+                    tree.nodes[node]
+                        .actions
+                        .iter()
+                        .position(|&x| x == a)
+                        .map(|s| (s, est))
+                })
+                .collect();
+            if known.is_empty() {
+                continue;
+            }
+            // Optimistic default for arms no prior names: tie them with
+            // the best known arm rather than starving them.
+            let default = known.iter().map(|&(_, e)| e).fold(f64::MIN, f64::max);
+            let arity = tree.nodes[node].actions.len();
+            let mut total_visits = 0u64;
+            let mut total_reward = 0.0f64;
+            for slot in 0..arity {
+                if tree.nodes[node].children[slot] != UNEXPANDED {
+                    continue; // already seeded (duplicate parent entry)
+                }
+                let est = known
+                    .iter()
+                    .find(|&&(s, _)| s == slot)
+                    .map_or(default, |&(_, e)| e);
+                let action = tree.nodes[node].actions[slot];
+                let mut path = parent.clone();
+                path.push(action);
+                let child_actions = tree.space.actions(&path);
+                let new_id = tree.nodes.len();
+                tree.nodes.push(Node {
+                    visits: priors.weight,
+                    reward_sum: est * priors.weight as f64,
+                    children: vec![UNEXPANDED; child_actions.len()],
+                    actions: child_actions,
+                });
+                tree.nodes[node].children[slot] = new_id;
+                total_visits += priors.weight;
+                total_reward += est * priors.weight as f64;
+            }
+            tree.nodes[node].visits += total_visits;
+            tree.nodes[node].reward_sum += total_reward;
         }
         tree
     }
@@ -689,6 +820,121 @@ mod tests {
         let warm = UctTree::with_snapshot(Bandit { arms: 7 }, UctConfig::default(), &snap);
         assert_eq!(warm.num_nodes(), 1);
         assert_eq!(warm.rounds(), 0);
+    }
+
+    fn priors(entries: Vec<(Vec<usize>, f64)>, weight: u64) -> ArmPriors<usize> {
+        ArmPriors {
+            entries: entries
+                .into_iter()
+                .map(|(prefix, estimate)| PriorEntry { prefix, estimate })
+                .collect(),
+            weight,
+        }
+    }
+
+    #[test]
+    fn priors_bias_exploration_toward_seeded_arm() {
+        // Arm 3 is seeded high and the others low; the first selections
+        // must go to arm 3 instead of the uniform unvisited sweep a cold
+        // tree would start with.
+        let p = priors(
+            vec![
+                (vec![0], 0.1),
+                (vec![1], 0.1),
+                (vec![2], 0.1),
+                (vec![3], 0.9),
+                (vec![4], 0.1),
+            ],
+            2,
+        );
+        let mut tree = UctTree::with_priors(
+            Bandit { arms: 5 },
+            UctConfig {
+                exploration: 1e-6,
+                seed: 11,
+            },
+            &p,
+        );
+        assert_eq!(tree.rounds(), 0, "priors must not count as rounds");
+        assert_eq!(tree.num_nodes(), 6, "all five arms materialized");
+        let mut hits = 0;
+        for _ in 0..20 {
+            let path = tree.choose();
+            if path[0] == 3 {
+                hits += 1;
+            }
+            // Reward agrees with the prior.
+            tree.update(&path, if path[0] == 3 { 0.9 } else { 0.1 });
+        }
+        assert!(hits >= 18, "priors not steering: {hits}/20");
+    }
+
+    #[test]
+    fn wrong_priors_never_prune_arms() {
+        // The prior lies: it praises arm 0, but arm 4 actually pays.
+        // Seeding must only delay convergence, never prevent it.
+        let p = priors(vec![(vec![0], 0.95), (vec![4], 0.05)], 3);
+        let mut tree = UctTree::with_priors(Bandit { arms: 5 }, UctConfig::default(), &p);
+        let mut arm_visits = [0u64; 5];
+        for _ in 0..3000 {
+            let path = tree.choose();
+            arm_visits[path[0]] += 1;
+            tree.update(&path, if path[0] == 4 { 0.9 } else { 0.1 });
+        }
+        assert_eq!(tree.best_path(), vec![4], "must recover from a bad prior");
+        for (arm, &v) in arm_visits.iter().enumerate() {
+            assert!(v > 0, "arm {arm} was never tried");
+        }
+    }
+
+    #[test]
+    fn unknown_arms_seed_at_best_known_estimate() {
+        // Only arm 1 is named; the other arms must still materialize,
+        // tied with arm 1's estimate (optimistic, never starved).
+        let p = priors(vec![(vec![1], 0.6)], 2);
+        let tree = UctTree::with_priors(Bandit { arms: 4 }, UctConfig::default(), &p);
+        assert_eq!(tree.num_nodes(), 5);
+        let snap = tree.snapshot();
+        let (nodes, rounds) = snap.to_parts();
+        assert_eq!(rounds, 0);
+        for n in &nodes[1..] {
+            assert_eq!(n.visits, 2);
+            assert!((n.reward_sum - 1.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn deep_priors_seed_second_level() {
+        // [2] seeds the root; [2, 0] seeds the node under arm 2. The
+        // second level only materializes beneath a seeded parent.
+        let p = priors(
+            vec![(vec![2], 0.8), (vec![2, 0], 0.7), (vec![3, 1], 0.9)],
+            2,
+        );
+        let mut tree = UctTree::with_priors(Perms { n: 4 }, UctConfig::default(), &p);
+        // 1 root + its 4 arms + 3 remaining arms under node [2] + 3
+        // under node [3] (root seeding materialized arm 3's node, so
+        // the [3, 1] entry finds its parent) = 11 nodes.
+        assert_eq!(tree.num_nodes(), 11);
+        for _ in 0..50 {
+            let path = tree.choose();
+            let mut sorted = path.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3], "paths stay permutations");
+            tree.update(&path, 0.5);
+        }
+    }
+
+    #[test]
+    fn malformed_or_empty_priors_yield_cold_tree() {
+        // Unknown action, empty prefix, zero weight: all fall back cold.
+        let bogus = priors(vec![(vec![99], 0.9), (vec![], 0.5)], 2);
+        let tree = UctTree::with_priors(Bandit { arms: 3 }, UctConfig::default(), &bogus);
+        assert_eq!(tree.num_nodes(), 1);
+        let zero = priors(vec![(vec![1], 0.9)], 0);
+        let tree = UctTree::with_priors(Bandit { arms: 3 }, UctConfig::default(), &zero);
+        assert_eq!(tree.num_nodes(), 1);
+        assert_eq!(tree.rounds(), 0);
     }
 
     #[test]

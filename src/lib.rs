@@ -75,6 +75,7 @@
 //! | [`core`] | Skinner-G/H, pyramid timeouts, post-processing, facade |
 //! | [`baselines`] | Eddies, re-optimizer, random orders |
 //! | [`workloads`] | JOB-like, TPC-H dbgen-lite, torture + NULL/string + wide/Float benchmarks |
+//! | [`knowledge`] | cross-query knowledge store: fingerprinted selectivity/join-edge statistics seeding cold UCT trees |
 //! | [`service`] | concurrent query service: sessions, core-budget admission, cross-query learning cache, `skinner-repl` |
 //!
 //! (`crates/bench` regenerates the paper's tables/figures and records
@@ -86,6 +87,7 @@ pub use skinner_baselines as baselines;
 pub use skinner_codegen as codegen;
 pub use skinner_core as core;
 pub use skinner_engine as engine;
+pub use skinner_knowledge as knowledge;
 pub use skinner_query as query;
 pub use skinner_service as service;
 pub use skinner_simdb as simdb;

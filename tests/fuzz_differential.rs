@@ -532,6 +532,71 @@ proptest! {
     }
 
     #[test]
+    fn fuzz_prior_seeded_matches_cold(
+        (_cat, q) in arb_fuzz_case(),
+        codegen in any::<bool>(),
+    ) {
+        // Knowledge-prior differential: run cold, feed the run's observed
+        // selectivities and join-edge rewards through the knowledge store
+        // (fingerprint extraction → record → seed), then re-run the same
+        // query with the seeded arm priors. Optimistic initialization
+        // only reorders exploration — it never prunes an arm — so the
+        // prior-seeded run must produce the exact tuple set of the cold
+        // run, on every tier (sequential, partitioned via
+        // SKINNER_TEST_THREADS, codegen on and off).
+        use skinnerdb::engine::{RunOptions, StopReason};
+        use skinnerdb::knowledge::{observe, KnowledgeConfig, KnowledgeStore};
+
+        let threads = std::env::var("SKINNER_TEST_THREADS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1);
+        let engine = SkinnerC::new(SkinnerCConfig {
+            budget: 16,
+            threads,
+            codegen,
+            ..Default::default()
+        });
+        let cold = engine.run_with(&q, &RunOptions::default());
+        prop_assert_eq!(cold.stop, StopReason::Completed);
+        let mut cold_tuples: Vec<&[u32]> = cold.tuples.chunks(cold.num_tables.max(1)).collect();
+        cold_tuples.sort();
+
+        // Record the cold run's observation under the live table
+        // versions, then seed priors for the very same query — the
+        // strongest-signal case (every fingerprint matches).
+        let deps: Vec<(String, u64)> = (0..q.num_tables())
+            .map(|t| (q.tables[t].table.name().to_string(), 1))
+            .collect();
+        let mut store = KnowledgeStore::new(KnowledgeConfig::default());
+        store.record(&observe(&q, &deps, &cold.metrics));
+        let priors = store.seed(&q, &deps);
+        prop_assert!(priors.is_some(), "multi-table run must yield priors");
+
+        let seeded = engine.run_with(&q, &RunOptions {
+            arm_priors: priors.as_ref(),
+            ..Default::default()
+        });
+        prop_assert_eq!(seeded.stop, StopReason::Completed);
+        // Runs that short-circuit in pre-processing (a filter emptied a
+        // table) never build a tree; whenever the join phase ran, the
+        // offered priors must actually have seeded it.
+        if seeded.metrics.slices > 0 {
+            prop_assert!(
+                seeded.metrics.prior_seeded_nodes > 0,
+                "priors offered but tree not seeded"
+            );
+        }
+        let mut seeded_tuples: Vec<&[u32]> =
+            seeded.tuples.chunks(seeded.num_tables.max(1)).collect();
+        seeded_tuples.sort();
+        prop_assert_eq!(
+            seeded_tuples, cold_tuples,
+            "prior-seeded run diverged from cold run (codegen {})", codegen
+        );
+    }
+
+    #[test]
     fn fuzz_composite_cases_take_fallback_and_agree(seed in any::<u64>()) {
         // The correlated-workload generator (always 2-column composite
         // keys + dates): every plan that binds a fused composite jump
