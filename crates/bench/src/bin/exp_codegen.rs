@@ -1,0 +1,70 @@
+//! Codegen-tier coverage check: every order of the composite-key
+//! (`workloads::correlated`) and NULL-heavy string-keyed
+//! (`workloads::nulls`) workloads must execute on a compiled kernel —
+//! these are exactly the shapes that used to take the plan-bound
+//! fallback before fused (`FusedEq`) and string/nullable (`KeyEq`)
+//! jumps compiled.
+//!
+//! Per workload it runs every query twice — codegen on and codegen
+//! off — asserts identical result counts, and prints one summary line
+//! of `ExecMetrics` tier counters. CI greps the output for
+//! `fallback_orders=0` (and the process exits non-zero on any
+//! fallback or result divergence, so the grep is belt and braces).
+
+use skinner_bench::{env_scale, env_seed, env_threads};
+use skinner_engine::{SkinnerC, SkinnerCConfig};
+use skinner_workloads::{correlated, nulls, NamedQuery};
+
+fn run_suite(label: &str, queries: &[NamedQuery], threads: usize) -> bool {
+    let mut codegen_orders = 0u64;
+    let mut fallback_orders = 0u64;
+    let mut codegen_slices = 0u64;
+    let mut ok = true;
+    for nq in queries {
+        let cfg = |codegen: bool| SkinnerCConfig {
+            budget: 64,
+            threads,
+            codegen,
+            ..Default::default()
+        };
+        let with = SkinnerC::new(cfg(true)).run(&nq.query);
+        let without = SkinnerC::new(cfg(false)).run(&nq.query);
+        if with.result_count != without.result_count {
+            println!(
+                "{label}/{}: DIVERGED codegen={} plan-bound={}",
+                nq.id, with.result_count, without.result_count
+            );
+            ok = false;
+        }
+        if with.metrics.codegen_orders == 0 {
+            println!("{label}/{}: never compiled an order", nq.id);
+            ok = false;
+        }
+        codegen_orders += with.metrics.codegen_orders as u64;
+        fallback_orders += with.metrics.fallback_orders as u64;
+        codegen_slices += with.metrics.codegen_slices;
+    }
+    println!(
+        "{label}: queries={} codegen_orders={codegen_orders} \
+         fallback_orders={fallback_orders} codegen_slices={codegen_slices}",
+        queries.len()
+    );
+    ok && fallback_orders == 0
+}
+
+fn main() {
+    let scale = env_scale(0.03);
+    let seed = env_seed();
+    let threads = env_threads(1);
+
+    let corr = correlated::generate(scale, seed);
+    let nul = nulls::generate(scale / 2.0, seed.wrapping_add(1));
+    let mut ok = run_suite("correlated", &corr.queries, threads);
+    ok &= run_suite("nulls", &nul.queries, threads);
+
+    if !ok {
+        eprintln!("codegen-tier coverage check FAILED");
+        std::process::exit(1);
+    }
+    println!("codegen-tier coverage OK");
+}

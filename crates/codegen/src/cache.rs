@@ -9,15 +9,33 @@
 //! depends only on the key's table count and per-position jump kinds —
 //! not on its predicate fingerprint — so the memo is keyed on exactly
 //! that projection ([`KernelKey::class_key`]): two templates that
-//! differ only in predicate shapes share one entry, and the key domain
-//! is finite (arities × jump-kind combinations), so the process-lifetime
-//! cache a service shares across sessions is naturally bounded.
+//! differ only in predicate shapes share one entry.
+//!
+//! The key domain is finite in principle (arities × jump-kind
+//! combinations), but a process-lifetime cache on a server must not
+//! rely on that: the cache is **byte-accounted and LRU-bounded**,
+//! mirroring the service layer's `LearningCache::with_limits`. Entries
+//! are fixed-size, so the byte bound is `entries × ENTRY_BYTES`; when
+//! either the entry capacity or the byte budget would be exceeded, the
+//! least-recently-used entry is evicted (never the one just touched,
+//! unless it is alone and oversized — then it is dropped entirely).
 
 use crate::kernel::KernelClass;
 use crate::key::{ClassKey, KernelKey};
 use skinner_storage::FxHashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Default entry capacity of [`KernelCache::new`]. Far above the shape
+/// diversity of any real workload, but finite: a server seeing
+/// adversarially many distinct shapes stays bounded.
+pub const DEFAULT_KERNEL_CACHE_CAPACITY: usize = 4096;
+
+/// Approximate heap bytes per memoized shape (map key + value + LRU
+/// stamp). Entries are fixed-size, so byte accounting is exact up to
+/// hash-map overhead.
+const ENTRY_BYTES: usize =
+    std::mem::size_of::<ClassKey>() + std::mem::size_of::<Entry>() + std::mem::size_of::<u64>();
 
 /// Aggregate kernel-cache counters (monotonic).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -26,50 +44,128 @@ pub struct KernelCacheStats {
     pub hits: u64,
     /// Resolutions that had to analyze the shape.
     pub misses: u64,
+    /// Entries evicted to hold the capacity or byte bound.
+    pub evicted: u64,
 }
 
-/// Thread-safe shape-resolution cache. Entries are tiny (a class key
-/// and a three-valued class), drawn from a finite domain,
-/// data-independent, and never invalidated: a shape resolves the same
-/// way regardless of catalog contents, so unlike the learning cache
-/// this cache survives table replacement.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    class: Option<KernelClass>,
+    /// Logical LRU stamp (from the cache's clock, not wall time).
+    last_used: u64,
+}
+
+/// Thread-safe shape-resolution cache with LRU eviction. Entries are
+/// tiny (a class key and a resolved class), data-independent, and never
+/// invalidated: a shape resolves the same way regardless of catalog
+/// contents, so unlike the learning cache this cache survives table
+/// replacement. Both the entry count and the accounted bytes are
+/// bounded (see [`KernelCache::with_limits`]).
+#[derive(Debug)]
 pub struct KernelCache {
-    entries: Mutex<FxHashMap<ClassKey, Option<KernelClass>>>,
+    entries: Mutex<FxHashMap<ClassKey, Entry>>,
+    /// Logical clock stamping entry use for LRU ordering.
+    clock: AtomicU64,
+    capacity: usize,
+    max_bytes: Option<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evicted: AtomicU64,
+}
+
+impl Default for KernelCache {
+    fn default() -> KernelCache {
+        KernelCache::new()
+    }
 }
 
 impl KernelCache {
-    /// Empty cache.
+    /// Empty cache with the default capacity
+    /// ([`DEFAULT_KERNEL_CACHE_CAPACITY`]) and no byte bound beyond it.
     pub fn new() -> KernelCache {
-        KernelCache::default()
+        KernelCache::with_limits(DEFAULT_KERNEL_CACHE_CAPACITY, None)
+    }
+
+    /// Empty cache holding at most `capacity` entries (at least 1) and,
+    /// when `max_bytes` is given, at most that many accounted bytes.
+    /// Exceeding either bound evicts least-recently-used entries.
+    pub fn with_limits(capacity: usize, max_bytes: Option<usize>) -> KernelCache {
+        KernelCache {
+            entries: Mutex::new(FxHashMap::default()),
+            clock: AtomicU64::new(0),
+            capacity: capacity.max(1),
+            max_bytes,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    /// Advance the logical clock (monotonic across threads).
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// A poisoned mutex only means another thread panicked mid-insert;
+    /// the map itself is always structurally valid, so recover it.
+    fn lock_entries(&self) -> MutexGuard<'_, FxHashMap<ClassKey, Entry>> {
+        self.entries.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn over(&self, len: usize) -> bool {
+        len > self.capacity || self.max_bytes.is_some_and(|mb| len * ENTRY_BYTES > mb)
     }
 
     /// Resolve `key` to its kernel class (`None` = no compiled kernel
     /// for the shape), computing and memoizing via `analyze` on a miss.
     /// Memoization is by [`KernelKey::class_key`] — the projection the
-    /// resolution actually depends on.
+    /// resolution actually depends on. A hit refreshes the entry's LRU
+    /// stamp; a miss inserts and then evicts the coldest entries until
+    /// the capacity and byte bounds hold again (sparing the fresh entry
+    /// unless it alone exceeds the byte budget, in which case it is
+    /// dropped — the resolution is still returned).
     pub fn resolve(
         &self,
         key: &KernelKey,
         analyze: impl FnOnce() -> Option<KernelClass>,
     ) -> Option<KernelClass> {
         let class_key = key.class_key();
-        let mut entries = self.entries.lock().expect("kernel cache lock");
-        if let Some(&class) = entries.get(&class_key) {
+        let now = self.tick();
+        let mut entries = self.lock_entries();
+        if let Some(e) = entries.get_mut(&class_key) {
+            e.last_used = now;
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return class;
+            return e.class;
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let class = analyze();
-        entries.insert(class_key, class);
+        entries.insert(
+            class_key,
+            Entry {
+                class,
+                last_used: now,
+            },
+        );
+        while self.over(entries.len()) {
+            let coldest = entries
+                .iter()
+                .filter(|(k, _)| **k != class_key || entries.len() == 1)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k);
+            match coldest {
+                Some(k) => {
+                    entries.remove(&k);
+                    self.evicted.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
         class
     }
 
     /// Number of memoized shapes.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("kernel cache lock").len()
+        self.lock_entries().len()
     }
 
     /// True if nothing is memoized yet.
@@ -82,12 +178,13 @@ impl KernelCache {
         KernelCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
         }
     }
 
     /// Approximate heap bytes held by the memo table.
     pub fn approx_bytes(&self) -> usize {
-        self.len() * (std::mem::size_of::<KernelKey>() + std::mem::size_of::<Option<KernelClass>>())
+        self.len() * ENTRY_BYTES
     }
 }
 
@@ -98,6 +195,30 @@ mod tests {
 
     fn key(kinds: &[JumpKind]) -> KernelKey {
         KernelKey::new(kinds.len(), kinds.iter().map(|&k| (k, &[][..], false)))
+    }
+
+    /// A distinct class key per index: vary the jump-kind pattern via
+    /// the arity-padded positions (arities 2..=6 × kind choices give
+    /// plenty of distinct shapes for pressure tests).
+    fn distinct_key(i: usize) -> KernelKey {
+        let kinds = [
+            JumpKind::Int,
+            JumpKind::Float,
+            JumpKind::Fused,
+            JumpKind::Key,
+            JumpKind::Scan,
+        ];
+        let m = 2 + (i / kinds.len()) % 5;
+        let k = kinds[i % kinds.len()];
+        let mut v = vec![JumpKind::Scan; m];
+        for (j, slot) in v.iter_mut().enumerate().skip(1) {
+            *slot = if j % 2 == 0 {
+                k
+            } else {
+                kinds[(i + j) % kinds.len()]
+            };
+        }
+        key(&v)
     }
 
     #[test]
@@ -119,7 +240,67 @@ mod tests {
         assert_eq!(cache.resolve(&b, || panic!("analyzed twice")), None);
         let s = cache.stats();
         assert_eq!((s.hits, s.misses), (2, 2));
+        assert_eq!(s.evicted, 0);
         assert_eq!(cache.len(), 2);
         assert!(cache.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let cache = KernelCache::with_limits(2, None);
+        let (a, b, c) = (distinct_key(0), distinct_key(1), distinct_key(2));
+        cache.resolve(&a, || Some(KernelClass::Mixed));
+        cache.resolve(&b, || Some(KernelClass::Mixed));
+        // Touch `a` so `b` is the coldest.
+        cache.resolve(&a, || panic!("hit expected"));
+        cache.resolve(&c, || Some(KernelClass::Mixed));
+        assert_eq!(cache.len(), 2);
+        // `a` and `c` survive; `b` was evicted and re-analyzes.
+        cache.resolve(&a, || panic!("a must survive"));
+        cache.resolve(&c, || panic!("c must survive"));
+        let mut b_reanalyzed = false;
+        cache.resolve(&b, || {
+            b_reanalyzed = true;
+            Some(KernelClass::Mixed)
+        });
+        assert!(b_reanalyzed, "b must have been evicted");
+        assert!(cache.stats().evicted > 0);
+    }
+
+    #[test]
+    fn byte_bound_holds_under_insert_pressure() {
+        // Budget for three entries; insert 40 distinct shapes and check
+        // the bound after every store.
+        let budget = 3 * ENTRY_BYTES;
+        let cache = KernelCache::with_limits(usize::MAX, Some(budget));
+        let mut inserted = 0u32;
+        for i in 0..40 {
+            let k = distinct_key(i);
+            cache.resolve(&k, || Some(KernelClass::Mixed));
+            inserted += 1;
+            assert!(
+                cache.approx_bytes() <= budget,
+                "byte bound violated after {inserted} inserts: {} > {budget}",
+                cache.approx_bytes()
+            );
+            // The just-inserted entry always survives its own insert.
+            cache.resolve(&k, || panic!("fresh entry must survive"));
+        }
+        assert!(cache.len() >= 2, "bound should allow multiple entries");
+        assert!(cache.stats().evicted > 0, "pressure must evict");
+    }
+
+    #[test]
+    fn oversized_budget_drops_entry_entirely() {
+        // A byte budget below one entry: the fresh entry itself is
+        // dropped (resolution still returned), leaving the cache empty.
+        let cache = KernelCache::with_limits(usize::MAX, Some(1));
+        let k = distinct_key(0);
+        assert_eq!(
+            cache.resolve(&k, || Some(KernelClass::Mixed)),
+            Some(KernelClass::Mixed)
+        );
+        assert!(cache.is_empty());
+        assert!(cache.stats().evicted > 0);
     }
 }

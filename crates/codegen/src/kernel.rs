@@ -12,10 +12,10 @@
 //!   (2..=6), so position arrays are fixed-size and bounds checks
 //!   vanish.
 //! * **Class-typed jumps** — the per-position jump code is selected by a
-//!   zero-sized class type ([`KernelClass`]): the FK-chain hot shape
-//!   (every non-first position driven by an integer-keyed index) and the
-//!   pure scan shape compile with *no* jump dispatch at all; arbitrary
-//!   mixes take one three-way match.
+//!   zero-sized class type ([`KernelClass`]): the homogeneous hot shapes
+//!   (integer FK chains, fused composite-key chains, string/nullable
+//!   key chains, pure scans) compile with *no* jump dispatch at all;
+//!   only genuinely heterogeneous mixes pay a per-advance match.
 //! * **Postings cursors** — descending into an index-driven position
 //!   probes the hash index **once** for the current predecessor key and
 //!   then walks the sorted posting list with a cursor; every subsequent
@@ -26,7 +26,13 @@
 //!   evaluates only the remaining predicates. Float keys match by bit
 //!   pattern, which over-approximates IEEE equality on NaN, so float
 //!   positions keep full re-verification (exactly like the bound
-//!   kernel's float jumps).
+//!   kernel's float jumps). Fused composite keys and string/nullable
+//!   keys ([`KernelJump::FusedEq`], [`KernelJump::KeyEq`]) are
+//!   hash-derived, so they are **never** elided: the posting cursor only
+//!   narrows the candidate set, and every driving conjunct is
+//!   re-verified. NULL keys (`None`) reject outright — no candidates —
+//!   which is exactly the plan-bound kernel's `None => pos.card`
+//!   null-reject, so three-valued equality is preserved.
 //!
 //! Soundness relative to the plan-bound kernel: both enumerate the same
 //! depth-first candidate sequence — the posting-list cursor yields
@@ -40,7 +46,7 @@
 use crate::key::{JumpKind, KernelKey, MAX_KERNEL_TABLES, MIN_KERNEL_TABLES};
 use crate::sink::{ContinueResult, ResultSink};
 use skinner_query::BoundPred;
-use skinner_storage::{HashIndex, RowId};
+use skinner_storage::{Column, HashIndex, RowId};
 
 /// The tuple-advance source at one compiled position.
 #[derive(Debug, Clone, Copy)]
@@ -67,6 +73,32 @@ pub enum KernelJump<'a> {
         /// This position's hash index (postings = filtered positions).
         index: &'a HashIndex,
     },
+    /// Fused composite-key posting-list cursor: the key is read from a
+    /// precomputed per-base-row `Option<i64>` vector (an FxHash combine
+    /// of the component join keys) and probes the composite index. Keys
+    /// are hashes, so the group's conjuncts are always re-verified
+    /// (never elided); `None` (a NULL component) yields no candidates.
+    FusedEq {
+        /// Predecessor fused keys per base row (`None` = NULL component).
+        keys: &'a [Option<i64>],
+        /// Predecessor table id (indexes `rows`).
+        src: usize,
+        /// This position's composite hash index (filtered positions).
+        index: &'a HashIndex,
+    },
+    /// String/nullable-keyed posting-list cursor: the key is
+    /// `Column::join_key` of the predecessor row (a content hash for
+    /// strings, `None` for NULL). Hash keys are never elided — the
+    /// driving equality is re-verified, which also rejects hash
+    /// collisions; `None` yields no candidates (three-valued equality).
+    KeyEq {
+        /// Predecessor key column (string or nullable).
+        col: &'a Column,
+        /// Predecessor table id (indexes `rows`).
+        src: usize,
+        /// This position's hash index (postings = filtered positions).
+        index: &'a HashIndex,
+    },
 }
 
 impl KernelJump<'_> {
@@ -76,6 +108,8 @@ impl KernelJump<'_> {
             KernelJump::Scan => JumpKind::Scan,
             KernelJump::IntEq { .. } => JumpKind::Int,
             KernelJump::FloatEq { .. } => JumpKind::Float,
+            KernelJump::FusedEq { .. } => JumpKind::Fused,
+            KernelJump::KeyEq { .. } => JumpKind::Key,
         }
     }
 }
@@ -107,11 +141,22 @@ pub enum KernelClass {
     /// jump — the indexed FK-chain hot shape, compiled with zero jump
     /// dispatch.
     IntChain,
+    /// Position 0 scans; every later position has a
+    /// [`KernelJump::FusedEq`] jump — the composite-key link-table hot
+    /// shape (JOB-style correlated joins), compiled with zero jump
+    /// dispatch.
+    FusedChain,
+    /// Position 0 scans; every later position has a
+    /// [`KernelJump::KeyEq`] jump (string/nullable key chains) —
+    /// compiled with zero jump dispatch.
+    KeyChain,
     /// Every position scans (no usable indexes) — compiled with zero
     /// jump dispatch.
     Scan,
-    /// Any other supported mix (float jumps, partial index coverage):
-    /// one three-way match per advance.
+    /// Any genuinely heterogeneous supported mix (e.g. float jumps,
+    /// partial index coverage, int + fused): one jump-kind match per
+    /// establish. The homogeneous chains above exist precisely so the
+    /// hot shapes never pay this dispatch.
     Mixed,
 }
 
@@ -121,13 +166,17 @@ impl KernelClass {
     /// reject via [`KernelKey::supported`]).
     pub fn of(kinds: impl IntoIterator<Item = JumpKind>) -> KernelClass {
         let kinds: Vec<JumpKind> = kinds.into_iter().collect();
+        let chain = |k: JumpKind| {
+            kinds.len() > 1 && kinds[0] == JumpKind::Scan && kinds[1..].iter().all(|&x| x == k)
+        };
         if kinds.iter().all(|&k| k == JumpKind::Scan) {
             KernelClass::Scan
-        } else if kinds.len() > 1
-            && kinds[0] == JumpKind::Scan
-            && kinds[1..].iter().all(|&k| k == JumpKind::Int)
-        {
+        } else if chain(JumpKind::Int) {
             KernelClass::IntChain
+        } else if chain(JumpKind::Fused) {
+            KernelClass::FusedChain
+        } else if chain(JumpKind::Key) {
+            KernelClass::KeyChain
         } else {
             KernelClass::Mixed
         }
@@ -149,9 +198,9 @@ pub struct CompiledKernel<'a> {
 impl<'a> CompiledKernel<'a> {
     /// Assemble a kernel from compiled positions. Returns `None` when no
     /// specialized kernel exists for the shape (arity outside
-    /// [`MIN_KERNEL_TABLES`]`..=`[`MAX_KERNEL_TABLES`]; key-column kinds
-    /// outside Int/Float are unrepresentable in [`KernelJump`] by
-    /// construction).
+    /// [`MIN_KERNEL_TABLES`]`..=`[`MAX_KERNEL_TABLES`] — longer orders
+    /// compile a `MAX`-position prefix instead, see the engine's split
+    /// tier).
     pub fn new(key: KernelKey, positions: Vec<KernelPosition<'a>>) -> Option<CompiledKernel<'a>> {
         let m = positions.len();
         if !(MIN_KERNEL_TABLES..=MAX_KERNEL_TABLES).contains(&m) || !key.supported() {
@@ -163,6 +212,22 @@ impl<'a> CompiledKernel<'a> {
             key,
             class,
             positions,
+        })
+    }
+
+    /// Like [`new`](CompiledKernel::new), but forcing the general
+    /// [`KernelClass::Mixed`] entry point even when a dispatch-free
+    /// chain class exists for the shape. The per-establish jump match
+    /// this re-introduces is what `benches/join_fused.rs` measures;
+    /// differential tests use it to prove the chain classes and the
+    /// general class enumerate identical tuples.
+    pub fn with_mixed_class(
+        key: KernelKey,
+        positions: Vec<KernelPosition<'a>>,
+    ) -> Option<CompiledKernel<'a>> {
+        CompiledKernel::new(key, positions).map(|mut k| {
+            k.class = KernelClass::Mixed;
+            k
         })
     }
 
@@ -221,6 +286,14 @@ impl<'a> CompiledKernel<'a> {
                 match (self.positions.len(), self.class) {
                     $(
                         ($m, KernelClass::IntChain) => run_kernel::<$m, IntChain, R>(
+                            self.positions[..].try_into().expect("arity"),
+                            offsets, state, budget, end0, rows, results,
+                        ),
+                        ($m, KernelClass::FusedChain) => run_kernel::<$m, FusedChain, R>(
+                            self.positions[..].try_into().expect("arity"),
+                            offsets, state, budget, end0, rows, results,
+                        ),
+                        ($m, KernelClass::KeyChain) => run_kernel::<$m, KeyChain, R>(
                             self.positions[..].try_into().expect("arity"),
                             offsets, state, budget, end0, rows, results,
                         ),
@@ -305,6 +378,32 @@ fn next_postings(cur: &mut CandCur<'_>, card: u32) -> u32 {
     c
 }
 
+/// Posting-cursor establish for hash-derived keys (fused composite keys,
+/// string/nullable join keys): a `Some` key probes like any other
+/// posting jump; a `None` key is a NULL and yields **no** candidates —
+/// the same null-reject as the plan-bound kernel's `None => pos.card`
+/// (three-valued equality: NULL never matches, not even NULL).
+#[inline(always)]
+fn begin_keyed<'a>(
+    index: &'a HashIndex,
+    key: Option<i64>,
+    min: u32,
+    card: u32,
+) -> (CandCur<'a>, u32) {
+    match key {
+        Some(k) => begin_postings(index, k, min, card),
+        None => (
+            CandCur {
+                list: &[],
+                idx: 0,
+                scan: 0,
+                postings: true,
+            },
+            card,
+        ),
+    }
+}
+
 /// Class-typed candidate iteration: the monomorphization axis that
 /// removes jump dispatch from the hot loop.
 trait ClassSpec {
@@ -355,6 +454,76 @@ impl ClassSpec for IntChain {
     }
 }
 
+/// Composite-key link-table hot shape: position 0 scans, positions 1..
+/// walk fused-key posting lists. No jump dispatch survives
+/// monomorphization.
+struct FusedChain;
+
+impl ClassSpec for FusedChain {
+    #[inline(always)]
+    fn begin<'a>(
+        i: usize,
+        pos: &KernelPosition<'a>,
+        rows: &[RowId],
+        min: u32,
+    ) -> (CandCur<'a>, u32) {
+        if i == 0 {
+            begin_scan(min)
+        } else {
+            match pos.jump {
+                KernelJump::FusedEq { keys, src, index } => {
+                    begin_keyed(index, keys[rows[src] as usize], min, pos.card)
+                }
+                _ => unreachable!("FusedChain position without FusedEq jump"),
+            }
+        }
+    }
+
+    #[inline(always)]
+    fn next(pos: &KernelPosition<'_>, cur: &mut CandCur<'_>) -> u32 {
+        if cur.postings {
+            next_postings(cur, pos.card)
+        } else {
+            next_scan(cur)
+        }
+    }
+}
+
+/// String/nullable key-chain shape: position 0 scans, positions 1..
+/// walk `join_key`-driven posting lists. No jump dispatch survives
+/// monomorphization.
+struct KeyChain;
+
+impl ClassSpec for KeyChain {
+    #[inline(always)]
+    fn begin<'a>(
+        i: usize,
+        pos: &KernelPosition<'a>,
+        rows: &[RowId],
+        min: u32,
+    ) -> (CandCur<'a>, u32) {
+        if i == 0 {
+            begin_scan(min)
+        } else {
+            match pos.jump {
+                KernelJump::KeyEq { col, src, index } => {
+                    begin_keyed(index, col.join_key(rows[src] as usize), min, pos.card)
+                }
+                _ => unreachable!("KeyChain position without KeyEq jump"),
+            }
+        }
+    }
+
+    #[inline(always)]
+    fn next(pos: &KernelPosition<'_>, cur: &mut CandCur<'_>) -> u32 {
+        if cur.postings {
+            next_postings(cur, pos.card)
+        } else {
+            next_scan(cur)
+        }
+    }
+}
+
 /// Pure scan shape (no usable indexes): candidates are consecutive
 /// filtered positions everywhere.
 struct ScanOnly;
@@ -376,7 +545,10 @@ impl ClassSpec for ScanOnly {
     }
 }
 
-/// Arbitrary supported mix: one three-way match per establish/advance.
+/// Arbitrary supported mix: one jump-kind match per establish (the
+/// advance itself is dispatch-free — it only branches on the cursor's
+/// postings flag). Homogeneous shapes never land here; see the chain
+/// classes.
 struct Mixed;
 
 impl ClassSpec for Mixed {
@@ -395,6 +567,12 @@ impl ClassSpec for Mixed {
             KernelJump::FloatEq { keys, src, index } => {
                 let key = skinner_storage::f64_key(keys[rows[src] as usize]);
                 begin_postings(index, key, min, pos.card)
+            }
+            KernelJump::FusedEq { keys, src, index } => {
+                begin_keyed(index, keys[rows[src] as usize], min, pos.card)
+            }
+            KernelJump::KeyEq { col, src, index } => {
+                begin_keyed(index, col.join_key(rows[src] as usize), min, pos.card)
             }
         }
     }
@@ -863,6 +1041,163 @@ mod tests {
         );
         assert_eq!(res, ContinueResult::Exhausted);
         assert_eq!(out.tuples, vec![vec![0, 1], vec![1, 0], vec![1, 2]]);
+    }
+
+    /// Build the 2-table fused-key kernel over precomputed key vectors:
+    /// src keys (per base row of table 0) drive a composite index over
+    /// table 1's filtered positions. `None` keys are NULL components.
+    fn fused_kernel<'a>(
+        src_keys: &'a [Option<i64>],
+        idx: &'a HashIndex,
+        b0: &'a [RowId],
+        b1: &'a [RowId],
+    ) -> CompiledKernel<'a> {
+        let positions = vec![
+            KernelPosition {
+                table: 0,
+                card: b0.len() as u32,
+                base: b0,
+                preds: vec![],
+                jump: KernelJump::Scan,
+                elided: false,
+            },
+            KernelPosition {
+                table: 1,
+                card: b1.len() as u32,
+                base: b1,
+                preds: vec![],
+                jump: KernelJump::FusedEq {
+                    keys: src_keys,
+                    src: 0,
+                    index: idx,
+                },
+                elided: false,
+            },
+        ];
+        let key = KernelKey::new(
+            2,
+            positions
+                .iter()
+                .map(|p| (p.jump.kind(), p.preds.as_slice(), p.elided)),
+        );
+        CompiledKernel::new(key, positions).expect("fused shapes compile")
+    }
+
+    #[test]
+    fn fused_chain_joins_and_rejects_null_components() {
+        // Source fused keys per base row; row 1 has a NULL component.
+        let src_keys = vec![Some(10i64), None, Some(20)];
+        // Probed side's fused keys per filtered position.
+        let probe_keys = vec![Some(20i64), Some(10), Some(10), None];
+        let idx = HashIndex::from_keys(&probe_keys);
+        let (b0, b1) = (base(3), base(4));
+        let k = fused_kernel(&src_keys, &idx, &b0, &b1);
+        assert_eq!(k.class(), KernelClass::FusedChain);
+        assert_eq!(k.key().jump(1), JumpKind::Fused);
+        let offsets = vec![0u32; 2];
+        let mut state = vec![0u32; 2];
+        let mut rows = vec![0u32; 2];
+        let mut out = Collect::default();
+        let (res, _) = k.run(
+            &offsets,
+            &mut state,
+            u64::MAX,
+            k.card0(),
+            &mut rows,
+            &mut out,
+        );
+        assert_eq!(res, ContinueResult::Exhausted);
+        // Row 1 (NULL component) matches nothing; NULL postings (probe
+        // row 3) are never enumerated.
+        assert_eq!(out.tuples, vec![vec![0, 1], vec![0, 2], vec![2, 0]]);
+    }
+
+    #[test]
+    fn forced_mixed_class_agrees_with_fused_chain() {
+        let src_keys = vec![Some(10i64), None, Some(20)];
+        let probe_keys = vec![Some(20i64), Some(10), Some(10), None];
+        let idx = HashIndex::from_keys(&probe_keys);
+        let (b0, b1) = (base(3), base(4));
+        let chain = fused_kernel(&src_keys, &idx, &b0, &b1);
+        let mixed = CompiledKernel::with_mixed_class(*chain.key(), chain.positions().to_vec())
+            .expect("supported");
+        assert_eq!(mixed.class(), KernelClass::Mixed);
+        let offsets = vec![0u32; 2];
+        let mut rows = vec![0u32; 2];
+        let mut run = |k: &CompiledKernel<'_>| {
+            let mut state = vec![0u32; 2];
+            let mut out = Collect::default();
+            k.run(
+                &offsets,
+                &mut state,
+                u64::MAX,
+                k.card0(),
+                &mut rows,
+                &mut out,
+            );
+            out.tuples
+        };
+        assert_eq!(run(&chain), run(&mixed));
+    }
+
+    #[test]
+    fn string_key_chain_joins_and_rejects_nulls() {
+        use skinner_storage::{ColumnBuilder, Value};
+        let mut b = ColumnBuilder::new(ValueType::Str);
+        for v in [Value::str("x"), Value::Null, Value::str("y")] {
+            b.push(&v);
+        }
+        let a_col = b.finish(); // ["x", NULL, "y"]
+        let b_col = Column::from_strs(["y", "x", "z", "x"]);
+        let (b0, b1) = (base(3), base(4));
+        let idx = HashIndex::build(&b_col, Some(&b1));
+        let positions = vec![
+            KernelPosition {
+                table: 0,
+                card: 3,
+                base: &b0,
+                preds: vec![],
+                jump: KernelJump::Scan,
+                elided: false,
+            },
+            KernelPosition {
+                table: 1,
+                card: 4,
+                base: &b1,
+                preds: vec![],
+                jump: KernelJump::KeyEq {
+                    col: &a_col,
+                    src: 0,
+                    index: &idx,
+                },
+                elided: false,
+            },
+        ];
+        let key = KernelKey::new(
+            2,
+            positions
+                .iter()
+                .map(|p| (p.jump.kind(), p.preds.as_slice(), p.elided)),
+        );
+        let k = CompiledKernel::new(key, positions).expect("string keys compile");
+        assert_eq!(k.class(), KernelClass::KeyChain);
+        assert_eq!(k.key().jump(1), JumpKind::Key);
+        let offsets = vec![0u32; 2];
+        let mut state = vec![0u32; 2];
+        let mut rows = vec![0u32; 2];
+        let mut out = Collect::default();
+        let (res, _) = k.run(
+            &offsets,
+            &mut state,
+            u64::MAX,
+            k.card0(),
+            &mut rows,
+            &mut out,
+        );
+        assert_eq!(res, ContinueResult::Exhausted);
+        // "x" matches probe rows 1 and 3, NULL matches nothing (not even
+        // another NULL), "y" matches probe row 0.
+        assert_eq!(out.tuples, vec![vec![0, 1], vec![0, 3], vec![2, 0]]);
     }
 
     #[test]

@@ -17,8 +17,10 @@ use std::hash::Hasher;
 
 /// Smallest join-order arity with a compiled kernel.
 pub const MIN_KERNEL_TABLES: usize = 2;
-/// Largest join-order arity with a compiled kernel. Orders outside
-/// `MIN..=MAX` fall back to the plan-bound kernel.
+/// Largest arity a single compiled kernel covers. Longer orders are
+/// *split*: the engine compiles a `MAX_KERNEL_TABLES`-position prefix
+/// and drives the plan-bound suffix through the
+/// [`ResultSink`](crate::ResultSink) seam.
 pub const MAX_KERNEL_TABLES: usize = 6;
 
 /// The kind of tuple advance at one join-order position, as seen by the
@@ -38,8 +40,20 @@ pub enum JumpKind {
     /// keys). Postings enumerate the right candidates but predicates are
     /// always re-verified (NaN never equals itself even when the bits do).
     Float,
-    /// Any other key source (strings, nullable columns): not compiled —
-    /// the whole order falls back to the plan-bound kernel.
+    /// Index jump keyed by a precomputed fused composite-key vector
+    /// (`Option<i64>` per base row, see the engine's
+    /// `CompositeKeyGroup`). Fused keys are hash-derived, so the driving
+    /// conjuncts are always re-verified (never elided); a `None` entry is
+    /// a NULL component and the jump rejects it outright (no candidates).
+    Fused,
+    /// Index jump keyed by `Column::join_key` — string and nullable key
+    /// columns. String keys are content hashes (dictionary codes are
+    /// per-column and incomparable across tables), so predicates are
+    /// always re-verified; a `None` key (NULL) yields no candidates.
+    Key,
+    /// Reserved escape hatch for key sources with no compiled jump: the
+    /// whole order falls back to the plan-bound kernel. No current plan
+    /// binder produces it — every `KeyCol` variant now compiles.
     Other,
 }
 
@@ -151,6 +165,8 @@ impl fmt::Display for KernelKey {
                 JumpKind::Scan => 's',
                 JumpKind::Int => 'i',
                 JumpKind::Float => 'f',
+                JumpKind::Fused => 'u',
+                JumpKind::Key => 'k',
                 JumpKind::Other => 'o',
             };
             f.write_fmt(format_args!("{c}"))?;
@@ -174,6 +190,27 @@ mod tests {
         assert!(!key(1, &[JumpKind::Scan]).supported());
         assert!(!key(7, &[JumpKind::Scan; 7]).supported());
         assert!(!key(3, &[JumpKind::Scan, JumpKind::Other, JumpKind::Int]).supported());
+        // Fused and string/nullable keys compile now.
+        assert!(key(2, &[JumpKind::Scan, JumpKind::Fused]).supported());
+        assert!(key(3, &[JumpKind::Scan, JumpKind::Key, JumpKind::Fused]).supported());
+    }
+
+    #[test]
+    fn display_covers_all_kinds() {
+        let k = key(
+            5,
+            &[
+                JumpKind::Scan,
+                JumpKind::Int,
+                JumpKind::Float,
+                JumpKind::Fused,
+                JumpKind::Key,
+            ],
+        );
+        assert_eq!(
+            format!("{k}"),
+            format!("m5[sifuk]#{:08x}", k.pred_fingerprint() as u32)
+        );
     }
 
     #[test]

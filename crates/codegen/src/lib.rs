@@ -18,15 +18,21 @@
 //!   and elision of index-implied equality predicates.
 //! * [`KernelCache`] — memoizes shape resolutions across slices, orders,
 //!   queries, and service sessions, so repeated shapes (including warm
-//!   service-layer templates) skip kernel-construction analysis.
+//!   service-layer templates) skip kernel-construction analysis. The
+//!   cache is byte-accounted and LRU-bounded, so a long-lived server
+//!   seeing unbounded shape diversity stays within budget.
 //!
 //! The engine (`skinner-engine`) selects between three execution tiers
 //! per join order — generic reference kernel → plan-bound kernel →
-//! compiled kernel — falling back to the plan-bound tier for shapes this
-//! crate does not compile (arity outside 2..=6, string/nullable key
-//! columns). All three tiers speak the [`ResultSink`] protocol defined
-//! here and produce byte-for-byte identical results; the differential
-//! properties in the workspace's `tests/property.rs` enforce that.
+//! compiled kernel. Every multi-table jump shape compiles: integer and
+//! float keys, fused composite keys ([`KernelJump::FusedEq`]), and
+//! string/nullable keys ([`KernelJump::KeyEq`], with an explicit
+//! null-reject). Orders longer than [`MAX_KERNEL_TABLES`] compile a
+//! 6-position prefix that drives the plan-bound suffix through the
+//! [`ResultSink`] seam (the engine's split tier). All tiers speak the
+//! [`ResultSink`] protocol defined here and produce byte-for-byte
+//! identical results; the differential properties in the workspace's
+//! `tests/property.rs` and `tests/fuzz_differential.rs` enforce that.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,7 +42,7 @@ pub mod kernel;
 pub mod key;
 pub mod sink;
 
-pub use cache::{KernelCache, KernelCacheStats};
+pub use cache::{KernelCache, KernelCacheStats, DEFAULT_KERNEL_CACHE_CAPACITY};
 pub use kernel::{CompiledKernel, KernelClass, KernelJump, KernelPosition};
 pub use key::{ClassKey, JumpKind, KernelKey, MAX_KERNEL_TABLES, MIN_KERNEL_TABLES};
 pub use sink::{ContinueResult, ResultSink};

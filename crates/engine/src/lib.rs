@@ -64,7 +64,8 @@ pub use skinner_c::{
     LearnedState, OrderPolicy, RunOptions, SkinnerC, SkinnerCConfig, SkinnerOutcome, StopReason,
 };
 pub use skinner_codegen::{
-    CompiledKernel, JumpKind, KernelCache, KernelCacheStats, KernelClass, KernelKey,
+    CompiledKernel, JumpKind, KernelCache, KernelCacheStats, KernelClass, KernelJump, KernelKey,
+    KernelPosition, DEFAULT_KERNEL_CACHE_CAPACITY,
 };
 // The persistent morsel pool and its schedule-perturbation test layer,
 // re-exported so drivers and test harnesses need no direct dependency.

@@ -470,7 +470,7 @@ impl PreparedQuery {
                             key: KeyCol::Fused(sides.src_keys),
                             // Fused keys are hashes: no conjunct is ever
                             // implied, so this drives no elision (the
-                            // kernel key maps Fused to JumpKind::Other).
+                            // compiled jump re-verifies the whole group).
                             pred: preds[0],
                         }
                     }
@@ -582,17 +582,31 @@ impl<'a> OrderPlan<'a> {
     /// instance, so the key is what the cross-query
     /// [`KernelCache`] memoizes.
     pub fn kernel_key(&self) -> KernelKey {
+        Self::key_of(&self.positions)
+    }
+
+    /// The shape key of the *compiled portion* of this plan: the whole
+    /// order for arity ≤ [`skinner_codegen::MAX_KERNEL_TABLES`]; for
+    /// longer orders, the
+    /// 6-position compiled prefix (the plan-bound suffix executes tier 2
+    /// through the split driver and has no shape key).
+    pub fn compiled_prefix_key(&self) -> KernelKey {
+        let prefix = self.positions.len().min(skinner_codegen::MAX_KERNEL_TABLES);
+        Self::key_of(&self.positions[..prefix])
+    }
+
+    fn key_of(positions: &[BoundPosition<'_>]) -> KernelKey {
         KernelKey::new(
-            self.positions.len(),
-            self.positions.iter().map(|p| {
+            positions.len(),
+            positions.iter().map(|p| {
                 let kind = match &p.jump {
                     None => JumpKind::Scan,
                     Some(j) => match j.key {
                         KeyCol::Int(_) => JumpKind::Int,
                         KeyCol::Float(_) => JumpKind::Float,
-                        // Fused composite keys are hashed like string
-                        // keys: the codegen tier takes its fallback.
-                        KeyCol::Fused(_) | KeyCol::Other(_) => JumpKind::Other,
+                        // Hash-derived keys: compiled, never elided.
+                        KeyCol::Fused(_) => JumpKind::Fused,
+                        KeyCol::Other(_) => JumpKind::Key,
                     },
                 };
                 let elided = kind == JumpKind::Int
@@ -606,16 +620,26 @@ impl<'a> OrderPlan<'a> {
 
     /// Compile this plan into a specialized kernel (the codegen
     /// execution tier), or `None` when the shape has no compiled kernel
-    /// — arity outside 2..=6 tables, or a jump keyed by a string or
-    /// nullable column ([`KeyCol::Other`]) — in which case the caller
-    /// keeps executing the plan-bound kernel.
+    /// — a single-table order, or a reserved [`JumpKind::Other`]
+    /// position (no current binder produces one) — in which case the
+    /// caller keeps executing the plan-bound kernel.
+    ///
+    /// Every multi-table jump shape compiles: integer and float keys,
+    /// fused composite keys, and string/nullable keys (hash-driven
+    /// posting cursors with an explicit null-reject; never elided, so
+    /// every driving conjunct is re-verified). Orders longer than
+    /// `MAX_KERNEL_TABLES` compile their 6-position *prefix*; the
+    /// returned kernel then covers fewer tables than the plan
+    /// (`kernel.num_tables() < positions.len()`) and the engine drives
+    /// the plan-bound suffix through the split tier.
     ///
     /// `cache` (when given) memoizes the shape resolution across
     /// queries: a hit skips the per-position support and elision
     /// analysis. The returned kernel borrows the same prepared-query
     /// data as the plan itself.
     pub fn compile_kernel(&self, cache: Option<&KernelCache>) -> Option<CompiledKernel<'a>> {
-        let key = self.kernel_key();
+        let prefix = self.positions.len().min(skinner_codegen::MAX_KERNEL_TABLES);
+        let key = self.compiled_prefix_key();
         let analyze = || {
             key.supported()
                 .then(|| KernelClass::of((0..key.tables()).map(|i| key.jump(i))))
@@ -624,8 +648,7 @@ impl<'a> OrderPlan<'a> {
             Some(cache) => cache.resolve(&key, analyze)?,
             None => analyze()?,
         };
-        let positions = self
-            .positions
+        let positions = self.positions[..prefix]
             .iter()
             .map(|p| {
                 let (jump, elided) = match &p.jump {
@@ -647,9 +670,26 @@ impl<'a> OrderPlan<'a> {
                             },
                             false,
                         ),
-                        KeyCol::Fused(_) | KeyCol::Other(_) => {
-                            unreachable!("unsupported shape passed resolution")
-                        }
+                        // Hash-derived keys: compiled posting cursors
+                        // with full residual re-verification (a fused
+                        // or content-hash key narrows candidates, never
+                        // proves the conjunct) and NULL-reject begin.
+                        KeyCol::Fused(keys) => (
+                            KernelJump::FusedEq {
+                                keys,
+                                src: j.src_table,
+                                index: j.index,
+                            },
+                            false,
+                        ),
+                        KeyCol::Other(col) => (
+                            KernelJump::KeyEq {
+                                col,
+                                src: j.src_table,
+                                index: j.index,
+                            },
+                            false,
+                        ),
                     },
                 };
                 let preds = match (&p.jump, elided) {
@@ -961,13 +1001,15 @@ mod tests {
                 other => panic!("expected composite jump, got {other:?}"),
             }
             // The bound plan carries the fused key source and composite
-            // index — and the shape must NOT compile (codegen falls back
-            // for hashed keys).
+            // index — and the shape compiles: fused keys drive a
+            // posting-cursor jump (FusedChain class, re-verified).
             let plan = p.plan_order(&order);
             let bound = plan.positions[1].jump.as_ref().expect("bound jump");
             assert!(matches!(bound.key, KeyCol::Fused(_)));
-            assert!(!plan.kernel_key().supported());
-            assert!(plan.compile_kernel(None).is_none());
+            assert!(plan.kernel_key().supported());
+            let kernel = plan.compile_kernel(None).expect("fused shape compiles");
+            assert_eq!(kernel.class(), KernelClass::FusedChain);
+            assert_eq!(kernel.num_tables(), 2);
         }
 
         // Without indexes there is no composite machinery at all.

@@ -65,13 +65,14 @@ pub struct SkinnerCConfig {
     /// [`crate::partition`]). `1` reproduces the paper's sequential join
     /// phase exactly.
     pub threads: usize,
-    /// Execute supported join orders on the codegen tier (per-shape
-    /// compiled kernels, see `skinner-codegen`) instead of the
-    /// plan-bound kernel. Orders whose shape has no compiled kernel
-    /// (arity outside 2..=6, string/nullable key columns) fall back to
-    /// the plan-bound kernel either way; results are identical in every
-    /// case (the differential properties enforce it), so this switch
-    /// only trades compilation for interpretation.
+    /// Execute join orders on the codegen tier (per-shape compiled
+    /// kernels, see `skinner-codegen`) instead of the plan-bound
+    /// kernel. Every multi-table jump shape compiles — integer, float,
+    /// fused composite, and string/nullable keys — and orders above the
+    /// kernel arity ceiling run a compiled 6-position prefix driving
+    /// the plan-bound suffix (the split tier). Results are identical in
+    /// every case (the differential properties enforce it), so this
+    /// switch only trades compilation for interpretation.
     pub codegen: bool,
     /// Order selection policy (UCT, or uniform random for the Table 5
     /// ablation).
@@ -565,8 +566,10 @@ struct PlannedOrder<'a> {
 }
 
 impl PlannedOrder<'_> {
-    /// Run one slice on the best available tier (compiled kernel when
-    /// present, plan-bound otherwise).
+    /// Run one slice on the best available tier: full compiled kernel
+    /// when it covers the whole order, compiled prefix + plan-bound
+    /// suffix (split tier) when the order is longer than the kernel,
+    /// plan-bound otherwise.
     fn run_slice<R: ResultSink>(
         &self,
         join: &mut MultiwayJoin<'_>,
@@ -577,15 +580,25 @@ impl PlannedOrder<'_> {
         results: &mut R,
     ) -> (ContinueResult, u64) {
         match &self.kernel {
-            Some(kernel) => join.continue_join_compiled(kernel, offsets, state, budget, results),
+            Some(kernel) if kernel.num_tables() == order.len() => {
+                join.continue_join_compiled(kernel, offsets, state, budget, results)
+            }
+            Some(kernel) => {
+                join.continue_join_split(kernel, &self.plan, offsets, state, budget, results)
+            }
             None => join.continue_join(order, &self.plan, offsets, state, budget, results),
         }
     }
 }
 
 /// Bind one join order for execution: the plan-bound tier always, the
-/// compiled tier when codegen is on and the shape is supported (counted
-/// into the metrics either way).
+/// compiled tier when codegen is on (counted into the metrics either
+/// way). Every multi-table shape compiles — integer, float, fused
+/// composite, and string/nullable keys; orders above the kernel arity
+/// ceiling compile a prefix for the split tier — so `fallback_orders`
+/// only counts the reserved escape hatch no current binder produces.
+/// Single-table orders have no join loop to specialize and are not
+/// counted as fallbacks.
 fn bind_order<'p>(
     pq: &'p PreparedQuery,
     codegen: bool,
@@ -594,7 +607,8 @@ fn bind_order<'p>(
     metrics: &mut ExecMetrics,
 ) -> PlannedOrder<'p> {
     let plan = pq.plan_order(order);
-    let kernel = codegen.then(|| plan.compile_kernel(kernel_cache));
+    let kernel = (codegen && order.len() >= skinner_codegen::MIN_KERNEL_TABLES)
+        .then(|| plan.compile_kernel(kernel_cache));
     match &kernel {
         Some(Some(_)) => metrics.codegen_orders += 1,
         Some(None) => metrics.fallback_orders += 1,
@@ -906,10 +920,10 @@ mod tests {
     }
 
     #[test]
-    fn string_keyed_join_falls_back_and_stays_correct() {
-        // String join keys bind to `KeyCol::Other`: no compiled kernel
-        // exists, the engine must take the plan-bound tier and still
-        // produce the right answer.
+    fn string_keyed_join_compiles_and_stays_correct() {
+        // String join keys bind to `KeyCol::Other` and compile to the
+        // KeyEq jump (content-hash posting cursors, re-verified): the
+        // codegen tier carries every slice and the answer is unchanged.
         let mut cat = Catalog::new();
         cat.register(
             Table::new(
@@ -941,15 +955,16 @@ mod tests {
         .run(&q);
         // a⋈a: 2×2, b⋈b: 1×1.
         assert_eq!(out.result_count, 5);
-        assert_eq!(out.metrics.codegen_orders, 0, "Other keys must not compile");
-        assert!(out.metrics.fallback_orders > 0, "fallback path not taken");
-        assert_eq!(out.metrics.codegen_slices, 0);
+        assert!(out.metrics.codegen_orders > 0, "string keys must compile");
+        assert_eq!(out.metrics.fallback_orders, 0, "no fallback remains");
+        assert_eq!(out.metrics.codegen_slices, out.metrics.slices);
     }
 
     #[test]
-    fn seven_table_chain_falls_back_and_stays_correct() {
-        // Arity above MAX_KERNEL_TABLES: no compiled kernel; the
-        // plan-bound tier must carry the whole run.
+    fn seven_table_chain_splits_and_stays_correct() {
+        // Arity above MAX_KERNEL_TABLES: the compiled 6-position prefix
+        // drives the plan-bound suffix (split tier); counted as a
+        // codegen order, not a fallback.
         let mut cat = Catalog::new();
         for t in 0..7 {
             cat.register(
@@ -981,8 +996,64 @@ mod tests {
         .run(&q);
         // Each key appears twice per table; 3 keys × 2^7 combinations.
         assert_eq!(out.result_count, 3 * 128);
-        assert_eq!(out.metrics.codegen_orders, 0);
-        assert!(out.metrics.fallback_orders > 0);
+        assert!(out.metrics.codegen_orders > 0, "prefix must compile");
+        assert_eq!(out.metrics.fallback_orders, 0);
+        assert_eq!(out.metrics.codegen_slices, out.metrics.slices);
+    }
+
+    #[test]
+    fn seven_table_chain_split_agrees_with_plan_bound_partitioned() {
+        // The split tier under partitioning, checked byte-for-byte
+        // against the plan-bound tier on the same 7-table query, with a
+        // budget small enough to force many suspend/resume cycles
+        // through the split cursor contract.
+        let mut cat = Catalog::new();
+        for t in 0..7 {
+            cat.register(
+                Table::new(
+                    format!("c{t}"),
+                    Schema::new([ColumnDef::new("k", ValueType::Int)]),
+                    vec![Column::from_ints((0..6).map(|i| i % 3).collect())],
+                )
+                .unwrap(),
+            );
+        }
+        let mut qb = QueryBuilder::new(&cat);
+        for t in 0..7 {
+            qb.table(&format!("c{t}")).unwrap();
+        }
+        for t in 0..6 {
+            let j = qb
+                .col(&format!("c{t}.k"))
+                .unwrap()
+                .eq(qb.col(&format!("c{}.k", t + 1)).unwrap());
+            qb.filter(j);
+        }
+        qb.select_col("c0.k").unwrap();
+        let q = qb.build().unwrap();
+        for threads in [1, 4] {
+            let split = SkinnerC::new(SkinnerCConfig {
+                budget: 64,
+                threads,
+                ..Default::default()
+            })
+            .run(&q);
+            let plan_bound = SkinnerC::new(SkinnerCConfig {
+                budget: 64,
+                threads,
+                codegen: false,
+                ..Default::default()
+            })
+            .run(&q);
+            assert_eq!(split.result_count, 3 * 128, "threads={threads}");
+            assert_eq!(plan_bound.result_count, 3 * 128);
+            let mut a: Vec<&[u32]> = split.tuples.chunks_exact(7).collect();
+            let mut b: Vec<&[u32]> = plan_bound.tuples.chunks_exact(7).collect();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "threads={threads}");
+            assert_eq!(split.metrics.fallback_orders, 0);
+        }
     }
 
     #[test]

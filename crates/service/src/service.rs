@@ -13,7 +13,7 @@ use crate::cache::{CacheStats, LearningCache, TableDeps, DEFAULT_CACHE_CAPACITY}
 use skinner_core::{postprocess, project_tuple, QueryResult, RunStats};
 use skinner_engine::{
     KernelCache, KernelCacheStats, LearnedState, RunOptions, SkinnerC, SkinnerCConfig,
-    SkinnerOutcome, StopReason, WorkerPool,
+    SkinnerOutcome, StopReason, WorkerPool, DEFAULT_KERNEL_CACHE_CAPACITY,
 };
 use skinner_knowledge::{observe, KnowledgeConfig, KnowledgeStats, KnowledgeStore};
 use skinner_query::{parse, Query, QueryError, TemplateKey, UdfRegistry};
@@ -59,6 +59,16 @@ pub struct ServiceConfig {
     /// learner's exploration order — results are identical either way —
     /// so disabling this reproduces fully cold first runs per template.
     pub knowledge_priors: bool,
+    /// Maximum number of memoized kernel-shape resolutions (LRU
+    /// eviction past this; default
+    /// `skinner_engine::DEFAULT_KERNEL_CACHE_CAPACITY`). Entries are
+    /// tiny and data-independent, but a process-lifetime server must
+    /// stay bounded under adversarial shape diversity.
+    pub kernel_cache_capacity: usize,
+    /// Maximum total approximate bytes held by the kernel-shape cache
+    /// (`None` = bounded by `kernel_cache_capacity` alone), mirroring
+    /// [`ServiceConfig::cache_max_bytes`] for the learning cache.
+    pub kernel_cache_max_bytes: Option<usize>,
 }
 
 impl Default for ServiceConfig {
@@ -71,6 +81,8 @@ impl Default for ServiceConfig {
             cache_max_bytes: None,
             max_result_bytes: None,
             knowledge_priors: true,
+            kernel_cache_capacity: DEFAULT_KERNEL_CACHE_CAPACITY,
+            kernel_cache_max_bytes: None,
         }
     }
 }
@@ -199,6 +211,16 @@ pub struct ServiceStats {
     pub knowledge: KnowledgeStats,
     /// Kernel-shape cache counters (codegen tier, see `skinner-codegen`).
     pub kernels: KernelCacheStats,
+    /// Join orders executed on a compiled kernel, including long orders
+    /// whose 6-table prefix compiled and drove the plan-bound suffix.
+    pub codegen_orders: u64,
+    /// Join orders that fell back to the plan-bound tier with codegen
+    /// enabled. Only the reserved escape-hatch jump shape falls back,
+    /// so this is expected to stay 0.
+    pub fallback_orders: u64,
+    /// Time slices executed on a compiled kernel (split prefixes
+    /// included).
+    pub codegen_slices: u64,
 }
 
 #[derive(Debug)]
@@ -272,6 +294,9 @@ pub struct QueryService {
     queries: AtomicU64,
     warm_starts: AtomicU64,
     prior_seeded: AtomicU64,
+    codegen_orders: AtomicU64,
+    fallback_orders: AtomicU64,
+    codegen_slices: AtomicU64,
     limit_pushdowns: AtomicU64,
     cancelled: AtomicU64,
     timed_out: AtomicU64,
@@ -334,12 +359,18 @@ impl QueryService {
             udfs,
             cache: LearningCache::with_limits(config.cache_capacity, config.cache_max_bytes),
             knowledge: Mutex::new(KnowledgeStore::new(KnowledgeConfig::default())),
-            kernels: KernelCache::new(),
+            kernels: KernelCache::with_limits(
+                config.kernel_cache_capacity,
+                config.kernel_cache_max_bytes,
+            ),
             budget,
             pool,
             queries: AtomicU64::new(0),
             warm_starts: AtomicU64::new(0),
             prior_seeded: AtomicU64::new(0),
+            codegen_orders: AtomicU64::new(0),
+            fallback_orders: AtomicU64::new(0),
+            codegen_slices: AtomicU64::new(0),
             limit_pushdowns: AtomicU64::new(0),
             cancelled: AtomicU64::new(0),
             timed_out: AtomicU64::new(0),
@@ -465,6 +496,9 @@ impl QueryService {
             cache: self.cache.stats(),
             knowledge: self.knowledge().stats(),
             kernels: self.kernels.stats(),
+            codegen_orders: self.codegen_orders.load(Ordering::Relaxed),
+            fallback_orders: self.fallback_orders.load(Ordering::Relaxed),
+            codegen_slices: self.codegen_slices.load(Ordering::Relaxed),
         }
     }
 
@@ -689,6 +723,16 @@ impl QueryService {
         if prior_seeded {
             self.prior_seeded.fetch_add(1, Ordering::Relaxed);
         }
+        // Codegen-tier accounting, service-wide: which orders compiled
+        // (or hit the reserved escape hatch) and how many slices the
+        // compiled kernels carried. Surfaced via `\stats` and the wire
+        // Stats frame.
+        self.codegen_orders
+            .fetch_add(out.metrics.codegen_orders as u64, Ordering::Relaxed);
+        self.fallback_orders
+            .fetch_add(out.metrics.fallback_orders as u64, Ordering::Relaxed);
+        self.codegen_slices
+            .fetch_add(out.metrics.codegen_slices, Ordering::Relaxed);
         // The learning from an interrupted run is still valid (the tree
         // state is sound at every slice boundary), so even a
         // memory-exceeded run warms its template — a retry with a bigger
@@ -1192,6 +1236,12 @@ mod tests {
             .expect("second");
         let st = svc.stats().kernels;
         assert!(st.hits > 0, "repeated shapes must hit");
+        // The codegen tier actually ran: orders compiled, nothing fell
+        // back to the plan-bound tier.
+        let st = svc.stats();
+        assert!(st.codegen_orders > 0, "orders must compile");
+        assert_eq!(st.fallback_orders, 0, "no order may fall back");
+        assert!(st.codegen_slices > 0, "slices must run compiled");
     }
 
     #[test]

@@ -21,9 +21,10 @@
 //!   single-column fallback pays a real fan-out cost.
 //!
 //! The composite-key joins bind `KeyCol::Fused` jumps, which the codegen
-//! tier deliberately does not compile (fused keys are hashes) — these
-//! queries therefore exercise the plan-bound fallback tier end to end,
-//! asserted by `ExecMetrics::fallback_orders` in the tests below.
+//! tier compiles to `FusedEq` posting cursors (hash-derived, so the
+//! driving conjuncts are always re-verified) — these queries exercise
+//! the composite and compiled wins *composed*, with zero fallbacks,
+//! asserted via `ExecMetrics::fallback_orders` in the tests below.
 //!
 //! All generators are seeded and deterministic. [`generate_case`]
 //! produces small randomized single-query cases for the differential
@@ -435,8 +436,9 @@ mod tests {
 
     /// The acceptance criterion: a composite-key join produces identical
     /// results across all three kernel tiers — generic reference,
-    /// plan-bound, and the codegen tier, which for fused composite keys
-    /// takes its fallback (counted via `ExecMetrics.fallback_orders`).
+    /// plan-bound, and the codegen tier, which compiles the fused
+    /// composite jump (zero fallbacks: the composite and compilation
+    /// wins compose).
     #[test]
     fn composite_join_identical_across_three_tiers() {
         let wl = generate(0.03, 41);
@@ -473,19 +475,20 @@ mod tests {
             }
         }
 
-        // Tier 3: the codegen tier has no kernel for fused keys — the
-        // engine must take the fallback and count it.
-        assert!(plan.compile_kernel(None).is_none());
+        // Tier 3: fused keys compile — every order runs on the codegen
+        // tier and no fallback is counted.
+        assert!(plan.compile_kernel(None).is_some());
         let out = SkinnerC::new(SkinnerCConfig {
             budget: 64,
             ..Default::default()
         })
         .run(q);
-        assert!(
-            out.metrics.fallback_orders > 0,
-            "composite orders must register as codegen fallbacks"
+        assert_eq!(
+            out.metrics.fallback_orders, 0,
+            "composite orders must compile, not fall back"
         );
-        assert_eq!(out.metrics.codegen_slices, 0);
+        assert!(out.metrics.codegen_orders > 0);
+        assert_eq!(out.metrics.codegen_slices, out.metrics.slices);
 
         let mut a: Vec<Vec<u32>> = rs_generic.iter().map(|t| t.to_vec()).collect();
         let mut b: Vec<Vec<u32>> = rs_bound.iter().map(|t| t.to_vec()).collect();
@@ -496,6 +499,22 @@ mod tests {
         assert_eq!(a, b, "generic vs plan-bound divergence");
         assert_eq!(a, c, "generic vs engine (fallback tier) divergence");
         assert!(!a.is_empty(), "composite join must produce matches");
+    }
+
+    /// Acceptance criterion: the whole correlated workload runs with
+    /// zero codegen fallbacks — every order of every query compiles.
+    #[test]
+    fn workload_runs_entirely_on_codegen_tier() {
+        let wl = generate(0.03, 7);
+        for nq in &wl.queries {
+            let out = SkinnerC::new(SkinnerCConfig {
+                budget: 64,
+                ..Default::default()
+            })
+            .run(&nq.query);
+            assert_eq!(out.metrics.fallback_orders, 0, "{} fell back", nq.id);
+            assert!(out.metrics.codegen_orders > 0, "{} never compiled", nq.id);
+        }
     }
 
     #[test]

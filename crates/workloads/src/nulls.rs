@@ -3,11 +3,14 @@
 //! Every other workload in this crate joins on dense non-nullable
 //! integer keys — the fast path the engine's plan-time specialization
 //! targets (`KeyCol::Int`). This workload deliberately exercises the
-//! *fallback* path (`KeyCol::Other`): dictionary-encoded **string** join
-//! keys (whose 64-bit join keys are content hashes that may collide and
-//! must be re-verified by the predicate) and **nullable** columns (NULL
-//! never matches an equality, never enters a hash index, and must
-//! survive three-valued predicate logic end to end).
+//! `KeyCol::Other` shape, which the codegen tier compiles to `KeyEq`
+//! posting cursors: dictionary-encoded **string** join keys (whose
+//! 64-bit join keys are content hashes that may collide and must be
+//! re-verified by the predicate) and **nullable** columns (NULL never
+//! matches an equality, never enters a hash index, rejects at the
+//! compiled jump's NULL check, and must survive three-valued predicate
+//! logic end to end). These queries run with zero codegen fallbacks,
+//! asserted below.
 //!
 //! The scenario is a small "log analytics" schema: `users` and `events`
 //! join on a nullable string `uid`, `domains` joins `users` on a
@@ -414,6 +417,23 @@ mod tests {
             })
             .execute(&nq.query);
             assert_eq!(out.stats.result_count, truth, "{} diverged", nq.id);
+        }
+    }
+
+    /// Acceptance criterion: the whole NULL/string workload runs with
+    /// zero codegen fallbacks — string and nullable key shapes compile.
+    #[test]
+    fn workload_runs_entirely_on_codegen_tier() {
+        use skinner_engine::SkinnerC;
+        let wl = generate(0.015, 5);
+        for nq in &wl.queries {
+            let out = SkinnerC::new(SkinnerCConfig {
+                budget: 64,
+                ..Default::default()
+            })
+            .run(&nq.query);
+            assert_eq!(out.metrics.fallback_orders, 0, "{} fell back", nq.id);
+            assert!(out.metrics.codegen_orders > 0, "{} never compiled", nq.id);
         }
     }
 

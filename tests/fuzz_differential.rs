@@ -9,9 +9,11 @@
 //! * the generic reference kernel (one shot) is the oracle,
 //! * the plan-bound kernel runs in small slices, sequential **and**
 //!   offset-range partitioned,
-//! * the codegen tier runs where its shape compiles and demonstrably
-//!   falls back where it must (composite/fused, string or nullable
-//!   keys) — "codegen-or-fallback" in the assertions below,
+//! * the codegen tier runs on **every** multi-table shape — integer,
+//!   float, fused composite, string and nullable keys all compile, and
+//!   orders longer than the kernel arity ceiling run the compiled
+//!   prefix + plan-bound suffix split tier — asserted below (a refusal
+//!   to compile is a test failure, not a fallback),
 //! * the full Skinner-C engine (heavy order switching) is checked
 //!   against the vectorized column engine.
 //!
@@ -128,8 +130,9 @@ fn arb_fuzz_case() -> impl Strategy<Value = (Catalog, Query)> {
         let m = rng.gen_range(2..5usize);
         let base_rows = rng.gen_range(4..22usize);
         let space = rng.gen_range(2..6i64);
-        // Nullable keys push shapes onto the KeyCol::Other fallback;
-        // keep the probability mixed so both paths appear.
+        // Nullable keys bind KeyCol::Other (compiled as KeyEq jumps
+        // with NULL-reject); keep the probability mixed so both the
+        // exact-int and hash-key jump paths appear.
         let null_pct = [0, 0, 10, 30][rng.gen_range(0..4)];
 
         // One edge per adjacent pair, each 1 or 2 components wide. Each
@@ -318,10 +321,10 @@ proptest! {
                 order, indexes, threads
             );
 
-            // Codegen-or-fallback: when the shape compiles, the compiled
-            // kernel must agree too (sequential and partitioned); when
-            // it does not — composite fused keys, string or nullable
-            // keys — the fallback already ran above.
+            // Codegen: every multi-table shape compiles now (fused
+            // composite, string, and nullable keys included), and the
+            // compiled kernel must agree byte-for-byte, sequential and
+            // partitioned.
             if let Some(kernel) = plan.compile_kernel(None) {
                 let run_compiled = |workers: usize| -> Vec<Vec<u32>> {
                     let mut join = MultiwayJoin::with_threads(&pq, workers);
@@ -349,12 +352,14 @@ proptest! {
                     "partitioned codegen/generic divergence: order {:?} indexes {} threads {}",
                     order, indexes, threads
                 );
-            } else if indexes {
-                // Unsupported indexed shapes must be *structurally*
-                // unsupported — a fused/Other/array jump — never a
-                // silent refusal of a compilable chain.
-                let unsupported = !plan.kernel_key().supported();
-                prop_assert!(unsupported, "kernel refused a supported shape");
+            } else {
+                // The fallback gap is closed: within the kernel arity
+                // range every shape must compile, indexed or not.
+                prop_assert!(
+                    false,
+                    "kernel refused shape {} (order {:?} indexes {})",
+                    plan.kernel_key(), order, indexes
+                );
             }
         }
     }
@@ -458,6 +463,15 @@ proptest! {
         })
         .run(&q);
         prop_assert_eq!(out.result_count, truth);
+        // Metrics vacuity guard: with codegen on (the default), every
+        // executed multi-table order must have compiled — the counters
+        // prove the codegen tier actually ran, not just that results
+        // happened to agree.
+        if out.metrics.slices > 0 {
+            prop_assert_eq!(out.metrics.fallback_orders, 0);
+            prop_assert!(out.metrics.codegen_orders > 0);
+            prop_assert_eq!(out.metrics.codegen_slices, out.metrics.slices);
+        }
     }
 
     #[test]
@@ -597,13 +611,12 @@ proptest! {
     }
 
     #[test]
-    fn fuzz_composite_cases_take_fallback_and_agree(seed in any::<u64>()) {
+    fn fuzz_composite_cases_compile_and_agree(seed in any::<u64>()) {
         // The correlated-workload generator (always 2-column composite
-        // keys + dates): every plan that binds a fused composite jump
-        // must refuse to compile (the codegen tier's fallback), and the
-        // engine answer must match the column oracle. Plans where the
-        // selectivity heuristic kept a single-column jump instead may
-        // legitimately compile.
+        // keys + dates): every plan — fused composite jumps included —
+        // must compile to the codegen tier, and the engine answer must
+        // match the column oracle with zero fallbacks (the composite
+        // and compilation wins compose).
         let (_cat, q) = skinnerdb::workloads::correlated::generate_case(seed);
         let m = q.num_tables();
         let pq = PreparedQuery::new(&q, true, 1);
@@ -628,24 +641,20 @@ proptest! {
             }
         }
         rec(&graph, m, &mut Vec::new(), &mut orders);
-        let mut all_fused = true;
+        let mut saw_fused = false;
         for order in &orders {
             let plan = pq.plan_order(order);
-            let fused = plan.positions.iter().any(|p| {
+            saw_fused |= plan.positions.iter().any(|p| {
                 matches!(
                     p.jump.as_ref().map(|j| &j.key),
                     Some(skinnerdb::engine::prepare::KeyCol::Fused(_))
                 )
             });
-            if fused {
-                prop_assert!(
-                    plan.compile_kernel(None).is_none(),
-                    "fused composite jumps must not compile (order {:?})",
-                    order
-                );
-            } else {
-                all_fused = false;
-            }
+            prop_assert!(
+                plan.compile_kernel(None).is_some(),
+                "shape {} must compile (order {:?})",
+                plan.kernel_key(), order
+            );
         }
 
         let truth = ColEngine::new()
@@ -657,12 +666,128 @@ proptest! {
         })
         .run(&q);
         prop_assert_eq!(out.result_count, truth);
-        if all_fused && out.metrics.slices > 0 {
-            prop_assert!(
-                out.metrics.fallback_orders > 0,
-                "all-fused plans must register as codegen fallbacks"
-            );
-            prop_assert_eq!(out.metrics.codegen_slices, 0);
+        // Metrics vacuity guard: when the join phase ran, the codegen
+        // tier must actually have carried it — fused keys included.
+        if out.metrics.slices > 0 {
+            prop_assert_eq!(out.metrics.fallback_orders, 0);
+            prop_assert!(out.metrics.codegen_orders > 0);
+            prop_assert_eq!(out.metrics.codegen_slices, out.metrics.slices);
+        }
+        prop_assert!(saw_fused || !orders.is_empty());
+    }
+
+    #[test]
+    fn fuzz_long_orders_split_and_agree(
+        seed in any::<u64>(),
+        budget in 6u64..64,
+        threads in 2usize..5,
+    ) {
+        // Arity 7..=9 — above the compiled-kernel ceiling: the engine
+        // compiles a 6-position prefix and drives the plan-bound suffix
+        // through the split tier. The split tier must agree with the
+        // generic oracle byte-for-byte, sequential and partitioned,
+        // through many suspend/resume cycles (small budgets).
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let m = rng.gen_range(7..10usize);
+        let space = rng.gen_range(2..4i64);
+        let null_pct = [0, 10, 25][rng.gen_range(0..3)];
+        let mut cat = Catalog::new();
+        let mut types = Vec::new();
+        for t in 0..m {
+            let n = rng.gen_range(3..8usize);
+            let mut defs = Vec::new();
+            let mut cols = Vec::new();
+            if t > 0 {
+                let kt = types[t - 1];
+                defs.push(ColumnDef::new("lk", KeyType::value_type(kt)));
+                cols.push(gen_column(&mut rng, kt, n, space, null_pct));
+            }
+            if t < m - 1 {
+                let kt = KeyType::pick(&mut rng);
+                types.push(kt);
+                defs.push(ColumnDef::new("rk", KeyType::value_type(kt)));
+                cols.push(gen_column(&mut rng, kt, n, space, null_pct));
+            }
+            defs.push(ColumnDef::new("v", ValueType::Int));
+            cols.push(gen_column(&mut rng, KeyType::Int, n, 20, 0));
+            cat.register(Table::new(format!("t{t}"), Schema::new(defs), cols).expect("table"));
+        }
+        let mut qb = QueryBuilder::new(&cat);
+        for t in 0..m {
+            qb.table(&format!("t{t}")).expect("table");
+        }
+        for t in 0..m - 1 {
+            let j = qb
+                .col(&format!("t{t}.rk"))
+                .expect("col")
+                .eq(qb.col(&format!("t{}.lk", t + 1)).expect("col"));
+            qb.filter(j);
+        }
+        qb.select_col("t0.v").expect("select");
+        let q = qb.build().expect("long chain");
+
+        let order = random_valid_order(&q, seed ^ 0x5917);
+        let budget = budget.max(4 * m as u64);
+        let pq = PreparedQuery::new(&q, true, 1);
+        let spec = pq.plan_spec(&order);
+        let plan = pq.plan_order(&order);
+        let offsets = vec![0u32; m];
+
+        // Oracle: generic reference kernel, one shot.
+        let mut join = MultiwayJoin::new(&pq);
+        let mut state = offsets.clone();
+        let mut rs_generic = ResultSet::new();
+        join.continue_join_generic(&order, &spec, &offsets, &mut state, u64::MAX, &mut rs_generic);
+        let oracle = sorted_tuples(&rs_generic);
+
+        // The prefix must compile and cover strictly fewer tables.
+        let kernel = plan.compile_kernel(None);
+        prop_assert!(kernel.is_some(), "long order must compile a prefix");
+        let kernel = kernel.unwrap();
+        prop_assert_eq!(kernel.num_tables(), 6);
+        prop_assert!(kernel.num_tables() < m);
+
+        let run_split = |workers: usize| -> Vec<Vec<u32>> {
+            let mut join = MultiwayJoin::with_threads(&pq, workers);
+            let mut state = offsets.clone();
+            let mut rs = ResultSet::new();
+            let mut slices = 0u64;
+            loop {
+                slices += 1;
+                assert!(slices < 5_000_000, "no termination");
+                let (res, _) = join.continue_join_split(
+                    &kernel, &plan, &offsets, &mut state, budget, &mut rs,
+                );
+                if res == ContinueResult::Exhausted {
+                    break;
+                }
+            }
+            sorted_tuples(&rs)
+        };
+        prop_assert_eq!(
+            &run_split(1), &oracle,
+            "split/generic divergence: order {:?}", order
+        );
+        prop_assert_eq!(
+            &run_split(threads), &oracle,
+            "partitioned split/generic divergence: order {:?} threads {}", order, threads
+        );
+
+        // End to end through the engine, with the metrics vacuity
+        // guard: the split orders count as codegen, never fallback.
+        let truth = ColEngine::new()
+            .execute(&q, &ExecOptions { count_only: true, ..Default::default() })
+            .result_count;
+        let out = SkinnerC::new(SkinnerCConfig {
+            budget: 16,
+            ..Default::default()
+        })
+        .run(&q);
+        prop_assert_eq!(out.result_count, truth);
+        if out.metrics.slices > 0 {
+            prop_assert_eq!(out.metrics.fallback_orders, 0);
+            prop_assert!(out.metrics.codegen_orders > 0);
+            prop_assert_eq!(out.metrics.codegen_slices, out.metrics.slices);
         }
     }
 }

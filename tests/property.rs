@@ -434,13 +434,13 @@ proptest! {
     }
 
     #[test]
-    fn null_string_codegen_falls_back_and_scan_compiles(seed in any::<u64>()) {
-        // Unsupported shapes must demonstrably take the fallback path
-        // and still be correct: string/nullable key columns have no
-        // compiled kernel when indexes give them `KeyCol::Other` jumps,
-        // while the same query *without* indexes is a pure scan — which
-        // the codegen tier does compile (generic predicate evaluation,
-        // three-valued logic and all).
+    fn null_string_codegen_compiles_everywhere(seed in any::<u64>()) {
+        // String/nullable key columns bind `KeyCol::Other` jumps, which
+        // compile to KeyEq posting cursors (content-hash keys with
+        // NULL-reject, predicates always re-verified) — and the same
+        // query *without* indexes is a pure scan, which also compiles
+        // (generic predicate evaluation, three-valued logic and all).
+        // Both must agree with the oracle; neither may fall back.
         let (_cat, q) = skinnerdb::workloads::nulls::generate_case(seed);
         let m = q.num_tables();
         let order: Vec<usize> = (0..m).collect();
@@ -448,21 +448,15 @@ proptest! {
             .execute(&q, &ExecOptions { count_only: true, ..Default::default() })
             .result_count;
 
-        // Indexed: jumps bind KeyCol::Other → no compiled kernel.
+        // Indexed: KeyCol::Other jumps compile (KeyChain / Mixed class).
         let pq = PreparedQuery::new(&q, true, 1);
         let plan = pq.plan_order(&order);
-        let has_other_jump = plan
-            .positions
-            .iter()
-            .any(|p| p.jump.is_some());
-        if has_other_jump {
-            prop_assert!(
-                plan.compile_kernel(None).is_none(),
-                "string-keyed jumps must not compile"
-            );
-        }
-        // End-to-end with codegen enabled: the engine takes the fallback
-        // tier for unsupported orders and the answer is still exact.
+        prop_assert!(
+            plan.compile_kernel(None).is_some(),
+            "string/nullable-keyed shapes must compile"
+        );
+        // End-to-end with codegen enabled: every order compiles and the
+        // answer is still exact.
         let out = SkinnerC::new(SkinnerCConfig {
             budget: 16,
             threads: env_threads(),
@@ -471,10 +465,11 @@ proptest! {
         .run(&q);
         prop_assert_eq!(out.result_count, truth);
         // (An empty-filtered table short-circuits before any order is
-        // bound; only runs that actually joined can prove the fallback.)
-        if has_other_jump && out.metrics.slices > 0 {
-            prop_assert!(out.metrics.fallback_orders > 0, "fallback path not taken");
-            prop_assert_eq!(out.metrics.codegen_slices, 0);
+        // bound; only runs that actually joined exercise the counters.)
+        if out.metrics.slices > 0 {
+            prop_assert_eq!(out.metrics.fallback_orders, 0, "no fallback remains");
+            prop_assert!(out.metrics.codegen_orders > 0);
+            prop_assert_eq!(out.metrics.codegen_slices, out.metrics.slices);
         }
 
         // Scan mode (no indexes): the shape compiles and must agree.
@@ -497,7 +492,7 @@ proptest! {
 
     #[test]
     fn null_string_joins_match_engine(seed in any::<u64>()) {
-        // NULL-heavy, string-keyed chains (the `KeyCol::Other` fallback:
+        // NULL-heavy, string-keyed chains (`KeyCol::Other` jumps:
         // hash-verified string join keys, NULL equality semantics):
         // Skinner-C under heavy order switching must agree with a direct
         // engine execution.
